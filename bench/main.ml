@@ -1,0 +1,341 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5). Run `main.exe all` or a single experiment id
+   (table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | table3 | ablation |
+   bechamel).
+
+   Absolute numbers come from our interpreter + calibrated cost model, not
+   the authors' testbed: the reproduction target is the shape — who wins,
+   by what factor, where the crossovers are. EXPERIMENTS.md records
+   paper-vs-measured for each experiment. *)
+
+let pf = Format.printf
+
+let requests =
+  match Sys.getenv_opt "KFLEX_BENCH_REQUESTS" with
+  | Some s -> (try int_of_string s with _ -> 30_000)
+  | None -> 30_000
+
+let hr title = pf "@.=== %s ===@." title
+
+(* ---------------------------------------------------------------- *)
+
+let table1 () =
+  hr "Table 1: approaches to safe kernel extensibility (qualitative)";
+  pf "  %-38s %-11s %-11s %-11s@." "Approach" "Flexibility" "Performance"
+    "Practicality";
+  List.iter
+    (fun (a, f, p, pr) -> pf "  %-38s %-11s %-11s %-11s@." a f p pr)
+    [
+      ("Safe languages (e.g., SPIN)", "yes", "yes", "no");
+      ("Software Fault Isolation (e.g., VINO)", "yes", "no", "yes");
+      ("Static verification (e.g., eBPF)", "no", "yes", "yes");
+      ("KFlex (this reproduction)", "yes", "yes", "yes");
+    ]
+
+let print_cells title paper cells =
+  hr title;
+  pf "  (paper: %s)@." paper;
+  List.iter (fun cell -> pf "%a@." Kflex_apps.E2e.pp_rows cell) cells
+
+let fig2 () =
+  print_cells
+    "Figure 2: Memcached, 8 server threads (throughput / p99 latency)"
+    "KFlex 1.23-2.83x over BMC, 2.33-3.01x over user space"
+    (Kflex_apps.E2e.fig_memcached ~workers:8 ~requests ())
+
+let fig3 () =
+  print_cells "Figure 3: Memcached, 16 server threads"
+    "benefits similar to 8 threads"
+    (Kflex_apps.E2e.fig_memcached ~workers:16 ~requests ())
+
+let fig4 () =
+  print_cells "Figure 4: Redis at sk_skb vs user space (KeyDB)"
+    "KFlex 1.61-2.14x throughput; benefit smaller than Memcached (TCP stack \
+     still paid)"
+    (Kflex_apps.E2e.fig_redis ~workers:8 ~requests ())
+
+let fig7 () =
+  print_cells
+    "Figure 7: co-designed Memcached (user-space GC every 1s, shared heap)"
+    "KFlex 2.2-2.9x throughput; tail-latency gain reduced by GC contention"
+    (Kflex_apps.E2e.fig_codesign ~workers:8 ~requests ())
+
+let fig6 () =
+  hr "Figure 6: Redis ZADD (hashmap -> on-demand skiplist), 1 server thread";
+  pf "  (paper: KFlex 1.65x throughput, 52.8%% lower p99)@.";
+  List.iter
+    (fun (r : Kflex_apps.E2e.row) ->
+      pf "    %-22s %6.3f MOps/s   p99 %8.1f us@." r.Kflex_apps.E2e.system
+        r.Kflex_apps.E2e.throughput_mops r.Kflex_apps.E2e.p99_us)
+    (Kflex_apps.E2e.fig_zadd ~requests:(requests / 2) ())
+
+(* ---- Figure 5: data structures ---------------------------------------- *)
+
+let ds_preload inst ~n =
+  for i = 0 to n - 1 do
+    ignore
+      (Kflex_apps.Datastructs.update inst ~key:(Int64.of_int i)
+         ~value:(Int64.of_int (i * 3)))
+  done
+
+let ds_measure inst ~n ~samples =
+  let rng = Kflex_workload.Rng.create ~seed:99L in
+  let avg f =
+    let total = ref 0 in
+    for _ = 1 to samples do
+      total := !total + f (Int64.of_int (Kflex_workload.Rng.int rng n))
+    done;
+    float_of_int !total /. float_of_int samples
+  in
+  let upd =
+    avg (fun k -> snd (Kflex_apps.Datastructs.update inst ~key:k ~value:123L))
+  in
+  let lkp = avg (fun k -> snd (Kflex_apps.Datastructs.lookup inst ~key:k)) in
+  let del =
+    avg (fun k ->
+        let _, c = Kflex_apps.Datastructs.delete inst ~key:k in
+        (* reinsert to keep the size stable *)
+        ignore (Kflex_apps.Datastructs.update inst ~key:k ~value:7L);
+        c)
+  in
+  (upd, lkp, del)
+
+let fig5 () =
+  hr "Figure 5: data structures offloaded with KFlex (per-op latency, ns)";
+  pf "  (paper: KFlex ~9%% throughput / ~31.7%% latency overhead vs KMod;@.";
+  pf "   performance mode recovers 3-4%% on pointer-chasing structures)@.";
+  pf "  %-12s %-8s %12s %12s %12s %10s %10s@." "structure" "op" "KMod(ns)"
+    "KFlex-PM(ns)" "KFlex(ns)" "PM ovr" "KFlex ovr";
+  let samples = 200 in
+  List.iter
+    (fun kind ->
+      let n =
+        match kind with
+        | Kflex_apps.Datastructs.Linked_list ->
+            4096 (* paper uses 64K elements; scaled for the interpreter *)
+        | _ -> 16384
+      in
+      let is_sketch =
+        kind = Kflex_apps.Datastructs.Countmin
+        || kind = Kflex_apps.Datastructs.Countsketch
+      in
+      let measure mode =
+        let inst = Kflex_apps.Datastructs.create ~mode kind in
+        ds_preload inst ~n:(if is_sketch then 4096 else n);
+        ds_measure inst ~n ~samples
+      in
+      let a3 = measure Kflex_apps.Datastructs.M_kmod in
+      let b3 = measure Kflex_apps.Datastructs.M_perf in
+      let c3 = measure Kflex_apps.Datastructs.M_kflex in
+      let row op =
+        let m (u, l, d) = match op with `U -> u | `L -> l | `D -> d in
+        let a = m a3 and b = m b3 and c = m c3 in
+        let ns x = x *. Kflex_kernel.Cost.insn_ns in
+        pf "  %-12s %-8s %12.0f %12.0f %12.0f %9.1f%% %9.1f%%@."
+          (Kflex_apps.Datastructs.name kind)
+          (match op with `U -> "update" | `L -> "lookup" | `D -> "delete")
+          (ns a) (ns b) (ns c)
+          (100. *. ((b -. a) /. a))
+          (100. *. ((c -. a) /. a))
+      in
+      row `U;
+      row `L;
+      if not is_sketch then row `D)
+    Kflex_apps.Datastructs.all
+
+(* ---- Table 3: guard elision ------------------------------------------- *)
+
+let table3 () =
+  hr "Table 3: SFI guards elided by the verifier's range analysis";
+  pf "  (paper: 76%% of pointer-manipulation guards elided on average)@.";
+  pf "  %-24s %8s %8s %8s %10s@." "function" "sites" "elided" "emitted"
+    "elided%";
+  let total_sites = ref 0 and total_elided = ref 0 in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (opname, op) ->
+          let src = Kflex_apps.Datastructs.op_source kind op in
+          let compiled =
+            Kflex_eclang.Compile.compile_string
+              ~name:(Kflex_apps.Datastructs.name kind ^ "_" ^ opname)
+              src
+          in
+          match
+            Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex
+              ~contracts:Kflex.contracts ~ctx_size:Kflex_kernel.Hook.ctx_size
+              ~heap_size:(Int64.shift_left 1L 24)
+              compiled.Kflex_eclang.Compile.prog
+          with
+          | Error e ->
+              pf "  %-24s VERIFY ERROR: %a@."
+                (Kflex_apps.Datastructs.name kind ^ " " ^ opname)
+                Kflex_verifier.Verify.pp_error e
+          | Ok analysis ->
+              let kie = Kflex_kie.Instrument.run analysis in
+              let r = kie.Kflex_kie.Instrument.report in
+              total_sites := !total_sites + r.Kflex_kie.Report.counted_sites;
+              total_elided := !total_elided + r.Kflex_kie.Report.elided;
+              pf "  %-24s %8d %8d %8d %9.0f%%@."
+                (Kflex_apps.Datastructs.name kind ^ " " ^ opname)
+                r.Kflex_kie.Report.counted_sites r.Kflex_kie.Report.elided
+                r.Kflex_kie.Report.emitted
+                (100. *. Kflex_kie.Report.elision_ratio r))
+        [ ("update", `Update); ("lookup", `Lookup); ("delete", `Delete) ])
+    Kflex_apps.Datastructs.all;
+  if !total_sites > 0 then
+    pf "  %-24s %8d %8d %8s %9.0f%%@." "TOTAL" !total_sites !total_elided ""
+      (100. *. float_of_int !total_elided /. float_of_int !total_sites)
+
+(* ---- Ablation: does verification reduce SFI overhead? (§5.4) ----------- *)
+
+(* Table 3 counts guards statically; this ablation measures the runtime
+   cost the elision saves, by running the same workload with the range
+   analysis honoured vs ignored (every heap access guarded). *)
+let ablation () =
+  hr "Ablation (§5.4): guard elision ON vs OFF (per-op cost units)";
+  pf "  %-12s %10s %12s %12s %10s@." "structure" "KMod" "KFlex" "no-elision"
+    "saved";
+  List.iter
+    (fun kind ->
+      let cost mode =
+        let inst = Kflex_apps.Datastructs.create ~mode kind in
+        for i = 0 to 4095 do
+          ignore
+            (Kflex_apps.Datastructs.update inst ~key:(Int64.of_int i)
+               ~value:1L)
+        done;
+        let total = ref 0 in
+        for i = 0 to 1023 do
+          let _, c =
+            Kflex_apps.Datastructs.update inst ~key:(Int64.of_int (i * 3))
+              ~value:2L
+          in
+          total := !total + c
+        done;
+        float_of_int !total /. 1024.
+      in
+      let kmod = cost Kflex_apps.Datastructs.M_kmod in
+      let kflex = cost Kflex_apps.Datastructs.M_kflex in
+      let noel = cost Kflex_apps.Datastructs.M_noelide in
+      pf "  %-12s %10.1f %12.1f %12.1f %9.1f%%@."
+        (Kflex_apps.Datastructs.name kind)
+        kmod kflex noel
+        (100. *. (noel -. kflex) /. (noel -. kmod +. 1e-9)))
+    [
+      Kflex_apps.Datastructs.Hashmap; Kflex_apps.Datastructs.Rbtree;
+      Kflex_apps.Datastructs.Skiplist; Kflex_apps.Datastructs.Countmin;
+    ];
+  pf "  ('saved' = share of instrumentation overhead removed by elision)@."
+
+(* ---- Bechamel micro-benchmarks ----------------------------------------- *)
+
+(* One Bechamel Test.make per experiment family: wall-clock cost of the
+   representative inner operation (VM-executed data-structure ops and
+   end-to-end requests), complementing the cost-model numbers above. *)
+let bechamel () =
+  hr "Bechamel micro-benchmarks (host wall-clock of VM-executed ops)";
+  let open Bechamel in
+  let hm = Kflex_apps.Datastructs.create Kflex_apps.Datastructs.Hashmap in
+  ds_preload hm ~n:4096;
+  let sk = Kflex_apps.Datastructs.create Kflex_apps.Datastructs.Skiplist in
+  ds_preload sk ~n:4096;
+  let mc = Kflex_apps.Memcached.create_kflex () in
+  for rank = 0 to 1023 do
+    ignore
+      (Kflex_apps.Memcached.exec_kflex mc
+         (Kflex_apps.Memcached.op_packet ~op:Kflex_apps.Memcached.Set ~rank))
+  done;
+  let rd = Kflex_apps.Redis.create () in
+  let counter = ref 0 in
+  let tests =
+    [
+      (* Figures 2/3/7: one Memcached GET through the full pipeline *)
+      Test.make ~name:"fig2_memcached_get"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore
+               (Kflex_apps.Memcached.exec_kflex mc
+                  (Kflex_apps.Memcached.op_packet ~op:Kflex_apps.Memcached.Get
+                     ~rank:(!counter land 1023)))));
+      (* Figures 4/6: one Redis ZADD *)
+      Test.make ~name:"fig4_redis_zadd"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore
+               (Kflex_apps.Redis.exec rd
+                  (Kflex_apps.Redis.op_packet
+                     ~op:
+                       (Kflex_apps.Redis.Zadd
+                          (Int64.of_int !counter, Int64.of_int !counter))
+                     ~rank:1))));
+      (* Figure 5 / Table 3: hashmap + skiplist lookups *)
+      Test.make ~name:"fig5_hashmap_lookup"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore
+               (Kflex_apps.Datastructs.lookup hm
+                  ~key:(Int64.of_int (!counter land 4095)))));
+      Test.make ~name:"fig5_skiplist_lookup"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore
+               (Kflex_apps.Datastructs.lookup sk
+                  ~key:(Int64.of_int (!counter land 4095)))));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> pf "  %-28s %12.0f ns/op@." name est
+          | _ -> pf "  %-28s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------------ *)
+
+let all () =
+  table1 ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  fig5 ();
+  fig6 ();
+  fig7 ();
+  table3 ();
+  ablation ();
+  bechamel ()
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match which with
+  | "table1" -> table1 ()
+  | "fig2" -> fig2 ()
+  | "fig3" -> fig3 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "fig6" -> fig6 ()
+  | "fig7" -> fig7 ()
+  | "table3" -> table3 ()
+  | "ablation" -> ablation ()
+  | "bechamel" -> bechamel ()
+  | "all" -> all ()
+  | other ->
+      pf
+        "unknown experiment %s (use \
+         table1|fig2|fig3|fig4|fig5|fig6|fig7|table3|ablation|bechamel|all)@."
+        other;
+      exit 1

@@ -1,0 +1,189 @@
+(* kflexc — the KFlex extension toolchain CLI.
+
+   Subcommands:
+     compile FILE.ec [-o OUT.kfx]   compile eclang to a KFlex bytecode blob
+     disasm  FILE.kfx               disassemble a bytecode blob
+     verify  FILE.ec|FILE.kfx       run the verifier and print the analysis
+     report  FILE.ec [--perf-mode]  instrument and print the guard report
+     run     FILE.ec [--payload HEX] load and execute with one packet *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_prog path =
+  if Filename.check_suffix path ".kfx" then
+    (Kflex_bpf.Encode.decode (read_file path), 0L)
+  else
+    let c = Kflex_eclang.Compile.compile_string ~name:(Filename.basename path) (read_file path) in
+    (c.Kflex_eclang.Compile.prog, c.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size)
+
+let handle_errors f =
+  try f () with
+  | Kflex_eclang.Compile.Error m ->
+      Format.eprintf "compile error: %s@." m;
+      exit 1
+  | Kflex_eclang.Parser.Error { line; msg } ->
+      Format.eprintf "parse error (line %d): %s@." line msg;
+      exit 1
+  | Kflex_eclang.Lexer.Error { line; msg } ->
+      Format.eprintf "lex error (line %d): %s@." line msg;
+      exit 1
+  | Kflex_bpf.Encode.Decode_error m ->
+      Format.eprintf "decode error: %s@." m;
+      exit 1
+  | Sys_error m ->
+      Format.eprintf "%s@." m;
+      exit 1
+
+let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let compile_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT")
+  in
+  let run file out =
+    handle_errors (fun () ->
+        let prog, globals = load_prog file in
+        let out =
+          match out with
+          | Some o -> o
+          | None -> Filename.remove_extension file ^ ".kfx"
+        in
+        let oc = open_out_bin out in
+        output_string oc (Kflex_bpf.Encode.encode prog);
+        close_out oc;
+        Format.printf "%s: %d insns, %Ld bytes of globals -> %s@." file
+          (Kflex_bpf.Prog.length prog) globals out)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile eclang to KFlex bytecode")
+    Term.(const run $ file_arg $ out)
+
+let disasm_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let prog, _ = load_prog file in
+        Format.printf "%a@." Kflex_bpf.Prog.pp prog)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a program") Term.(const run $ file_arg)
+
+let heap_size_arg =
+  Arg.(value & opt int 24 & info [ "heap-bits" ] ~docv:"N"
+         ~doc:"Heap size as a power of two (default 24 = 16 MiB)")
+
+let verify_cmd =
+  let run file heap_bits =
+    handle_errors (fun () ->
+        let prog, _ = load_prog file in
+        match
+          Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex
+            ~contracts:Kflex.contracts ~ctx_size:Kflex_kernel.Hook.ctx_size
+            ~heap_size:(Int64.shift_left 1L heap_bits) prog
+        with
+        | Error e ->
+            Format.printf "REJECTED: %a@." Kflex_verifier.Verify.pp_error e;
+            exit 1
+        | Ok a ->
+            Format.printf "OK: %d insns, %d heap accesses (%d elidable), %d \
+                           unbounded loops, %d stack bytes@."
+              a.Kflex_verifier.Verify.insn_count
+              (List.length a.Kflex_verifier.Verify.heap_accesses)
+              (List.length
+                 (List.filter
+                    (fun (x : Kflex_verifier.Verify.heap_access) ->
+                      x.Kflex_verifier.Verify.elidable)
+                    a.Kflex_verifier.Verify.heap_accesses))
+              (List.length a.Kflex_verifier.Verify.unbounded)
+              a.Kflex_verifier.Verify.stack_used)
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Verify kernel-interface compliance")
+    Term.(const run $ file_arg $ heap_size_arg)
+
+let report_cmd =
+  let pm = Arg.(value & flag & info [ "perf-mode" ] ~doc:"Performance mode") in
+  let run file heap_bits pm =
+    handle_errors (fun () ->
+        let prog, _ = load_prog file in
+        match
+          Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex
+            ~contracts:Kflex.contracts ~ctx_size:Kflex_kernel.Hook.ctx_size
+            ~heap_size:(Int64.shift_left 1L heap_bits) prog
+        with
+        | Error e ->
+            Format.printf "REJECTED: %a@." Kflex_verifier.Verify.pp_error e;
+            exit 1
+        | Ok a ->
+            let kie =
+              Kflex_kie.Instrument.run
+                ~options:{ Kflex_kie.Instrument.default_options with
+                           Kflex_kie.Instrument.performance_mode = pm }
+                a
+            in
+            Format.printf "%a@." Kflex_kie.Report.pp
+              kie.Kflex_kie.Instrument.report;
+            Format.printf "instrumented: %d -> %d insns@."
+              (Kflex_bpf.Prog.length prog)
+              (Kflex_bpf.Prog.length kie.Kflex_kie.Instrument.prog))
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Print the Kie instrumentation report")
+    Term.(const run $ file_arg $ heap_size_arg $ pm)
+
+let run_cmd =
+  let payload =
+    Arg.(value & opt string "" & info [ "payload" ] ~docv:"HEX"
+           ~doc:"Packet payload as hex bytes")
+  in
+  let run file heap_bits payload =
+    handle_errors (fun () ->
+        let prog, globals =
+          if Filename.check_suffix file ".kfx" then load_prog file
+          else load_prog file
+        in
+        let kernel = Kflex_kernel.Helpers.create () in
+        let heap =
+          Kflex_runtime.Heap.create ~size:(Int64.shift_left 1L heap_bits) ()
+        in
+        match
+          Kflex.load ~kernel ~heap ~globals_size:globals
+            ~hook:Kflex_kernel.Hook.Xdp prog
+        with
+        | Error e ->
+            Format.printf "REJECTED: %a@." Kflex_verifier.Verify.pp_error e;
+            exit 1
+        | Ok loaded -> (
+            let bytes =
+              if payload = "" then Bytes.make 64 '\000'
+              else begin
+                let n = String.length payload / 2 in
+                Bytes.init n (fun i ->
+                    Char.chr (int_of_string ("0x" ^ String.sub payload (2 * i) 2)))
+              end
+            in
+            let pkt =
+              Kflex_kernel.Packet.make ~proto:Kflex_kernel.Packet.Udp
+                ~src_port:1 ~dst_port:2 bytes
+            in
+            let stats = Kflex_runtime.Vm.fresh_stats () in
+            match Kflex.run_packet loaded ~stats pkt with
+            | Kflex_runtime.Vm.Finished v ->
+                Format.printf "finished: ret=%Ld (%d insns, %d guards, %d \
+                               checkpoints)@."
+                  v stats.Kflex_runtime.Vm.insns stats.Kflex_runtime.Vm.guards
+                  stats.Kflex_runtime.Vm.checkpoints
+            | Kflex_runtime.Vm.Cancelled { orig_pc; released; ret; _ } ->
+                Format.printf "cancelled at pc %d; released [%s]; ret=%Ld@."
+                  orig_pc
+                  (String.concat "; " (List.map fst released))
+                  ret))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Load and execute an extension once")
+    Term.(const run $ file_arg $ heap_size_arg $ payload)
+
+let () =
+  let info = Cmd.info "kflexc" ~doc:"KFlex extension toolchain" in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; disasm_cmd; verify_cmd; report_cmd; run_cmd ]))

@@ -1,0 +1,11 @@
+// A standalone eclang extension for the kflexc CLI:
+// drops packets whose first payload word exceeds a per-port budget.
+global budget: [u64; 1024];
+
+fn prog(c: ctx) -> u64 {
+  var port: u64 = pkt_read_u16(c, 0) & 1023;
+  var cost: u64 = pkt_read_u32(c, 2);
+  budget[port] = budget[port] + cost;
+  if (budget[port] > 10000) { return 1; }  // XDP_DROP
+  return 2;                                // XDP_PASS
+}

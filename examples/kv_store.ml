@@ -1,0 +1,109 @@
+(* Listing 1 of the paper: a key-value store backed by a linked list defined
+   entirely inside the extension, serving update/delete/insert requests at
+   the XDP hook — with a spin lock, socket lookups, dynamic allocation and
+   an unbounded traversal loop, none of which plain eBPF can express.
+
+   Run with:  dune exec examples/kv_store.exe *)
+
+open Kflex_runtime
+open Kflex_kernel
+
+let source = {|
+struct elem {
+  key: u64;
+  value: u64;
+  next: ptr<elem>;
+  prev: ptr<elem>;
+}
+
+global head: ptr<elem>;
+global lock: u64;
+
+// request: u64 key @0, u8 op @8 (0=update, 1=delete, 2=insert), u64 value @9
+fn prog(c: ctx) -> u64 {
+  var key: u64 = pkt_read_u64(c, 0);
+  var op: u64 = pkt_read_u8(c, 8);
+
+  var tup: bytes[16];
+  st16(&tup, 0, 11211);
+
+  var h: u64 = kflex_spin_lock(&lock);
+
+  if (op == 2) {                        // insert at head
+    var n: ptr<elem> = new elem;
+    if (n == null) { kflex_spin_unlock(h); return 1; }
+    n.key = key;
+    n.value = pkt_read_u64(c, 9);
+    n.next = head;
+    if (head != null) { head.prev = n; }
+    head = n;
+    kflex_spin_unlock(h);
+    return 1;
+  }
+
+  var e: ptr<elem> = head;
+  while (e != null) {                   // unbounded traversal (C1 point)
+    if (e.key != key) { e = e.next; continue; }
+    // only handle packets for existing UDP sockets (Listing 1, line 33)
+    var sk: u64 = bpf_sk_lookup_udp(c, &tup, 16, 0, 0);
+    if (sk == 0) { break; }
+    if (op == 0) {
+      e.value = pkt_read_u64(c, 9);     // update
+    } else {
+      if (e.prev != null) { e.prev.next = e.next; } else { head = e.next; }
+      if (e.next != null) { e.next.prev = e.prev; }
+      free e;                           // delete
+    }
+    bpf_sk_release(sk);
+    break;
+  }
+
+  kflex_spin_unlock(h);
+  return 1;                             // XDP_DROP (consumed)
+}
+|}
+
+let mk_pkt ~key ~op ~value =
+  let b = Bytes.make 32 '\000' in
+  Bytes.set_int64_le b 0 key;
+  Bytes.set b 8 (Char.chr op);
+  Bytes.set_int64_le b 9 value;
+  Packet.make ~proto:Packet.Udp ~src_port:5555 ~dst_port:11211 b
+
+let () =
+  let compiled = Kflex_eclang.Compile.compile_string ~name:"listing1" source in
+  let kernel = Helpers.create () in
+  Socket.listen (Helpers.sockets kernel) ~proto:Packet.Udp ~port:11211;
+  let heap = Heap.create ~size:(Int64.shift_left 1L 24) () in
+  let loaded =
+    match
+      Kflex.load ~kernel ~heap
+        ~globals_size:compiled.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size
+        ~hook:Hook.Xdp compiled.Kflex_eclang.Compile.prog
+    with
+    | Ok l -> l
+    | Error e ->
+        Format.kasprintf failwith "verifier: %a" Kflex_verifier.Verify.pp_error e
+  in
+  Format.printf "loaded; %a@." Kflex_kie.Report.pp
+    loaded.Kflex.kie.Kflex_kie.Instrument.report;
+  let run what pkt =
+    let stats = Vm.fresh_stats () in
+    match Kflex.run_packet loaded ~stats pkt with
+    | Vm.Finished _ -> Format.printf "%-24s (%d insns)@." what stats.Vm.insns
+    | Vm.Cancelled _ -> Format.printf "%-24s CANCELLED@." what
+  in
+  run "insert 7 -> 42" (mk_pkt ~key:7L ~op:2 ~value:42L);
+  run "insert 9 -> 43" (mk_pkt ~key:9L ~op:2 ~value:43L);
+  run "update 7 -> 100" (mk_pkt ~key:7L ~op:0 ~value:100L);
+  run "delete 9" (mk_pkt ~key:9L ~op:1 ~value:0L);
+  (* read the surviving entry from the host side *)
+  let head_off = Kflex_eclang.Compile.global_offset compiled "head" in
+  let head = Heap.read_off heap ~width:8 head_off in
+  let off = Option.get (Heap.offset_of_addr heap head) in
+  let voff, _ = Kflex_eclang.Compile.field_offset compiled ~struct_:"elem" "value" in
+  Format.printf "store now holds: key=%Ld value=%Ld@."
+    (Heap.read_off heap ~width:8 off)
+    (Heap.read_off heap ~width:8 (Int64.add off (Int64.of_int voff)));
+  Format.printf "socket references outstanding: %d (always 0)@."
+    (Socket.total_refs (Helpers.sockets kernel))

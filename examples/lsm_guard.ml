@@ -1,0 +1,86 @@
+(* Security hooks and default-deny cancellation (§4.3).
+
+   KFlex picks the cancellation fallback per hook: network hooks pass
+   packets by default, but a security (LSM-style) extension that gets
+   cancelled must DENY — a runaway security filter must fail closed. This
+   example loads an allow-list filter at the LSM hook, shows it allowing
+   and denying operations, then breaks its state so it runs away and
+   demonstrates that cancellation denies.
+
+   Run with:  dune exec examples/lsm_guard.exe *)
+
+open Kflex_runtime
+open Kflex_kernel
+
+let source = {|
+// allow-list of "subject ids" kept in an extension-defined list
+struct rule { subject: u64; next: ptr<rule>; }
+global rules: ptr<rule>;
+
+// ctx layout is reused: we read the subject id via the packet helpers
+fn prog(c: ctx) -> u64 {
+  var subject: u64 = pkt_read_u64(c, 0);
+  if (subject == 0) {            // control plane: install a rule
+    var r: ptr<rule> = new rule;
+    if (r == null) { return 0 - 1; }
+    r.subject = pkt_read_u64(c, 8);
+    r.next = rules;
+    rules = r;
+    return 0;
+  }
+  var r: ptr<rule> = rules;
+  while (r != null) {
+    if (r.subject == subject) { return 0; }   // allow
+    r = r.next;
+  }
+  return 0 - 1;                  // deny
+}
+|}
+
+let request ~subject ~arg =
+  let b = Bytes.make 16 '\000' in
+  Bytes.set_int64_le b 0 subject;
+  Bytes.set_int64_le b 8 arg;
+  Packet.make ~proto:Packet.Udp ~src_port:0 ~dst_port:0 b
+
+let () =
+  let compiled = Kflex_eclang.Compile.compile_string ~name:"lsm_guard" source in
+  let kernel = Helpers.create () in
+  let heap = Heap.create ~size:(Int64.shift_left 1L 20) () in
+  let loaded =
+    match
+      Kflex.load ~kernel ~heap ~quantum:100_000
+        ~globals_size:compiled.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size
+        ~hook:Hook.Lsm compiled.Kflex_eclang.Compile.prog
+    with
+    | Ok l -> l
+    | Error e ->
+        Format.kasprintf failwith "verifier: %a" Kflex_verifier.Verify.pp_error e
+  in
+  let check ~subject ~arg =
+    match Kflex.run_packet loaded (request ~subject ~arg) with
+    | Vm.Finished v -> (v, false)
+    | Vm.Cancelled { ret; _ } -> (ret, true)
+  in
+  (* install rules for subjects 1001 and 1002 *)
+  ignore (check ~subject:0L ~arg:1001L);
+  ignore (check ~subject:0L ~arg:1002L);
+  List.iter
+    (fun s ->
+      let v, _ = check ~subject:s ~arg:0L in
+      Format.printf "subject %4Ld -> %s@." s
+        (if v = 0L then "ALLOW" else "DENY"))
+    [ 1001L; 1002L; 9999L ];
+  (* sabotage: make the rule list circular, so the filter runs away *)
+  let rules_off = Kflex_eclang.Compile.global_offset compiled "rules" in
+  let head = Heap.read_off heap ~width:8 rules_off in
+  let off = Option.get (Heap.offset_of_addr heap head) in
+  let noff, _ = Kflex_eclang.Compile.field_offset compiled ~struct_:"rule" "next" in
+  Heap.write_off heap ~width:8 (Int64.add off (Int64.of_int noff)) head;
+  let v, cancelled = check ~subject:9999L ~arg:0L in
+  Format.printf
+    "subject 9999 with a corrupted (circular) rule list -> %s%s@."
+    (if v = 0L then "ALLOW" else "DENY")
+    (if cancelled then "  (by cancellation: the security hook fails closed)"
+     else "");
+  assert (v = -1L && cancelled)

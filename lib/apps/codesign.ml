@@ -1,0 +1,106 @@
+(* Co-designing extensions with user-space code (§5.3): the Memcached fast
+   path runs in the kernel against a heap {e shared} with the application;
+   a user-space garbage-collector thread wakes periodically and walks the
+   same hash table through the user mapping — following the
+   translate-on-store pointers directly, no system calls — removing expired
+   entries under the shared spin lock with a time-slice extension. *)
+
+open Kflex_runtime
+
+type t = {
+  mc : Memcached.kflex_t;
+  umap : Usermap.t;
+  slice : Timeslice.t;
+  lock_off : int64;
+  buckets_off : int64;
+  entry_next_off : int;
+  entry_v0_off : int;
+}
+
+let create ?(heap_bits = 26) () =
+  let compiled =
+    Kflex_eclang.Compile.compile_string ~name:"kflex_memcached"
+      Memcached.kflex_source
+  in
+  let kernel = Kflex_kernel.Helpers.create () in
+  Kflex_kernel.Socket.listen
+    (Kflex_kernel.Helpers.sockets kernel)
+    ~proto:Kflex_kernel.Packet.Udp ~port:11211;
+  let heap =
+    Heap.create ~shared:true ~size:(Int64.shift_left 1L heap_bits) ()
+  in
+  let loaded =
+    match
+      Kflex.load ~kernel ~heap
+        ~globals_size:
+          compiled.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size
+        ~hook:Kflex_kernel.Hook.Xdp compiled.Kflex_eclang.Compile.prog
+    with
+    | Ok l -> l
+    | Error e ->
+        Format.kasprintf failwith "codesign rejected: %a"
+          Kflex_verifier.Verify.pp_error e
+  in
+  let mc = { Memcached.loaded; compiled; heap } in
+  let noff, _ = Kflex_eclang.Compile.field_offset compiled ~struct_:"entry" "next" in
+  let voff, _ = Kflex_eclang.Compile.field_offset compiled ~struct_:"entry" "v0" in
+  {
+    mc;
+    umap = Usermap.attach heap;
+    slice = Timeslice.create ();
+    lock_off = Kflex_eclang.Compile.global_offset compiled "lock";
+    buckets_off = Kflex_eclang.Compile.global_offset compiled "buckets";
+    entry_next_off = noff;
+    entry_v0_off = voff;
+  }
+
+let memcached t = t.mc
+
+let exec t pkt = Memcached.exec_kflex t.mc pkt
+
+(* One GC pass from user space: walk every bucket chain through the shared
+   mapping (following user-translated pointers), counting entries and
+   reclaiming those whose [v0] matches [expired] (the expiry test stands in
+   for Memcached's TTL check). Returns (entries seen, entries reclaimed).
+   Runs under the shared lock with a time-slice extension. *)
+let gc_pass ?(expired = fun _ -> false) t ~now =
+  if not (Usermap.try_lock t.umap ~off:t.lock_off ~slice:t.slice ~now) then
+    None
+  else begin
+    let seen = ref 0 and freed = ref 0 in
+    for b = 0 to 4095 do
+      let slot_off = Int64.add t.buckets_off (Int64.of_int (8 * b)) in
+      let rec walk prev_off addr =
+        if addr <> 0L then begin
+          incr seen;
+          if not (Usermap.is_heap_addr t.umap addr) then
+            failwith "gc: pointer escaped the shared mapping"
+          else begin
+            let v0 =
+              Usermap.read t.umap ~width:8
+                (Int64.add addr (Int64.of_int t.entry_v0_off))
+            in
+            let next =
+              Usermap.read t.umap ~width:8
+                (Int64.add addr (Int64.of_int t.entry_next_off))
+            in
+            if expired v0 then begin
+              (* unlink: previous link keeps the user-view form *)
+              Heap.write_off (Usermap.heap t.umap) ~width:8 prev_off next;
+              incr freed;
+              walk prev_off next
+            end
+            else
+              walk
+                (match Heap.offset_of_addr (Usermap.heap t.umap) addr with
+                | Some off -> Int64.add off (Int64.of_int t.entry_next_off)
+                | None -> assert false)
+                next
+          end
+        end
+      in
+      walk slot_off (Heap.read_off (Usermap.heap t.umap) ~width:8 slot_off)
+    done;
+    Usermap.unlock t.umap ~off:t.lock_off ~slice:t.slice;
+    Some (!seen, !freed)
+  end

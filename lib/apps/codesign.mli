@@ -1,0 +1,28 @@
+(** Co-designing extensions with user-space code (§3.4, §5.3).
+
+    The Memcached fast path runs in the kernel against a heap {e shared}
+    with the application; a user-space garbage collector walks the same
+    hash table through the user mapping — following the translate-on-store
+    pointers directly, no system calls — and unlinks expired entries under
+    the shared spin lock with a time-slice extension. *)
+
+type t
+
+val create : ?heap_bits:int -> unit -> t
+(** Load KFlex-Memcached over a {e shared} heap (translate-on-store
+    enabled) and attach the user mapping. *)
+
+val memcached : t -> Memcached.kflex_t
+
+val exec : t -> Kflex_kernel.Packet.t -> int64 * int
+(** Kernel fast path: one request through the extension. *)
+
+val gc_pass :
+  ?expired:(int64 -> bool) -> t -> now:float -> (int * int) option
+(** One user-space GC cycle: takes the shared lock (extending the thread's
+    time slice), walks every bucket chain through user-view pointers,
+    unlinks entries whose first value word satisfies [expired] (the stand-in
+    for Memcached's TTL check), releases the lock. Returns
+    [(entries seen, entries reclaimed)], or [None] when the lock was busy.
+    @raise Failure if a chain pointer escapes the shared mapping (heap
+    corruption — never caused by the extension). *)

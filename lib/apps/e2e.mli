@@ -1,0 +1,34 @@
+(** End-to-end experiment cells (§5.1–§5.3).
+
+    Each cell drives the closed-loop testbed model with per-request service
+    times obtained by {e actually executing} the system under test: KFlex
+    and BMC requests run the real instrumented bytecode (cost units →
+    nanoseconds through {!Kflex_kernel.Cost}); user-space baselines charge
+    the same application logic at native speed plus the
+    transport/wake-up/syscall path the kernel offload avoids. *)
+
+type row = {
+  system : string;
+  throughput_mops : float;
+  mean_us : float;
+  p99_us : float;
+}
+
+val keyspace : int
+(** Keys in the preloaded store (Zipf s = 0.99 over them). *)
+
+val fig_memcached : workers:int -> requests:int -> unit -> (string * row list) list
+(** Figures 2 (workers = 8) and 3 (workers = 16): one labelled cell per
+    GET:SET ratio, each with user-space / BMC / KFlex rows. *)
+
+val fig_redis : workers:int -> requests:int -> unit -> (string * row list) list
+(** Figure 4. *)
+
+val fig_zadd : requests:int -> unit -> row list
+(** Figure 6: ZADD-only, one server thread. *)
+
+val fig_codesign : workers:int -> requests:int -> unit -> (string * row list) list
+(** Figure 7: Figure 2's Memcached cells with a periodic user-space GC
+    contending per worker (period scaled to the simulated timescale). *)
+
+val pp_rows : Format.formatter -> string * row list -> unit

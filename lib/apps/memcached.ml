@@ -1,0 +1,285 @@
+(* The three Memcached deployments of §5.1.
+
+   Wire protocol (packet payload):
+     u8  op      @0    0 = GET, 1 = SET
+     u64 k0..k3  @1    32-byte key
+     u64 v0..v3  @33   32-byte value (SET request / GET reply)
+     u8  hit     @65   reply flag
+   GETs arrive over UDP and SETs over TCP, as in Memcached (§5.1). *)
+
+open Kflex_kernel
+
+(* --- KFlex-Memcached: both GETs and SETs offloaded at XDP -------------- *)
+
+let kflex_source = {|
+struct entry {
+  k0: u64; k1: u64; k2: u64; k3: u64;
+  v0: u64; v1: u64; v2: u64; v3: u64;
+  next: ptr<entry>;
+}
+global buckets: [ptr<entry>; 4096];
+global lock: u64;
+
+// FNV-1a over the raw key bytes, as Memcached hashes its keys
+fn bytehash(c: ctx) -> u64 {
+  var h: u64 = 0xcbf29ce484222325;
+  var i: u64 = 0;
+  while (i < 32) {
+    h = (h ^ pkt_read_u8(c, 1 + i)) * 1099511628211;
+    i = i + 1;
+  }
+  return h ^ (h >> 29);
+}
+
+fn prog(c: ctx) -> u64 {
+  var op: u64 = pkt_read_u8(c, 0);
+  var k0: u64 = pkt_read_u64(c, 1);
+  var k1: u64 = pkt_read_u64(c, 9);
+  var k2: u64 = pkt_read_u64(c, 17);
+  var k3: u64 = pkt_read_u64(c, 25);
+  var b: u64 = bytehash(c) & 4095;
+
+  var h: u64 = kflex_spin_lock(&lock);
+  var e: ptr<entry> = buckets[b];
+  while (e != null) {
+    if (e.k0 == k0 && e.k1 == k1 && e.k2 == k2 && e.k3 == k3) { break; }
+    e = e.next;
+  }
+
+  if (op == 0) {          // GET
+    if (e == null) {
+      kflex_spin_unlock(h);
+      pkt_write_u8(c, 65, 0);
+      return 3;           // XDP_TX: miss reply
+    }
+    var v0: u64 = e.v0;
+    var v1: u64 = e.v1;
+    var v2: u64 = e.v2;
+    var v3: u64 = e.v3;
+    kflex_spin_unlock(h);
+    pkt_write_u64(c, 33, v0);
+    pkt_write_u64(c, 41, v1);
+    pkt_write_u64(c, 49, v2);
+    pkt_write_u64(c, 57, v3);
+    pkt_write_u8(c, 65, 1);
+    return 3;             // XDP_TX: hit reply
+  }
+
+  // SET: insert on demand — the dynamic allocation BMC cannot do (§5.1)
+  if (e == null) {
+    var n: ptr<entry> = new entry;
+    if (n == null) {
+      kflex_spin_unlock(h);
+      pkt_write_u8(c, 65, 0);
+      return 3;
+    }
+    n.k0 = k0; n.k1 = k1; n.k2 = k2; n.k3 = k3;
+    n.next = buckets[b];
+    buckets[b] = n;
+    e = n;
+  }
+  e.v0 = pkt_read_u64(c, 33);
+  e.v1 = pkt_read_u64(c, 41);
+  e.v2 = pkt_read_u64(c, 49);
+  e.v3 = pkt_read_u64(c, 57);
+  kflex_spin_unlock(h);
+  pkt_write_u8(c, 65, 1);
+  return 3;
+}
+|}
+
+(* --- BMC: plain-eBPF look-aside GET cache (no heap, no loops) ----------- *)
+
+let bmc_source = {|
+// BMC caches (key digest -> value digest) in a pre-allocated eBPF map.
+// GET hit: reply from the kernel (XDP_TX). GET miss: XDP_PASS to user
+// space. SET: invalidate and XDP_PASS (BMC cannot offload SETs, §5.1).
+fn prog(c: ctx) -> u64 {
+  var op: u64 = pkt_read_u8(c, 0);
+  // FNV-1a over the raw key bytes, fully unrolled: plain eBPF rejects the
+  // loop form (no statically provable bound), so BMC unrolls — exactly the
+  // contortion §2.2 describes
+  var h: u64 = 0xcbf29ce484222325;
+  h = (h ^ pkt_read_u8(c, 1)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 2)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 3)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 4)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 5)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 6)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 7)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 8)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 9)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 10)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 11)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 12)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 13)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 14)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 15)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 16)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 17)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 18)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 19)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 20)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 21)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 22)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 23)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 24)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 25)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 26)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 27)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 28)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 29)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 30)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 31)) * 1099511628211;
+  h = (h ^ pkt_read_u8(c, 32)) * 1099511628211;
+  h = h ^ (h >> 29);
+
+  var kbuf: bytes[8];
+  var vbuf: bytes[8];
+  st64(&kbuf, 0, h);
+
+  if (op == 1) {
+    bpf_map_delete(3, &kbuf);
+    return 2;            // XDP_PASS: user space handles the SET
+  }
+  if (bpf_map_lookup(3, &kbuf, &vbuf) == 1) {
+    pkt_write_u64(c, 33, ld64(&vbuf, 0));
+    pkt_write_u8(c, 65, 1);
+    return 3;            // XDP_TX: served from the kernel cache
+  }
+  return 2;              // XDP_PASS: miss, user space handles it
+}
+|}
+
+(* --- shared key/value material ------------------------------------------ *)
+
+let key_words rank =
+  let r = Kflex_workload.Rng.create ~seed:(Int64.of_int (rank + 1)) in
+  Array.init 4 (fun _ -> Kflex_workload.Rng.next r)
+
+let value_words rank =
+  let r = Kflex_workload.Rng.create ~seed:(Int64.of_int (-rank - 1)) in
+  Array.init 4 (fun _ -> Kflex_workload.Rng.next r)
+
+(* mirrors the FNV-1a hash in [bmc_source] exactly (the egress fill must
+   agree with the in-kernel lookup) *)
+let digest words =
+  let h = ref 0xcbf29ce484222325L in
+  Array.iter
+    (fun w ->
+      for b = 0 to 7 do
+        let byte = Int64.logand (Int64.shift_right_logical w (8 * b)) 0xffL in
+        h := Int64.mul (Int64.logxor !h byte) 1099511628211L
+      done)
+    words;
+  Int64.logxor !h (Int64.shift_right_logical !h 29)
+
+type op = Get | Set
+
+let op_packet ~op ~rank =
+  let b = Bytes.make 66 '\000' in
+  Bytes.set b 0 (match op with Get -> '\000' | Set -> '\001');
+  let kw = key_words rank in
+  Array.iteri (fun i w -> Bytes.set_int64_le b (1 + (8 * i)) w) kw;
+  (match op with
+  | Set ->
+      let vw = value_words rank in
+      Array.iteri (fun i w -> Bytes.set_int64_le b (33 + (8 * i)) w) vw
+  | Get -> ());
+  let proto = match op with Get -> Packet.Udp | Set -> Packet.Tcp in
+  Packet.make ~proto ~src_port:40000 ~dst_port:11211 b
+
+(* --- user-space Memcached (the native baseline) -------------------------- *)
+
+module User = struct
+  type t = { tbl : (string, string) Hashtbl.t }
+
+  let create () = { tbl = Hashtbl.create 4096 }
+
+  let key_of_rank rank =
+    let b = Bytes.create 32 in
+    Array.iteri (fun i w -> Bytes.set_int64_le b (8 * i) w) (key_words rank);
+    Bytes.to_string b
+
+  let set t ~rank =
+    let vb = Bytes.create 32 in
+    Array.iteri (fun i w -> Bytes.set_int64_le vb (8 * i) w) (value_words rank);
+    Hashtbl.replace t.tbl (key_of_rank rank) (Bytes.to_string vb)
+
+  let get t ~rank = Hashtbl.find_opt t.tbl (key_of_rank rank)
+end
+
+(* --- loaded deployments --------------------------------------------------- *)
+
+type kflex_t = {
+  loaded : Kflex.loaded;
+  compiled : Kflex_eclang.Compile.compiled;
+  heap : Kflex_runtime.Heap.t;
+}
+
+let create_kflex ?(mode = Kflex_kie.Instrument.default_options) ?(heap_bits = 26)
+    () =
+  let compiled =
+    Kflex_eclang.Compile.compile_string ~name:"kflex_memcached" kflex_source
+  in
+  let kernel = Helpers.create () in
+  Socket.listen (Helpers.sockets kernel) ~proto:Packet.Udp ~port:11211;
+  Socket.listen (Helpers.sockets kernel) ~proto:Packet.Tcp ~port:11211;
+  let heap = Kflex_runtime.Heap.create ~size:(Int64.shift_left 1L heap_bits) () in
+  match
+    Kflex.load ~options:mode ~kernel ~heap
+      ~globals_size:compiled.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size
+      ~hook:Hook.Xdp compiled.Kflex_eclang.Compile.prog
+  with
+  | Ok loaded -> { loaded; compiled; heap }
+  | Error e ->
+      Format.kasprintf failwith "kflex-memcached rejected: %a"
+        Kflex_verifier.Verify.pp_error e
+
+(* Executes one request; returns (xdp action, cost units). *)
+let exec_kflex t pkt =
+  let stats = Kflex_runtime.Vm.fresh_stats () in
+  match Kflex.run_packet t.loaded ~stats pkt with
+  | Kflex_runtime.Vm.Finished v -> (v, Kflex_runtime.Vm.total_cost stats)
+  | Kflex_runtime.Vm.Cancelled _ -> failwith "kflex-memcached cancelled"
+
+type bmc_t = {
+  loaded : Kflex.loaded;
+  cache : Map.t;
+  backing : User.t;  (** the user-space Memcached behind the cache *)
+}
+
+let create_bmc ?(cache_entries = 4096) () =
+  let compiled =
+    Kflex_eclang.Compile.compile_string ~name:"bmc" ~use_heap:false bmc_source
+  in
+  let kernel = Helpers.create () in
+  let cache = Map.create ~max_entries:cache_entries in
+  let fd = Map.register (Helpers.maps kernel) cache in
+  assert (fd = 3L);
+  match
+    Kflex.load ~mode:Kflex_verifier.Verify.Ebpf ~kernel ~hook:Hook.Xdp
+      compiled.Kflex_eclang.Compile.prog
+  with
+  | Ok loaded -> { loaded; cache; backing = User.create () }
+  | Error e ->
+      Format.kasprintf failwith "bmc rejected: %a" Kflex_verifier.Verify.pp_error e
+
+(* One BMC request: runs the eBPF cache; on PASS the user-space Memcached
+   handles it (and GET misses fill the cache on the way out, as BMC does on
+   the egress path). Returns (`Hit cost | `Pass cost). *)
+let exec_bmc t ~op ~rank =
+  let pkt = op_packet ~op ~rank in
+  let stats = Kflex_runtime.Vm.fresh_stats () in
+  match Kflex.run_packet t.loaded ~stats pkt with
+  | Kflex_runtime.Vm.Finished v when v = Hook.xdp_tx ->
+      `Hit (Kflex_runtime.Vm.total_cost stats)
+  | Kflex_runtime.Vm.Finished _ ->
+      (match op with
+      | Set -> User.set t.backing ~rank
+      | Get ->
+          ignore (User.get t.backing ~rank);
+          (* egress-path cache fill *)
+          ignore (Map.update t.cache (digest (key_words rank)) (digest (value_words rank))));
+      `Pass (Kflex_runtime.Vm.total_cost stats)
+  | Kflex_runtime.Vm.Cancelled _ -> failwith "bmc cancelled"

@@ -1,0 +1,79 @@
+(** The three Memcached deployments of §5.1.
+
+    - {b KFlex-Memcached}: both GETs and SETs offloaded to a single
+      extension at the XDP hook, with a hash table over the extension heap
+      and allocation on demand — the full offload the paper demonstrates.
+    - {b BMC}: the plain-eBPF look-aside cache baseline (GET hits answered
+      from a pre-allocated map at XDP; GET misses and all SETs pass to user
+      space, SETs invalidating the cache) — it cannot offload SETs because
+      stock eBPF has no dynamic allocation.
+    - {b User space}: a native hash-table server behind the full kernel
+      receive path.
+
+    Wire protocol (payload): u8 op @0 (0 = GET, 1 = SET), 32-byte key @1,
+    32-byte value @33 (SET request / GET reply), u8 hit flag @65. GETs run
+    over UDP, SETs over TCP, as in Memcached. *)
+
+val kflex_source : string
+(** The KFlex-Memcached extension (eclang), with FNV-1a byte-wise key
+    hashing as Memcached does. *)
+
+val bmc_source : string
+(** The BMC extension (eclang compiled in eBPF mode: no heap, no loops —
+    the key hash is fully unrolled, as BMC predates bounded loops). *)
+
+(** {2 Key/value material} *)
+
+val key_words : int -> int64 array
+(** The 4 words of the 32-byte key for a popularity rank (deterministic). *)
+
+val value_words : int -> int64 array
+
+val digest : int64 array -> int64
+(** The key digest used to index the BMC cache; mirrors the in-extension
+    hash exactly (the egress-path fill must agree with the XDP lookup). *)
+
+type op = Get | Set
+
+val op_packet : op:op -> rank:int -> Kflex_kernel.Packet.t
+
+(** {2 User-space baseline} *)
+
+module User : sig
+  type t
+
+  val create : unit -> t
+  val key_of_rank : int -> string
+  val set : t -> rank:int -> unit
+  val get : t -> rank:int -> string option
+end
+
+(** {2 KFlex deployment} *)
+
+type kflex_t = {
+  loaded : Kflex.loaded;
+  compiled : Kflex_eclang.Compile.compiled;
+  heap : Kflex_runtime.Heap.t;
+}
+
+val create_kflex :
+  ?mode:Kflex_kie.Instrument.options -> ?heap_bits:int -> unit -> kflex_t
+
+val exec_kflex : kflex_t -> Kflex_kernel.Packet.t -> int64 * int
+(** One request through the extension; (XDP action, cost units).
+    @raise Failure on cancellation. *)
+
+(** {2 BMC deployment} *)
+
+type bmc_t = {
+  loaded : Kflex.loaded;
+  cache : Kflex_kernel.Map.t;
+  backing : User.t;
+}
+
+val create_bmc : ?cache_entries:int -> unit -> bmc_t
+
+val exec_bmc : bmc_t -> op:op -> rank:int -> [ `Hit of int | `Pass of int ]
+(** One request: [`Hit] = served at XDP; [`Pass] = fell through to the
+    user-space Memcached (which also refills the cache on GET misses, as
+    BMC's egress path does). The payload is the XDP cost in units. *)

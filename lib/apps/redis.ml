@@ -1,0 +1,279 @@
+(* KFlex-Redis (§5.1–§5.2): GET/SET over a hash table plus ZADD over a
+   hashmap-of-skiplists, attached at the sk_skb hook because all Redis
+   traffic is TCP.
+
+   ZADD is the paper's flexibility showcase: it allocates a {e new skiplist}
+   in the fast path when a sorted-set key first appears — infeasible in
+   plain eBPF, natural with the KFlex allocator.
+
+   Wire protocol (payload):
+     u8  op       @0    0 = GET, 1 = SET, 2 = ZADD
+     u64 k0..k3   @1    32-byte key (string key / sorted-set name)
+     u64 v0..v3   @33   value (SET) / reply buffer (GET)
+     u64 score    @33   (ZADD)
+     u64 member   @41   (ZADD)
+     u8  hit      @65   reply flag *)
+
+open Kflex_kernel
+
+let source = {|
+struct zsknode {       // skiplist node ordered by score
+  score: u64; member: u64; level: u64;
+  fwd: [ptr<zsknode>; 12];
+}
+struct zset {
+  head: ptr<zsknode>;  // sentinel
+  level: u64;
+  len: u64;
+}
+struct entry {
+  k0: u64; k1: u64; k2: u64; k3: u64;
+  v0: u64; v1: u64; v2: u64; v3: u64;
+  zs: ptr<zset>;       // non-null when this key is a sorted set
+  next: ptr<entry>;
+}
+global buckets: [ptr<entry>; 4096];
+global lock: u64;
+global upd: [u64; 12];
+
+fn hash(k0: u64, k1: u64, k2: u64, k3: u64) -> u64 {
+  // byte-at-a-time, as Redis' SipHash-based dict hashing walks key bytes
+  var h: u64 = 0xcbf29ce484222325;
+  var i: u64 = 0;
+  while (i < 8) {
+    h = (h ^ ((k0 >> (i * 8)) & 255)) * 1099511628211;
+    h = (h ^ ((k1 >> (i * 8)) & 255)) * 1099511628211;
+    h = (h ^ ((k2 >> (i * 8)) & 255)) * 1099511628211;
+    h = (h ^ ((k3 >> (i * 8)) & 255)) * 1099511628211;
+    i = i + 1;
+  }
+  return (h ^ (h >> 29)) & 4095;
+}
+
+fn find(k0: u64, k1: u64, k2: u64, k3: u64) -> u64 {
+  var e: ptr<entry> = buckets[hash(k0, k1, k2, k3)];
+  while (e != null) {
+    if (e.k0 == k0 && e.k1 == k1 && e.k2 == k2 && e.k3 == k3) { return e; }
+    e = e.next;
+  }
+  return 0;
+}
+
+fn insert_entry(k0: u64, k1: u64, k2: u64, k3: u64) -> u64 {
+  var b: u64 = hash(k0, k1, k2, k3);
+  var n: ptr<entry> = new entry;
+  if (n == null) { return 0; }
+  n.k0 = k0; n.k1 = k1; n.k2 = k2; n.k3 = k3;
+  n.next = buckets[b];
+  buckets[b] = n;
+  return n;
+}
+
+fn randlevel() -> u64 {
+  var l: u64 = 1;
+  while (l < 12 && (bpf_get_prandom_u32() & 3) == 0) { l = l + 1; }
+  return l;
+}
+
+// add (score, member) to z; update score if the member exists (linear probe
+// on equal scores, as Redis does within score ranges)
+fn zadd(z: ptr<zset>, score: u64, member: u64) -> u64 {
+  var x: ptr<zsknode> = z.head;
+  var i: u64 = z.level;
+  while (i > 0) {
+    var nx: ptr<zsknode> = x.fwd[i - 1];
+    while (nx != null && nx.score < score) { x = nx; nx = x.fwd[i - 1]; }
+    upd[i - 1] = x;
+    i = i - 1;
+  }
+  // check for an existing member at this score
+  var c: ptr<zsknode> = x.fwd[0];
+  while (c != null && c.score == score) {
+    if (c.member == member) { return 1; }
+    c = c.fwd[0];
+  }
+  var lvl: u64 = randlevel();
+  if (lvl > z.level) {
+    i = z.level;
+    while (i < lvl) { upd[i] = z.head; i = i + 1; }
+    z.level = lvl;
+  }
+  var n: ptr<zsknode> = new zsknode;
+  if (n == null) { return 0; }
+  n.score = score; n.member = member; n.level = lvl;
+  i = 0;
+  while (i < lvl) {
+    var p: ptr<zsknode> = upd[i];
+    n.fwd[i] = p.fwd[i];
+    p.fwd[i] = n;
+    i = i + 1;
+  }
+  z.len = z.len + 1;
+  return 1;
+}
+
+fn prog(c: ctx) -> u64 {
+  var op: u64 = pkt_read_u8(c, 0);
+  var k0: u64 = pkt_read_u64(c, 1);
+  var k1: u64 = pkt_read_u64(c, 9);
+  var k2: u64 = pkt_read_u64(c, 17);
+  var k3: u64 = pkt_read_u64(c, 25);
+
+  var h: u64 = kflex_spin_lock(&lock);
+  var e: ptr<entry> = find(k0, k1, k2, k3);
+
+  if (op == 0) {          // GET
+    if (e == null) {
+      kflex_spin_unlock(h);
+      pkt_write_u8(c, 65, 0);
+      return 0;
+    }
+    var v0: u64 = e.v0; var v1: u64 = e.v1;
+    var v2: u64 = e.v2; var v3: u64 = e.v3;
+    kflex_spin_unlock(h);
+    pkt_write_u64(c, 33, v0);
+    pkt_write_u64(c, 41, v1);
+    pkt_write_u64(c, 49, v2);
+    pkt_write_u64(c, 57, v3);
+    pkt_write_u8(c, 65, 1);
+    return 0;
+  }
+
+  if (op == 1) {          // SET
+    if (e == null) {
+      e = insert_entry(k0, k1, k2, k3);
+      if (e == null) {
+        kflex_spin_unlock(h);
+        pkt_write_u8(c, 65, 0);
+        return 0;
+      }
+    }
+    e.v0 = pkt_read_u64(c, 33);
+    e.v1 = pkt_read_u64(c, 41);
+    e.v2 = pkt_read_u64(c, 49);
+    e.v3 = pkt_read_u64(c, 57);
+    kflex_spin_unlock(h);
+    pkt_write_u8(c, 65, 1);
+    return 0;
+  }
+
+  // ZADD: allocate the sorted set on demand in the fast path
+  if (e == null) {
+    e = insert_entry(k0, k1, k2, k3);
+    if (e == null) {
+      kflex_spin_unlock(h);
+      pkt_write_u8(c, 65, 0);
+      return 0;
+    }
+  }
+  if (e.zs == null) {
+    var z: ptr<zset> = new zset;
+    if (z == null) {
+      kflex_spin_unlock(h);
+      pkt_write_u8(c, 65, 0);
+      return 0;
+    }
+    var sent: ptr<zsknode> = new zsknode;
+    if (sent == null) {
+      kflex_spin_unlock(h);
+      pkt_write_u8(c, 65, 0);
+      return 0;
+    }
+    sent.level = 12;
+    z.head = sent;
+    z.level = 1;
+    e.zs = z;
+  }
+  var ok: u64 = zadd(e.zs, pkt_read_u64(c, 33), pkt_read_u64(c, 41));
+  kflex_spin_unlock(h);
+  pkt_write_u8(c, 65, ok);
+  return 0;
+}
+|}
+
+type op = Get | Set | Zadd of int64 * int64
+
+let op_packet ~op ~rank =
+  let b = Bytes.make 66 '\000' in
+  let kw = Memcached.key_words rank in
+  Array.iteri (fun i w -> Bytes.set_int64_le b (1 + (8 * i)) w) kw;
+  (match op with
+  | Get -> Bytes.set b 0 '\000'
+  | Set ->
+      Bytes.set b 0 '\001';
+      Array.iteri
+        (fun i w -> Bytes.set_int64_le b (33 + (8 * i)) w)
+        (Memcached.value_words rank)
+  | Zadd (score, member) ->
+      Bytes.set b 0 '\002';
+      Bytes.set_int64_le b 33 score;
+      Bytes.set_int64_le b 41 member);
+  Packet.make ~proto:Packet.Tcp ~src_port:40000 ~dst_port:6379 b
+
+type t = {
+  loaded : Kflex.loaded;
+  compiled : Kflex_eclang.Compile.compiled;
+  heap : Kflex_runtime.Heap.t;
+}
+
+let create ?(mode = Kflex_kie.Instrument.default_options) ?(heap_bits = 26) () =
+  let compiled = Kflex_eclang.Compile.compile_string ~name:"kflex_redis" source in
+  let kernel = Helpers.create () in
+  Socket.listen (Helpers.sockets kernel) ~proto:Packet.Tcp ~port:6379;
+  let heap = Kflex_runtime.Heap.create ~size:(Int64.shift_left 1L heap_bits) () in
+  match
+    Kflex.load ~options:mode ~kernel ~heap
+      ~globals_size:compiled.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size
+      ~hook:Hook.Sk_skb compiled.Kflex_eclang.Compile.prog
+  with
+  | Ok loaded -> { loaded; compiled; heap }
+  | Error e ->
+      Format.kasprintf failwith "kflex-redis rejected: %a"
+        Kflex_verifier.Verify.pp_error e
+
+let exec t pkt =
+  let stats = Kflex_runtime.Vm.fresh_stats () in
+  match Kflex.run_packet t.loaded ~stats pkt with
+  | Kflex_runtime.Vm.Finished _ ->
+      let hit = Packet.read pkt ~width:1 65 in
+      (hit, Kflex_runtime.Vm.total_cost stats)
+  | Kflex_runtime.Vm.Cancelled _ -> failwith "kflex-redis cancelled"
+
+(* User-space baseline (KeyDB-like: the same logic, native): GET/SET on a
+   hash table, ZADD on a sorted-set map. *)
+module User = struct
+  type zset = (int64, int64 list) Hashtbl.t (* score -> members *)
+
+  type t = {
+    tbl : (string, string) Hashtbl.t;
+    zsets : (string, zset) Hashtbl.t;
+  }
+
+  let create () = { tbl = Hashtbl.create 4096; zsets = Hashtbl.create 64 }
+
+  let set t ~rank =
+    Hashtbl.replace t.tbl (Memcached.User.key_of_rank rank) "v"
+
+  let get t ~rank = Hashtbl.find_opt t.tbl (Memcached.User.key_of_rank rank)
+
+  let zadd t ~rank ~score ~member =
+    let key = Memcached.User.key_of_rank rank in
+    let zs =
+      match Hashtbl.find_opt t.zsets key with
+      | Some z -> z
+      | None ->
+          let z = Hashtbl.create 64 in
+          Hashtbl.replace t.zsets key z;
+          z
+    in
+    let members =
+      match Hashtbl.find_opt zs score with Some m -> m | None -> []
+    in
+    if not (List.mem member members) then
+      Hashtbl.replace zs score (member :: members)
+
+  let zcard t ~rank =
+    match Hashtbl.find_opt t.zsets (Memcached.User.key_of_rank rank) with
+    | Some z -> Hashtbl.fold (fun _ m acc -> acc + List.length m) z 0
+    | None -> 0
+end

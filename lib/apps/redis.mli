@@ -1,0 +1,46 @@
+(** KFlex-Redis (§5.1–§5.2): GET/SET over a hash table plus ZADD over
+    sorted sets, attached at the [sk_skb] hook (all Redis traffic is TCP,
+    so requests traverse the transport stack before the extension — the
+    reason its gains are smaller than Memcached's, §5.1).
+
+    ZADD is the flexibility showcase: the first ZADD against a key
+    allocates a {e new skiplist in the fast path} — infeasible in plain
+    eBPF, one [new] in eclang.
+
+    Wire protocol (payload): u8 op @0 (0 = GET, 1 = SET, 2 = ZADD),
+    32-byte key @1, value @33 / (score @33, member @41 for ZADD),
+    u8 hit flag @65. *)
+
+val source : string
+(** The extension source (eclang). *)
+
+type op = Get | Set | Zadd of int64 * int64  (** (score, member) *)
+
+val op_packet : op:op -> rank:int -> Kflex_kernel.Packet.t
+(** [rank] selects the key via {!Memcached.key_words}. *)
+
+type t = {
+  loaded : Kflex.loaded;
+  compiled : Kflex_eclang.Compile.compiled;
+  heap : Kflex_runtime.Heap.t;
+}
+
+val create : ?mode:Kflex_kie.Instrument.options -> ?heap_bits:int -> unit -> t
+
+val exec : t -> Kflex_kernel.Packet.t -> int64 * int
+(** One request; returns (reply hit flag, cost units).
+    @raise Failure on cancellation. *)
+
+(** The native (KeyDB-like) user-space baseline: same logic, host speed. *)
+module User : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> rank:int -> unit
+  val get : t -> rank:int -> string option
+  val zadd : t -> rank:int -> score:int64 -> member:int64 -> unit
+
+  val zcard : t -> rank:int -> int
+  (** Sorted-set cardinality (differential testing against the extension's
+      heap state). *)
+end

@@ -1,0 +1,22 @@
+(** Binary (de)serialisation of programs.
+
+    This is the on-disk/wire format in which extensions are handed to the
+    loader, playing the role of eBPF's instruction encoding. The format is
+    self-contained (helper names are inlined, length-prefixed) and
+    versioned; [decode] re-validates through {!Prog.create}, so a decoded
+    program is structurally well-formed by construction. *)
+
+exception Decode_error of string
+
+val encode : Prog.t -> string
+(** Serialise a program, including its name and instrumentation flag. *)
+
+val decode : string -> Prog.t
+(** Inverse of [encode].
+    @raise Decode_error on truncated or corrupt input.
+    @raise Prog.Malformed if the decoded body fails validation. *)
+
+val encode_insn : Buffer.t -> Insn.t -> unit
+val decoded_size : string -> int -> Insn.t * int
+(** [decoded_size s off] decodes one instruction at byte offset [off],
+    returning it with the offset just past it. Exposed for tests. *)

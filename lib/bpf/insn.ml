@@ -1,0 +1,127 @@
+type size = U8 | U16 | U32 | U64
+
+let size_bytes = function U8 -> 1 | U16 -> 2 | U32 -> 4 | U64 -> 8
+
+type alu_op = Add | Sub | Mul | Div | Mod | And | Or | Xor | Lsh | Rsh | Arsh
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge | Slt | Sle | Sgt | Sge | Set
+
+type src = Reg of Reg.t | Imm of int64
+
+type atomic_op =
+  | Atomic_add
+  | Atomic_or
+  | Atomic_and
+  | Atomic_xor
+  | Fetch_add
+  | Fetch_or
+  | Fetch_and
+  | Fetch_xor
+  | Xchg
+  | Cmpxchg
+
+type guard_kind = Gread | Gwrite
+
+type t =
+  | Alu of alu_op * Reg.t * src
+  | Neg of Reg.t
+  | Mov of Reg.t * src
+  | Ldx of size * Reg.t * Reg.t * int
+  | Stx of size * Reg.t * int * Reg.t
+  | St of size * Reg.t * int * int64
+  | Atomic of atomic_op * size * Reg.t * int * Reg.t
+  | Ja of int
+  | Jcond of cond * Reg.t * src * int
+  | Call of string
+  | Exit
+  | Guard of guard_kind * Reg.t
+  | Checkpoint of int
+  | Xstore of size * Reg.t * int * Reg.t
+
+let is_instrumentation = function
+  | Guard _ | Checkpoint _ | Xstore _ -> true
+  | _ -> false
+
+let jump_targets pc = function
+  | Ja off -> [ pc + 1 + off ]
+  | Jcond (_, _, _, off) -> [ pc + 1 + off ]
+  | _ -> []
+
+let falls_through = function Ja _ | Exit -> false | _ -> true
+
+let pp_size ppf s =
+  Format.pp_print_string ppf
+    (match s with U8 -> "u8" | U16 -> "u16" | U32 -> "u32" | U64 -> "u64")
+
+let pp_alu_op ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Add -> "+="
+    | Sub -> "-="
+    | Mul -> "*="
+    | Div -> "/="
+    | Mod -> "%="
+    | And -> "&="
+    | Or -> "|="
+    | Xor -> "^="
+    | Lsh -> "<<="
+    | Rsh -> ">>="
+    | Arsh -> "s>>=")
+
+let pp_cond ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Eq -> "=="
+    | Ne -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | Slt -> "s<"
+    | Sle -> "s<="
+    | Sgt -> "s>"
+    | Sge -> "s>="
+    | Set -> "&")
+
+let pp_src ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm i -> Format.fprintf ppf "%Ld" i
+
+let atomic_name = function
+  | Atomic_add -> "add"
+  | Atomic_or -> "or"
+  | Atomic_and -> "and"
+  | Atomic_xor -> "xor"
+  | Fetch_add -> "fetch_add"
+  | Fetch_or -> "fetch_or"
+  | Fetch_and -> "fetch_and"
+  | Fetch_xor -> "fetch_xor"
+  | Xchg -> "xchg"
+  | Cmpxchg -> "cmpxchg"
+
+let pp ppf = function
+  | Alu (op, d, s) -> Format.fprintf ppf "%a %a %a" Reg.pp d pp_alu_op op pp_src s
+  | Neg d -> Format.fprintf ppf "%a = -%a" Reg.pp d Reg.pp d
+  | Mov (d, s) -> Format.fprintf ppf "%a = %a" Reg.pp d pp_src s
+  | Ldx (sz, d, s, off) ->
+      Format.fprintf ppf "%a = *(%a *)(%a %+d)" Reg.pp d pp_size sz Reg.pp s off
+  | Stx (sz, d, off, s) ->
+      Format.fprintf ppf "*(%a *)(%a %+d) = %a" pp_size sz Reg.pp d off Reg.pp s
+  | St (sz, d, off, imm) ->
+      Format.fprintf ppf "*(%a *)(%a %+d) = %Ld" pp_size sz Reg.pp d off imm
+  | Atomic (op, sz, d, off, s) ->
+      Format.fprintf ppf "%s.%a *(%a %+d), %a" (atomic_name op) pp_size sz
+        Reg.pp d off Reg.pp s
+  | Ja off -> Format.fprintf ppf "goto %+d" off
+  | Jcond (c, d, s, off) ->
+      Format.fprintf ppf "if %a %a %a goto %+d" Reg.pp d pp_cond c pp_src s off
+  | Call h -> Format.fprintf ppf "call %s" h
+  | Exit -> Format.pp_print_string ppf "exit"
+  | Guard (Gread, r) -> Format.fprintf ppf "guard.r %a" Reg.pp r
+  | Guard (Gwrite, r) -> Format.fprintf ppf "guard.w %a" Reg.pp r
+  | Checkpoint id -> Format.fprintf ppf "checkpoint #%d" id
+  | Xstore (sz, d, off, s) ->
+      Format.fprintf ppf "*(%a *)(%a %+d) = xlate %a" pp_size sz Reg.pp d off
+        Reg.pp s
+
+let equal (a : t) (b : t) = a = b

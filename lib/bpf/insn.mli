@@ -1,0 +1,118 @@
+(** Instructions of the KFlex bytecode machine.
+
+    The instruction set mirrors the eBPF ISA (64-bit ALU, sized memory
+    accesses with signed 16-bit offsets, conditional jumps with relative
+    targets, helper calls, atomics), plus two instrumentation instructions
+    that only the Kie instrumentation engine may emit:
+
+    - [Guard]: SFI address sanitisation, [rd <- heap_base + (rd land mask)].
+      Modelled as a single instruction, matching the one-[AND]-plus-indexed-
+      addressing sequence KFlex's JIT emits on x86 (§4.2 of the paper).
+    - [Checkpoint]: a cancellation point — semantically a load from the
+      extension heap's [*terminate] slot (§3.3). Faults when the runtime has
+      requested cancellation.
+
+    The verifier rejects input programs containing either; they exist only in
+    instrumented programs. *)
+
+type size = U8 | U16 | U32 | U64
+
+val size_bytes : size -> int
+(** Width of a sized access in bytes: 1, 2, 4 or 8. *)
+
+(** Binary ALU operations; all operate on the full 64-bit register.
+    [Div] and [Mod] are unsigned, as in eBPF; division by zero yields 0
+    (matching the behaviour mandated since ISA v4). *)
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Xor
+  | Lsh
+  | Rsh
+  | Arsh
+
+(** Jump conditions. [Lt]/[Le]/[Gt]/[Ge] compare unsigned, the [S]-prefixed
+    forms compare signed, and [Set] tests [dst land src <> 0]. *)
+type cond =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Slt
+  | Sle
+  | Sgt
+  | Sge
+  | Set
+
+(** Second operand of ALU and jump instructions. *)
+type src = Reg of Reg.t | Imm of int64
+
+(** Atomic read-modify-write operations on heap memory. [Fetch_add] etc.
+    return the old value in the source register; [Xchg] swaps; [Cmpxchg]
+    compares against [R0] and writes the old value back to [R0], as in
+    eBPF. *)
+type atomic_op =
+  | Atomic_add
+  | Atomic_or
+  | Atomic_and
+  | Atomic_xor
+  | Fetch_add
+  | Fetch_or
+  | Fetch_and
+  | Fetch_xor
+  | Xchg
+  | Cmpxchg
+
+(** Whether a guard sanitises an address about to be read or written;
+    performance mode elides [Gread] guards (§3.2). *)
+type guard_kind = Gread | Gwrite
+
+type t =
+  | Alu of alu_op * Reg.t * src  (** [dst <- dst op src] *)
+  | Neg of Reg.t  (** [dst <- -dst] *)
+  | Mov of Reg.t * src  (** [dst <- src] (64-bit; [Imm] covers lddw) *)
+  | Ldx of size * Reg.t * Reg.t * int  (** [dst <- M[src + off]] *)
+  | Stx of size * Reg.t * int * Reg.t  (** [M[dst + off] <- src] *)
+  | St of size * Reg.t * int * int64  (** [M[dst + off] <- imm] *)
+  | Atomic of atomic_op * size * Reg.t * int * Reg.t
+      (** [Atomic (op, sz, dst, off, src)]: RMW on [M[dst + off]] with
+          operand [src]. Only [U32]/[U64] widths are valid. *)
+  | Ja of int  (** unconditional jump, [pc <- pc + 1 + off] *)
+  | Jcond of cond * Reg.t * src * int
+      (** conditional jump, [pc <- pc + 1 + off] when the condition holds *)
+  | Call of string  (** call a kernel helper; args r1–r5, result r0 *)
+  | Exit  (** return from the extension with the value in r0 *)
+  | Guard of guard_kind * Reg.t  (** Kie-only: sanitise a heap address *)
+  | Checkpoint of int  (** Kie-only: cancellation point with its id *)
+  | Xstore of size * Reg.t * int * Reg.t
+      (** Kie-only: [M[dst + off] <- translate(src)] — store a heap pointer
+          rewritten to its user-space mapping ("translate on store", §3.4).
+          The source register itself is not modified. *)
+
+val is_instrumentation : t -> bool
+(** [true] exactly for [Guard] and [Checkpoint]. *)
+
+val jump_targets : int -> t -> int list
+(** [jump_targets pc insn] lists the pcs control may flow to from [insn] at
+    [pc], excluding fall-through for unconditional transfers. [Exit] has no
+    targets. *)
+
+val falls_through : t -> bool
+(** Whether control can continue to [pc + 1] after this instruction. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_size : Format.formatter -> size -> unit
+
+val pp_cond : Format.formatter -> cond -> unit
+
+val pp_alu_op : Format.formatter -> alu_op -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,68 @@
+type t = { name : string; insns : Insn.t array; instrumented : bool }
+
+exception Malformed of string
+
+let stack_size = 512
+let max_insns = 1_000_000
+
+let fail fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+let check_off_16 pc off =
+  if off < -32768 || off > 32767 then
+    fail "insn %d: memory offset %d exceeds signed 16 bits" pc off
+
+let validate ~allow_instrumentation insns =
+  let n = Array.length insns in
+  if n = 0 then fail "empty program";
+  if n > max_insns then fail "program too long: %d insns" n;
+  let check_target pc t =
+    if t < 0 || t >= n then fail "insn %d: jump target %d out of range" pc t
+  in
+  Array.iteri
+    (fun pc insn ->
+      (match insn with
+      | Insn.Ldx (_, _, _, off)
+      | Insn.Stx (_, _, off, _)
+      | Insn.St (_, _, off, _)
+      | Insn.Xstore (_, _, off, _) ->
+          check_off_16 pc off
+      | Insn.Atomic (_, sz, _, off, _) ->
+          check_off_16 pc off;
+          if sz = Insn.U8 || sz = Insn.U16 then
+            fail "insn %d: atomic access must be u32 or u64" pc
+      | _ -> ());
+      (match insn with
+      | Insn.Mov (d, _) | Insn.Alu (_, d, _) | Insn.Neg d | Insn.Ldx (_, d, _, _)
+        ->
+          if Reg.equal d Reg.fp then fail "insn %d: write to frame pointer" pc
+      | _ -> ());
+      if (not allow_instrumentation) && Insn.is_instrumentation insn then
+        fail "insn %d: instrumentation instruction in input program" pc;
+      List.iter (check_target pc) (Insn.jump_targets pc insn);
+      if Insn.falls_through insn && pc = n - 1 then
+        fail "insn %d: control falls off the end of the program" pc)
+    insns
+
+let create ?(allow_instrumentation = false) ~name insns =
+  validate ~allow_instrumentation insns;
+  let instrumented = Array.exists Insn.is_instrumentation insns in
+  { name; insns = Array.copy insns; instrumented }
+
+let name p = p.name
+let insns p = p.insns
+let length p = Array.length p.insns
+
+let get p pc =
+  if pc < 0 || pc >= Array.length p.insns then
+    invalid_arg (Printf.sprintf "Prog.get: pc %d" pc)
+  else p.insns.(pc)
+
+let is_instrumented p = p.instrumented
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>; program %s (%d insns)@," p.name
+    (Array.length p.insns);
+  Array.iteri
+    (fun pc insn -> Format.fprintf ppf "%4d: %a@," pc Insn.pp insn)
+    p.insns;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+type t = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+
+let to_int = function
+  | R0 -> 0
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | R6 -> 6
+  | R7 -> 7
+  | R8 -> 8
+  | R9 -> 9
+  | R10 -> 10
+
+let of_int = function
+  | 0 -> R0
+  | 1 -> R1
+  | 2 -> R2
+  | 3 -> R3
+  | 4 -> R4
+  | 5 -> R5
+  | 6 -> R6
+  | 7 -> R7
+  | 8 -> R8
+  | 9 -> R9
+  | 10 -> R10
+  | n -> invalid_arg (Printf.sprintf "Reg.of_int: %d" n)
+
+let equal a b = to_int a = to_int b
+let compare a b = Int.compare (to_int a) (to_int b)
+let all = [ R0; R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
+let caller_saved = [ R0; R1; R2; R3; R4; R5 ]
+let callee_saved = [ R6; R7; R8; R9 ]
+let fp = R10
+let pp ppf r = Format.fprintf ppf "r%d" (to_int r)

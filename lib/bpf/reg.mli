@@ -1,0 +1,34 @@
+(** Registers of the KFlex bytecode machine.
+
+    The register file mirrors eBPF: [R0] holds return values of helper calls
+    and of the extension itself, [R1]–[R5] carry helper-call arguments and are
+    clobbered across calls, [R6]–[R9] are callee-saved, and [R10] is the
+    read-only frame pointer into the extension stack. *)
+
+type t = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+
+val to_int : t -> int
+(** [to_int r] is the register number, 0–10. *)
+
+val of_int : int -> t
+(** [of_int n] is the register numbered [n].
+    @raise Invalid_argument if [n] is outside 0–10. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val all : t list
+(** All registers in numeric order. *)
+
+val caller_saved : t list
+(** [R0]–[R5]: clobbered by helper calls. *)
+
+val callee_saved : t list
+(** [R6]–[R9]: preserved across helper calls. *)
+
+val fp : t
+(** The frame pointer, [R10]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints in eBPF style, e.g. [r3]. *)

@@ -1,0 +1,85 @@
+open Kflex_runtime
+
+type loaded = {
+  ext : Vm.ext;
+  kie : Kflex_kie.Instrument.t;
+  analysis : Kflex_verifier.Verify.analysis;
+  heap : Heap.t option;
+  alloc : Alloc.t option;
+  kernel : Kflex_kernel.Helpers.t;
+  hook : Kflex_kernel.Hook.kind;
+}
+
+let contracts = Kflex_verifier.Contract.registry Kflex_verifier.Contract.kflex_base
+
+let globals_base = 64L
+
+let load ?(mode = Kflex_verifier.Verify.Kflex) ?options ?heap
+    ?(globals_size = 0L) ?quantum ?on_cancel ?(extra_contracts = [])
+    ?(extra_helpers = []) ~kernel ~hook prog =
+  let contracts =
+    if extra_contracts = [] then contracts
+    else
+      Kflex_verifier.Contract.registry
+        (Kflex_verifier.Contract.kflex_base @ extra_contracts)
+  in
+  let heap_size = Option.map Heap.size heap in
+  let verify p =
+    Kflex_verifier.Verify.run ~mode ~contracts
+      ~ctx_size:Kflex_kernel.Hook.ctx_size ?heap_size
+      ~sleepable:(Kflex_kernel.Hook.sleepable hook)
+      p
+  in
+  let result =
+    match verify prog with
+    | Ok a -> Ok a
+    | Error ({ Kflex_verifier.Verify.kind = Kflex_verifier.Verify.E_leak; _ } as e)
+      -> (
+        (* §4.3: conflicting object-table locations — retry with acquired
+           resources spilled to unique stack slots *)
+        match Kflex_kie.Spill.mitigate ~contracts prog with
+        | None -> Error e
+        | Some prog' -> ( match verify prog' with Ok a -> Ok a | Error _ -> Error e))
+    | Error e -> Error e
+  in
+  match result with
+  | Error e -> Error e
+  | Ok analysis ->
+      let options =
+        match options with
+        | Some o -> o
+        | None ->
+            {
+              Kflex_kie.Instrument.performance_mode = false;
+              translate_on_store =
+                (match heap with Some h -> Heap.is_shared h | None -> false);
+              kmod_baseline = false;
+              no_elision = false;
+            }
+      in
+      let kie = Kflex_kie.Instrument.run ~options analysis in
+      let alloc =
+        Option.map
+          (fun h ->
+            let data_start = Int64.add globals_base globals_size in
+            (* globals live on always-populated pages *)
+            Heap.populate h ~off:0L ~len:data_start;
+            Alloc.create ~data_start h)
+          heap
+      in
+      let helpers = Kflex_kernel.Helpers.implementations kernel @ extra_helpers in
+      let ext =
+        Vm.create ?heap ?alloc ?quantum
+          ~default_ret:(Kflex_kernel.Hook.default_ret hook)
+          ?on_cancel ~helpers kie
+      in
+      Ok { ext; kie; analysis; heap; alloc; kernel; hook }
+
+let run_raw t ?cpu ?stats ~ctx () = Vm.exec t.ext ~ctx ?cpu ?stats ()
+
+let run_packet t ?cpu ?stats pkt =
+  Kflex_kernel.Helpers.set_packet t.kernel (Some pkt);
+  let ctx = Kflex_kernel.Hook.build_ctx pkt in
+  let outcome = Vm.exec t.ext ~ctx ?cpu ?stats () in
+  Kflex_kernel.Helpers.set_packet t.kernel None;
+  outcome

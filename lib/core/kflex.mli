@@ -1,0 +1,81 @@
+(** KFlex — the public facade.
+
+    Ties the whole pipeline of Figure 1 together: a bytecode extension is
+    {e verified} for kernel-interface compliance (step 1, {!Kflex_verifier}),
+    {e instrumented} by Kie with SFI guards and cancellation points (step 2,
+    {!Kflex_kie}), and handed to the {e runtime} that executes it with
+    memory safety and safe termination enforced (step 3, {!Kflex_runtime}).
+
+    {[
+      let kernel = Kflex_kernel.Helpers.create () in
+      let heap = Kflex_runtime.Heap.create ~size:(1 lsl 20 |> Int64.of_int) () in
+      match Kflex.load ~kernel ~heap ~hook:Kflex_kernel.Hook.Xdp prog with
+      | Error e -> (* rejected by the verifier *)
+      | Ok ext ->
+          let outcome = Kflex.run_packet ext packet in
+          ...
+    ]} *)
+
+type loaded = {
+  ext : Kflex_runtime.Vm.ext;
+  kie : Kflex_kie.Instrument.t;
+  analysis : Kflex_verifier.Verify.analysis;
+  heap : Kflex_runtime.Heap.t option;
+  alloc : Kflex_runtime.Alloc.t option;
+  kernel : Kflex_kernel.Helpers.t;
+  hook : Kflex_kernel.Hook.kind;
+}
+
+val contracts : Kflex_verifier.Contract.registry
+(** The default helper contracts ({!Kflex_verifier.Contract.kflex_base}). *)
+
+val load :
+  ?mode:Kflex_verifier.Verify.mode ->
+  ?options:Kflex_kie.Instrument.options ->
+  ?heap:Kflex_runtime.Heap.t ->
+  ?globals_size:int64 ->
+  ?quantum:int ->
+  ?on_cancel:(int64 -> int64) ->
+  ?extra_contracts:Kflex_verifier.Contract.t list ->
+  ?extra_helpers:(string * Kflex_runtime.Vm.helper) list ->
+  kernel:Kflex_kernel.Helpers.t ->
+  hook:Kflex_kernel.Hook.kind ->
+  Kflex_bpf.Prog.t ->
+  (loaded, Kflex_verifier.Verify.error) result
+(** Verify, instrument and prepare an extension.
+
+    - [mode] defaults to [Kflex]; pass [Ebpf] to get stock-eBPF behaviour
+      (no heap, unbounded loops rejected) for baselines like BMC.
+    - [heap] attaches an extension heap (§3.1); an allocator is created over
+      it with [globals_size] bytes reserved past the runtime words, and
+      translate-on-store is enabled automatically for shared heaps unless
+      [options] overrides it.
+    - [quantum] is the watchdog budget in cost units (§4.3).
+    - [on_cancel] is the §4.3 return-code callback.
+
+    When verification fails because an acquired resource has no single
+    location at a join (the §4.3 object-table corner case), the loader
+    retries with {!Kflex_kie.Spill.mitigate} applied — acquisitions spilled
+    to unique stack slots — and loads the rewritten program on success. *)
+
+val run_packet :
+  loaded ->
+  ?cpu:int ->
+  ?stats:Kflex_runtime.Vm.stats ->
+  Kflex_kernel.Packet.t ->
+  Kflex_runtime.Vm.outcome
+(** Deliver one packet to the extension at its hook: installs the packet in
+    the kernel helper state, builds the hook context and executes. *)
+
+val run_raw :
+  loaded ->
+  ?cpu:int ->
+  ?stats:Kflex_runtime.Vm.stats ->
+  ctx:Bytes.t ->
+  unit ->
+  Kflex_runtime.Vm.outcome
+(** Execute with an arbitrary context block (non-network hooks, tests). *)
+
+val globals_base : int64
+(** Heap offset where extension globals start (64; offsets 0–63 are reserved
+    for the runtime, including the [*terminate] word at 0). *)

@@ -1,0 +1,66 @@
+type field_ty =
+  | Fu8
+  | Fu16
+  | Fu32
+  | Fu64
+  | Fptr of string
+  | Farr of field_ty * int
+
+type ty = Tu64 | Tptr of string | Tctx
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | BAnd | BOr | BXor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | SLt | SLe | SGt | SGe
+  | LAnd | LOr
+
+type unop = Neg | LNot | BNot
+
+type expr =
+  | E_int of int64
+  | E_null
+  | E_var of string
+  | E_unop of unop * expr
+  | E_binop of binop * expr * expr
+  | E_field of expr * string
+  | E_index of expr * expr
+  | E_addr of string
+  | E_call of string * expr list
+  | E_new of string
+
+type lvalue =
+  | L_var of string
+  | L_field of expr * string
+  | L_index of expr * expr
+
+type stmt =
+  | S_var of string * ty option * expr
+  | S_buf of string * int
+  | S_assign of lvalue * expr
+  | S_if of expr * stmt list * stmt list
+  | S_while of expr * stmt list
+  | S_for of stmt * expr * stmt * stmt list
+      (** [for (init; cond; step) body] — [continue] jumps to [step] *)
+  | S_return of expr option
+  | S_break
+  | S_continue
+  | S_expr of expr
+  | S_free of expr
+
+type struct_decl = { sname : string; sfields : (string * field_ty) list }
+
+type global_decl = { gname : string; gty : field_ty }
+
+type fn_decl = {
+  fname : string;
+  params : (string * ty) list;
+  ret : bool;
+  body : stmt list;
+}
+
+type program = {
+  structs : struct_decl list;
+  globals : global_decl list;
+  fns : fn_decl list;
+}

@@ -1,0 +1,84 @@
+(** Abstract syntax of eclang.
+
+    eclang is the small C-like language our extensions are written in,
+    standing in for the paper's C → LLVM → eBPF toolchain. It compiles to
+    KFlex bytecode and exercises exactly the programming model of §3.1:
+    extension-defined structs living in the extension heap, dynamic
+    allocation ([new]/[free]), unbounded [while] loops, spin locks, and
+    helper calls into the kernel interface.
+
+    All scalar values are unsigned 64-bit. Pointers are typed by the struct
+    they reference; struct fields may be narrower integers, pointers, or
+    fixed-size arrays. Globals live at fixed heap offsets; locals live in
+    the extension stack frame. *)
+
+type field_ty =
+  | Fu8
+  | Fu16
+  | Fu32
+  | Fu64
+  | Fptr of string  (** pointer to a named struct *)
+  | Farr of field_ty * int  (** fixed-size array (not of arrays) *)
+
+type ty =
+  | Tu64
+  | Tptr of string
+  | Tctx  (** the hook context handle; only the entry parameter has it *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | BAnd | BOr | BXor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne  (** unsigned comparisons *)
+  | SLt | SLe | SGt | SGe  (** signed comparisons *)
+  | LAnd | LOr  (** short-circuit *)
+
+type unop = Neg | LNot | BNot
+
+type expr =
+  | E_int of int64
+  | E_null
+  | E_var of string
+  | E_unop of unop * expr
+  | E_binop of binop * expr * expr
+  | E_field of expr * string  (** [p.f] where [p : ptr<S>] *)
+  | E_index of expr * expr  (** [a[i]] where [a] is an array lvalue path *)
+  | E_addr of string  (** [&g]: heap address of a global, or stack address
+      of a local buffer *)
+  | E_call of string * expr list  (** helper or user function call *)
+  | E_new of string  (** [new S] = [kflex_malloc (sizeof S)], typed *)
+
+type lvalue =
+  | L_var of string
+  | L_field of expr * string
+  | L_index of expr * expr
+
+type stmt =
+  | S_var of string * ty option * expr  (** [var x: t = e;] *)
+  | S_buf of string * int  (** [var buf: bytes[N];] — stack buffer *)
+  | S_assign of lvalue * expr
+  | S_if of expr * stmt list * stmt list
+  | S_while of expr * stmt list
+  | S_for of stmt * expr * stmt * stmt list
+      (** [for (init; cond; step) body] — [continue] jumps to [step] *)
+  | S_return of expr option
+  | S_break
+  | S_continue
+  | S_expr of expr
+  | S_free of expr  (** [free e;] = [kflex_free] *)
+
+type struct_decl = { sname : string; sfields : (string * field_ty) list }
+
+type global_decl = { gname : string; gty : field_ty }
+
+type fn_decl = {
+  fname : string;
+  params : (string * ty) list;
+  ret : bool;  (** whether the function returns a value *)
+  body : stmt list;
+}
+
+type program = {
+  structs : struct_decl list;
+  globals : global_decl list;
+  fns : fn_decl list;
+}

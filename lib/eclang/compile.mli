@@ -1,0 +1,54 @@
+(** The eclang compiler: typed AST → KFlex bytecode.
+
+    Calling convention and register use:
+    - [r6] holds the hook context for the whole program;
+    - [r9] holds the extension heap base (fetched once via
+      [kflex_heap_base]), so global accesses compile to one load/store with
+      a constant offset — which the verifier's range analysis then proves
+      in-bounds, eliding their SFI guards (§5.4);
+    - locals live in 8-byte stack-frame slots; expressions evaluate in the
+      register pool r1–r5/r7/r8, spilling around helper calls;
+    - user functions are inlined (the ISA has no calls between extension
+      functions), with recursion rejected.
+
+    Builtins beyond the kernel helper interface: [ld8/ld16/ld32/ld64 (addr,
+    const_off)] and [st8/st16/st32/st64 (addr, const_off, v)] raw accesses,
+    [new S] / [free p] for the KFlex allocator, and signed comparison
+    functions [slt]/[sle]/[sgt]/[sge]. *)
+
+exception Error of string
+
+type layout = {
+  globals : (string * (int64 * Ast.field_ty)) list;
+      (** heap offset and type per global, offsets relative to heap start *)
+  globals_size : int64;  (** bytes to reserve past {!Kflex.globals_base} *)
+  struct_layouts : (string * ((string * (int * Ast.field_ty)) list * int)) list;
+      (** per struct: field offsets/types, and total size *)
+}
+
+type compiled = { prog : Kflex_bpf.Prog.t; layout : layout }
+
+val compile :
+  ?entry:string -> ?use_heap:bool -> ?name:string -> Ast.program -> compiled
+(** Compile a parsed program. [entry] (default ["prog"]) names the handler
+    function, which must take a single [ctx] parameter. [use_heap] (default
+    [true]) — set [false] for plain-eBPF extensions (heap constructs then
+    become compile errors).
+    @raise Error on type or codegen errors. *)
+
+val compile_string :
+  ?entry:string -> ?use_heap:bool -> ?name:string -> string -> compiled
+(** Parse and compile.
+    @raise Parser.Error / Lexer.Error / Error accordingly. *)
+
+val global_offset : compiled -> string -> int64
+(** Heap offset of a global, relative to the heap base (i.e. already
+    including {!Kflex.globals_base}).
+    @raise Not_found for unknown globals. *)
+
+val field_offset : compiled -> struct_:string -> string -> int * Ast.field_ty
+(** Offset and type of a struct field (host-side heap inspection).
+    @raise Not_found for unknown structs/fields. *)
+
+val sizeof : compiled -> string -> int
+(** Size of a struct in bytes. @raise Not_found. *)

@@ -1,0 +1,18 @@
+(** Lexer for eclang. *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | KW of string  (** struct global fn var if else while return break
+      continue null new free bytes *)
+  | PUNCT of string  (** operators and delimiters, longest-match *)
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Error of { line : int; msg : string }
+
+val tokenize : string -> t list
+(** @raise Error on malformed input (bad character, unterminated comment). *)
+
+val pp_token : Format.formatter -> token -> unit

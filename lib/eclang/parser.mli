@@ -1,0 +1,32 @@
+(** Recursive-descent parser for eclang.
+
+    Grammar sketch:
+    {v
+    program  := (struct | global | fn)*
+    struct   := "struct" IDENT "{" (IDENT ":" fieldty ";")* "}"
+    global   := "global" IDENT ":" fieldty ";"
+    fn       := "fn" IDENT "(" params ")" ("->" "u64")? block
+    fieldty  := "u8" | "u16" | "u32" | "u64" | "ptr" "<" IDENT ">"
+              | "[" fieldty ";" INT "]"
+    ty       := "u64" | "ptr" "<" IDENT ">" | "ctx"
+    stmt     := "var" IDENT (":" ty)? "=" expr ";"
+              | "var" IDENT ":" "bytes" "[" INT "]" ";"
+              | lvalue ("=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&="
+                        | "|=" | "^=" | "<<=" | ">>=") expr ";"
+              | "if" ... | "while" (expr) block
+              | "for" "(" init ";" expr ";" step ")" block
+              | "return" expr? ";" | "break;" | "continue;"
+              | "free" expr ";" | expr ";"
+    expr     := precedence-climbing over ||, &&, |, ^, &, ==/!=,
+                </<=/>/>=, <</>>, +/-, * / %, unary, postfix (.f, [i],
+                calls), atoms (INT, IDENT, null, new S, &IDENT, (e))
+    v}
+
+    Signed comparisons are exposed as builtin calls [slt]/[sle]/[sgt]/[sge]
+    rather than operators. *)
+
+exception Error of { line : int; msg : string }
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors (with source line).
+    @raise Lexer.Error on lexical errors. *)

@@ -1,0 +1,23 @@
+let insn_ns = 4.0
+let nic_to_xdp_ns = 300.
+let xdp_tx_ns = 300.
+let udp_stack_ns = 1700.
+let tcp_stack_ns = 3400.
+let syscall_ns = 700.
+let wakeup_ctx_switch_ns = 2600.
+let native_speedup = 1.09
+
+let xdp_service_ns ~compute_ns ~reply =
+  nic_to_xdp_ns +. compute_ns +. (if reply then xdp_tx_ns else 0.)
+
+let skb_service_ns ~proto_tcp ~compute_ns =
+  nic_to_xdp_ns
+  +. (if proto_tcp then tcp_stack_ns else udp_stack_ns)
+  +. compute_ns +. xdp_tx_ns
+
+let user_service_ns ~proto_tcp ~compute_ns =
+  (* rx path, wake-up, read syscall, application logic, write syscall *)
+  nic_to_xdp_ns
+  +. (if proto_tcp then tcp_stack_ns else udp_stack_ns)
+  +. wakeup_ctx_switch_ns +. syscall_ns +. compute_ns +. syscall_ns
+  +. xdp_tx_ns

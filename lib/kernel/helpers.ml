@@ -1,0 +1,99 @@
+open Kflex_runtime
+
+type t = {
+  socks : Socket.t;
+  map_reg : Map.registry;
+  mutable pkt : Packet.t option;
+}
+
+let create () =
+  { socks = Socket.create (); map_reg = Map.registry (); pkt = None }
+
+let sockets t = t.socks
+let maps t = t.map_reg
+let set_packet t p = t.pkt <- p
+let packet t = t.pkt
+
+let sk_lookup t proto (c : Vm.call_ctx) =
+  c.Vm.charge 50;
+  (* the connection tuple sits on the extension stack: u16 port at offset 0 *)
+  let port = Int64.to_int (c.Vm.mem_read ~width:2 c.Vm.args.(1)) in
+  match Socket.lookup t.socks ~proto ~port with
+  | Some handle ->
+      Ledger.acquire c.Vm.ledger ~handle ~destructor:"bpf_sk_release";
+      Vm.H_ret handle
+  | None -> Vm.H_ret 0L
+
+let sk_release t (c : Vm.call_ctx) =
+  c.Vm.charge 30;
+  ignore (Socket.release t.socks c.Vm.args.(0));
+  ignore (Ledger.release c.Vm.ledger ~handle:c.Vm.args.(0));
+  Vm.H_ret 0L
+
+let with_pkt t f =
+  match t.pkt with None -> Vm.H_ret 0L | Some p -> f p
+
+let pkt_len t (c : Vm.call_ctx) =
+  c.Vm.charge 2;
+  with_pkt t (fun p -> Vm.H_ret (Int64.of_int (Packet.len p)))
+
+let pkt_read t width (c : Vm.call_ctx) =
+  c.Vm.charge 3;
+  with_pkt t (fun p ->
+      Vm.H_ret (Packet.read p ~width (Int64.to_int c.Vm.args.(1))))
+
+let pkt_write t width (c : Vm.call_ctx) =
+  c.Vm.charge 3;
+  with_pkt t (fun p ->
+      Packet.write p ~width (Int64.to_int c.Vm.args.(1)) c.Vm.args.(2);
+      Vm.H_ret 0L)
+
+let map_of t (c : Vm.call_ctx) = Map.find t.map_reg c.Vm.args.(0)
+
+let map_lookup t (c : Vm.call_ctx) =
+  c.Vm.charge 45;
+  match map_of t c with
+  | None -> Vm.H_ret 0L
+  | Some m -> (
+      let key = c.Vm.mem_read ~width:8 c.Vm.args.(1) in
+      match Map.lookup m key with
+      | Some v ->
+          c.Vm.mem_write ~width:8 c.Vm.args.(2) v;
+          Vm.H_ret 1L
+      | None -> Vm.H_ret 0L)
+
+let map_update t (c : Vm.call_ctx) =
+  c.Vm.charge 55;
+  match map_of t c with
+  | None -> Vm.H_ret 0L
+  | Some m ->
+      let key = c.Vm.mem_read ~width:8 c.Vm.args.(1) in
+      let v = c.Vm.mem_read ~width:8 c.Vm.args.(2) in
+      Vm.H_ret (if Map.update m key v then 1L else 0L)
+
+let map_delete t (c : Vm.call_ctx) =
+  c.Vm.charge 50;
+  match map_of t c with
+  | None -> Vm.H_ret 0L
+  | Some m ->
+      let key = c.Vm.mem_read ~width:8 c.Vm.args.(1) in
+      Vm.H_ret (if Map.delete m key then 1L else 0L)
+
+let implementations t =
+  [
+    ("bpf_sk_lookup_udp", sk_lookup t Packet.Udp);
+    ("bpf_sk_lookup_tcp", sk_lookup t Packet.Tcp);
+    ("bpf_sk_release", sk_release t);
+    ("pkt_len", pkt_len t);
+    ("pkt_read_u8", pkt_read t 1);
+    ("pkt_read_u16", pkt_read t 2);
+    ("pkt_read_u32", pkt_read t 4);
+    ("pkt_read_u64", pkt_read t 8);
+    ("pkt_write_u8", pkt_write t 1);
+    ("pkt_write_u16", pkt_write t 2);
+    ("pkt_write_u32", pkt_write t 4);
+    ("pkt_write_u64", pkt_write t 8);
+    ("bpf_map_lookup", map_lookup t);
+    ("bpf_map_update", map_update t);
+    ("bpf_map_delete", map_delete t);
+  ]

@@ -1,0 +1,26 @@
+(** Kernel-side helper implementations.
+
+    The kernel half of the extension interface: socket lookups (which take
+    references — the canonical acquired resource of §3.3), packet accessors,
+    and eBPF map operations. Each helper charges the cost model's estimate
+    of its kernel work so benchmarks account for helper time. *)
+
+type t
+(** Kernel state shared by all helpers: socket table, map registry, and the
+    packet currently being processed. *)
+
+val create : unit -> t
+
+val sockets : t -> Socket.t
+val maps : t -> Map.registry
+
+val set_packet : t -> Packet.t option -> unit
+(** Install the packet for the current hook invocation. *)
+
+val packet : t -> Packet.t option
+
+val implementations : t -> (string * Kflex_runtime.Vm.helper) list
+(** All kernel helper implementations, to pass to {!Kflex_runtime.Vm.create}:
+    [bpf_sk_lookup_udp], [bpf_sk_lookup_tcp], [bpf_sk_release], [pkt_len],
+    [pkt_read_u8/16/32/64], [pkt_write_u8/16/32/64], [bpf_map_lookup],
+    [bpf_map_update], [bpf_map_delete]. *)

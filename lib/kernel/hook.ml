@@ -1,0 +1,19 @@
+type kind = Xdp | Sk_skb | Lsm
+
+let ctx_size = 64
+
+let build_ctx (p : Packet.t) =
+  let b = Bytes.make ctx_size '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int (Packet.len p));
+  Bytes.set_int32_le b 4 (Int64.to_int32 (Packet.proto_code p.Packet.proto));
+  Bytes.set_uint16_le b 8 p.Packet.src_port;
+  Bytes.set_uint16_le b 10 p.Packet.dst_port;
+  b
+
+let xdp_aborted = 0L
+let xdp_drop = 1L
+let xdp_pass = 2L
+let xdp_tx = 3L
+
+let default_ret = function Xdp -> xdp_pass | Sk_skb -> 0L | Lsm -> -1L
+let sleepable = function Xdp | Sk_skb -> false | Lsm -> true

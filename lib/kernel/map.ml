@@ -1,0 +1,37 @@
+type t = { tbl : (int64, int64) Hashtbl.t; max_entries : int }
+
+let create ~max_entries = { tbl = Hashtbl.create max_entries; max_entries }
+let lookup t k = Hashtbl.find_opt t.tbl k
+
+let update t k v =
+  if Hashtbl.mem t.tbl k then begin
+    Hashtbl.replace t.tbl k v;
+    true
+  end
+  else if Hashtbl.length t.tbl >= t.max_entries then false
+  else begin
+    Hashtbl.replace t.tbl k v;
+    true
+  end
+
+let delete t k =
+  if Hashtbl.mem t.tbl k then begin
+    Hashtbl.remove t.tbl k;
+    true
+  end
+  else false
+
+let entries t = Hashtbl.length t.tbl
+let max_entries t = t.max_entries
+
+type registry = { mutable next : int64; maps : (int64, t) Hashtbl.t }
+
+let registry () = { next = 3L; maps = Hashtbl.create 8 }
+
+let register r m =
+  let fd = r.next in
+  r.next <- Int64.add r.next 1L;
+  Hashtbl.replace r.maps fd m;
+  fd
+
+let find r fd = Hashtbl.find_opt r.maps fd

@@ -1,0 +1,32 @@
+(** eBPF maps — the kernel-provided data structures plain eBPF extensions
+    are restricted to (§2.2).
+
+    The BMC baseline builds its pre-allocated look-aside cache out of these.
+    Keys and values are fixed-size byte strings; the copy-through-stack
+    helper variants used by our ISA move 8-byte handles, so maps here are
+    keyed by [int64] with [int64] values (a hash of the full key — the same
+    trick BMC uses to index its cache). Capacity is fixed at creation:
+    plain eBPF has no dynamic allocation (which is exactly why BMC cannot
+    offload SETs). *)
+
+type t
+
+val create : max_entries:int -> t
+
+val lookup : t -> int64 -> int64 option
+val update : t -> int64 -> int64 -> bool
+(** [false] when the map is full and the key absent. *)
+
+val delete : t -> int64 -> bool
+val entries : t -> int
+val max_entries : t -> int
+
+(** {2 Registry (map file descriptors)} *)
+
+type registry
+
+val registry : unit -> registry
+val register : registry -> t -> int64
+(** Returns the fd an extension passes as the helper's first argument. *)
+
+val find : registry -> int64 -> t option

@@ -1,0 +1,38 @@
+type proto = Udp | Tcp
+
+type t = {
+  proto : proto;
+  src_port : int;
+  dst_port : int;
+  payload : Bytes.t;
+}
+
+let make ~proto ~src_port ~dst_port payload =
+  { proto; src_port; dst_port; payload }
+
+let len t = Bytes.length t.payload
+
+let read t ~width off =
+  if off < 0 || off + width > Bytes.length t.payload then 0L
+  else
+    match width with
+    | 1 -> Int64.of_int (Char.code (Bytes.get t.payload off))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le t.payload off)
+    | 4 ->
+        Int64.logand
+          (Int64.of_int32 (Bytes.get_int32_le t.payload off))
+          0xffff_ffffL
+    | 8 -> Bytes.get_int64_le t.payload off
+    | _ -> invalid_arg "Packet.read: width"
+
+let write t ~width off v =
+  if off < 0 || off + width > Bytes.length t.payload then ()
+  else
+    match width with
+    | 1 -> Bytes.set t.payload off (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+    | 2 -> Bytes.set_uint16_le t.payload off (Int64.to_int (Int64.logand v 0xffffL))
+    | 4 -> Bytes.set_int32_le t.payload off (Int64.to_int32 v)
+    | 8 -> Bytes.set_int64_le t.payload off v
+    | _ -> invalid_arg "Packet.write: width"
+
+let proto_code = function Udp -> 0L | Tcp -> 1L

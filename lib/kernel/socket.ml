@@ -1,0 +1,49 @@
+type sock = { handle : int64; mutable refs : int }
+
+type t = {
+  by_port : (int * int, sock) Hashtbl.t;  (* (proto code, port) *)
+  by_handle : (int64, sock) Hashtbl.t;
+  mutable next : int64;
+}
+
+let handle_base = 0x7000_0000_0000L
+
+let create () =
+  { by_port = Hashtbl.create 16; by_handle = Hashtbl.create 16; next = 1L }
+
+let key proto port = (Int64.to_int (Packet.proto_code proto), port)
+
+let listen t ~proto ~port =
+  if not (Hashtbl.mem t.by_port (key proto port)) then begin
+    let handle = Int64.add handle_base t.next in
+    t.next <- Int64.add t.next 1L;
+    let s = { handle; refs = 0 } in
+    Hashtbl.replace t.by_port (key proto port) s;
+    Hashtbl.replace t.by_handle handle s
+  end
+
+let close t ~proto ~port =
+  match Hashtbl.find_opt t.by_port (key proto port) with
+  | Some s ->
+      Hashtbl.remove t.by_port (key proto port);
+      Hashtbl.remove t.by_handle s.handle
+  | None -> ()
+
+let lookup t ~proto ~port =
+  match Hashtbl.find_opt t.by_port (key proto port) with
+  | Some s ->
+      s.refs <- s.refs + 1;
+      Some s.handle
+  | None -> None
+
+let release t handle =
+  match Hashtbl.find_opt t.by_handle handle with
+  | Some s when s.refs > 0 ->
+      s.refs <- s.refs - 1;
+      true
+  | _ -> false
+
+let refcount t ~proto ~port =
+  Option.map (fun s -> s.refs) (Hashtbl.find_opt t.by_port (key proto port))
+
+let total_refs t = Hashtbl.fold (fun _ s acc -> acc + s.refs) t.by_handle 0

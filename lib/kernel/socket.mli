@@ -1,0 +1,28 @@
+(** The kernel socket table.
+
+    Backs [bpf_sk_lookup_udp]/[bpf_sk_lookup_tcp]: a lookup takes a
+    reference on the socket (the kernel resource whose release on
+    cancellation the object tables guarantee, §3.3); [bpf_sk_release] drops
+    it. Handles are synthetic kernel addresses. *)
+
+type t
+
+val create : unit -> t
+
+val listen : t -> proto:Packet.proto -> port:int -> unit
+(** Register a listening socket. *)
+
+val close : t -> proto:Packet.proto -> port:int -> unit
+
+val lookup : t -> proto:Packet.proto -> port:int -> int64 option
+(** Take a reference; [None] when no socket listens there. *)
+
+val release : t -> int64 -> bool
+(** Drop a reference by handle; [false] for an unknown handle. *)
+
+val refcount : t -> proto:Packet.proto -> port:int -> int option
+(** Current extra references on a socket (0 right after [listen]). *)
+
+val total_refs : t -> int
+(** Sum of outstanding lookup references — must return to 0 after every
+    request, cancelled or not; tests assert this. *)

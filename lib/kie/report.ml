@@ -1,0 +1,32 @@
+type t = {
+  counted_sites : int;
+  elided : int;
+  emitted : int;
+  formation : int;
+  reads_unguarded : int;
+  checkpoints : int;
+  xlate_stores : int;
+}
+
+let zero =
+  {
+    counted_sites = 0;
+    elided = 0;
+    emitted = 0;
+    formation = 0;
+    reads_unguarded = 0;
+    checkpoints = 0;
+    xlate_stores = 0;
+  }
+
+let elision_ratio t =
+  if t.counted_sites = 0 then 1.0
+  else float_of_int t.elided /. float_of_int t.counted_sites
+
+let pp ppf t =
+  Format.fprintf ppf
+    "guards: %d sites, %d elided (%.0f%%), %d emitted, %d formation, %d \
+     perf-mode reads unguarded; %d checkpoints; %d translated stores"
+    t.counted_sites t.elided
+    (100. *. elision_ratio t)
+    t.emitted t.formation t.reads_unguarded t.checkpoints t.xlate_stores

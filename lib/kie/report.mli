@@ -1,0 +1,27 @@
+(** Instrumentation accounting — the data behind Table 3 of the paper.
+
+    Counts SFI guards by category. Following §5.4, guards emitted on
+    {e forming} a new heap pointer (sanitising an untrusted word before its
+    first use as an address) are kept separate from guards on manipulated
+    heap pointers, because formation guards must never be optimised away;
+    the elision statistics are computed over the latter only. *)
+
+type t = {
+  counted_sites : int;
+      (** heap accesses through manipulated heap pointers ("total number of
+          guard insns." in Table 3) *)
+  elided : int;  (** of [counted_sites], proven safe by range analysis *)
+  emitted : int;  (** counted guards actually emitted = counted - elided *)
+  formation : int;  (** formation guards emitted (excluded from Table 3) *)
+  reads_unguarded : int;
+      (** guards dropped because of performance mode (§3.2) *)
+  checkpoints : int;  (** C1 cancellation points inserted at back edges *)
+  xlate_stores : int;  (** stores rewritten for pointer translation (§3.4) *)
+}
+
+val zero : t
+
+val elision_ratio : t -> float
+(** [elided / counted_sites]; 1.0 when there are no counted sites. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+open Kflex_bpf
+open Kflex_verifier
+
+let acquiring contracts name =
+  match Contract.find contracts name with
+  | Some c -> (
+      match c.Contract.ret with
+      | Contract.R_obj _ | Contract.R_obj_or_null _ -> true
+      | _ -> false)
+  | None -> false
+
+(* Deepest constant r10-relative offset the program already uses. *)
+let frame_floor prog =
+  let floor = ref 0 in
+  Array.iter
+    (fun insn ->
+      let touch base off =
+        if Reg.equal base Reg.fp && off < !floor then floor := off
+      in
+      match insn with
+      | Insn.Ldx (_, _, b, off) -> touch b off
+      | Insn.Stx (_, b, off, _) | Insn.St (_, b, off, _) -> touch b off
+      | Insn.Alu (Insn.Add, _, _) -> ()
+      | _ -> ())
+    (Prog.insns prog);
+  (* pointer arithmetic like [r2 = r10; r2 += -16] also forms frame
+     addresses: scan for the constant adds too *)
+  let last_was_fp_copy = Array.make 11 false in
+  Array.iter
+    (fun insn ->
+      match insn with
+      | Insn.Mov (d, Insn.Reg s) ->
+          last_was_fp_copy.(Reg.to_int d) <-
+            Reg.equal s Reg.fp || last_was_fp_copy.(Reg.to_int s)
+      | Insn.Alu (Insn.Add, d, Insn.Imm i) ->
+          if last_was_fp_copy.(Reg.to_int d) && Int64.to_int i < !floor then
+            floor := Int64.to_int i
+      | Insn.Mov (d, Insn.Imm _)
+      | Insn.Alu (_, d, _)
+      | Insn.Neg d
+      | Insn.Ldx (_, d, _, _) ->
+          last_was_fp_copy.(Reg.to_int d) <- false
+      | Insn.Call _ ->
+          List.iter
+            (fun r -> last_was_fp_copy.(Reg.to_int r) <- false)
+            Reg.caller_saved
+      | _ -> ())
+    (Prog.insns prog);
+  !floor
+
+let mitigate ~contracts prog =
+  let insns = Prog.insns prog in
+  let n = Array.length insns in
+  let sites = ref [] in
+  Array.iteri
+    (fun pc insn ->
+      match insn with
+      | Insn.Call name when acquiring contracts name -> sites := pc :: !sites
+      | _ -> ())
+    insns;
+  let sites = List.rev !sites in
+  if sites = [] then None
+  else begin
+    let floor = frame_floor prog in
+    (* one 8-byte slot per site, below everything the program touches *)
+    let base = floor - 8 in
+    let slot_of =
+      List.mapi (fun i pc -> (pc, base - (8 * i))) sites
+    in
+    if base - (8 * (List.length sites - 1)) < -Prog.stack_size then None
+    else begin
+      (* layout: each call's group is [call; spill]; jumps to an original pc
+         land at its group start, so a jump to call+1 lands after the
+         spill *)
+      let extra = Array.make n 0 in
+      List.iter (fun pc -> extra.(pc) <- 1) sites;
+      let pc_map = Array.make n 0 in
+      let pos = ref 0 in
+      for pc = 0 to n - 1 do
+        pc_map.(pc) <- !pos;
+        pos := !pos + 1 + extra.(pc)
+      done;
+      let out = Array.make !pos Insn.Exit in
+      for pc = 0 to n - 1 do
+        let body =
+          match insns.(pc) with
+          | Insn.Ja off ->
+              let t = pc + 1 + off in
+              Insn.Ja (pc_map.(t) - pc_map.(pc) - 1)
+          | Insn.Jcond (c, r, s, off) ->
+              let t = pc + 1 + off in
+              Insn.Jcond (c, r, s, pc_map.(t) - pc_map.(pc) - 1)
+          | i -> i
+        in
+        out.(pc_map.(pc)) <- body;
+        match List.assoc_opt pc slot_of with
+        | Some slot ->
+            out.(pc_map.(pc) + 1) <- Insn.Stx (Insn.U64, Reg.fp, slot, Reg.R0)
+        | None -> ()
+      done;
+      Some (Prog.create ~name:(Prog.name prog ^ ".spill") out)
+    end
+  end

@@ -1,0 +1,28 @@
+(** The §4.3 object-table corner case and its mitigation.
+
+    An object table must describe, for each cancellation point, {e one}
+    location per held resource. When different branch sequences reach the
+    same point with the resource in different registers, no single location
+    is valid on all paths and the verifier rejects the program (the
+    resource's last tracked copy is "lost" at the join). The paper's
+    mitigation: spill each acquired resource to a {e unique stack slot} at
+    its acquisition site, giving every resource a canonical location.
+
+    [mitigate] rewrites a program by inserting, after every helper call
+    whose contract acquires a resource, a store of [r0] to a fresh stack
+    slot below the program's own frame usage. The loader applies it
+    on-demand when verification fails with a leak.
+
+    Divergence note: the paper's verifier is path-sensitive, so a
+    conflicting program verifies and only its object tables are ambiguous;
+    our verifier joins states at merge points, so the same conflict
+    surfaces as a verification-time leak. The spill restores a canonical
+    location (fixing the table); whether the program then verifies depends
+    on whether it also {e uses} the joined copies downstream. *)
+
+val mitigate :
+  contracts:Kflex_verifier.Contract.registry ->
+  Kflex_bpf.Prog.t ->
+  Kflex_bpf.Prog.t option
+(** [None] when the program has no acquiring calls, or when the stack has no
+    room for the spill slots. *)

@@ -1,0 +1,113 @@
+type t = {
+  heap : Heap.t;
+  ncpu : int;
+  (* per-CPU, per-class free lists of block offsets (header offsets) *)
+  caches : int64 list array array;
+  global : int64 list array;  (* per-class global pool *)
+  mutable bump : int64;  (* next never-allocated offset *)
+  live : (int64, int) Hashtbl.t;  (* payload offset -> class index *)
+}
+
+let size_classes =
+  [| 16; 32; 48; 64; 96; 128; 192; 256; 384; 512; 768; 1024; 2048; 4096 |]
+
+let nclasses = Array.length size_classes
+let header = 8
+let cache_refill = 16
+
+let create ?(ncpu = 8) ?(data_start = 64L) heap =
+  if ncpu <= 0 then invalid_arg "Alloc.create: ncpu";
+  {
+    heap;
+    ncpu;
+    caches = Array.init ncpu (fun _ -> Array.make nclasses []);
+    global = Array.make nclasses [];
+    bump = data_start;
+    live = Hashtbl.create 256;
+  }
+
+let heap t = t.heap
+
+let class_of_size sz =
+  let sz = Int64.to_int sz in
+  let rec find i =
+    if i >= nclasses then None
+    else if size_classes.(i) >= sz then Some i
+    else find (i + 1)
+  in
+  if sz < 0 then None else find 0
+
+let block_bytes cls = Int64.of_int (header + size_classes.(cls))
+
+(* Carve fresh blocks from the bump region into the global pool. *)
+let grow t cls =
+  let bytes = block_bytes cls in
+  let batch = Int64.mul bytes (Int64.of_int cache_refill) in
+  let avail = Int64.sub (Heap.size t.heap) t.bump in
+  let take = if avail < batch then Int64.div avail bytes else Int64.of_int cache_refill in
+  if take <= 0L then false
+  else begin
+    let blocks = ref [] in
+    for i = 0 to Int64.to_int take - 1 do
+      let off = Int64.add t.bump (Int64.mul bytes (Int64.of_int i)) in
+      blocks := off :: !blocks
+    done;
+    let len = Int64.mul bytes take in
+    Heap.populate t.heap ~off:t.bump ~len;
+    t.bump <- Int64.add t.bump len;
+    t.global.(cls) <- !blocks @ t.global.(cls);
+    true
+  end
+
+let refill t ~cpu cls =
+  let rec take n acc =
+    if n = 0 then acc
+    else
+      match t.global.(cls) with
+      | [] -> if grow t cls then take n acc else acc
+      | b :: rest ->
+          t.global.(cls) <- rest;
+          take (n - 1) (b :: acc)
+  in
+  let got = take cache_refill [] in
+  t.caches.(cpu).(cls) <- got @ t.caches.(cpu).(cls);
+  got <> []
+
+let zero_payload t off cls =
+  let n = size_classes.(cls) in
+  let i = ref 0 in
+  while !i < n do
+    Heap.write_off t.heap ~width:8 (Int64.add off (Int64.of_int !i)) 0L;
+    i := !i + 8
+  done
+
+let alloc t ~cpu size =
+  let cpu = cpu mod t.ncpu in
+  match class_of_size size with
+  | None -> None
+  | Some cls -> (
+      (if t.caches.(cpu).(cls) = [] then ignore (refill t ~cpu cls));
+      match t.caches.(cpu).(cls) with
+      | [] -> None
+      | block :: rest ->
+          t.caches.(cpu).(cls) <- rest;
+          Heap.write_off t.heap ~width:8 block (Int64.of_int cls);
+          let payload = Int64.add block (Int64.of_int header) in
+          zero_payload t payload cls;
+          Hashtbl.replace t.live payload cls;
+          Some payload)
+
+let free t ~cpu payload =
+  let cpu = cpu mod t.ncpu in
+  match Hashtbl.find_opt t.live payload with
+  | None -> false
+  | Some cls ->
+      Hashtbl.remove t.live payload;
+      let block = Int64.sub payload (Int64.of_int header) in
+      t.caches.(cpu).(cls) <- block :: t.caches.(cpu).(cls);
+      true
+
+let live_blocks t = Hashtbl.length t.live
+
+let cache_occupancy t ~cpu =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.caches.(cpu mod t.ncpu)

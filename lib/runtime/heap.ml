@@ -1,0 +1,146 @@
+type t = {
+  size : int64;
+  mask : int64;
+  shared : bool;
+  (* lazily backed 4 KB pages, keyed by page index *)
+  pages : (int64, Bytes.t) Hashtbl.t;
+}
+
+exception Fault of { addr : int64; reason : string }
+
+let page_size = 4096
+let page_size64 = 4096L
+let guard_bytes = 32768
+let guard64 = 32768L
+
+(* Both views are aligned to 2^46, hence to any permitted heap size. *)
+let kbase_const = 0x4000_0000_0000L
+let ubase_const = 0x8000_0000_0000L
+
+let create ?(shared = false) ~size () =
+  if
+    size < page_size64
+    || size > 0x100_0000_0000L (* 2^40 *)
+    || Int64.logand size (Int64.sub size 1L) <> 0L
+  then
+    invalid_arg
+      (Printf.sprintf "Heap.create: size %Ld must be a power of two in [4K, 1T]"
+         size);
+  { size; mask = Int64.sub size 1L; shared; pages = Hashtbl.create 64 }
+
+let size h = h.size
+let mask h = h.mask
+let kbase _ = kbase_const
+let ubase h = if h.shared then Some ubase_const else None
+let is_shared h = h.shared
+
+let sanitize h addr = Int64.logor kbase_const (Int64.logand addr h.mask)
+
+let translate_user h addr =
+  if not h.shared then invalid_arg "Heap.translate_user: heap is not shared"
+  else Int64.logor ubase_const (Int64.logand addr h.mask)
+
+let offset_of_addr h addr =
+  let in_view base =
+    addr >= Int64.sub base guard64 && addr < Int64.add (Int64.add base h.size) guard64
+  in
+  if in_view kbase_const then Some (Int64.sub addr kbase_const)
+  else if h.shared && in_view ubase_const then Some (Int64.sub addr ubase_const)
+  else None
+
+let fault addr reason = raise (Fault { addr; reason })
+
+let page_of h idx =
+  match Hashtbl.find_opt h.pages idx with
+  | Some p -> Some p
+  | None -> None
+
+let populate h ~off ~len =
+  if off < 0L || len < 0L || Int64.add off len > h.size then
+    invalid_arg "Heap.populate: range out of heap";
+  let first = Int64.div off page_size64 in
+  let last = Int64.div (Int64.add off (Int64.max 0L (Int64.sub len 1L))) page_size64 in
+  let idx = ref first in
+  while !idx <= last do
+    if not (Hashtbl.mem h.pages !idx) then
+      Hashtbl.replace h.pages !idx (Bytes.make page_size '\000');
+    idx := Int64.add !idx 1L
+  done
+
+let page_populated h off = Hashtbl.mem h.pages (Int64.div off page_size64)
+
+let populated_bytes h = Int64.of_int (Hashtbl.length h.pages * page_size)
+
+(* Trusted offset-based access; populates pages (the runtime/user side owns
+   its mappings). *)
+let rec read_off h ~width off =
+  let page = Int64.div off page_size64 in
+  let inpage = Int64.to_int (Int64.rem off page_size64) in
+  if inpage + width <= page_size then begin
+    if not (Hashtbl.mem h.pages page) then populate h ~off ~len:(Int64.of_int width);
+    let p = Hashtbl.find h.pages page in
+    match width with
+    | 1 -> Int64.of_int (Char.code (Bytes.get p inpage))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le p inpage)
+    | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le p inpage)) 0xffff_ffffL
+    | 8 -> Bytes.get_int64_le p inpage
+    | _ -> invalid_arg "Heap.read_off: width"
+  end
+  else begin
+    (* straddles a page boundary: assemble bytes *)
+    let v = ref 0L in
+    for i = width - 1 downto 0 do
+      let b = read_off h ~width:1 (Int64.add off (Int64.of_int i)) in
+      v := Int64.logor (Int64.shift_left !v 8) b
+    done;
+    !v
+  end
+
+let rec write_off h ~width off v =
+  let page = Int64.div off page_size64 in
+  let inpage = Int64.to_int (Int64.rem off page_size64) in
+  if inpage + width <= page_size then begin
+    if not (Hashtbl.mem h.pages page) then populate h ~off ~len:(Int64.of_int width);
+    let p = Hashtbl.find h.pages page in
+    match width with
+    | 1 -> Bytes.set p inpage (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+    | 2 -> Bytes.set_uint16_le p inpage (Int64.to_int (Int64.logand v 0xffffL))
+    | 4 -> Bytes.set_int32_le p inpage (Int64.to_int32 v)
+    | 8 -> Bytes.set_int64_le p inpage v
+    | _ -> invalid_arg "Heap.write_off: width"
+  end
+  else
+    for i = 0 to width - 1 do
+      write_off h ~width:1
+        (Int64.add off (Int64.of_int i))
+        (Int64.shift_right_logical v (8 * i))
+    done
+
+(* Untrusted (extension) access: faults on guard zones and unpopulated
+   pages. *)
+let check_ext h addr width =
+  match offset_of_addr h addr with
+  | None -> fault addr "access outside any heap mapping"
+  | Some off ->
+      if off < 0L || Int64.add off (Int64.of_int width) > h.size then
+        fault addr "guard zone access";
+      let first = Int64.div off page_size64 in
+      let last =
+        Int64.div (Int64.add off (Int64.of_int (width - 1))) page_size64
+      in
+      let idx = ref first in
+      while !idx <= last do
+        (match page_of h !idx with
+        | Some _ -> ()
+        | None -> fault addr "unpopulated heap page");
+        idx := Int64.add !idx 1L
+      done;
+      off
+
+let read h ~width addr =
+  let off = check_ext h addr width in
+  read_off h ~width off
+
+let write h ~width addr v =
+  let off = check_ext h addr width in
+  write_off h ~width off v

@@ -1,0 +1,14 @@
+type t = (int64, string) Hashtbl.t
+
+let create () = Hashtbl.create 8
+let acquire t ~handle ~destructor = Hashtbl.replace t handle destructor
+
+let release t ~handle =
+  if Hashtbl.mem t handle then begin
+    Hashtbl.remove t handle;
+    true
+  end
+  else false
+
+let held t = Hashtbl.fold (fun h d acc -> (h, d) :: acc) t []
+let count t = Hashtbl.length t

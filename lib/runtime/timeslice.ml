@@ -1,0 +1,25 @@
+type t = { mutable nesting : int; mutable deadline : float; mutable spent : bool }
+
+let slice_ns = 50_000.0
+
+let create () = { nesting = 0; deadline = infinity; spent = false }
+
+let nesting t = t.nesting
+
+let lock_acquired t ~now =
+  if t.nesting = 0 && not t.spent then t.deadline <- now +. slice_ns;
+  t.nesting <- t.nesting + 1
+
+let lock_released t =
+  if t.nesting > 0 then t.nesting <- t.nesting - 1;
+  if t.nesting = 0 then begin
+    t.deadline <- infinity;
+    t.spent <- false
+  end
+
+let should_preempt t ~now = t.nesting > 0 && now > t.deadline
+
+let force_preempt t =
+  t.spent <- true;
+  t.deadline <- neg_infinity;
+  t

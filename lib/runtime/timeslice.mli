@@ -1,0 +1,34 @@
+(** Time-slice extensions for user-space lock holders (§3.4, §4.4).
+
+    A user-space thread holding a spin lock that an extension may contend on
+    requests a temporary scheduling extension — implemented in Linux through
+    a counter in the thread's rseq region, incremented on lock acquisition
+    and decremented on release so nested locks are accounted correctly. The
+    extension is 50 µs; a thread still in its critical section when it
+    expires is forcibly preempted, and extensions spinning on its lock are
+    eventually cancelled (kernel forward progress beats repairing a faulty
+    application, §4.4). *)
+
+type t
+
+val slice_ns : float
+(** 50 µs. *)
+
+val create : unit -> t
+
+val nesting : t -> int
+(** Current lock-nesting count (the rseq counter). *)
+
+val lock_acquired : t -> now:float -> unit
+(** Increment nesting; the first acquisition arms the slice deadline. *)
+
+val lock_released : t -> unit
+(** Decrement nesting (never below zero); reaching zero disarms. *)
+
+val should_preempt : t -> now:float -> bool
+(** Whether the scheduler must forcibly preempt this thread: it holds locks
+    and its extended slice has expired. *)
+
+val force_preempt : t -> t
+(** The state after a forced preemption: nesting is kept (the lock is still
+    held!) but no further extension is granted. *)

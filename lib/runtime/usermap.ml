@@ -1,0 +1,38 @@
+type t = { heap : Heap.t; ubase : int64 }
+
+let attach heap =
+  match Heap.ubase heap with
+  | Some ubase -> { heap; ubase }
+  | None -> invalid_arg "Usermap.attach: heap is not shared"
+
+let heap t = t.heap
+
+let off_of_addr t addr =
+  match Heap.offset_of_addr t.heap addr with
+  | Some off when off >= 0L && off < Heap.size t.heap -> off
+  | _ -> invalid_arg (Printf.sprintf "Usermap: address 0x%Lx outside the mapping" addr)
+
+let read t ~width addr = Heap.read_off t.heap ~width (off_of_addr t addr)
+let write t ~width addr v = Heap.write_off t.heap ~width (off_of_addr t addr) v
+let addr_of_off t off = Int64.add t.ubase off
+
+let is_heap_addr t addr =
+  ignore t.ubase;
+  match Heap.offset_of_addr t.heap addr with
+  | Some off -> off >= 0L && off < Heap.size t.heap
+  | None -> false
+
+(* user-side lock word protocol: 0 free, non-zero owner tag *)
+let user_tag = 0x1000L
+
+let try_lock t ~off ~slice ~now =
+  if Heap.read_off t.heap ~width:8 off = 0L then begin
+    Heap.write_off t.heap ~width:8 off user_tag;
+    Timeslice.lock_acquired slice ~now;
+    true
+  end
+  else false
+
+let unlock t ~off ~slice =
+  Heap.write_off t.heap ~width:8 off 0L;
+  Timeslice.lock_released slice

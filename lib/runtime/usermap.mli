@@ -1,0 +1,38 @@
+(** The user-space side of a shared extension heap (§3.4).
+
+    A shared heap is mapped into the application at {!Heap.ubase}; all
+    extension state is then reachable through ordinary loads and stores — no
+    system calls. Pointers stored by the extension were rewritten to
+    user-view addresses (translate-on-store), so user code follows them
+    directly; this module is the thin application-side runtime for doing
+    so, plus the user half of the spin-lock protocol with time-slice
+    extensions. *)
+
+type t
+
+val attach : Heap.t -> t
+(** @raise Invalid_argument if the heap is not shared. *)
+
+val heap : t -> Heap.t
+
+val read : t -> width:int -> int64 -> int64
+(** Load through a user-view address (or a global's heap offset translated
+    with {!addr_of_off}). *)
+
+val write : t -> width:int -> int64 -> int64 -> unit
+
+val addr_of_off : t -> int64 -> int64
+(** The user-view address of a heap offset (e.g. of a global from the
+    eclang layout). *)
+
+val is_heap_addr : t -> int64 -> bool
+(** Whether a loaded word looks like a pointer into the shared mapping
+    (either view) — for walking extension data structures defensively. *)
+
+(** {2 Locking with time-slice extensions} *)
+
+val try_lock : t -> off:int64 -> slice:Timeslice.t -> now:float -> bool
+(** User-side acquire of the spin-lock word at a heap offset: on success
+    the thread's slice is extended ({!Timeslice.lock_acquired}). *)
+
+val unlock : t -> off:int64 -> slice:Timeslice.t -> unit

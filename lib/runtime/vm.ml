@@ -1,0 +1,429 @@
+open Kflex_bpf
+
+type fault_reason =
+  | Page_fault
+  | Guard_zone
+  | Wild_access
+  | Quantum_expired
+  | Lock_stall
+  | Ext_cancelled
+
+type stats = {
+  mutable insns : int;
+  mutable guards : int;
+  mutable checkpoints : int;
+  mutable helper_calls : int;
+  mutable helper_cost : int;
+}
+
+let fresh_stats () =
+  { insns = 0; guards = 0; checkpoints = 0; helper_calls = 0; helper_cost = 0 }
+
+let total_cost s = s.insns + s.helper_cost
+
+type outcome =
+  | Finished of int64
+  | Cancelled of {
+      orig_pc : int;
+      reason : fault_reason;
+      released : (string * string) list;
+      ret : int64;
+      ledger_leaked : int;
+    }
+
+type helper_outcome = H_ret of int64 | H_stall
+
+type call_ctx = {
+  args : int64 array;
+  cpu : int;
+  heap : Heap.t option;
+  alloc : Alloc.t option;
+  ledger : Ledger.t;
+  mem_read : width:int -> int64 -> int64;
+  mem_write : width:int -> int64 -> int64 -> unit;
+  charge : int -> unit;
+}
+
+type helper = call_ctx -> helper_outcome
+
+exception Vm_fault of fault_reason
+
+let stack_base = 0x2000_0000_0000L
+let ctx_base = 0x1000_0000_0000L
+
+(* --- builtin helpers -------------------------------------------------- *)
+
+let get_heap c = match c.heap with Some h -> h | None -> raise (Vm_fault Wild_access)
+let get_alloc c = match c.alloc with Some a -> a | None -> raise (Vm_fault Wild_access)
+
+let h_malloc c =
+  let a = get_alloc c in
+  c.charge 20;
+  match Alloc.alloc a ~cpu:c.cpu c.args.(0) with
+  | Some off -> H_ret (Int64.add (Heap.kbase (get_heap c)) off)
+  | None -> H_ret 0L
+
+let h_free c =
+  if c.args.(0) = 0L then H_ret 0L
+  else begin
+    let a = get_alloc c in
+    let h = get_heap c in
+    c.charge 15;
+    let addr = Heap.sanitize h c.args.(0) in
+    let off = Int64.sub addr (Heap.kbase h) in
+    ignore (Alloc.free a ~cpu:c.cpu off);
+    H_ret 0L
+  end
+
+(* Spin locks live in heap words: 0 = free, owner-tag otherwise. In the
+   single-threaded VM a held lock cannot be released concurrently, so a
+   contended acquire is a stall — precisely the §3.4 scenario where the
+   extension eventually cancels. *)
+let h_spin_lock c =
+  let h = get_heap c in
+  let addr = Heap.sanitize h c.args.(0) in
+  c.charge 4;
+  let v = Heap.read h ~width:8 addr in
+  if v = 0L then begin
+    Heap.write h ~width:8 addr (Int64.of_int (c.cpu + 1));
+    Ledger.acquire c.ledger ~handle:addr ~destructor:"kflex_spin_unlock";
+    H_ret addr
+  end
+  else H_stall
+
+let h_spin_unlock c =
+  let h = get_heap c in
+  let addr = Heap.sanitize h c.args.(0) in
+  c.charge 4;
+  Heap.write h ~width:8 addr 0L;
+  ignore (Ledger.release c.ledger ~handle:addr);
+  H_ret 0L
+
+let h_heap_base c = H_ret (Heap.kbase (get_heap c))
+
+let prandom_state = ref 0x853c49e6748fea9bL
+
+let seed_prandom seed = prandom_state := Int64.logor seed 1L
+
+let h_prandom _ =
+  (* xorshift64*; deterministic for reproducible runs *)
+  let x = !prandom_state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  prandom_state := x;
+  H_ret (Int64.logand x 0xffff_ffffL)
+
+let vtime = ref 0L
+
+let h_ktime _ =
+  vtime := Int64.add !vtime 1L;
+  H_ret !vtime
+
+let h_cpu c = H_ret (Int64.of_int c.cpu)
+
+let builtin_helpers =
+  [
+    ("kflex_malloc", h_malloc);
+    ("kflex_free", h_free);
+    ("kflex_spin_lock", h_spin_lock);
+    ("kflex_spin_unlock", h_spin_unlock);
+    ("kflex_heap_base", h_heap_base);
+    ("bpf_get_prandom_u32", h_prandom);
+    ("bpf_ktime_get_ns", h_ktime);
+    ("bpf_get_smp_processor_id", h_cpu);
+  ]
+
+(* --- the interpreter -------------------------------------------------- *)
+
+type ext = {
+  kie : Kflex_kie.Instrument.t;
+  heap : Heap.t option;
+  alloc : Alloc.t option;
+  helpers : (string, helper) Hashtbl.t;
+  quantum : int;
+  default_ret : int64;
+  on_cancel : (int64 -> int64) option;
+  cancel_flag : bool ref;
+}
+
+let create ?heap ?alloc ?(quantum = 100_000_000) ?(default_ret = 0L) ?on_cancel
+    ~helpers kie =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (n, h) -> Hashtbl.replace tbl n h) builtin_helpers;
+  List.iter (fun (n, h) -> Hashtbl.replace tbl n h) helpers;
+  {
+    kie;
+    heap;
+    alloc;
+    helpers = tbl;
+    quantum;
+    default_ret;
+    on_cancel;
+    cancel_flag = ref false;
+  }
+
+let cancel e = e.cancel_flag := true
+let cancelled e = !(e.cancel_flag)
+let reset_cancel e = e.cancel_flag := false
+let kie e = e.kie
+
+let u64_lt a b = Int64.unsigned_compare a b < 0
+let u64_le a b = Int64.unsigned_compare a b <= 0
+
+let eval_cond c a b =
+  match c with
+  | Insn.Eq -> Int64.equal a b
+  | Insn.Ne -> not (Int64.equal a b)
+  | Insn.Lt -> u64_lt a b
+  | Insn.Le -> u64_le a b
+  | Insn.Gt -> u64_lt b a
+  | Insn.Ge -> u64_le b a
+  | Insn.Slt -> Int64.compare a b < 0
+  | Insn.Sle -> Int64.compare a b <= 0
+  | Insn.Sgt -> Int64.compare a b > 0
+  | Insn.Sge -> Int64.compare a b >= 0
+  | Insn.Set -> Int64.logand a b <> 0L
+
+let eval_alu op a b =
+  match op with
+  | Insn.Add -> Int64.add a b
+  | Insn.Sub -> Int64.sub a b
+  | Insn.Mul -> Int64.mul a b
+  | Insn.Div -> if b = 0L then 0L else Int64.unsigned_div a b
+  | Insn.Mod -> if b = 0L then a else Int64.unsigned_rem a b
+  | Insn.And -> Int64.logand a b
+  | Insn.Or -> Int64.logor a b
+  | Insn.Xor -> Int64.logxor a b
+  | Insn.Lsh -> Int64.shift_left a (Int64.to_int b land 63)
+  | Insn.Rsh -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Insn.Arsh -> Int64.shift_right a (Int64.to_int b land 63)
+
+let exec e ~ctx ?(cpu = 0) ?stats () =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let prog = e.kie.Kflex_kie.Instrument.prog in
+  let insns = Prog.insns prog in
+  let regs = Array.make 11 0L in
+  let stack = Bytes.make Prog.stack_size '\000' in
+  let ledger = Ledger.create () in
+  regs.(1) <- ctx_base;
+  regs.(10) <- Int64.add stack_base (Int64.of_int Prog.stack_size);
+  let ctx_size = Bytes.length ctx in
+  let start_cost = total_cost stats in
+  let mem_read ~width addr =
+    if addr >= stack_base && Int64.add addr (Int64.of_int width)
+                             <= Int64.add stack_base (Int64.of_int Prog.stack_size)
+    then begin
+      let i = Int64.to_int (Int64.sub addr stack_base) in
+      match width with
+      | 1 -> Int64.of_int (Char.code (Bytes.get stack i))
+      | 2 -> Int64.of_int (Bytes.get_uint16_le stack i)
+      | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le stack i)) 0xffff_ffffL
+      | 8 -> Bytes.get_int64_le stack i
+      | _ -> assert false
+    end
+    else if addr >= ctx_base && Int64.add addr (Int64.of_int width)
+                                <= Int64.add ctx_base (Int64.of_int ctx_size)
+    then begin
+      let i = Int64.to_int (Int64.sub addr ctx_base) in
+      match width with
+      | 1 -> Int64.of_int (Char.code (Bytes.get ctx i))
+      | 2 -> Int64.of_int (Bytes.get_uint16_le ctx i)
+      | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le ctx i)) 0xffff_ffffL
+      | 8 -> Bytes.get_int64_le ctx i
+      | _ -> assert false
+    end
+    else
+      match e.heap with
+      | Some h -> Heap.read h ~width addr
+      | None -> raise (Vm_fault Wild_access)
+  in
+  let mem_write ~width addr v =
+    if addr >= stack_base && Int64.add addr (Int64.of_int width)
+                             <= Int64.add stack_base (Int64.of_int Prog.stack_size)
+    then begin
+      let i = Int64.to_int (Int64.sub addr stack_base) in
+      match width with
+      | 1 -> Bytes.set stack i (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+      | 2 -> Bytes.set_uint16_le stack i (Int64.to_int (Int64.logand v 0xffffL))
+      | 4 -> Bytes.set_int32_le stack i (Int64.to_int32 v)
+      | 8 -> Bytes.set_int64_le stack i v
+      | _ -> assert false
+    end
+    else if addr >= ctx_base && addr < Int64.add ctx_base (Int64.of_int ctx_size)
+    then raise (Vm_fault Wild_access) (* ctx is read-only; verifier forbids *)
+    else
+      match e.heap with
+      | Some h -> Heap.write h ~width addr v
+      | None -> raise (Vm_fault Wild_access)
+  in
+  let call_ctx =
+    {
+      args = Array.make 5 0L;
+      cpu;
+      heap = e.heap;
+      alloc = e.alloc;
+      ledger;
+      mem_read;
+      mem_write;
+      charge = (fun n -> stats.helper_cost <- stats.helper_cost + n);
+    }
+  in
+  let src_val = function Insn.Reg r -> regs.(Reg.to_int r) | Insn.Imm i -> i in
+  let pc = ref 0 in
+  let result = ref None in
+  (try
+     while !result = None do
+       let insn = insns.(!pc) in
+       stats.insns <- stats.insns + 1;
+       (* The watchdog: quantum measured in cost units per invocation. *)
+       (match insn with
+       | Insn.Checkpoint _ ->
+           stats.checkpoints <- stats.checkpoints + 1;
+           if !(e.cancel_flag) then raise (Vm_fault Ext_cancelled);
+           if total_cost stats - start_cost > e.quantum then begin
+             e.cancel_flag := true;
+             raise (Vm_fault Quantum_expired)
+           end
+       | _ -> ());
+       (match insn with
+       | Insn.Mov (d, s) ->
+           regs.(Reg.to_int d) <- src_val s;
+           incr pc
+       | Insn.Neg d ->
+           regs.(Reg.to_int d) <- Int64.neg regs.(Reg.to_int d);
+           incr pc
+       | Insn.Alu (op, d, s) ->
+           regs.(Reg.to_int d) <- eval_alu op regs.(Reg.to_int d) (src_val s);
+           incr pc
+       | Insn.Ldx (sz, d, s, off) ->
+           let addr = Int64.add regs.(Reg.to_int s) (Int64.of_int off) in
+           regs.(Reg.to_int d) <- mem_read ~width:(Insn.size_bytes sz) addr;
+           incr pc
+       | Insn.Stx (sz, d, off, s) ->
+           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           mem_write ~width:(Insn.size_bytes sz) addr regs.(Reg.to_int s);
+           incr pc
+       | Insn.St (sz, d, off, imm) ->
+           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           mem_write ~width:(Insn.size_bytes sz) addr imm;
+           incr pc
+       | Insn.Xstore (sz, d, off, s) ->
+           let h = match e.heap with Some h -> h | None -> raise (Vm_fault Wild_access) in
+           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           let v = regs.(Reg.to_int s) in
+           let v = if Heap.is_shared h then Heap.translate_user h v else v in
+           mem_write ~width:(Insn.size_bytes sz) addr v;
+           incr pc
+       | Insn.Guard (_, r) ->
+           let h = match e.heap with Some h -> h | None -> raise (Vm_fault Wild_access) in
+           stats.guards <- stats.guards + 1;
+           regs.(Reg.to_int r) <- Heap.sanitize h regs.(Reg.to_int r);
+           incr pc
+       | Insn.Checkpoint _ ->
+           (* the [*terminate] load: one unit of cost, handled above *)
+           incr pc
+       | Insn.Atomic (op, sz, d, off, s) ->
+           let width = Insn.size_bytes sz in
+           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           let old = mem_read ~width addr in
+           let sv = regs.(Reg.to_int s) in
+           (match op with
+           | Insn.Atomic_add -> mem_write ~width addr (Int64.add old sv)
+           | Insn.Atomic_or -> mem_write ~width addr (Int64.logor old sv)
+           | Insn.Atomic_and -> mem_write ~width addr (Int64.logand old sv)
+           | Insn.Atomic_xor -> mem_write ~width addr (Int64.logxor old sv)
+           | Insn.Fetch_add ->
+               mem_write ~width addr (Int64.add old sv);
+               regs.(Reg.to_int s) <- old
+           | Insn.Fetch_or ->
+               mem_write ~width addr (Int64.logor old sv);
+               regs.(Reg.to_int s) <- old
+           | Insn.Fetch_and ->
+               mem_write ~width addr (Int64.logand old sv);
+               regs.(Reg.to_int s) <- old
+           | Insn.Fetch_xor ->
+               mem_write ~width addr (Int64.logxor old sv);
+               regs.(Reg.to_int s) <- old
+           | Insn.Xchg ->
+               mem_write ~width addr sv;
+               regs.(Reg.to_int s) <- old
+           | Insn.Cmpxchg ->
+               if old = regs.(0) then mem_write ~width addr sv;
+               regs.(0) <- old);
+           incr pc
+       | Insn.Ja off -> pc := !pc + 1 + off
+       | Insn.Jcond (c, a, s, off) ->
+           if eval_cond c regs.(Reg.to_int a) (src_val s) then
+             pc := !pc + 1 + off
+           else incr pc
+       | Insn.Call name -> (
+           stats.helper_calls <- stats.helper_calls + 1;
+           let h =
+             match Hashtbl.find_opt e.helpers name with
+             | Some h -> h
+             | None -> failwith ("Vm.exec: unknown helper " ^ name)
+           in
+           for i = 0 to 4 do
+             call_ctx.args.(i) <- regs.(i + 1)
+           done;
+           match h call_ctx with
+           | H_ret v ->
+               regs.(0) <- v;
+               incr pc
+           | H_stall ->
+               e.cancel_flag := true;
+               raise (Vm_fault Lock_stall))
+       | Insn.Exit -> result := Some (Finished regs.(0)))
+     done
+   with
+  | (Vm_fault _ | Heap.Fault _) as exn ->
+    let reason =
+      match exn with
+      | Vm_fault r -> r
+      | Heap.Fault { reason; _ } ->
+          if reason = "unpopulated heap page" then Page_fault
+          else if reason = "guard zone access" then Guard_zone
+          else Wild_access
+      | _ -> assert false
+    in
+    (* Cancellation: unwind via the static object table of the faulting
+       cancellation point (§3.3). *)
+    let orig_pc = e.kie.Kflex_kie.Instrument.orig_of_new.(!pc) in
+    let table = e.kie.Kflex_kie.Instrument.tables.(orig_pc) in
+    let released = ref [] in
+    List.iter
+      (fun (entry : Kflex_kie.Instrument.obj_entry) ->
+        let v =
+          match entry.Kflex_kie.Instrument.loc with
+          | Kflex_verifier.State.L_reg r -> regs.(Reg.to_int r)
+          | Kflex_verifier.State.L_slot i -> Bytes.get_int64_le stack (i * 8)
+        in
+        if v <> 0L then begin
+          (match Hashtbl.find_opt e.helpers entry.Kflex_kie.Instrument.destructor with
+          | Some d ->
+              for i = 0 to 4 do
+                call_ctx.args.(i) <- 0L
+              done;
+              call_ctx.args.(0) <- v;
+              ignore (d call_ctx)
+          | None -> ());
+          released :=
+            (entry.Kflex_kie.Instrument.klass, entry.Kflex_kie.Instrument.destructor)
+            :: !released
+        end)
+      table;
+    let ret =
+      match e.on_cancel with Some f -> f e.default_ret | None -> e.default_ret
+    in
+    result :=
+      Some
+        (Cancelled
+           {
+             orig_pc;
+             reason;
+             released = List.rev !released;
+             ret;
+             ledger_leaked = Ledger.count ledger;
+           }));
+  match !result with Some o -> o | None -> assert false

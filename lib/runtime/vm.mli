@@ -1,0 +1,114 @@
+(** The KFlex runtime's execution engine (§3, step 3).
+
+    Interprets an instrumented program while enforcing the two runtime
+    halves of extension correctness:
+
+    - {b memory safety}: [Guard] instructions sanitise heap addresses
+      (mask + base, one unit of cost, §4.2); accesses that land in guard
+      zones or on unpopulated pages raise faults;
+    - {b safe termination}: when an invocation exceeds its quantum (or a
+      sibling CPU already cancelled the extension), the next [Checkpoint] —
+      the [*terminate] heap access — faults; the runtime catches the fault,
+      walks the cancellation point's static object table, invokes each
+      destructor on the value found at the recorded register/stack-slot
+      location, and returns the hook's default code (§3.3, §4.3).
+
+    Execution is cost-accounted: every instruction (including each [Guard])
+    costs one unit, and helpers add their declared cost. Benchmarks convert
+    units to time through the kernel cost model. *)
+
+type fault_reason =
+  | Page_fault  (** heap access to an unpopulated page (C2) *)
+  | Guard_zone  (** displacement carried the access past the heap edge *)
+  | Wild_access  (** unguarded address outside every region *)
+  | Quantum_expired  (** watchdog-initiated cancellation at a C1 point *)
+  | Lock_stall  (** spin lock unobtainable within the quantum *)
+  | Ext_cancelled  (** another CPU cancelled this extension (§4.3) *)
+
+type stats = {
+  mutable insns : int;  (** instructions retired, guards included *)
+  mutable guards : int;
+  mutable checkpoints : int;
+  mutable helper_calls : int;
+  mutable helper_cost : int;  (** extra cost units charged by helpers *)
+}
+
+val fresh_stats : unit -> stats
+
+val total_cost : stats -> int
+(** [insns + helper_cost]. *)
+
+type outcome =
+  | Finished of int64
+  | Cancelled of {
+      orig_pc : int;  (** pre-instrumentation pc of the cancellation point *)
+      reason : fault_reason;
+      released : (string * string) list;  (** (class, destructor) per object
+          released by object-table unwinding *)
+      ret : int64;  (** the default (or callback-adjusted) return code *)
+      ledger_leaked : int;  (** objects the static table failed to release —
+          always 0; tests assert this invariant *)
+    }
+
+(** Outcome of a helper call. *)
+type helper_outcome =
+  | H_ret of int64
+  | H_stall  (** cannot make progress (e.g. contended lock): cancel at the
+          call site *)
+
+(** Environment a helper executes in. *)
+type call_ctx = {
+  args : int64 array;  (** r1–r5 *)
+  cpu : int;
+  heap : Heap.t option;
+  alloc : Alloc.t option;
+  ledger : Ledger.t;
+  mem_read : width:int -> int64 -> int64;  (** VM memory (stack/ctx/heap) *)
+  mem_write : width:int -> int64 -> int64 -> unit;
+  charge : int -> unit;  (** add helper cost units *)
+}
+
+type helper = call_ctx -> helper_outcome
+
+val seed_prandom : int64 -> unit
+(** Reset the deterministic PRNG behind [bpf_get_prandom_u32] — benchmarks
+    comparing instrumentation modes of randomised structures (skiplists)
+    need identical shapes across runs. *)
+
+val builtin_helpers : (string * helper) list
+(** Implementations of the KFlex runtime API: [kflex_malloc], [kflex_free],
+    [kflex_spin_lock], [kflex_spin_unlock], [kflex_heap_base],
+    [bpf_get_smp_processor_id], [bpf_ktime_get_ns], [bpf_get_prandom_u32]. *)
+
+type ext
+(** A loaded (instrumented) extension ready to run. *)
+
+val create :
+  ?heap:Heap.t ->
+  ?alloc:Alloc.t ->
+  ?quantum:int ->
+  ?default_ret:int64 ->
+  ?on_cancel:(int64 -> int64) ->
+  helpers:(string * helper) list ->
+  Kflex_kie.Instrument.t ->
+  ext
+(** [quantum] is the watchdog budget in cost units per invocation (default
+    100 million ≈ seconds of real execution, §4.3). [on_cancel] is the §4.3
+    user callback that may rewrite the default return code. [helpers] extend
+    (and may shadow) {!builtin_helpers}. *)
+
+val cancel : ext -> unit
+(** Request cancellation (all CPUs, §4.3): every running or future
+    invocation faults at its next cancellation point. *)
+
+val cancelled : ext -> bool
+
+val reset_cancel : ext -> unit
+(** Re-arm a cancelled extension (tests only; the paper's runtime unloads the
+    extension instead). *)
+
+val kie : ext -> Kflex_kie.Instrument.t
+
+val exec : ext -> ctx:Bytes.t -> ?cpu:int -> ?stats:stats -> unit -> outcome
+(** Run one invocation with the given context block. [stats], when supplied,
+    accumulates across invocations. *)

@@ -1,0 +1,101 @@
+type 'req config = {
+  clients : int;
+  workers : int;
+  rtt_ns : float;
+  requests : int;
+  warmup_frac : float;
+  gen : int -> 'req;
+  service_ns : 'req -> float;
+  gc : (float * float) option;
+}
+
+type result = {
+  throughput_mops : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  completed : int;
+}
+
+type 'req job = { req : 'req; issue : float; idx : int }
+
+let run (cfg : 'req config) =
+  if cfg.clients <= 0 || cfg.workers <= 0 || cfg.requests <= 0 then
+    invalid_arg "Closed_loop.run";
+  let des = Des.create () in
+  let lat = Kflex_workload.Stats.create () in
+  let warmup = int_of_float (cfg.warmup_frac *. float_of_int cfg.requests) in
+  let issued = ref 0 in
+  let completed = ref 0 in
+  let t_first = ref nan and t_last = ref 0.0 in
+  let queue : 'req job Queue.t = Queue.create () in
+  let free = ref cfg.workers in
+  (* per-worker GC deadlines; workers are anonymous, so track the [gc]
+     pauses as a pool-wide token bucket: one pause per worker per period *)
+  let next_gc = Array.make cfg.workers infinity in
+  (match cfg.gc with
+  | Some (period, _) ->
+      Array.iteri (fun i _ -> next_gc.(i) <- period *. (1.0 +. (float_of_int i /. float_of_int cfg.workers))) next_gc
+  | None -> ());
+  let rec issue_next () =
+    if !issued < cfg.requests then begin
+      let idx = !issued in
+      incr issued;
+      let req = cfg.gen idx in
+      let issue = Des.now des in
+      Des.schedule des ~delay:(cfg.rtt_ns /. 2.0) (fun () ->
+          arrival { req; issue; idx })
+    end
+  and arrival job =
+    if !free > 0 then begin
+      decr free;
+      start_service job
+    end
+    else Queue.push job queue
+  and start_service job =
+    (* find a worker owing a GC pause *)
+    let gc_delay =
+      match cfg.gc with
+      | None -> 0.0
+      | Some (period, pause) ->
+          let now = Des.now des in
+          let due = ref (-1) in
+          Array.iteri (fun i t -> if !due < 0 && t <= now then due := i) next_gc;
+          if !due >= 0 then begin
+            next_gc.(!due) <- now +. period;
+            pause
+          end
+          else 0.0
+    in
+    let s = cfg.service_ns job.req in
+    Des.schedule des ~delay:(gc_delay +. s) (fun () -> complete job)
+  and complete job =
+    (* response travels back; worker picks up queued work immediately *)
+    (match Queue.take_opt queue with
+    | Some next -> start_service next
+    | None -> incr free);
+    Des.schedule des ~delay:(cfg.rtt_ns /. 2.0) (fun () ->
+        let now = Des.now des in
+        incr completed;
+        if job.idx >= warmup then begin
+          if Float.is_nan !t_first then t_first := now;
+          t_last := now;
+          Kflex_workload.Stats.add lat ((now -. job.issue) /. 1000.0)
+        end;
+        issue_next ())
+  in
+  for _ = 1 to cfg.clients do
+    Des.schedule des ~delay:0.0 issue_next
+  done;
+  Des.run des;
+  let span_ns = !t_last -. !t_first in
+  let counted = Kflex_workload.Stats.count lat in
+  {
+    throughput_mops =
+      (if span_ns > 0.0 then float_of_int (counted - 1) /. span_ns *. 1000.0
+       else 0.0);
+    mean_us = Kflex_workload.Stats.mean lat;
+    p50_us = Kflex_workload.Stats.percentile lat 0.50;
+    p99_us = Kflex_workload.Stats.percentile lat 0.99;
+    completed = !completed;
+  }

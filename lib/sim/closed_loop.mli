@@ -1,0 +1,35 @@
+(** Closed-loop load generation over the DES (the paper's testbed shape,
+    §5): a fixed population of clients each keeps exactly one request
+    outstanding; the server runs a fixed number of worker threads; requests
+    queue FIFO when all workers are busy.
+
+    The [service_ns] callback is expected to {e actually execute} the
+    request against the system under test (run the extension in the VM, or
+    the native user-space server) and return the modelled service time in
+    ns — so simulated results reflect real per-request work, cache
+    behaviour included.
+
+    [gc] optionally models the co-designed auxiliary slow path of §5.3: per
+    worker, every [period] ns the worker stalls for [pause] ns (the
+    user-space garbage collector contending with the fast path). *)
+
+type 'req config = {
+  clients : int;
+  workers : int;
+  rtt_ns : float;
+  requests : int;  (** total requests to issue *)
+  warmup_frac : float;  (** fraction of early completions discarded (0.1) *)
+  gen : int -> 'req;
+  service_ns : 'req -> float;
+  gc : (float * float) option;  (** (period_ns, pause_ns) *)
+}
+
+type result = {
+  throughput_mops : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  completed : int;
+}
+
+val run : 'req config -> result

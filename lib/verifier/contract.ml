@@ -1,0 +1,98 @@
+type arg =
+  | A_any
+  | A_scalar
+  | A_ctx
+  | A_heap_ptr
+  | A_heap_or_null
+  | A_stack_ptr of int
+  | A_obj of string
+
+type ret =
+  | R_scalar
+  | R_scalar_range of int64 * int64
+  | R_heap_ptr_or_null
+  | R_heap_base
+  | R_obj_or_null of string
+  | R_obj of string
+  | R_unit
+
+type effect_kind = E_pure | E_acquire | E_release of int
+
+type t = {
+  name : string;
+  args : arg list;
+  ret : ret;
+  eff : effect_kind;
+  destructor : string option;
+  sleepable : bool;
+}
+
+let make ?(eff = E_pure) ?destructor ?(sleepable = false) ~name ~args ~ret () =
+  { name; args; ret; eff; destructor; sleepable }
+
+type registry = (string, t) Hashtbl.t
+
+let registry contracts =
+  let h = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      if List.length c.args > 5 then
+        invalid_arg (Printf.sprintf "Contract.registry: %s has arity > 5" c.name);
+      if Hashtbl.mem h c.name then
+        invalid_arg (Printf.sprintf "Contract.registry: duplicate %s" c.name);
+      Hashtbl.replace h c.name c)
+    contracts;
+  h
+
+let find reg name = Hashtbl.find_opt reg name
+
+let names reg =
+  Hashtbl.fold (fun k _ acc -> k :: acc) reg [] |> List.sort String.compare
+
+let kflex_base =
+  [
+    (* KFlex runtime API (Table 2 of the paper). *)
+    make ~name:"kflex_malloc" ~args:[ A_scalar ] ~ret:R_heap_ptr_or_null ();
+    make ~name:"kflex_heap_base" ~args:[] ~ret:R_heap_base ();
+    make ~name:"kflex_free" ~args:[ A_heap_or_null ] ~ret:R_unit ();
+    make ~name:"kflex_spin_lock" ~args:[ A_heap_ptr ] ~ret:(R_obj "kflex_lock")
+      ~eff:E_acquire ~destructor:"kflex_spin_unlock" ();
+    make ~name:"kflex_spin_unlock" ~args:[ A_obj "kflex_lock" ] ~ret:R_unit
+      ~eff:(E_release 0) ();
+    (* Kernel interface helpers used by the paper's extensions. *)
+    make ~name:"bpf_sk_lookup_udp"
+      ~args:[ A_ctx; A_stack_ptr 16; A_scalar; A_scalar; A_scalar ]
+      ~ret:(R_obj_or_null "sock") ~eff:E_acquire ~destructor:"bpf_sk_release" ();
+    make ~name:"bpf_sk_lookup_tcp"
+      ~args:[ A_ctx; A_stack_ptr 16; A_scalar; A_scalar; A_scalar ]
+      ~ret:(R_obj_or_null "sock") ~eff:E_acquire ~destructor:"bpf_sk_release" ();
+    make ~name:"bpf_sk_release" ~args:[ A_obj "sock" ] ~ret:R_unit
+      ~eff:(E_release 0) ();
+    make ~name:"bpf_ktime_get_ns" ~args:[] ~ret:R_scalar ();
+    make ~name:"bpf_get_prandom_u32" ~args:[]
+      ~ret:(R_scalar_range (0L, 0xffff_ffffL)) ();
+    make ~name:"bpf_get_smp_processor_id" ~args:[]
+      ~ret:(R_scalar_range (0L, 1023L)) ();
+    (* Packet accessors: bounds-checked by the kernel side, aborting the
+       program on out-of-range offsets like legacy BPF_LD_ABS. *)
+    make ~name:"pkt_len" ~args:[ A_ctx ] ~ret:(R_scalar_range (0L, 65535L)) ();
+    make ~name:"pkt_read_u8" ~args:[ A_ctx; A_scalar ]
+      ~ret:(R_scalar_range (0L, 0xffL)) ();
+    make ~name:"pkt_read_u16" ~args:[ A_ctx; A_scalar ]
+      ~ret:(R_scalar_range (0L, 0xffffL)) ();
+    make ~name:"pkt_read_u32" ~args:[ A_ctx; A_scalar ]
+      ~ret:(R_scalar_range (0L, 0xffff_ffffL)) ();
+    make ~name:"pkt_read_u64" ~args:[ A_ctx; A_scalar ] ~ret:R_scalar ();
+    make ~name:"pkt_write_u8" ~args:[ A_ctx; A_scalar; A_scalar ] ~ret:R_unit ();
+    make ~name:"pkt_write_u16" ~args:[ A_ctx; A_scalar; A_scalar ] ~ret:R_unit ();
+    make ~name:"pkt_write_u32" ~args:[ A_ctx; A_scalar; A_scalar ] ~ret:R_unit ();
+    make ~name:"pkt_write_u64" ~args:[ A_ctx; A_scalar; A_scalar ] ~ret:R_unit ();
+    (* eBPF map helpers (copy-through-stack variants; used by the BMC
+       baseline, which runs without a KFlex heap). *)
+    make ~name:"bpf_map_lookup" ~args:[ A_scalar; A_stack_ptr 8; A_stack_ptr 8 ]
+      ~ret:(R_scalar_range (0L, 1L)) ();
+    make ~name:"bpf_map_update" ~args:[ A_scalar; A_stack_ptr 8; A_stack_ptr 8 ]
+      ~ret:(R_scalar_range (0L, 1L)) ();
+    make ~name:"bpf_map_delete" ~args:[ A_scalar; A_stack_ptr 8 ]
+      ~ret:(R_scalar_range (0L, 1L)) ();
+  ]

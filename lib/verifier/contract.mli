@@ -1,0 +1,75 @@
+(** Kernel helper contracts.
+
+    The kernel-extension interface consists of helper functions with
+    well-defined semantics (§3.3): the verifier checks every call against the
+    helper's declared argument types and models its effect — in particular
+    which helpers {e acquire} kernel resources (returning an object that must
+    later be released) and which {e release} them. This is the information
+    from which object tables for extension cancellation are derived. *)
+
+(** Expected shape of an argument (helper args arrive in r1–r5). *)
+type arg =
+  | A_any  (** no constraint (still must be initialised) *)
+  | A_scalar  (** a non-pointer value *)
+  | A_ctx  (** the hook context pointer *)
+  | A_heap_ptr  (** a (possibly unchecked) extension-heap pointer *)
+  | A_heap_or_null  (** heap pointer, null permitted *)
+  | A_stack_ptr of int  (** pointer to at least [n] valid stack bytes *)
+  | A_obj of string  (** a held, non-null object of this class *)
+
+(** Effect of the return value on the abstract state. *)
+type ret =
+  | R_scalar  (** an unconstrained scalar *)
+  | R_scalar_range of int64 * int64  (** scalar within unsigned bounds *)
+  | R_heap_ptr_or_null  (** e.g. [kflex_malloc]; when the first argument is a
+      size whose maximum [m] is known, the verifier gives the result an
+      offset range of [0 .. heap_size - m], making subsequent field accesses
+      guard-elidable *)
+  | R_heap_base  (** a non-null pointer to heap offset 0 (e.g.
+      [kflex_heap_base], used to address globals) *)
+  | R_obj_or_null of string  (** acquires an object of this class, or null *)
+  | R_obj of string  (** acquires an object, never null (e.g. a lock handle) *)
+  | R_unit  (** r0 is set to 0 *)
+
+type effect_kind =
+  | E_pure
+  | E_acquire  (** return value is an acquired resource *)
+  | E_release of int  (** releases the object passed as argument index [i] *)
+
+type t = {
+  name : string;
+  args : arg list;  (** at most five *)
+  ret : ret;
+  eff : effect_kind;
+  destructor : string option;
+      (** for acquiring helpers: the helper the runtime must call to release
+          the object on cancellation (e.g. [bpf_sk_release]). *)
+  sleepable : bool;  (** whether the helper may block (disallowed in
+          non-sleepable hooks). *)
+}
+
+val make :
+  ?eff:effect_kind ->
+  ?destructor:string ->
+  ?sleepable:bool ->
+  name:string ->
+  args:arg list ->
+  ret:ret ->
+  unit ->
+  t
+
+type registry
+
+val registry : t list -> registry
+(** @raise Invalid_argument on duplicate helper names or arity > 5. *)
+
+val find : registry -> string -> t option
+
+val names : registry -> string list
+
+val kflex_base : t list
+(** Contracts for the KFlex runtime API of Table 2 ([kflex_malloc],
+    [kflex_free], [kflex_spin_lock], [kflex_spin_unlock]) plus the
+    [kernel]-side helpers used throughout the paper's examples
+    ([bpf_sk_lookup_udp], [bpf_sk_release], map and packet accessors,
+    [bpf_ktime_get_ns], [bpf_get_prandom_u32]). *)

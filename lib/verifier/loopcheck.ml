@@ -1,0 +1,94 @@
+open Kflex_bpf
+
+type verdict = Bounded | Unbounded
+
+let loop_pcs cfg (l : Cfg.loop) =
+  let blocks = Cfg.blocks cfg in
+  List.concat_map
+    (fun bid ->
+      let b = blocks.(bid) in
+      List.init (b.Cfg.last - b.Cfg.first + 1) (fun i -> b.Cfg.first + i))
+    l.Cfg.body
+
+(* Registers written by an instruction (conservatively). *)
+let written = function
+  | Insn.Alu (_, d, _) | Insn.Neg d | Insn.Mov (d, _) | Insn.Ldx (_, d, _, _) ->
+      [ d ]
+  | Insn.Atomic (op, _, _, _, s) -> (
+      match op with
+      | Insn.Fetch_add | Insn.Fetch_or | Insn.Fetch_and | Insn.Fetch_xor
+      | Insn.Xchg ->
+          [ s ]
+      | Insn.Cmpxchg -> [ Reg.R0 ]
+      | _ -> [])
+  | Insn.Call _ -> Reg.caller_saved
+  | Insn.Guard (_, r) -> [ r ]
+  | _ -> []
+
+(* The unique [r += k] / [r -= k] step for [r] in the loop, if [r] is written
+   exactly once and only by such an instruction. *)
+let step_of prog pcs r =
+  let steps = ref [] in
+  let other_writes = ref false in
+  List.iter
+    (fun pc ->
+      let insn = Prog.get prog pc in
+      match insn with
+      | Insn.Alu (Insn.Add, d, Insn.Imm k) when Reg.equal d r ->
+          steps := k :: !steps
+      | Insn.Alu (Insn.Sub, d, Insn.Imm k) when Reg.equal d r ->
+          steps := Int64.neg k :: !steps
+      | _ -> if List.exists (Reg.equal r) (written insn) then other_writes := true)
+    pcs;
+  match (!steps, !other_writes) with [ k ], false -> Some k | _ -> None
+
+(* Whether staying in the loop under [cond r, c] with step [k] per iteration
+   must eventually fail. The stay condition holds on the in-loop edge. *)
+let progresses (stay : Insn.cond) (c : int64) (k : int64) =
+  let pos = k > 0L and neg = k < 0L in
+  match stay with
+  | Insn.Lt | Insn.Le ->
+      (* unsigned upward progress; forbid wrap-past-bound *)
+      pos && Int64.unsigned_compare c (Int64.sub (-1L) k) <= 0
+  | Insn.Slt | Insn.Sle -> pos && c <= Int64.sub Int64.max_int k
+  | Insn.Gt | Insn.Ge -> neg && Int64.unsigned_compare c (Int64.neg k) >= 0
+  | Insn.Sgt | Insn.Sge -> neg && c >= Int64.sub Int64.min_int k
+  | _ -> false
+
+let classify prog cfg (l : Cfg.loop) =
+  let pcs = loop_pcs cfg l in
+  let in_loop bid = List.mem bid l.Cfg.body in
+  let blocks = Cfg.blocks cfg in
+  let bounded_exit pc =
+    match Prog.get prog pc with
+    | Insn.Jcond (cond, r, Insn.Imm c, off) -> (
+        let taken = pc + 1 + off and fall = pc + 1 in
+        let taken_in = in_loop (Cfg.block_of_pc cfg taken).Cfg.id in
+        let fall_in =
+          fall < Prog.length prog && in_loop (Cfg.block_of_pc cfg fall).Cfg.id
+        in
+        match (taken_in, fall_in) with
+        | true, false ->
+            (* stay condition = cond *)
+            (match step_of prog pcs r with
+            | Some k -> progresses cond c k
+            | None -> false)
+        | false, true ->
+            (* stay condition = not cond *)
+            (match step_of prog pcs r with
+            | Some k -> progresses (Range.negate_cond cond) c k
+            | None -> false)
+        | _ -> false)
+    | _ -> false
+  in
+  let found = ref false in
+  List.iter
+    (fun bid ->
+      let b = blocks.(bid) in
+      (* exit branches sit at block terminators *)
+      if (not !found) && bounded_exit b.Cfg.last then found := true)
+    l.Cfg.body;
+  if !found then Bounded else Unbounded
+
+let unbounded_loops prog cfg =
+  List.filter (fun l -> classify prog cfg l = Unbounded) (Cfg.loops cfg)

@@ -1,0 +1,20 @@
+(** Loop termination analysis.
+
+    Classifies each natural loop as {e bounded} (termination statically
+    guaranteed) or {e unbounded}. Bounded loops need no instrumentation;
+    unbounded loops are rejected outright by plain eBPF and instrumented with
+    C1 cancellation points by KFlex (§3.3).
+
+    A loop is proven bounded when it has an exit branch comparing an
+    induction register against a constant, the register is updated by exactly
+    one constant-step add/subtract inside the loop, nothing else in the loop
+    writes it (helper calls clobber r0–r5), and the step direction makes the
+    stay-in-loop condition eventually false without wrap-around. This mirrors
+    the spirit of the eBPF verifier's bounded-loop support. *)
+
+type verdict = Bounded | Unbounded
+
+val classify : Kflex_bpf.Prog.t -> Kflex_bpf.Cfg.t -> Kflex_bpf.Cfg.loop -> verdict
+
+val unbounded_loops : Kflex_bpf.Prog.t -> Kflex_bpf.Cfg.t -> Kflex_bpf.Cfg.loop list
+(** The loops of the program that cannot be proven bounded. *)

@@ -1,0 +1,67 @@
+(** Value ranges for 64-bit registers.
+
+    A simplified version of the eBPF verifier's scalar bounds tracking: each
+    value carries simultaneous unsigned ([umin]/[umax]) and signed
+    ([smin]/[smax]) interval bounds, kept mutually consistent. This is the
+    analysis Kie queries to elide SFI guards: a heap pointer whose offset
+    range provably lies within the heap needs no runtime sanitisation
+    (§3.2, §5.4 of the paper). *)
+
+type t = private { umin : int64; umax : int64; smin : int64; smax : int64 }
+
+val top : t
+(** The unconstrained 64-bit value. *)
+
+val const : int64 -> t
+(** A singleton range. *)
+
+val make : ?umin:int64 -> ?umax:int64 -> ?smin:int64 -> ?smax:int64 -> unit -> t
+(** A range with the given bounds (missing bounds unconstrained), with
+    signed/unsigned consistency deduced. Empty inputs collapse to the
+    nearest consistent non-empty range; use {!refine} for emptiness-aware
+    intersection. *)
+
+val unsigned : int64 -> int64 -> t
+(** [unsigned lo hi] is the range of unsigned values in [lo..hi]. *)
+
+val is_const : t -> int64 option
+
+val equal : t -> t -> bool
+
+val join : t -> t -> t
+(** Interval union (least upper bound). *)
+
+val subset : t -> t -> bool
+(** [subset a b]: every value admitted by [a] is admitted by [b]. *)
+
+val fits_unsigned : t -> lo:int64 -> hi:int64 -> bool
+(** Whether all values in the range lie within [lo..hi] as unsigned
+    integers — the guard-elision query. *)
+
+(** Abstract transfer functions, mirroring eBPF ALU semantics (64-bit;
+    unsigned division and modulo; division by zero yields 0). All are sound
+    over-approximations, exact when both operands are singletons. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val rem : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val shl : t -> t -> t
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+val neg : t -> t
+
+val refine :
+  Kflex_bpf.Insn.cond -> t -> t -> (t * t) option
+(** [refine c x y] narrows the ranges of both operands assuming
+    [x c y] holds; [None] when the assumption is contradictory (the branch
+    is dead). Use with the negated condition for the fall-through edge. *)
+
+val negate_cond : Kflex_bpf.Insn.cond -> Kflex_bpf.Insn.cond
+(** The condition that holds exactly when the argument does not. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,199 @@
+open Kflex_bpf
+
+type slot = S_empty | S_misc | S_spill of Value.t
+
+type resource = { id : int; klass : string; destructor : string }
+
+type t = {
+  regs : Value.t array;
+  stack : slot array;
+  res : resource list;
+  origin : int array;
+}
+
+let nslots = Prog.stack_size / 8
+
+let init ~ctx_nullable =
+  let regs = Array.make 11 Value.Uninit in
+  regs.(1) <-
+    Value.Ptr { kind = Value.Ctx; off = Range.const 0L; nullable = ctx_nullable };
+  regs.(10) <- Value.Ptr { kind = Value.Stack; off = Range.const 0L; nullable = false };
+  {
+    regs;
+    stack = Array.make nslots S_empty;
+    res = [];
+    origin = Array.make 11 (-1);
+  }
+
+let get st r = st.regs.(Reg.to_int r)
+
+let set st r v =
+  let regs = Array.copy st.regs in
+  let origin = Array.copy st.origin in
+  regs.(Reg.to_int r) <- v;
+  origin.(Reg.to_int r) <- -1;
+  { st with regs; origin }
+
+let set_from_slot st r v slot =
+  let regs = Array.copy st.regs in
+  let origin = Array.copy st.origin in
+  regs.(Reg.to_int r) <- v;
+  origin.(Reg.to_int r) <- slot;
+  { st with regs; origin }
+
+let refine_mirrored st r v =
+  let regs = Array.copy st.regs in
+  regs.(Reg.to_int r) <- v;
+  let slot = st.origin.(Reg.to_int r) in
+  let stack =
+    if slot >= 0 then begin
+      let stack = Array.copy st.stack in
+      (match stack.(slot) with
+      | S_spill _ -> stack.(slot) <- S_spill v
+      | _ -> ());
+      stack
+    end
+    else st.stack
+  in
+  { st with regs; stack }
+
+let write_slot st slot s =
+  let stack = Array.copy st.stack in
+  stack.(slot) <- s;
+  let origin = Array.copy st.origin in
+  Array.iteri (fun i o -> if o = slot then origin.(i) <- -1) origin;
+  { st with stack; origin }
+
+let slot_equal a b =
+  match (a, b) with
+  | S_empty, S_empty | S_misc, S_misc -> true
+  | S_spill x, S_spill y -> Value.equal x y
+  | _ -> false
+
+let res_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (x : resource) y -> x.id = y.id && x.klass = y.klass) a b
+
+let equal a b =
+  Array.for_all2 Value.equal a.regs b.regs
+  && Array.for_all2 slot_equal a.stack b.stack
+  && res_equal a.res b.res
+  && a.origin = b.origin
+
+let slot_join a b =
+  match (a, b) with
+  | S_empty, _ | _, S_empty -> S_empty
+  | S_misc, S_misc -> S_misc
+  | S_spill x, S_spill y -> (
+      match Value.join x y with
+      | Value.Uninit -> S_empty
+      | v -> S_spill v)
+  | S_misc, S_spill v | S_spill v, S_misc -> (
+      (* scalar bytes meet a spilled value: survives only as untrusted data *)
+      match v with
+      | Value.Scalar _ | Value.Unknown -> S_misc
+      | _ -> S_empty)
+
+let join a b =
+  if not (res_equal a.res b.res) then
+    Error
+      (Format.asprintf "resource sets differ at join: {%s} vs {%s}"
+         (String.concat "," (List.map (fun r -> r.klass) a.res))
+         (String.concat "," (List.map (fun r -> r.klass) b.res)))
+  else
+    Ok
+      {
+        regs = Array.map2 Value.join a.regs b.regs;
+        stack = Array.map2 slot_join a.stack b.stack;
+        res = a.res;
+        origin = Array.init 11 (fun i -> if a.origin.(i) = b.origin.(i) then a.origin.(i) else -1);
+      }
+
+let widen_value ~prev v =
+  match (prev, v) with
+  | Value.Scalar p, Value.Scalar n when not (Range.equal p n) ->
+      Value.Scalar Range.top
+  | Value.Ptr p, Value.Ptr n when p.kind = n.kind && not (Range.equal p.off n.off)
+    ->
+      Value.Ptr { n with off = Range.top }
+  | _ -> v
+
+let widen ~prev st =
+  let regs =
+    Array.mapi (fun i v -> widen_value ~prev:prev.regs.(i) v) st.regs
+  in
+  let stack =
+    Array.mapi
+      (fun i s ->
+        match (prev.stack.(i), s) with
+        | S_spill p, S_spill n -> S_spill (widen_value ~prev:p n)
+        | _ -> s)
+      st.stack
+  in
+  { st with regs; stack }
+
+let add_res st r =
+  { st with res = List.sort (fun a b -> Int.compare a.id b.id) (r :: st.res) }
+
+let remove_res st id = { st with res = List.filter (fun r -> r.id <> id) st.res }
+let has_res st id = List.exists (fun r -> r.id = id) st.res
+
+type loc = L_reg of Reg.t | L_slot of int
+
+let find_obj st id =
+  let found = ref None in
+  Array.iteri
+    (fun i v ->
+      if !found = None && Value.obj_id v = Some id then
+        found := Some (L_reg (Reg.of_int i)))
+    st.regs;
+  if !found = None then
+    Array.iteri
+      (fun i s ->
+        match s with
+        | S_spill v when !found = None && Value.obj_id v = Some id ->
+            found := Some (L_slot i)
+        | _ -> ())
+      st.stack;
+  !found
+
+let leaked st = List.filter (fun r -> find_obj st r.id = None) st.res
+
+let substitute_obj st ~id v =
+  let subst w = if Value.obj_id w = Some id then v else w in
+  let regs = Array.map subst st.regs in
+  let stack =
+    Array.map
+      (function
+        | S_spill w when Value.obj_id w = Some id -> (
+            match v with Value.Uninit -> S_empty | v -> S_spill v)
+        | s -> s)
+      st.stack
+  in
+  { st with regs; stack }
+
+let set_nonnull_obj st ~id =
+  let subst = function
+    | Value.Obj o when o.id = id -> Value.Obj { o with nullable = false }
+    | v -> v
+  in
+  let regs = Array.map subst st.regs in
+  let stack =
+    Array.map
+      (function S_spill w -> S_spill (subst w) | s -> s)
+      st.stack
+  in
+  { st with regs; stack }
+
+let pp ppf st =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i v ->
+      if not (Value.equal v Value.Uninit) then
+        Format.fprintf ppf "r%d=%a " i Value.pp v)
+    st.regs;
+  if st.res <> [] then
+    Format.fprintf ppf "held:{%s}"
+      (String.concat ","
+         (List.map (fun r -> Printf.sprintf "%s#%d" r.klass r.id) st.res));
+  Format.fprintf ppf "@]"

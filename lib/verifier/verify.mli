@@ -1,0 +1,86 @@
+(** The KFlex verifier.
+
+    Checks {e kernel-interface compliance} by abstract interpretation over
+    the program CFG — the role the eBPF verifier plays in KFlex's design
+    (§3). It enforces:
+
+    - no use of uninitialised registers or stack;
+    - context accesses within bounds, context read-only;
+    - stack accesses within the 512-byte frame at known offsets;
+    - helper calls matching their {!Contract.t} (argument shapes, arity);
+    - reference discipline: every acquired kernel object is released on all
+      paths, never leaked to extension memory, and loops converge for kernel
+      resources — anything acquired in an iteration is released within it
+      (§3.1);
+    - in [Ebpf] mode: no extension heap and no unbounded loops (this is what
+      restricts plain eBPF's flexibility, §2.2);
+    - in [Kflex] mode: heap accesses are permitted unconditionally — memory
+      safety for them is delegated to the SFI runtime — and unbounded loops
+      are permitted and reported for C1 instrumentation.
+
+    Alongside the safety verdict, verification produces the {!analysis} that
+    Kie consumes: the classification of every heap access as guard-elidable
+    or not (range analysis, §3.2/§5.4), the unbounded loops, and the held
+    kernel resources at every instruction (object tables, §3.3). *)
+
+type mode = Ebpf | Kflex
+
+type error_kind =
+  | E_uninit
+  | E_bounds
+  | E_type
+  | E_helper
+  | E_leak
+  | E_loop
+  | E_resource
+
+type error = { pc : int option; kind : error_kind; msg : string }
+
+type heap_access = {
+  pc : int;
+  is_store : bool;  (** stores and atomics need write guards *)
+  is_atomic : bool;
+  width : int;
+  addr_reg : Kflex_bpf.Reg.t;
+  elidable : bool;
+      (** the verifier proved the unsanitised address already lies within the
+          heap: a non-null heap pointer whose effective offset range fits
+          [0 .. heap_size - width] *)
+  formation : bool;
+      (** the address is an untrusted word (loaded from the heap or a raw
+          scalar) rather than a manipulated heap pointer — its guard {e
+          forms} a heap pointer and can never be elided. Table 3 of the
+          paper excludes these from the elision statistics. *)
+  stored_ptr : bool;
+      (** (stores only) the stored value is statically a heap pointer; with
+          a shared heap Kie rewrites the store to translate-on-store
+          ({!Kflex_bpf.Insn.Xstore}, §3.4). *)
+}
+
+type res_entry = {
+  res : State.resource;
+  loc : State.loc;  (** where the object lives at this point, on all paths *)
+}
+
+type analysis = {
+  prog : Kflex_bpf.Prog.t;
+  cfg : Kflex_bpf.Cfg.t;
+  heap_accesses : heap_access list;  (** in increasing pc order *)
+  unbounded : Kflex_bpf.Cfg.loop list;
+  res_at : res_entry list array;  (** held resources before each pc *)
+  stack_used : int;  (** bytes of stack frame touched *)
+  insn_count : int;
+}
+
+val run :
+  mode:mode ->
+  contracts:Contract.registry ->
+  ctx_size:int ->
+  ?heap_size:int64 ->
+  ?sleepable:bool ->
+  Kflex_bpf.Prog.t ->
+  (analysis, error) result
+(** Verify a program. [heap_size] must be a power of two when given; omitting
+    it (or running in [Ebpf] mode) makes any heap access an error. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,13 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All workload generation is seeded so experiment runs are reproducible. *)
+
+type t
+
+val create : seed:int64 -> t
+val next : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, n). *)

@@ -1,0 +1,48 @@
+type t = {
+  mutable data : float array;
+  mutable n : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = Array.make 1024 0.0; n = 0; sorted = true }
+
+let add t v =
+  if t.n = Array.length t.data then begin
+    let bigger = Array.make (2 * t.n) 0.0 in
+    Array.blit t.data 0 bigger 0 t.n;
+    t.data <- bigger
+  end;
+  t.data.(t.n) <- v;
+  t.n <- t.n + 1;
+  t.sorted <- false
+
+let count t = t.n
+
+let mean t =
+  if t.n = 0 then 0.0
+  else begin
+    let s = ref 0.0 in
+    for i = 0 to t.n - 1 do
+      s := !s +. t.data.(i)
+    done;
+    !s /. float_of_int t.n
+  end
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let sub = Array.sub t.data 0 t.n in
+    Array.sort Float.compare sub;
+    Array.blit sub 0 t.data 0 t.n;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    let idx = int_of_float (ceil (p *. float_of_int t.n)) - 1 in
+    t.data.(Stdlib.max 0 (Stdlib.min (t.n - 1) idx))
+  end
+
+let min t = if t.n = 0 then 0.0 else (ensure_sorted t; t.data.(0))
+let max t = if t.n = 0 then 0.0 else (ensure_sorted t; t.data.(t.n - 1))

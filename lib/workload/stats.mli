@@ -1,0 +1,14 @@
+(** Latency/throughput recording for benchmarks. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val percentile : t -> float -> float
+(** [percentile t 0.99] — nearest-rank on the sorted samples. 0 when
+    empty. *)
+
+val min : t -> float
+val max : t -> float

@@ -1,0 +1,28 @@
+type t = { cdf : float array; pmf : float array }
+
+let create ?(s = 0.99) ~n () =
+  if n <= 0 then invalid_arg "Zipf.create";
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let pmf = Array.map (fun x -> x /. total) w in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    pmf;
+  cdf.(n - 1) <- 1.0;
+  { cdf; pmf }
+
+let sample t rng =
+  let u = Rng.float rng in
+  (* first index with cdf >= u *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let pmf t i = t.pmf.(i)

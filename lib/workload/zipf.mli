@@ -1,0 +1,16 @@
+(** Zipfian key popularity.
+
+    The paper's clients generate requests with a Zipfian access pattern at
+    s = 0.99 (§5, Testbed) — the standard YCSB skew. Sampling uses a
+    precomputed CDF with binary search. *)
+
+type t
+
+val create : ?s:float -> n:int -> unit -> t
+(** Distribution over ranks [0, n). [s] defaults to 0.99. *)
+
+val sample : t -> Rng.t -> int
+(** A rank in [0, n); rank 0 is the most popular. *)
+
+val pmf : t -> int -> float
+(** Probability of a rank (tests). *)

@@ -1,0 +1,399 @@
+(* Application tests: differential testing of the offloaded data structures
+   against native models, Memcached (KFlex/BMC/user), Redis incl. ZADD, and
+   the co-designed shared-heap GC. *)
+
+module D = Kflex_apps.Datastructs
+module M = Kflex_apps.Memcached
+module R = Kflex_apps.Redis
+
+let kv_kinds = [ D.Hashmap; D.Linked_list; D.Rbtree; D.Skiplist ]
+
+let differential kind mode () =
+  let inst = D.create ~mode kind in
+  let model = Hashtbl.create 64 in
+  let rng = Kflex_workload.Rng.create ~seed:17L in
+  let errors = ref 0 in
+  for _ = 1 to 800 do
+    let key = Int64.of_int (Kflex_workload.Rng.int rng 120) in
+    match Kflex_workload.Rng.int rng 3 with
+    | 0 ->
+        let v = Int64.logand (Kflex_workload.Rng.next rng) 0xffffffL in
+        let r, _ = D.update inst ~key ~value:v in
+        if r <> 1L then incr errors;
+        Hashtbl.replace model key v
+    | 1 ->
+        let r, _ = D.lookup inst ~key in
+        let e = Option.value ~default:0L (Hashtbl.find_opt model key) in
+        if r <> e then incr errors
+    | _ ->
+        let r, _ = D.delete inst ~key in
+        if kind <> D.Linked_list then begin
+          let e = if Hashtbl.mem model key then 1L else 0L in
+          if r <> e then incr errors
+        end
+        else begin
+          let rec drain () =
+            let r, _ = D.delete inst ~key in
+            if r = 1L then drain ()
+          in
+          drain ()
+        end;
+        Hashtbl.remove model key
+  done;
+  Hashtbl.iter
+    (fun k v ->
+      let r, _ = D.lookup inst ~key:k in
+      if r <> v then incr errors)
+    model;
+  Alcotest.(check int) (D.name kind ^ " mismatches") 0 !errors
+
+let t_rbtree_sorted_property () =
+  (* after many inserts/deletes the tree answers exactly like a map; keys
+     hit a narrow range to force rotations and fixups *)
+  let inst = D.create D.Rbtree in
+  let rng = Kflex_workload.Rng.create ~seed:23L in
+  let model = Hashtbl.create 64 in
+  for i = 0 to 2000 do
+    let key = Int64.of_int (Kflex_workload.Rng.int rng 50) in
+    if i mod 3 = 2 then begin
+      ignore (D.delete inst ~key);
+      Hashtbl.remove model key
+    end
+    else begin
+      ignore (D.update inst ~key ~value:(Int64.of_int i));
+      Hashtbl.replace model key (Int64.of_int i)
+    end
+  done;
+  for k = 0 to 49 do
+    let key = Int64.of_int k in
+    let r, _ = D.lookup inst ~key in
+    let e = Option.value ~default:0L (Hashtbl.find_opt model key) in
+    Alcotest.(check int64) (Printf.sprintf "key %d" k) e r
+  done
+
+let t_sketch_accuracy () =
+  (* count-min overestimates but never underestimates *)
+  let cm = D.create D.Countmin in
+  let truth = Hashtbl.create 32 in
+  let rng = Kflex_workload.Rng.create ~seed:31L in
+  for _ = 1 to 2000 do
+    let k = Int64.of_int (Kflex_workload.Rng.int rng 64) in
+    let v = Int64.of_int (1 + Kflex_workload.Rng.int rng 5) in
+    ignore (D.update cm ~key:k ~value:v);
+    Hashtbl.replace truth k
+      (Int64.add v (Option.value ~default:0L (Hashtbl.find_opt truth k)))
+  done;
+  Hashtbl.iter
+    (fun k v ->
+      let est, _ = D.lookup cm ~key:k in
+      Alcotest.(check bool)
+        (Printf.sprintf "cm key %Ld overestimates" k)
+        true
+        (Int64.compare est v >= 0))
+    truth
+
+let t_countsketch_unbiasedish () =
+  let cs = D.create D.Countsketch in
+  for i = 0 to 63 do
+    ignore (D.update cs ~key:(Int64.of_int i) ~value:100L)
+  done;
+  (* per-key estimates should be near 100 (within the sketch error) *)
+  let bad = ref 0 in
+  for i = 0 to 63 do
+    let est, _ = D.lookup cs ~key:(Int64.of_int i) in
+    if Int64.abs (Int64.sub est 100L) > 50L then incr bad
+  done;
+  Alcotest.(check bool) "most estimates near truth" true (!bad <= 3)
+
+let t_kflex_modes_agree () =
+  (* kmod / perf / kflex run the same logic: results must be identical *)
+  List.iter
+    (fun kind ->
+      let a = D.create ~mode:D.M_kmod kind in
+      let b = D.create ~mode:D.M_perf kind in
+      let c = D.create ~mode:D.M_kflex kind in
+      let rng = Kflex_workload.Rng.create ~seed:37L in
+      for _ = 1 to 300 do
+        let key = Int64.of_int (Kflex_workload.Rng.int rng 60) in
+        let op = Kflex_workload.Rng.int rng 3 in
+        let v = Int64.of_int (Kflex_workload.Rng.int rng 1000) in
+        let r1, _ = D.exec_op a ~op ~key ~value:v in
+        let r2, _ = D.exec_op b ~op ~key ~value:v in
+        let r3, _ = D.exec_op c ~op ~key ~value:v in
+        Alcotest.(check int64) "kmod=perf" r1 r2;
+        Alcotest.(check int64) "kmod=kflex" r1 r3
+      done)
+    [ D.Hashmap; D.Rbtree ]
+
+let t_instrumentation_overhead_ordering () =
+  (* cost: kmod <= perf <= kflex, and the gap is small (§5.2) *)
+  let cost mode =
+    let inst = D.create ~mode D.Hashmap in
+    for i = 0 to 999 do
+      ignore (D.update inst ~key:(Int64.of_int i) ~value:1L)
+    done;
+    let total = ref 0 in
+    for i = 0 to 999 do
+      let _, c = D.lookup inst ~key:(Int64.of_int i) in
+      total := !total + c
+    done;
+    float_of_int !total
+  in
+  let kmod = cost D.M_kmod and perf = cost D.M_perf and kflex = cost D.M_kflex in
+  Alcotest.(check bool) "kmod <= perf" true (kmod <= perf);
+  Alcotest.(check bool) "perf <= kflex" true (perf <= kflex);
+  Alcotest.(check bool) "overhead < 60%" true (kflex /. kmod < 1.6)
+
+(* --- Memcached -------------------------------------------------------------- *)
+
+let t_memcached_kflex () =
+  let t = M.create_kflex () in
+  (* GET before SET misses *)
+  let p = M.op_packet ~op:M.Get ~rank:5 in
+  let ret, _ = M.exec_kflex t p in
+  Alcotest.(check int64) "tx" 3L ret;
+  Alcotest.(check int64) "miss flag" 0L (Kflex_kernel.Packet.read p ~width:1 65);
+  (* SET then GET returns the value *)
+  ignore (M.exec_kflex t (M.op_packet ~op:M.Set ~rank:5));
+  let p = M.op_packet ~op:M.Get ~rank:5 in
+  ignore (M.exec_kflex t p);
+  Alcotest.(check int64) "hit flag" 1L (Kflex_kernel.Packet.read p ~width:1 65);
+  let vw = M.value_words 5 in
+  Alcotest.(check int64) "value word 0" vw.(0)
+    (Kflex_kernel.Packet.read p ~width:8 33);
+  Alcotest.(check int64) "value word 3" vw.(3)
+    (Kflex_kernel.Packet.read p ~width:8 57)
+
+let t_memcached_overwrite () =
+  let t = M.create_kflex () in
+  ignore (M.exec_kflex t (M.op_packet ~op:M.Set ~rank:9));
+  ignore (M.exec_kflex t (M.op_packet ~op:M.Set ~rank:9));
+  (* still exactly one entry for the key: a GET hits and allocator holds 1 *)
+  let p = M.op_packet ~op:M.Get ~rank:9 in
+  ignore (M.exec_kflex t p);
+  Alcotest.(check int64) "hit" 1L (Kflex_kernel.Packet.read p ~width:1 65);
+  match t.M.loaded.Kflex.alloc with
+  | Some a -> Alcotest.(check int) "one block" 1 (Kflex_runtime.Alloc.live_blocks a)
+  | None -> Alcotest.fail "allocator missing"
+
+let t_bmc_protocol () =
+  let t = M.create_bmc () in
+  (match M.exec_bmc t ~op:M.Get ~rank:1 with
+  | `Pass _ -> ()
+  | `Hit _ -> Alcotest.fail "cold cache cannot hit");
+  (match M.exec_bmc t ~op:M.Get ~rank:1 with
+  | `Hit _ -> ()
+  | `Pass _ -> Alcotest.fail "warm cache must hit");
+  (* SET passes to user space and invalidates *)
+  (match M.exec_bmc t ~op:M.Set ~rank:1 with
+  | `Pass _ -> ()
+  | `Hit _ -> Alcotest.fail "BMC cannot serve SETs");
+  match M.exec_bmc t ~op:M.Get ~rank:1 with
+  | `Pass _ -> ()
+  | `Hit _ -> Alcotest.fail "invalidation must force a miss"
+
+let t_user_memcached () =
+  let u = M.User.create () in
+  Alcotest.(check bool) "miss" true (M.User.get u ~rank:3 = None);
+  M.User.set u ~rank:3;
+  Alcotest.(check bool) "hit" true (M.User.get u ~rank:3 <> None)
+
+(* --- Redis ------------------------------------------------------------------ *)
+
+let t_redis_get_set () =
+  let t = R.create () in
+  let p = R.op_packet ~op:R.Get ~rank:7 in
+  ignore (R.exec t p);
+  Alcotest.(check int64) "miss" 0L (Kflex_kernel.Packet.read p ~width:1 65);
+  ignore (R.exec t (R.op_packet ~op:R.Set ~rank:7));
+  let p = R.op_packet ~op:R.Get ~rank:7 in
+  ignore (R.exec t p);
+  Alcotest.(check int64) "hit" 1L (Kflex_kernel.Packet.read p ~width:1 65)
+
+let t_redis_zadd () =
+  let t = R.create () in
+  let model = R.User.create () in
+  let rng = Kflex_workload.Rng.create ~seed:41L in
+  for _ = 1 to 500 do
+    let rank = Kflex_workload.Rng.int rng 4 in
+    let score = Int64.of_int (Kflex_workload.Rng.int rng 50) in
+    let member = Int64.of_int (Kflex_workload.Rng.int rng 100) in
+    let hit, _ = R.exec t (R.op_packet ~op:(R.Zadd (score, member)) ~rank) in
+    Alcotest.(check int64) "zadd ok" 1L hit;
+    R.User.zadd model ~rank ~score ~member
+  done;
+  (* cardinality agrees with the model via host-side heap inspection *)
+  let zlen rank =
+    let compiled = t.R.compiled in
+    let heap = t.R.heap in
+    let boff = Kflex_eclang.Compile.global_offset compiled "buckets" in
+    let noff, _ = Kflex_eclang.Compile.field_offset compiled ~struct_:"entry" "next" in
+    let zoff, _ = Kflex_eclang.Compile.field_offset compiled ~struct_:"entry" "zs" in
+    let lenoff, _ = Kflex_eclang.Compile.field_offset compiled ~struct_:"zset" "len" in
+    let kw = M.key_words rank in
+    (* scan all buckets for our entry (host-side, we do not know the hash) *)
+    let found = ref 0L in
+    for b = 0 to 4095 do
+      let rec walk addr =
+        if addr <> 0L then begin
+          let off =
+            match Kflex_runtime.Heap.offset_of_addr heap addr with
+            | Some o -> o
+            | None -> Alcotest.fail "bad pointer"
+          in
+          let k0 = Kflex_runtime.Heap.read_off heap ~width:8 off in
+          if k0 = kw.(0) then begin
+            let z = Kflex_runtime.Heap.read_off heap ~width:8 (Int64.add off (Int64.of_int zoff)) in
+            if z <> 0L then begin
+              let zo =
+                match Kflex_runtime.Heap.offset_of_addr heap z with
+                | Some o -> o
+                | None -> Alcotest.fail "bad zset pointer"
+              in
+              found := Kflex_runtime.Heap.read_off heap ~width:8 (Int64.add zo (Int64.of_int lenoff))
+            end
+          end;
+          walk (Kflex_runtime.Heap.read_off heap ~width:8 (Int64.add off (Int64.of_int noff)))
+        end
+      in
+      walk (Kflex_runtime.Heap.read_off heap ~width:8 (Int64.add boff (Int64.of_int (8 * b))))
+    done;
+    Int64.to_int !found
+  in
+  for rank = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "zset %d cardinality" rank)
+      (R.User.zcard model ~rank) (zlen rank)
+  done
+
+(* --- co-design ---------------------------------------------------------------- *)
+
+let t_codesign_gc () =
+  let t = Kflex_apps.Codesign.create () in
+  for rank = 0 to 199 do
+    ignore (Kflex_apps.Codesign.exec t (M.op_packet ~op:M.Set ~rank))
+  done;
+  (match Kflex_apps.Codesign.gc_pass t ~now:0.0 with
+  | Some (seen, freed) ->
+      Alcotest.(check int) "sees all entries" 200 seen;
+      Alcotest.(check int) "frees none" 0 freed
+  | None -> Alcotest.fail "lock should be free");
+  (* expire half (odd v0), kernel loses exactly those *)
+  (match
+     Kflex_apps.Codesign.gc_pass ~expired:(fun v -> Int64.rem v 2L = 1L) t
+       ~now:0.0
+   with
+  | Some (_, freed) -> Alcotest.(check bool) "freed some" true (freed > 0)
+  | None -> Alcotest.fail "lock should be free");
+  let hits = ref 0 in
+  for rank = 0 to 199 do
+    let p = M.op_packet ~op:M.Get ~rank in
+    ignore (Kflex_apps.Codesign.exec t p);
+    if Kflex_kernel.Packet.read p ~width:1 65 = 1L then incr hits
+  done;
+  Alcotest.(check bool) "some survive" true (!hits > 0 && !hits < 200)
+
+let t_codesign_lock_contention () =
+  let t = Kflex_apps.Codesign.create () in
+  (* a user thread holding the lock blocks the GC of another *)
+  let umap =
+    Kflex_runtime.Usermap.attach
+      (Kflex_apps.Codesign.memcached t).M.heap
+  in
+  let compiled = (Kflex_apps.Codesign.memcached t).M.compiled in
+  let lock_off = Kflex_eclang.Compile.global_offset compiled "lock" in
+  let ts = Kflex_runtime.Timeslice.create () in
+  Alcotest.(check bool) "user locks" true
+    (Kflex_runtime.Usermap.try_lock umap ~off:lock_off ~slice:ts ~now:0.0);
+  (match Kflex_apps.Codesign.gc_pass t ~now:0.0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "gc must not run under a held lock");
+  (* and the kernel extension spinning on it gets cancelled, releasing
+     nothing but returning the hook default *)
+  (match Kflex_apps.Codesign.exec t (M.op_packet ~op:M.Get ~rank:0) with
+  | _ -> Alcotest.fail "expected stall cancellation"
+  | exception Failure _ -> ());
+  Kflex_runtime.Usermap.unlock umap ~off:lock_off ~slice:ts;
+  ignore (Kflex_runtime.Vm.reset_cancel (Kflex_apps.Codesign.memcached t).M.loaded.Kflex.ext;
+          ())
+
+let t_bmc_capacity_eviction () =
+  (* a cache smaller than the key set keeps serving, just with misses *)
+  let t = M.create_bmc ~cache_entries:8 () in
+  for rank = 0 to 63 do
+    ignore (M.exec_bmc t ~op:M.Get ~rank)
+  done;
+  let hits = ref 0 in
+  for rank = 0 to 63 do
+    match M.exec_bmc t ~op:M.Get ~rank with
+    | `Hit _ -> incr hits
+    | `Pass _ -> ()
+  done;
+  Alcotest.(check bool) "some hits" true (!hits > 0);
+  Alcotest.(check bool) "bounded by capacity" true (!hits <= 16)
+
+let prop_key_material_distinct =
+  QCheck.Test.make ~count:200 ~name:"key material distinct across ranks"
+    QCheck.(pair (int_bound 10000) (int_bound 10000))
+    (fun (a, b) -> a = b || M.key_words a <> M.key_words b)
+
+let t_e2e_headline_ordering () =
+  (* the paper's headline, as a regression test: for a mixed workload,
+     KFlex-Memcached beats BMC beats nothing, and beats user space *)
+  let cells = Kflex_apps.E2e.fig_memcached ~workers:4 ~requests:4000 () in
+  List.iter
+    (fun (label, rows) ->
+      let find name =
+        (List.find (fun (r : Kflex_apps.E2e.row) -> r.Kflex_apps.E2e.system = name) rows)
+          .Kflex_apps.E2e.throughput_mops
+      in
+      let kflex = find "KFlex" and user = find "User space" in
+      Alcotest.(check bool) (label ^ ": kflex beats user") true (kflex > 1.5 *. user);
+      let p99 name =
+        (List.find (fun (r : Kflex_apps.E2e.row) -> r.Kflex_apps.E2e.system = name) rows)
+          .Kflex_apps.E2e.p99_us
+      in
+      Alcotest.(check bool) (label ^ ": kflex lower p99") true
+        (p99 "KFlex" < p99 "User space"))
+    cells
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "datastructs",
+        List.map
+          (fun kind ->
+            Alcotest.test_case (D.name kind ^ " differential") `Quick
+              (differential kind D.M_kflex))
+          kv_kinds
+        @ [
+            Alcotest.test_case "rbtree dense keys" `Quick t_rbtree_sorted_property;
+            Alcotest.test_case "countmin accuracy" `Quick t_sketch_accuracy;
+            Alcotest.test_case "countsketch accuracy" `Quick
+              t_countsketch_unbiasedish;
+            Alcotest.test_case "modes agree" `Quick t_kflex_modes_agree;
+            Alcotest.test_case "overhead ordering" `Quick
+              t_instrumentation_overhead_ordering;
+          ] );
+      ( "memcached",
+        [
+          Alcotest.test_case "kflex get/set" `Quick t_memcached_kflex;
+          Alcotest.test_case "overwrite" `Quick t_memcached_overwrite;
+          Alcotest.test_case "bmc protocol" `Quick t_bmc_protocol;
+          Alcotest.test_case "bmc capacity" `Quick t_bmc_capacity_eviction;
+          QCheck_alcotest.to_alcotest prop_key_material_distinct;
+          Alcotest.test_case "user baseline" `Quick t_user_memcached;
+        ] );
+      ( "redis",
+        [
+          Alcotest.test_case "get/set" `Quick t_redis_get_set;
+          Alcotest.test_case "zadd vs model" `Quick t_redis_zadd;
+        ] );
+      ( "codesign",
+        [
+          Alcotest.test_case "gc via shared heap" `Quick t_codesign_gc;
+          Alcotest.test_case "lock contention" `Quick t_codesign_lock_contention;
+        ] );
+      ( "e2e",
+        [ Alcotest.test_case "headline ordering" `Slow t_e2e_headline_ordering ] );
+    ]

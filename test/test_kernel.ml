@@ -1,0 +1,103 @@
+(* Kernel substrate tests: packets, sockets, maps, hooks, cost model. *)
+open Kflex_kernel
+
+let t_packet_rw () =
+  let p = Packet.make ~proto:Packet.Udp ~src_port:1 ~dst_port:2 (Bytes.make 16 '\000') in
+  Packet.write p ~width:4 4 0xAABBCCDDL;
+  Alcotest.(check int64) "read back" 0xAABBCCDDL (Packet.read p ~width:4 4);
+  Alcotest.(check int64) "low byte" 0xDDL (Packet.read p ~width:1 4);
+  Alcotest.(check int) "len" 16 (Packet.len p)
+
+let t_packet_bounds () =
+  let p = Packet.make ~proto:Packet.Tcp ~src_port:1 ~dst_port:2 (Bytes.make 8 '\255') in
+  Alcotest.(check int64) "past end" 0L (Packet.read p ~width:8 4);
+  Alcotest.(check int64) "negative" 0L (Packet.read p ~width:1 (-1));
+  Packet.write p ~width:8 4 1L (* must be a no-op *);
+  Alcotest.(check int64) "unchanged" 0xFFFFFFFFL (Packet.read p ~width:4 4)
+
+let t_sockets () =
+  let s = Socket.create () in
+  Socket.listen s ~proto:Packet.Udp ~port:53;
+  Alcotest.(check bool) "no tcp:53" true (Socket.lookup s ~proto:Packet.Tcp ~port:53 = None);
+  let h1 = Option.get (Socket.lookup s ~proto:Packet.Udp ~port:53) in
+  let h2 = Option.get (Socket.lookup s ~proto:Packet.Udp ~port:53) in
+  Alcotest.(check int64) "same handle" h1 h2;
+  Alcotest.(check (option int)) "two refs" (Some 2) (Socket.refcount s ~proto:Packet.Udp ~port:53);
+  Alcotest.(check bool) "release" true (Socket.release s h1);
+  Alcotest.(check int) "total" 1 (Socket.total_refs s);
+  Alcotest.(check bool) "release" true (Socket.release s h1);
+  Alcotest.(check bool) "over-release" false (Socket.release s h1);
+  Socket.close s ~proto:Packet.Udp ~port:53;
+  Alcotest.(check bool) "closed" true (Socket.lookup s ~proto:Packet.Udp ~port:53 = None)
+
+let t_maps () =
+  let m = Map.create ~max_entries:2 in
+  Alcotest.(check bool) "upd1" true (Map.update m 1L 10L);
+  Alcotest.(check bool) "upd2" true (Map.update m 2L 20L);
+  Alcotest.(check bool) "full" false (Map.update m 3L 30L);
+  Alcotest.(check bool) "replace ok" true (Map.update m 1L 11L);
+  Alcotest.(check (option int64)) "get" (Some 11L) (Map.lookup m 1L);
+  Alcotest.(check bool) "del" true (Map.delete m 1L);
+  Alcotest.(check bool) "del again" false (Map.delete m 1L);
+  Alcotest.(check int) "entries" 1 (Map.entries m);
+  (* registry *)
+  let r = Map.registry () in
+  let fd = Map.register r m in
+  Alcotest.(check bool) "found" true (Map.find r fd <> None);
+  Alcotest.(check bool) "unknown fd" true (Map.find r 999L = None)
+
+let t_hook_ctx () =
+  let p = Packet.make ~proto:Packet.Tcp ~src_port:1234 ~dst_port:80 (Bytes.make 100 '\000') in
+  let ctx = Hook.build_ctx p in
+  Alcotest.(check int) "size" Hook.ctx_size (Bytes.length ctx);
+  Alcotest.(check int32) "len" 100l (Bytes.get_int32_le ctx 0);
+  Alcotest.(check int32) "proto" 1l (Bytes.get_int32_le ctx 4);
+  Alcotest.(check int) "sport" 1234 (Bytes.get_uint16_le ctx 8);
+  Alcotest.(check int) "dport" 80 (Bytes.get_uint16_le ctx 10)
+
+let t_hook_defaults () =
+  Alcotest.(check int64) "xdp passes" Hook.xdp_pass (Hook.default_ret Hook.Xdp);
+  Alcotest.(check int64) "skb passes" 0L (Hook.default_ret Hook.Sk_skb);
+  Alcotest.(check int64) "lsm denies" (-1L) (Hook.default_ret Hook.Lsm);
+  Alcotest.(check bool) "lsm sleepable" true (Hook.sleepable Hook.Lsm);
+  Alcotest.(check bool) "xdp not" false (Hook.sleepable Hook.Xdp)
+
+let t_cost_ordering () =
+  (* the structural claim behind every end-to-end figure *)
+  let compute_ns = 1000. in
+  let xdp = Cost.xdp_service_ns ~compute_ns ~reply:true in
+  let skb = Cost.skb_service_ns ~proto_tcp:true ~compute_ns in
+  let usr_udp = Cost.user_service_ns ~proto_tcp:false ~compute_ns in
+  let usr_tcp = Cost.user_service_ns ~proto_tcp:true ~compute_ns in
+  Alcotest.(check bool) "xdp < skb" true (xdp < skb);
+  Alcotest.(check bool) "skb < user" true (skb < usr_tcp);
+  Alcotest.(check bool) "udp user < tcp user" true (usr_udp < usr_tcp);
+  Alcotest.(check bool) "compute monotone" true
+    (Cost.xdp_service_ns ~compute_ns:2000. ~reply:true > xdp)
+
+let t_helpers_pkt () =
+  let k = Helpers.create () in
+  let impls = Helpers.implementations k in
+  Alcotest.(check bool) "sk helpers" true (List.mem_assoc "bpf_sk_lookup_udp" impls);
+  Alcotest.(check bool) "pkt helpers" true (List.mem_assoc "pkt_read_u64" impls);
+  Alcotest.(check bool) "map helpers" true (List.mem_assoc "bpf_map_lookup" impls);
+  Helpers.set_packet k (Some (Packet.make ~proto:Packet.Udp ~src_port:1 ~dst_port:2 (Bytes.make 4 'x')));
+  Alcotest.(check bool) "packet set" true (Helpers.packet k <> None);
+  Helpers.set_packet k None;
+  Alcotest.(check bool) "packet cleared" true (Helpers.packet k = None)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "packet rw" `Quick t_packet_rw;
+          Alcotest.test_case "packet bounds" `Quick t_packet_bounds;
+          Alcotest.test_case "sockets" `Quick t_sockets;
+          Alcotest.test_case "maps" `Quick t_maps;
+          Alcotest.test_case "hook ctx" `Quick t_hook_ctx;
+          Alcotest.test_case "hook defaults" `Quick t_hook_defaults;
+          Alcotest.test_case "cost ordering" `Quick t_cost_ordering;
+          Alcotest.test_case "helper registry" `Quick t_helpers_pkt;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* Property tests for the verifier's value-range domain: every transfer
+   function must be a sound over-approximation, and branch refinement must
+   keep all models of the assumed condition. *)
+open Kflex_verifier
+
+let arb_i64 =
+  QCheck.(
+    make
+      ~print:(Printf.sprintf "%Ld")
+      Gen.(
+        oneof
+          [
+            map Int64.of_int int;
+            oneofl
+              [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 0xffL; 4096L;
+                -4096L ];
+          ]))
+
+(* A range built from two concrete values (both of which are members). *)
+let arb_range2 =
+  QCheck.(
+    map
+      (fun (a, b) -> ((a, b), Range.join (Range.const a) (Range.const b)))
+      (pair arb_i64 arb_i64))
+
+let in_range v (r : Range.t) =
+  Int64.unsigned_compare r.Range.umin v <= 0
+  && Int64.unsigned_compare v r.Range.umax <= 0
+  && r.Range.smin <= v && v <= r.Range.smax
+
+let ops : (string * (Range.t -> Range.t -> Range.t) * (int64 -> int64 -> int64)) list
+    =
+  [
+    ("add", Range.add, Int64.add);
+    ("sub", Range.sub, Int64.sub);
+    ("mul", Range.mul, Int64.mul);
+    ("div", Range.div, fun a b -> if b = 0L then 0L else Int64.unsigned_div a b);
+    ("rem", Range.rem, fun a b -> if b = 0L then a else Int64.unsigned_rem a b);
+    ("and", Range.logand, Int64.logand);
+    ("or", Range.logor, Int64.logor);
+    ("xor", Range.logxor, Int64.logxor);
+    ("shl", Range.shl, fun a b -> Int64.shift_left a (Int64.to_int b land 63));
+    ( "shr",
+      Range.lshr,
+      fun a b -> Int64.shift_right_logical a (Int64.to_int b land 63) );
+    ("ashr", Range.ashr, fun a b -> Int64.shift_right a (Int64.to_int b land 63));
+  ]
+
+let soundness_tests =
+  List.map
+    (fun (name, abs, conc) ->
+      QCheck.Test.make ~count:1000 ~name:("soundness " ^ name)
+        QCheck.(pair arb_range2 arb_range2)
+        (fun (((x1, x2), rx), ((y1, y2), ry)) ->
+          let res = abs rx ry in
+          List.for_all
+            (fun x -> List.for_all (fun y -> in_range (conc x y) res) [ y1; y2 ])
+            [ x1; x2 ]))
+    ops
+
+let conds =
+  [
+    (Kflex_bpf.Insn.Eq, fun a b -> Int64.equal a b);
+    (Kflex_bpf.Insn.Ne, fun a b -> not (Int64.equal a b));
+    (Kflex_bpf.Insn.Lt, fun a b -> Int64.unsigned_compare a b < 0);
+    (Kflex_bpf.Insn.Le, fun a b -> Int64.unsigned_compare a b <= 0);
+    (Kflex_bpf.Insn.Gt, fun a b -> Int64.unsigned_compare a b > 0);
+    (Kflex_bpf.Insn.Ge, fun a b -> Int64.unsigned_compare a b >= 0);
+    (Kflex_bpf.Insn.Slt, fun a b -> Int64.compare a b < 0);
+    (Kflex_bpf.Insn.Sle, fun a b -> Int64.compare a b <= 0);
+    (Kflex_bpf.Insn.Sgt, fun a b -> Int64.compare a b > 0);
+    (Kflex_bpf.Insn.Sge, fun a b -> Int64.compare a b >= 0);
+  ]
+
+(* refinement soundness: models of the condition survive refinement *)
+let refine_tests =
+  List.map
+    (fun (cond, holds) ->
+      let name =
+        Format.asprintf "refine %a" Kflex_bpf.Insn.pp_cond cond
+      in
+      QCheck.Test.make ~count:1000 ~name
+        QCheck.(pair arb_range2 arb_range2)
+        (fun (((x1, x2), rx), ((y1, y2), ry)) ->
+          let models =
+            List.concat_map
+              (fun x ->
+                List.filter_map
+                  (fun y -> if holds x y then Some (x, y) else None)
+                  [ y1; y2 ])
+              [ x1; x2 ]
+          in
+          match Range.refine cond rx ry with
+          | None -> models = [] (* dead branch must really have no models *)
+          | Some (rx', ry') ->
+              List.for_all
+                (fun (x, y) -> in_range x rx' && in_range y ry')
+                models))
+    conds
+
+let prop_negate_cond =
+  QCheck.Test.make ~count:500 ~name:"negate_cond is boolean negation"
+    QCheck.(pair arb_i64 arb_i64)
+    (fun (a, b) ->
+      List.for_all
+        (fun (c, holds) ->
+          match c with
+          | Kflex_bpf.Insn.Set -> true (* Set has no exact negation *)
+          | _ ->
+              let neg = Range.negate_cond c in
+              let holds_neg =
+                List.assoc neg conds
+              in
+              holds a b <> holds_neg a b)
+        conds)
+
+let prop_join_subset =
+  QCheck.Test.make ~count:500 ~name:"join is an upper bound"
+    QCheck.(pair arb_range2 arb_range2)
+    (fun ((_, rx), (_, ry)) ->
+      let j = Range.join rx ry in
+      Range.subset rx j && Range.subset ry j)
+
+let prop_const_exact =
+  QCheck.Test.make ~count:500 ~name:"const ops are exact"
+    QCheck.(pair arb_i64 arb_i64)
+    (fun (a, b) ->
+      List.for_all
+        (fun (_, abs, conc) ->
+          Range.is_const (abs (Range.const a) (Range.const b))
+          = Some (conc a b))
+        ops)
+
+let test_fits_unsigned () =
+  let r = Range.unsigned 10L 100L in
+  Alcotest.(check bool) "inside" true (Range.fits_unsigned r ~lo:0L ~hi:100L);
+  Alcotest.(check bool) "tight" true (Range.fits_unsigned r ~lo:10L ~hi:100L);
+  Alcotest.(check bool) "above" false (Range.fits_unsigned r ~lo:0L ~hi:99L);
+  Alcotest.(check bool) "below" false (Range.fits_unsigned r ~lo:11L ~hi:100L);
+  Alcotest.(check bool) "top never fits" false
+    (Range.fits_unsigned Range.top ~lo:0L ~hi:Int64.max_int)
+
+let test_masking_bounds () =
+  (* the guard-elision pattern: (x & 1023) * 8 + 64 is within [64, 8248] *)
+  let x = Range.top in
+  let masked = Range.logand x (Range.const 1023L) in
+  let scaled = Range.mul masked (Range.const 8L) in
+  let off = Range.add scaled (Range.const 64L) in
+  Alcotest.(check bool) "fits heap" true
+    (Range.fits_unsigned off ~lo:0L ~hi:16384L)
+
+let () =
+  Alcotest.run "range"
+    ([
+       ( "unit",
+         [
+           Alcotest.test_case "fits_unsigned" `Quick test_fits_unsigned;
+           Alcotest.test_case "mask-scale-add bounds" `Quick test_masking_bounds;
+         ] );
+     ]
+    @ [
+        ( "props",
+          List.map QCheck_alcotest.to_alcotest
+            (soundness_tests @ refine_tests
+            @ [ prop_negate_cond; prop_join_subset; prop_const_exact ]) );
+      ])

@@ -1,0 +1,468 @@
+(* Runtime tests: heap (demand paging, guard zones, SFI arithmetic),
+   allocator, ledger, time slices, user mapping, and the VM (ALU semantics,
+   cancellation variants, object-table unwinding). *)
+open Kflex_runtime
+open Kflex_bpf
+
+(* --- heap ---------------------------------------------------------------- *)
+
+let t_heap_create_validation () =
+  List.iter
+    (fun size ->
+      match Heap.create ~size () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "size %Ld should be rejected" size)
+    [ 0L; 100L; 4095L; 6000L; Int64.shift_left 1L 41 ]
+
+let t_heap_sanitize () =
+  let h = Heap.create ~size:65536L () in
+  let kbase = Heap.kbase h in
+  (* in-heap addresses are fixed points *)
+  Alcotest.(check int64) "fixpoint" (Int64.add kbase 100L)
+    (Heap.sanitize h (Int64.add kbase 100L));
+  (* wild addresses land in the heap *)
+  Alcotest.(check int64) "wild" (Int64.add kbase 0xbeefL)
+    (Heap.sanitize h 0xdead_beefL);
+  (* user-view addresses map to the same offset in kernel view *)
+  let hs = Heap.create ~shared:true ~size:65536L () in
+  let u = Heap.translate_user hs (Int64.add (Heap.kbase hs) 4242L) in
+  Alcotest.(check int64) "translate+sanitize" (Int64.add (Heap.kbase hs) 4242L)
+    (Heap.sanitize hs u)
+
+let t_heap_not_shared () =
+  let h = Heap.create ~size:4096L () in
+  Alcotest.(check bool) "no ubase" true (Heap.ubase h = None);
+  match Heap.translate_user h 0L with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "translate_user should fail"
+
+let t_heap_demand_paging () =
+  let h = Heap.create ~size:65536L () in
+  Alcotest.(check int64) "empty" 0L (Heap.populated_bytes h);
+  (match Heap.read h ~width:8 (Heap.kbase h) with
+  | exception Heap.Fault { reason; _ } ->
+      Alcotest.(check string) "unpopulated" "unpopulated heap page" reason
+  | _ -> Alcotest.fail "expected fault");
+  Heap.populate h ~off:0L ~len:1L;
+  Alcotest.(check int64) "one page" 4096L (Heap.populated_bytes h);
+  Alcotest.(check int64) "read zero" 0L (Heap.read h ~width:8 (Heap.kbase h))
+
+let t_heap_guard_zone () =
+  let h = Heap.create ~size:4096L () in
+  Heap.populate h ~off:0L ~len:4096L;
+  (* just past the heap end but within the guard zone: Fault, not escape *)
+  (match Heap.read h ~width:8 (Int64.add (Heap.kbase h) 4096L) with
+  | exception Heap.Fault { reason; _ } ->
+      Alcotest.(check string) "guard" "guard zone access" reason
+  | _ -> Alcotest.fail "expected guard-zone fault");
+  (match Heap.read h ~width:8 (Int64.sub (Heap.kbase h) 8L) with
+  | exception Heap.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault below heap");
+  (* a straddling access at the boundary *)
+  match Heap.read h ~width:8 (Int64.add (Heap.kbase h) 4092L) with
+  | exception Heap.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault on straddle"
+
+let t_heap_wild () =
+  let h = Heap.create ~size:4096L () in
+  match Heap.write h ~width:8 0x1234L 1L with
+  | exception Heap.Fault { reason; _ } ->
+      Alcotest.(check string) "wild" "access outside any heap mapping" reason
+  | _ -> Alcotest.fail "expected wild fault"
+
+let prop_heap_rw_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"heap read/write roundtrip"
+    QCheck.(pair (int_bound 65000) (pair (int_bound 3) (map Int64.of_int int)))
+    (fun (off, (wsel, v)) ->
+      let h = Heap.create ~size:65536L () in
+      let width = [| 1; 2; 4; 8 |].(wsel) in
+      let off = Int64.of_int (min off (65536 - width)) in
+      Heap.write_off h ~width off v;
+      let mask =
+        if width = 8 then -1L
+        else Int64.sub (Int64.shift_left 1L (8 * width)) 1L
+      in
+      Heap.read_off h ~width off = Int64.logand v mask)
+
+let t_heap_straddle_pages () =
+  let h = Heap.create ~size:65536L () in
+  (* write across the page 0 / page 1 boundary *)
+  Heap.write_off h ~width:8 4092L 0x1122334455667788L;
+  Alcotest.(check int64) "straddle" 0x1122334455667788L
+    (Heap.read_off h ~width:8 4092L)
+
+(* --- allocator -------------------------------------------------------------- *)
+
+let t_alloc_basic () =
+  let h = Heap.create ~size:65536L () in
+  let a = Alloc.create ~ncpu:2 h in
+  let b1 = Option.get (Alloc.alloc a ~cpu:0 64L) in
+  let b2 = Option.get (Alloc.alloc a ~cpu:0 64L) in
+  Alcotest.(check bool) "distinct" true (b1 <> b2);
+  Alcotest.(check int) "live" 2 (Alloc.live_blocks a);
+  Alcotest.(check bool) "free" true (Alloc.free a ~cpu:0 b1);
+  Alcotest.(check bool) "double free" false (Alloc.free a ~cpu:0 b1);
+  Alcotest.(check int) "live" 1 (Alloc.live_blocks a)
+
+let t_alloc_zeroed () =
+  let h = Heap.create ~size:65536L () in
+  let a = Alloc.create h in
+  let b = Option.get (Alloc.alloc a ~cpu:0 64L) in
+  Heap.write_off h ~width:8 b 0xffffL;
+  Alcotest.(check bool) "freed" true (Alloc.free a ~cpu:0 b);
+  let b2 = Option.get (Alloc.alloc a ~cpu:0 64L) in
+  (* reuse of the same class must come back zeroed *)
+  Alcotest.(check int64) "zeroed" 0L (Heap.read_off h ~width:8 b2)
+
+let t_alloc_too_big () =
+  let h = Heap.create ~size:65536L () in
+  let a = Alloc.create h in
+  Alcotest.(check bool) "huge" true (Alloc.alloc a ~cpu:0 1_000_000L = None)
+
+let t_alloc_exhaustion () =
+  let h = Heap.create ~size:4096L () in
+  let a = Alloc.create h in
+  let count = ref 0 in
+  (try
+     while !count < 10_000 do
+       match Alloc.alloc a ~cpu:0 512L with
+       | Some _ -> incr count
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "exhausted eventually" true (!count > 0 && !count < 10);
+  Alcotest.(check bool) "stays exhausted" true (Alloc.alloc a ~cpu:0 512L = None)
+
+let prop_alloc_no_overlap =
+  QCheck.Test.make ~count:50 ~name:"live allocations never overlap"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 80) (int_bound 500))
+    (fun sizes ->
+      let h = Heap.create ~size:(Int64.shift_left 1L 20) () in
+      let a = Alloc.create h in
+      let live = ref [] in
+      List.iter
+        (fun sz ->
+          match Alloc.alloc a ~cpu:0 (Int64.of_int (max 1 sz)) with
+          | Some off -> live := (off, max 1 sz) :: !live
+          | None -> ())
+        sizes;
+      let rec no_overlap = function
+        | [] -> true
+        | (o1, s1) :: rest ->
+            List.for_all
+              (fun (o2, s2) ->
+                Int64.add o1 (Int64.of_int s1) <= o2
+                || Int64.add o2 (Int64.of_int s2) <= o1)
+              rest
+            && no_overlap rest
+      in
+      no_overlap !live)
+
+let t_alloc_populates_pages () =
+  (* §4.1: physical pages appear as the allocator hands memory out, and are
+     accounted (the cgroup analogue) *)
+  let h = Heap.create ~size:(Int64.shift_left 1L 20) () in
+  let a = Alloc.create h in
+  let before = Heap.populated_bytes h in
+  ignore (Option.get (Alloc.alloc a ~cpu:0 4096L));
+  Alcotest.(check bool) "pages appeared" true (Heap.populated_bytes h > before)
+
+let t_alloc_class_reuse () =
+  (* freeing a big block and allocating a small one must not alias *)
+  let h = Heap.create ~size:(Int64.shift_left 1L 20) () in
+  let a = Alloc.create h in
+  let big = Option.get (Alloc.alloc a ~cpu:0 1024L) in
+  ignore (Alloc.free a ~cpu:0 big);
+  let small1 = Option.get (Alloc.alloc a ~cpu:0 16L) in
+  let small2 = Option.get (Alloc.alloc a ~cpu:0 16L) in
+  Alcotest.(check bool) "distinct small blocks" true (small1 <> small2)
+
+let t_alloc_per_cpu_cache () =
+  let h = Heap.create ~size:(Int64.shift_left 1L 20) () in
+  let a = Alloc.create ~ncpu:4 h in
+  let b = Option.get (Alloc.alloc a ~cpu:1 64L) in
+  Alcotest.(check bool) "cpu1 cache warmed" true (Alloc.cache_occupancy a ~cpu:1 > 0);
+  Alcotest.(check int) "cpu2 cold" 0 (Alloc.cache_occupancy a ~cpu:2);
+  ignore (Alloc.free a ~cpu:2 b);
+  Alcotest.(check bool) "freed into cpu2" true (Alloc.cache_occupancy a ~cpu:2 > 0)
+
+(* --- ledger / timeslice / usermap -------------------------------------------- *)
+
+let t_ledger () =
+  let l = Ledger.create () in
+  Ledger.acquire l ~handle:42L ~destructor:"d";
+  Alcotest.(check int) "one" 1 (Ledger.count l);
+  Alcotest.(check bool) "release" true (Ledger.release l ~handle:42L);
+  Alcotest.(check bool) "again" false (Ledger.release l ~handle:42L);
+  Alcotest.(check int) "empty" 0 (Ledger.count l)
+
+let t_timeslice () =
+  let ts = Timeslice.create () in
+  Alcotest.(check bool) "fresh" false (Timeslice.should_preempt ts ~now:0.0);
+  Timeslice.lock_acquired ts ~now:0.0;
+  Alcotest.(check bool) "within slice" false
+    (Timeslice.should_preempt ts ~now:(Timeslice.slice_ns /. 2.));
+  Alcotest.(check bool) "expired" true
+    (Timeslice.should_preempt ts ~now:(Timeslice.slice_ns *. 2.));
+  (* nesting: inner lock does not extend the slice *)
+  Timeslice.lock_acquired ts ~now:(Timeslice.slice_ns *. 2.);
+  Alcotest.(check int) "nested" 2 (Timeslice.nesting ts);
+  Timeslice.lock_released ts;
+  Timeslice.lock_released ts;
+  Alcotest.(check bool) "disarmed" false
+    (Timeslice.should_preempt ts ~now:(Timeslice.slice_ns *. 10.))
+
+let t_usermap () =
+  let h = Heap.create ~shared:true ~size:65536L () in
+  Heap.populate h ~off:0L ~len:4096L;
+  let u = Usermap.attach h in
+  let addr = Usermap.addr_of_off u 128L in
+  Usermap.write u ~width:8 addr 7L;
+  Alcotest.(check int64) "user write visible at kernel offset" 7L
+    (Heap.read_off h ~width:8 128L);
+  Alcotest.(check bool) "heap addr" true (Usermap.is_heap_addr u addr);
+  Alcotest.(check bool) "wild addr" false (Usermap.is_heap_addr u 0x1234L);
+  let ts = Timeslice.create () in
+  Alcotest.(check bool) "lock" true (Usermap.try_lock u ~off:8L ~slice:ts ~now:0.0);
+  Alcotest.(check bool) "contended" false
+    (Usermap.try_lock u ~off:8L ~slice:ts ~now:0.0);
+  Usermap.unlock u ~off:8L ~slice:ts;
+  Alcotest.(check int) "nesting back to 0" 0 (Timeslice.nesting ts)
+
+(* --- VM ------------------------------------------------------------------------ *)
+
+let contracts = Kflex_verifier.Contract.registry Kflex_verifier.Contract.kflex_base
+
+let load ?heap ?alloc ?quantum items =
+  let prog = Asm.assemble ~name:"t" items in
+  let analysis =
+    match
+      Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex ~contracts
+        ~ctx_size:64
+        ?heap_size:(Option.map Heap.size heap)
+        prog
+    with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "verify: %a" Kflex_verifier.Verify.pp_error e
+  in
+  let kie = Kflex_kie.Instrument.run analysis in
+  Vm.create ?heap ?alloc ?quantum ~helpers:[] kie
+
+let run ?(ctx = Bytes.make 64 '\000') ext =
+  Vm.exec ext ~ctx ()
+
+let expect_ret items expected =
+  match run (load items) with
+  | Vm.Finished v -> Alcotest.(check int64) "ret" expected v
+  | Vm.Cancelled _ -> Alcotest.fail "unexpected cancellation"
+
+open Asm
+open Reg
+
+let t_alu_semantics () =
+  expect_ret [ movi R0 6L; alui Insn.Mul R0 7L; exit_ ] 42L;
+  expect_ret [ movi R0 7L; alui Insn.Div R0 0L; exit_ ] 0L (* div-by-0 = 0 *);
+  expect_ret [ movi R0 7L; alui Insn.Mod R0 0L; exit_ ] 7L;
+  expect_ret [ movi R0 (-1L); alui Insn.Rsh R0 32L; exit_ ] 0xffff_ffffL;
+  expect_ret [ movi R0 (-8L); alui Insn.Arsh R0 2L; exit_ ] (-2L);
+  expect_ret [ movi R0 1L; alui Insn.Lsh R0 63L; exit_ ] Int64.min_int;
+  expect_ret [ movi R0 5L; I (Insn.Neg R0); exit_ ] (-5L)
+
+let t_unsigned_compare () =
+  (* -1 is the largest unsigned value *)
+  expect_ret
+    [
+      movi R1 (-1L);
+      movi R0 0L;
+      jmpi Insn.Gt R1 5L "big";
+      exit_;
+      label "big";
+      movi R0 1L;
+      exit_;
+    ]
+    1L;
+  expect_ret
+    [
+      movi R1 (-1L);
+      movi R0 0L;
+      jmpi Insn.Sgt R1 5L "big";
+      exit_;
+      label "big";
+      movi R0 1L;
+      exit_;
+    ]
+    0L
+
+let t_ctx_read () =
+  let ctx = Bytes.make 64 '\000' in
+  Bytes.set_int32_le ctx 8 77l;
+  match run ~ctx (load [ ldx Insn.U32 R0 R1 8; exit_ ]) with
+  | Vm.Finished v -> Alcotest.(check int64) "ctx" 77L v
+  | Vm.Cancelled _ -> Alcotest.fail "cancelled"
+
+let with_heap ?quantum items =
+  let heap = Heap.create ~size:65536L () in
+  Heap.populate heap ~off:0L ~len:4096L;
+  let alloc = Alloc.create ~data_start:256L heap in
+  (heap, load ~heap ~alloc ?quantum items)
+
+let t_atomics () =
+  let heap, ext =
+    with_heap
+      [
+        call "kflex_heap_base";
+        mov R6 R0;
+        sti Insn.U64 R6 64 10L;
+        movi R2 5L;
+        I (Insn.Atomic (Insn.Fetch_add, Insn.U64, R6, 64, R2));
+        (* r2 = old (10), heap[64] = 15 *)
+        movi R3 100L;
+        I (Insn.Atomic (Insn.Xchg, Insn.U64, R6, 64, R3));
+        (* r3 = 15, heap[64] = 100 *)
+        movi R0 100L;
+        movi R4 222L;
+        I (Insn.Atomic (Insn.Cmpxchg, Insn.U64, R6, 64, R4));
+        (* success: heap[64] = 222, r0 = 100 *)
+        alu Insn.Add R0 R2;
+        alu Insn.Add R0 R3;
+        exit_;
+      ]
+  in
+  (match run ext with
+  | Vm.Finished v -> Alcotest.(check int64) "fetch results" 125L v
+  | Vm.Cancelled _ -> Alcotest.fail "cancelled");
+  Alcotest.(check int64) "cmpxchg stored" 222L (Heap.read_off heap ~width:8 64L)
+
+let t_malloc_free_via_vm () =
+  let _, ext =
+    with_heap
+      [
+        movi R1 48L;
+        call "kflex_malloc";
+        jmpi Insn.Ne R0 0L "ok";
+        movi R0 0L;
+        exit_;
+        label "ok";
+        mov R6 R0;
+        sti Insn.U64 R6 0 1234L;
+        ldx Insn.U64 R7 R6 0;
+        mov R1 R6;
+        call "kflex_free";
+        mov R0 R7;
+        exit_;
+      ]
+  in
+  match run ext with
+  | Vm.Finished v -> Alcotest.(check int64) "roundtrip" 1234L v
+  | Vm.Cancelled _ -> Alcotest.fail "cancelled"
+
+let t_quantum_cancellation () =
+  let heap, ext =
+    with_heap ~quantum:5_000
+      [
+        call "kflex_heap_base";
+        mov R1 R0;
+        alui Insn.Add R1 64L;
+        stx Insn.U64 R1 0 R1;
+        label "loop";
+        ldx Insn.U64 R1 R1 0;
+        jmpi Insn.Ne R1 0L "loop";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  ignore heap;
+  match run ext with
+  | Vm.Cancelled { reason = Vm.Quantum_expired; _ } ->
+      Alcotest.(check bool) "ext-wide cancel flag" true (Vm.cancelled ext)
+  | Vm.Cancelled { reason; _ } ->
+      Alcotest.failf "wrong reason %s"
+        (match reason with Vm.Page_fault -> "page" | _ -> "other")
+  | Vm.Finished _ -> Alcotest.fail "should have been cancelled"
+
+let t_cancel_cross_cpu () =
+  let _, ext = with_heap [ movi R0 7L; exit_ ] in
+  Vm.cancel ext;
+  (* no checkpoints in this program: it still finishes *)
+  (match run ext with
+  | Vm.Finished v -> Alcotest.(check int64) "ret" 7L v
+  | Vm.Cancelled _ -> Alcotest.fail "no cp to cancel at");
+  Vm.reset_cancel ext;
+  Alcotest.(check bool) "reset" false (Vm.cancelled ext)
+
+let t_on_cancel_callback () =
+  let heap = Heap.create ~size:65536L () in
+  let prog =
+    Asm.assemble ~name:"t" [ movi R1 8192L; ldx Insn.U64 R0 R1 0; exit_ ]
+  in
+  let analysis =
+    match
+      Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex ~contracts
+        ~ctx_size:64 ~heap_size:65536L prog
+    with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "verify: %a" Kflex_verifier.Verify.pp_error e
+  in
+  let kie = Kflex_kie.Instrument.run analysis in
+  let ext =
+    Vm.create ~heap ~default_ret:2L ~on_cancel:(fun d -> Int64.add d 40L)
+      ~helpers:[] kie
+  in
+  match Vm.exec ext ~ctx:(Bytes.make 64 '\000') () with
+  | Vm.Cancelled { ret; reason = Vm.Page_fault; _ } ->
+      Alcotest.(check int64) "callback adjusted" 42L ret
+  | _ -> Alcotest.fail "expected page-fault cancellation"
+
+let t_stats_accounting () =
+  let stats = Vm.fresh_stats () in
+  let _, ext = with_heap [ movi R1 2048L; ldx Insn.U64 R0 R1 0; exit_ ] in
+  (match Vm.exec ext ~ctx:(Bytes.make 64 '\000') ~stats () with
+  | Vm.Finished _ -> ()
+  | Vm.Cancelled _ -> Alcotest.fail "page 0 is populated");
+  Alcotest.(check bool) "insns counted" true (stats.Vm.insns >= 3);
+  Alcotest.(check int) "one guard" 1 stats.Vm.guards
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "create validation" `Quick t_heap_create_validation;
+          Alcotest.test_case "sanitize" `Quick t_heap_sanitize;
+          Alcotest.test_case "not shared" `Quick t_heap_not_shared;
+          Alcotest.test_case "demand paging" `Quick t_heap_demand_paging;
+          Alcotest.test_case "guard zone" `Quick t_heap_guard_zone;
+          Alcotest.test_case "wild access" `Quick t_heap_wild;
+          Alcotest.test_case "straddle pages" `Quick t_heap_straddle_pages;
+          QCheck_alcotest.to_alcotest prop_heap_rw_roundtrip;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "basic" `Quick t_alloc_basic;
+          Alcotest.test_case "zeroed" `Quick t_alloc_zeroed;
+          Alcotest.test_case "too big" `Quick t_alloc_too_big;
+          Alcotest.test_case "exhaustion" `Quick t_alloc_exhaustion;
+          Alcotest.test_case "per-cpu caches" `Quick t_alloc_per_cpu_cache;
+          Alcotest.test_case "pages on demand" `Quick t_alloc_populates_pages;
+          Alcotest.test_case "class reuse" `Quick t_alloc_class_reuse;
+          QCheck_alcotest.to_alcotest prop_alloc_no_overlap;
+        ] );
+      ( "user",
+        [
+          Alcotest.test_case "ledger" `Quick t_ledger;
+          Alcotest.test_case "timeslice" `Quick t_timeslice;
+          Alcotest.test_case "usermap" `Quick t_usermap;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "alu semantics" `Quick t_alu_semantics;
+          Alcotest.test_case "unsigned compare" `Quick t_unsigned_compare;
+          Alcotest.test_case "ctx read" `Quick t_ctx_read;
+          Alcotest.test_case "atomics" `Quick t_atomics;
+          Alcotest.test_case "malloc/free" `Quick t_malloc_free_via_vm;
+          Alcotest.test_case "quantum cancellation" `Quick t_quantum_cancellation;
+          Alcotest.test_case "cross-cpu cancel" `Quick t_cancel_cross_cpu;
+          Alcotest.test_case "on_cancel callback" `Quick t_on_cancel_callback;
+          Alcotest.test_case "stats" `Quick t_stats_accounting;
+        ] );
+    ]

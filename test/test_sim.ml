@@ -1,0 +1,119 @@
+(* Discrete-event simulator tests: priority queue, event ordering, and the
+   closed-loop model's queueing behaviour. *)
+open Kflex_sim
+
+let prop_heapq_sorted =
+  QCheck.Test.make ~count:200 ~name:"heapq pops in key order"
+    QCheck.(list (pair (float_bound_inclusive 1000.0) small_nat))
+    (fun items ->
+      let h = Heapq.create () in
+      List.iter (fun (k, v) -> Heapq.push h k v) items;
+      let rec drain last acc =
+        match Heapq.pop h with
+        | None -> List.rev acc
+        | Some (k, _) ->
+            if k < last then raise Exit;
+            drain k (k :: acc)
+      in
+      match drain neg_infinity [] with
+      | popped -> List.length popped = List.length items
+      | exception Exit -> false)
+
+let t_heapq_fifo_ties () =
+  let h = Heapq.create () in
+  List.iter (fun v -> Heapq.push h 1.0 v) [ 1; 2; 3 ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Heapq.pop h))) in
+  Alcotest.(check (list int)) "fifo among equal keys" [ 1; 2; 3 ] order
+
+let t_des_ordering () =
+  let des = Des.create () in
+  let log = ref [] in
+  Des.schedule des ~delay:5.0 (fun () -> log := 5 :: !log);
+  Des.schedule des ~delay:1.0 (fun () ->
+      log := 1 :: !log;
+      (* events scheduled during the run still execute in time order *)
+      Des.schedule des ~delay:2.0 (fun () -> log := 3 :: !log));
+  Des.run des;
+  Alcotest.(check (list int)) "order" [ 1; 3; 5 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 5.0 (Des.now des)
+
+let t_des_until () =
+  let des = Des.create () in
+  let fired = ref 0 in
+  Des.schedule des ~delay:1.0 (fun () -> incr fired);
+  Des.schedule des ~delay:10.0 (fun () -> incr fired);
+  Des.run ~until:5.0 des;
+  Alcotest.(check int) "only the early event" 1 !fired
+
+let run_cl ?(clients = 64) ?(workers = 4) ?(gc = None) ~service requests =
+  Closed_loop.run
+    {
+      Closed_loop.clients;
+      workers;
+      rtt_ns = 1000.0;
+      requests;
+      warmup_frac = 0.1;
+      gen = (fun i -> i);
+      service_ns = (fun _ -> service);
+      gc;
+    }
+
+let t_closed_loop_throughput () =
+  (* saturated: throughput ~ workers / service *)
+  let r = run_cl ~workers:4 ~service:1000.0 20_000 in
+  let expect = 4.0 /. 1000.0 *. 1000.0 (* MOps *) in
+  Alcotest.(check bool) "within 10%" true
+    (abs_float (r.Closed_loop.throughput_mops -. expect) /. expect < 0.1);
+  Alcotest.(check int) "all completed" 20_000 r.Closed_loop.completed
+
+let t_closed_loop_latency_queueing () =
+  (* more clients than capacity: p99 reflects queueing, not service *)
+  let light = run_cl ~clients:2 ~workers:4 ~service:1000.0 5_000 in
+  let heavy = run_cl ~clients:256 ~workers:4 ~service:1000.0 5_000 in
+  Alcotest.(check bool) "light is fast" true (light.Closed_loop.p99_us < 3.0);
+  Alcotest.(check bool) "heavy queues" true
+    (heavy.Closed_loop.p99_us > 10.0 *. light.Closed_loop.p99_us)
+
+let t_closed_loop_gc_pauses () =
+  let without = run_cl ~workers:2 ~service:1000.0 30_000 in
+  let with_gc =
+    run_cl ~workers:2 ~gc:(Some (1_000_000.0, 100_000.0)) ~service:1000.0
+      30_000
+  in
+  Alcotest.(check bool) "gc hurts p99" true
+    (with_gc.Closed_loop.p99_us > without.Closed_loop.p99_us);
+  Alcotest.(check bool) "gc hurts throughput" true
+    (with_gc.Closed_loop.throughput_mops < without.Closed_loop.throughput_mops)
+
+let t_closed_loop_faster_service_wins () =
+  let slow = run_cl ~service:5000.0 10_000 in
+  let fast = run_cl ~service:1000.0 10_000 in
+  Alcotest.(check bool) "throughput" true
+    (fast.Closed_loop.throughput_mops > 3.0 *. slow.Closed_loop.throughput_mops);
+  Alcotest.(check bool) "latency" true
+    (fast.Closed_loop.p99_us < slow.Closed_loop.p99_us)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heapq",
+        [
+          QCheck_alcotest.to_alcotest prop_heapq_sorted;
+          Alcotest.test_case "fifo ties" `Quick t_heapq_fifo_ties;
+        ] );
+      ( "des",
+        [
+          Alcotest.test_case "ordering" `Quick t_des_ordering;
+          Alcotest.test_case "until" `Quick t_des_until;
+        ] );
+      ( "closed-loop",
+        [
+          Alcotest.test_case "saturation throughput" `Quick
+            t_closed_loop_throughput;
+          Alcotest.test_case "queueing latency" `Quick
+            t_closed_loop_latency_queueing;
+          Alcotest.test_case "gc pauses" `Quick t_closed_loop_gc_pauses;
+          Alcotest.test_case "service ordering" `Quick
+            t_closed_loop_faster_service_wins;
+        ] );
+    ]

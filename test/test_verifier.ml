@@ -1,0 +1,741 @@
+(* Verifier tests: kernel-interface compliance checks, reference tracking,
+   loop analysis, and the analysis facts (guard elision, object tables)
+   that Kie consumes. *)
+open Kflex_bpf
+open Kflex_verifier
+
+let contracts = Contract.registry Contract.kflex_base
+
+let verify ?(mode = Verify.Kflex) ?(heap = true) items =
+  let prog = Asm.assemble ~name:"t" items in
+  Verify.run ~mode ~contracts ~ctx_size:64
+    ?heap_size:(if heap then Some 65536L else None)
+    prog
+
+let expect_ok ?mode ?heap items =
+  match verify ?mode ?heap items with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "expected OK, got %a" Verify.pp_error e
+
+let expect_err ?mode ?heap kind items =
+  match verify ?mode ?heap items with
+  | Ok _ -> Alcotest.fail "expected a verification error"
+  | Error e ->
+      if e.Verify.kind <> kind then
+        Alcotest.failf "wrong error kind: %a" Verify.pp_error e
+
+let ek = Verify.E_uninit
+and eb = Verify.E_bounds
+and et = Verify.E_type
+and eh = Verify.E_helper
+and el = Verify.E_leak
+and eo = Verify.E_loop
+and er = Verify.E_resource
+
+open Asm
+open Reg
+
+(* --- basic register/memory discipline ------------------------------------ *)
+
+let t_uninit_use () = expect_err ek [ mov R0 R3; exit_ ]
+
+let t_uninit_branch () =
+  expect_err ek [ jmpi Insn.Eq R5 0L "x"; label "x"; movi R0 0L; exit_ ]
+
+let t_ctx_read_ok () = ignore (expect_ok [ ldx Insn.U32 R0 R1 8; exit_ ])
+
+let t_ctx_oob () = expect_err eb [ ldx Insn.U64 R0 R1 60; exit_ ]
+
+let t_ctx_neg () = expect_err eb [ ldx Insn.U8 R0 R1 (-1); exit_ ]
+
+let t_ctx_write () = expect_err et [ sti Insn.U32 R1 0 0L; movi R0 0L; exit_ ]
+
+let t_ctx_bounded_variable_offset () =
+  (* offset refined by masking: ctx + (x & 31) is provably in bounds *)
+  ignore
+    (expect_ok
+       [
+         ldx Insn.U32 R2 R1 0;
+         alui Insn.And R2 31L;
+         mov R3 R1;
+         alu Insn.Add R3 R2;
+         ldx Insn.U8 R0 R3 0;
+         exit_;
+       ])
+
+let t_stack_rw () =
+  ignore (expect_ok [ sti Insn.U64 R10 (-8) 42L; ldx Insn.U64 R0 R10 (-8); exit_ ])
+
+let t_stack_oob () =
+  expect_err eb [ sti Insn.U64 R10 (-520) 0L; movi R0 0L; exit_ ]
+
+let t_stack_above_fp () =
+  expect_err eb [ sti Insn.U64 R10 8 0L; movi R0 0L; exit_ ]
+
+let t_stack_uninit_read () = expect_err ek [ ldx Insn.U64 R0 R10 (-16); exit_ ]
+
+let t_stack_var_offset () =
+  expect_err eb
+    [
+      ldx Insn.U32 R2 R1 0;
+      mov R3 R10;
+      alu Insn.Sub R3 R2;
+      ldx Insn.U64 R0 R3 0;
+      exit_;
+    ]
+
+let t_exit_needs_scalar_r0 () = expect_err et [ mov R0 R1; exit_ ]
+
+(* --- heap / SFI delegation ------------------------------------------------ *)
+
+let t_heap_requires_kflex () =
+  expect_err ~mode:Verify.Ebpf ~heap:false et
+    [ movi R1 4096L; ldx Insn.U64 R0 R1 0; exit_ ]
+
+let t_heap_scalar_deref_ok_kflex () =
+  let a = expect_ok [ movi R1 4096L; ldx Insn.U64 R0 R1 0; exit_ ] in
+  match a.Verify.heap_accesses with
+  | [ acc ] ->
+      Alcotest.(check bool) "formation" true acc.Verify.formation;
+      Alcotest.(check bool) "not elidable" false acc.Verify.elidable
+  | _ -> Alcotest.fail "expected one heap access"
+
+let t_heap_base_elidable () =
+  let a =
+    expect_ok
+      [ call "kflex_heap_base"; ldx Insn.U64 R0 R0 128; movi R0 0L; exit_ ]
+  in
+  match a.Verify.heap_accesses with
+  | [ acc ] ->
+      Alcotest.(check bool) "elidable" true acc.Verify.elidable;
+      Alcotest.(check bool) "not formation" false acc.Verify.formation
+  | _ -> Alcotest.fail "expected one heap access"
+
+let t_heap_base_offset_too_far () =
+  let a =
+    expect_ok
+      [
+        call "kflex_heap_base";
+        alui Insn.Add R0 65536L;
+        ldx Insn.U64 R0 R0 0;
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  match a.Verify.heap_accesses with
+  | [ acc ] -> Alcotest.(check bool) "not elidable" false acc.Verify.elidable
+  | _ -> Alcotest.fail "expected one heap access"
+
+let t_malloc_sized_elidable () =
+  let a =
+    expect_ok
+      [
+        movi R1 64L;
+        call "kflex_malloc";
+        jmpi Insn.Ne R0 0L "ok";
+        movi R0 0L;
+        exit_;
+        label "ok";
+        sti Insn.U64 R0 56 1L;
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  match a.Verify.heap_accesses with
+  | [ acc ] -> Alcotest.(check bool) "elidable" true acc.Verify.elidable
+  | _ -> Alcotest.fail "expected one heap access"
+
+let t_stored_heap_ptr_flagged () =
+  let a =
+    expect_ok
+      [
+        call "kflex_heap_base";
+        mov R2 R0;
+        stx Insn.U64 R2 0 R0;
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  match a.Verify.heap_accesses with
+  | [ acc ] -> Alcotest.(check bool) "stored_ptr" true acc.Verify.stored_ptr
+  | _ -> Alcotest.fail "expected one heap access"
+
+let t_kernel_ptr_leak_to_heap () =
+  expect_err er
+    [ call "kflex_heap_base"; stx Insn.U64 R0 0 R10; movi R0 0L; exit_ ]
+
+let t_atomic_outside_heap () =
+  expect_err et
+    [
+      sti Insn.U64 R10 (-8) 0L;
+      mov R2 R10;
+      alui Insn.Add R2 (-8L);
+      movi R3 1L;
+      I (Insn.Atomic (Insn.Atomic_add, Insn.U64, R2, 0, R3));
+      movi R0 0L;
+      exit_;
+    ]
+
+(* --- helpers and references ------------------------------------------------ *)
+
+let sk_prologue =
+  [
+    mov R6 R1;
+    sti Insn.U64 R10 (-16) 0L;
+    sti Insn.U64 R10 (-8) 0L;
+    mov R2 R10;
+    alui Insn.Add R2 (-16L);
+    movi R3 16L;
+    movi R4 0L;
+    movi R5 0L;
+    mov R1 R6;
+    call "bpf_sk_lookup_udp";
+  ]
+
+let t_unknown_helper () = expect_err eh [ call "frobnicate"; exit_ ]
+
+let t_helper_bad_arg () = expect_err eh [ movi R1 0L; call "pkt_len"; exit_ ]
+
+let t_helper_uninit_stack_buffer () =
+  expect_err eh
+    [
+      mov R6 R1;
+      mov R2 R10;
+      alui Insn.Add R2 (-16L);
+      movi R3 16L;
+      movi R4 0L;
+      movi R5 0L;
+      mov R1 R6;
+      call "bpf_sk_lookup_udp";
+      movi R0 0L;
+      exit_;
+    ]
+
+let t_acquire_release_ok () =
+  ignore
+    (expect_ok ~mode:Verify.Ebpf ~heap:false
+       (sk_prologue
+       @ [
+           jmpi Insn.Eq R0 0L "out";
+           mov R1 R0;
+           call "bpf_sk_release";
+           label "out";
+           movi R0 0L;
+           exit_;
+         ]))
+
+let t_leak_at_exit () =
+  expect_err er
+    (sk_prologue
+    @ [
+        jmpi Insn.Eq R0 0L "out";
+        mov R7 R0;
+        ja "out2";
+        label "out";
+        movi R0 0L;
+        exit_;
+        label "out2";
+        movi R0 0L;
+        exit_;
+      ])
+
+let t_leak_by_clobber () = expect_err el (sk_prologue @ [ movi R0 0L; exit_ ])
+
+let t_release_without_nullcheck () =
+  expect_err eh
+    (sk_prologue @ [ mov R1 R0; call "bpf_sk_release"; movi R0 0L; exit_ ])
+
+let t_double_release () =
+  expect_err ek
+    (sk_prologue
+    @ [
+        jmpi Insn.Eq R0 0L "out";
+        mov R7 R0;
+        mov R1 R7;
+        call "bpf_sk_release";
+        mov R1 R7;
+        call "bpf_sk_release";
+        label "out";
+        movi R0 0L;
+        exit_;
+      ])
+
+let t_obj_arithmetic () =
+  expect_err et
+    (sk_prologue
+    @ [
+        jmpi Insn.Eq R0 0L "out";
+        alui Insn.Add R0 8L;
+        label "out";
+        movi R0 0L;
+        exit_;
+      ])
+
+let t_obj_deref () =
+  expect_err et
+    (sk_prologue
+    @ [
+        jmpi Insn.Eq R0 0L "out";
+        ldx Insn.U64 R0 R0 0;
+        label "out";
+        movi R0 0L;
+        exit_;
+      ])
+
+let t_spill_reload_obj () =
+  ignore
+    (expect_ok
+       (sk_prologue
+       @ [
+           jmpi Insn.Eq R0 0L "out";
+           stx Insn.U64 R10 (-24) R0;
+           movi R2 7L;
+           ldx Insn.U64 R1 R10 (-24);
+           call "bpf_sk_release";
+           label "out";
+           movi R0 0L;
+           exit_;
+         ]))
+
+let t_partial_overwrite_spilled_obj () =
+  expect_err er
+    (sk_prologue
+    @ [
+        jmpi Insn.Eq R0 0L "out";
+        stx Insn.U64 R10 (-24) R0;
+        sti Insn.U8 R10 (-24) 0L;
+        label "out";
+        movi R0 0L;
+        exit_;
+      ])
+
+(* --- loops ------------------------------------------------------------------ *)
+
+let bounded_loop =
+  [
+    movi R1 0L;
+    label "loop";
+    alui Insn.Add R1 1L;
+    jmpi Insn.Lt R1 100L "loop";
+    movi R0 0L;
+    exit_;
+  ]
+
+let unbounded_loop =
+  [
+    movi R1 1024L;
+    label "loop";
+    ldx Insn.U64 R1 R1 0;
+    jmpi Insn.Ne R1 0L "loop";
+    movi R0 0L;
+    exit_;
+  ]
+
+let t_bounded_ebpf_ok () =
+  let a = expect_ok ~mode:Verify.Ebpf ~heap:false bounded_loop in
+  Alcotest.(check int) "no unbounded" 0 (List.length a.Verify.unbounded)
+
+let t_unbounded_ebpf_rejected () =
+  expect_err ~mode:Verify.Ebpf ~heap:false eo unbounded_loop
+
+let t_unbounded_kflex_reported () =
+  let a = expect_ok unbounded_loop in
+  Alcotest.(check int) "one unbounded" 1 (List.length a.Verify.unbounded)
+
+let t_loop_counter_clobbered_by_call () =
+  let p =
+    [
+      movi R6 0L;
+      movi R1 0L;
+      label "loop";
+      call "bpf_ktime_get_ns";
+      alui Insn.Add R1 1L;
+      jmpi Insn.Lt R1 100L "loop";
+      movi R0 0L;
+      exit_;
+    ]
+  in
+  expect_err ~mode:Verify.Ebpf ~heap:false eo p
+
+let t_loop_resource_convergence () =
+  let p =
+    [
+      call "kflex_heap_base";
+      mov R6 R0;
+      movi R7 0L;
+      label "loop";
+      mov R1 R6;
+      call "kflex_spin_lock";
+      stx Insn.U64 R10 (-8) R0;
+      alui Insn.Add R7 1L;
+      jmpi Insn.Ne R7 0L "loop";
+      movi R0 0L;
+      exit_;
+    ]
+  in
+  match verify p with
+  | Ok _ -> Alcotest.fail "expected loop-convergence rejection"
+  | Error e ->
+      Alcotest.(check bool) "loop or resource error" true
+        (e.Verify.kind = eo || e.Verify.kind = er)
+
+let t_lock_balanced_in_loop () =
+  ignore
+    (expect_ok
+       [
+         call "kflex_heap_base";
+         mov R6 R0;
+         movi R7 0L;
+         label "loop";
+         mov R1 R6;
+         call "kflex_spin_lock";
+         mov R1 R0;
+         call "kflex_spin_unlock";
+         alui Insn.Add R7 1L;
+         jmpi Insn.Lt R7 10L "loop";
+         movi R0 0L;
+         exit_;
+       ])
+
+let t_multiple_locks () =
+  ignore
+    (expect_ok
+       [
+         call "kflex_heap_base";
+         mov R6 R0;
+         mov R1 R6;
+         call "kflex_spin_lock";
+         mov R7 R0;
+         mov R1 R6;
+         alui Insn.Add R1 64L;
+         call "kflex_spin_lock";
+         mov R8 R0;
+         mov R1 R8;
+         call "kflex_spin_unlock";
+         mov R1 R7;
+         call "kflex_spin_unlock";
+         movi R0 0L;
+         exit_;
+       ])
+
+(* --- analysis facts ----------------------------------------------------------- *)
+
+let t_res_at_locations () =
+  let a =
+    expect_ok
+      (sk_prologue
+      @ [
+          jmpi Insn.Eq R0 0L "out";
+          mov R7 R0;
+          call "kflex_heap_base";
+          ldx Insn.U64 R2 R0 0;
+          mov R1 R7;
+          call "bpf_sk_release";
+          label "out";
+          movi R0 0L;
+          exit_;
+        ])
+  in
+  match a.Verify.heap_accesses with
+  | [ access ] -> (
+      match a.Verify.res_at.(access.Verify.pc) with
+      | [ { Verify.res; loc } ] -> (
+          Alcotest.(check string) "klass" "sock" res.State.klass;
+          match loc with
+          | State.L_reg r -> Alcotest.(check int) "in r7" 7 (Reg.to_int r)
+          | State.L_slot _ -> Alcotest.fail "expected register location")
+      | l -> Alcotest.failf "expected 1 held resource, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 heap access, got %d" (List.length l)
+
+let t_origin_tracking_elision () =
+  let a =
+    expect_ok
+      [
+        call "kflex_heap_base";
+        mov R6 R0;
+        sti Insn.U64 R10 (-8) 0L;
+        label "loop";
+        ldx Insn.U64 R2 R10 (-8);
+        jmpi Insn.Ge R2 8L "done";
+        ldx Insn.U64 R3 R10 (-8);
+        alui Insn.Lsh R3 3L;
+        mov R4 R6;
+        alu Insn.Add R4 R3;
+        ldx Insn.U64 R5 R4 0;
+        ldx Insn.U64 R2 R10 (-8);
+        alui Insn.Add R2 1L;
+        stx Insn.U64 R10 (-8) R2;
+        ja "loop";
+        label "done";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  match a.Verify.heap_accesses with
+  | [ acc ] ->
+      Alcotest.(check bool) "elidable via origin" true acc.Verify.elidable
+  | l -> Alcotest.failf "expected 1 heap access, got %d" (List.length l)
+
+let t_widening_terminates () =
+  (* a loop whose counter range keeps growing must still reach a fixpoint
+     quickly thanks to widening *)
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (expect_ok
+       [
+         movi R1 0L;
+         movi R2 0L;
+         label "loop";
+         alui Insn.Add R1 3L;
+         alui Insn.Add R2 5L;
+         alu Insn.Add R1 R2;
+         ldx Insn.U64 R3 R1 0;
+         jmpi Insn.Ne R3 0L "loop";
+         movi R0 0L;
+         exit_;
+       ]);
+  Alcotest.(check bool) "fast fixpoint" true (Unix.gettimeofday () -. t0 < 1.0)
+
+let t_mixed_provenance_join () =
+  (* a value that is a stack pointer on one path and a scalar on the other
+     is unusable after the join *)
+  expect_err ek
+    [
+      ldx Insn.U32 R2 R1 0;
+      jmpi Insn.Eq R2 0L "a";
+      mov R3 R10;
+      ja "m";
+      label "a";
+      movi R3 64L;
+      label "m";
+      ldx Insn.U64 R0 R3 (-8);
+      exit_;
+    ]
+
+let t_heap_scalar_join_is_unknown () =
+  (* heap pointer on one path, scalar on the other: usable, but guarded *)
+  let a =
+    expect_ok
+      [
+        ldx Insn.U32 R2 R1 0;
+        jmpi Insn.Eq R2 0L "a";
+        call "kflex_heap_base";
+        mov R3 R0;
+        ja "m";
+        label "a";
+        movi R3 4096L;
+        label "m";
+        ldx Insn.U64 R0 R3 0;
+        exit_;
+      ]
+  in
+  match a.Verify.heap_accesses with
+  | [ acc ] -> Alcotest.(check bool) "formation guard" true acc.Verify.formation
+  | _ -> Alcotest.fail "expected one heap access"
+
+let t_sleepable_rejected_on_xdp () =
+  let contracts' =
+    Contract.registry
+      (Contract.kflex_base
+      @ [
+          Contract.make ~name:"might_sleep" ~args:[] ~ret:Contract.R_scalar
+            ~sleepable:true ();
+        ])
+  in
+  let prog = Asm.assemble ~name:"sleepy" [ call "might_sleep"; exit_ ] in
+  (match
+     Verify.run ~mode:Verify.Kflex ~contracts:contracts' ~ctx_size:64
+       ~sleepable:false prog
+   with
+  | Error { Verify.kind = Verify.E_helper; _ } -> ()
+  | _ -> Alcotest.fail "sleepable helper must be rejected at a non-sleepable hook");
+  match
+    Verify.run ~mode:Verify.Kflex ~contracts:contracts' ~ctx_size:64
+      ~sleepable:true prog
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "sleepable hook should accept: %a" Verify.pp_error e
+
+let t_dead_branch_not_explored () =
+  (* on the dead edge of [if 5 == 5] the invalid access is unreachable *)
+  ignore
+    (expect_ok
+       [
+         movi R2 5L;
+         jmpi Insn.Eq R2 5L "ok";
+         mov R0 R7;
+         (* would be uninit, but this edge is dead *)
+         exit_;
+         label "ok";
+         movi R0 0L;
+         exit_;
+       ])
+
+let t_stack_used () =
+  let a =
+    expect_ok [ sti Insn.U64 R10 (-48) 1L; ldx Insn.U64 R0 R10 (-48); exit_ ]
+  in
+  Alcotest.(check int) "stack_used" 48 a.Verify.stack_used
+
+(* Robustness fuzz: the verifier must accept or reject every structurally
+   valid program — never raise, never hang. *)
+let prop_verifier_total =
+  let open QCheck in
+  let insn_gen rng =
+    let reg () = Reg.of_int (Gen.int_bound 9 rng) in
+    let any_reg () = Reg.of_int (Gen.int_bound 10 rng) in
+    let imm () = Int64.of_int (Gen.int_range (-1024) 1024 rng) in
+    match Gen.int_bound 9 rng with
+    | 0 -> Insn.Mov (reg (), Insn.Imm (imm ()))
+    | 1 -> Insn.Mov (reg (), Insn.Reg (any_reg ()))
+    | 2 ->
+        Insn.Alu
+          ( List.nth
+              [ Insn.Add; Insn.Sub; Insn.Mul; Insn.Div; Insn.And; Insn.Or;
+                Insn.Lsh; Insn.Rsh ]
+              (Gen.int_bound 7 rng),
+            reg (),
+            Insn.Imm (imm ()) )
+    | 3 -> Insn.Ldx (Insn.U64, reg (), any_reg (), Gen.int_range (-64) 64 rng)
+    | 4 -> Insn.Stx (Insn.U64, any_reg (), Gen.int_range (-64) 64 rng, any_reg ())
+    | 5 -> Insn.St (Insn.U32, any_reg (), Gen.int_range (-64) 64 rng, imm ())
+    | 6 ->
+        Insn.Call
+          (List.nth
+             [ "kflex_heap_base"; "kflex_malloc"; "bpf_ktime_get_ns";
+               "bpf_get_prandom_u32"; "pkt_len" ]
+             (Gen.int_bound 4 rng))
+    | 7 -> Insn.Neg (reg ())
+    | _ -> Insn.Mov (Reg.R0, Insn.Imm 0L)
+  in
+  let prog_gen rng =
+    let n = 1 + Gen.int_bound 20 rng in
+    let body = Array.init n (fun _ -> insn_gen rng) in
+    (* add a few random forward/backward jumps with in-range targets *)
+    let with_jumps =
+      Array.mapi
+        (fun i insn ->
+          if Gen.int_bound 6 rng = 0 && n > 1 then begin
+            let target = Gen.int_bound n rng in
+            let off = target - i - 1 in
+            if target <> i + 1 && target >= 0 && target <= n then
+              Insn.Jcond
+                ( (if Gen.bool rng then Insn.Eq else Insn.Lt),
+                  Reg.of_int (Gen.int_bound 10 rng),
+                  Insn.Imm 0L,
+                  off )
+            else insn
+          end
+          else insn)
+        body
+    in
+    Array.append with_jumps [| Insn.Mov (Reg.R0, Insn.Imm 0L); Insn.Exit |]
+  in
+  QCheck.Test.make ~count:400 ~name:"verifier is total on valid programs"
+    (QCheck.make prog_gen)
+    (fun insns ->
+      match Prog.create ~name:"fuzz" insns with
+      | exception Prog.Malformed _ -> true (* structurally invalid: fine *)
+      | prog -> (
+          match
+            Verify.run ~mode:Verify.Kflex ~contracts ~ctx_size:64
+              ~heap_size:65536L prog
+          with
+          | Ok _ | Error _ -> true))
+
+(* Guard semantics: sanitisation is idempotent and lands in-heap. *)
+let prop_sanitize_idempotent =
+  QCheck.Test.make ~count:500 ~name:"sanitize is idempotent and in-heap"
+    QCheck.(map Int64.of_int int)
+    (fun addr ->
+      let h = Kflex_runtime.Heap.create ~size:65536L () in
+      let s1 = Kflex_runtime.Heap.sanitize h addr in
+      let s2 = Kflex_runtime.Heap.sanitize h s1 in
+      s1 = s2
+      &&
+      match Kflex_runtime.Heap.offset_of_addr h s1 with
+      | Some off -> off >= 0L && off < 65536L
+      | None -> false)
+
+let () =
+  Alcotest.run "verifier"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "uninit use" `Quick t_uninit_use;
+          Alcotest.test_case "uninit branch" `Quick t_uninit_branch;
+          Alcotest.test_case "ctx read ok" `Quick t_ctx_read_ok;
+          Alcotest.test_case "ctx oob" `Quick t_ctx_oob;
+          Alcotest.test_case "ctx negative" `Quick t_ctx_neg;
+          Alcotest.test_case "ctx write" `Quick t_ctx_write;
+          Alcotest.test_case "ctx masked var offset" `Quick
+            t_ctx_bounded_variable_offset;
+          Alcotest.test_case "stack rw" `Quick t_stack_rw;
+          Alcotest.test_case "stack oob" `Quick t_stack_oob;
+          Alcotest.test_case "stack above fp" `Quick t_stack_above_fp;
+          Alcotest.test_case "stack uninit read" `Quick t_stack_uninit_read;
+          Alcotest.test_case "stack var offset" `Quick t_stack_var_offset;
+          Alcotest.test_case "exit non-scalar" `Quick t_exit_needs_scalar_r0;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "heap needs kflex" `Quick t_heap_requires_kflex;
+          Alcotest.test_case "scalar deref = formation" `Quick
+            t_heap_scalar_deref_ok_kflex;
+          Alcotest.test_case "heap_base elidable" `Quick t_heap_base_elidable;
+          Alcotest.test_case "offset too far" `Quick t_heap_base_offset_too_far;
+          Alcotest.test_case "malloc sized elidable" `Quick
+            t_malloc_sized_elidable;
+          Alcotest.test_case "stored ptr flag" `Quick t_stored_heap_ptr_flagged;
+          Alcotest.test_case "kernel ptr leak" `Quick t_kernel_ptr_leak_to_heap;
+          Alcotest.test_case "atomic outside heap" `Quick t_atomic_outside_heap;
+        ] );
+      ( "helpers",
+        [
+          Alcotest.test_case "unknown helper" `Quick t_unknown_helper;
+          Alcotest.test_case "bad ctx arg" `Quick t_helper_bad_arg;
+          Alcotest.test_case "uninit buffer" `Quick t_helper_uninit_stack_buffer;
+          Alcotest.test_case "acquire/release" `Quick t_acquire_release_ok;
+          Alcotest.test_case "leak at exit" `Quick t_leak_at_exit;
+          Alcotest.test_case "leak by clobber" `Quick t_leak_by_clobber;
+          Alcotest.test_case "release w/o null check" `Quick
+            t_release_without_nullcheck;
+          Alcotest.test_case "double release" `Quick t_double_release;
+          Alcotest.test_case "obj arithmetic" `Quick t_obj_arithmetic;
+          Alcotest.test_case "obj deref" `Quick t_obj_deref;
+          Alcotest.test_case "spill/reload obj" `Quick t_spill_reload_obj;
+          Alcotest.test_case "partial overwrite obj" `Quick
+            t_partial_overwrite_spilled_obj;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "bounded ebpf ok" `Quick t_bounded_ebpf_ok;
+          Alcotest.test_case "unbounded ebpf rejected" `Quick
+            t_unbounded_ebpf_rejected;
+          Alcotest.test_case "unbounded kflex reported" `Quick
+            t_unbounded_kflex_reported;
+          Alcotest.test_case "counter clobbered" `Quick
+            t_loop_counter_clobbered_by_call;
+          Alcotest.test_case "resource convergence" `Quick
+            t_loop_resource_convergence;
+          Alcotest.test_case "balanced lock in loop" `Quick
+            t_lock_balanced_in_loop;
+          Alcotest.test_case "multiple locks" `Quick t_multiple_locks;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "object table locations" `Quick t_res_at_locations;
+          Alcotest.test_case "origin-tracked elision" `Quick
+            t_origin_tracking_elision;
+          Alcotest.test_case "stack_used" `Quick t_stack_used;
+          Alcotest.test_case "widening terminates" `Quick t_widening_terminates;
+          Alcotest.test_case "mixed provenance join" `Quick
+            t_mixed_provenance_join;
+          Alcotest.test_case "heap/scalar join" `Quick
+            t_heap_scalar_join_is_unknown;
+          Alcotest.test_case "sleepable hooks" `Quick t_sleepable_rejected_on_xdp;
+          Alcotest.test_case "dead branch" `Quick t_dead_branch_not_explored;
+          QCheck_alcotest.to_alcotest prop_verifier_total;
+          QCheck_alcotest.to_alcotest prop_sanitize_idempotent;
+        ] );
+    ]

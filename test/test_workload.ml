@@ -1,0 +1,85 @@
+(* Workload generation tests: deterministic RNG, Zipf distribution, latency
+   statistics. *)
+open Kflex_workload
+
+let t_rng_deterministic () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:1L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done;
+  let c = Rng.create ~seed:2L in
+  Alcotest.(check bool) "different seed" true (Rng.next a <> Rng.next c)
+
+let t_rng_ranges () =
+  let r = Rng.create ~seed:3L in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0);
+    let i = Rng.int r 17 in
+    Alcotest.(check bool) "int in range" true (i >= 0 && i < 17)
+  done
+
+let t_zipf_pmf () =
+  let z = Zipf.create ~n:100 () in
+  let total = ref 0.0 in
+  let mono = ref true in
+  for i = 0 to 99 do
+    total := !total +. Zipf.pmf z i;
+    if i > 0 && Zipf.pmf z i > Zipf.pmf z (i - 1) then mono := false
+  done;
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 !total;
+  Alcotest.(check bool) "monotone" true !mono
+
+let t_zipf_sampling () =
+  let z = Zipf.create ~n:1000 () in
+  let rng = Rng.create ~seed:5L in
+  let counts = Array.make 1000 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* empirical frequency of the head ranks tracks the pmf *)
+  List.iter
+    (fun i ->
+      let emp = float_of_int counts.(i) /. float_of_int n in
+      let exp = Zipf.pmf z i in
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d within 20%%" i)
+        true
+        (abs_float (emp -. exp) /. exp < 0.2))
+    [ 0; 1; 2; 5; 10 ];
+  (* skew: top-10 ranks carry far more than uniform *)
+  let top10 = Array.fold_left ( + ) 0 (Array.sub counts 0 10) in
+  Alcotest.(check bool) "skewed" true (float_of_int top10 /. float_of_int n > 0.3)
+
+let t_stats () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 (Stats.percentile s 0.99);
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile s 0.5);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Stats.percentile s 0.99);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile s 1.0);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Stats.max s);
+  (* interleave add and percentile: sorting must not lose samples *)
+  Stats.add s 1000.0;
+  Alcotest.(check (float 1e-9)) "new max" 1000.0 (Stats.max s);
+  Alcotest.(check int) "count" 101 (Stats.count s)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "rng deterministic" `Quick t_rng_deterministic;
+          Alcotest.test_case "rng ranges" `Quick t_rng_ranges;
+          Alcotest.test_case "zipf pmf" `Quick t_zipf_pmf;
+          Alcotest.test_case "zipf sampling" `Quick t_zipf_sampling;
+          Alcotest.test_case "stats" `Quick t_stats;
+        ] );
+    ]
