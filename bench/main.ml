@@ -145,12 +145,40 @@ let fig5 () =
 
 (* ---- Table 3: guard elision ------------------------------------------- *)
 
+let verify_ds prog =
+  Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex
+    ~contracts:Kflex.contracts ~ctx_size:Kflex_kernel.Hook.ctx_size
+    ~heap_size:(Int64.shift_left 1L 24) prog
+
+(* Run [f] with the known-bits half of the verifier's domain disabled, i.e.
+   with the plain interval analysis the seed shipped. Used to measure how
+   many extra guards the tnum domain elides. *)
+let interval_only f =
+  Kflex_verifier.Range.set_tnum false;
+  Fun.protect ~finally:(fun () -> Kflex_verifier.Range.set_tnum true) f
+
+(* (sites, elided interval-only, elided interval+tnum) for one compiled op;
+   None if verification fails. *)
+let elision_counts prog =
+  let count analysis =
+    let kie = Kflex_kie.Instrument.run analysis in
+    kie.Kflex_kie.Instrument.report
+  in
+  match (interval_only (fun () -> verify_ds prog), verify_ds prog) with
+  | Ok a_int, Ok a_tnum ->
+      let r_int = count a_int and r_tnum = count a_tnum in
+      Some (r_int, r_tnum)
+  | _ -> None
+
 let table3 () =
   hr "Table 3: SFI guards elided by the verifier's range analysis";
-  pf "  (paper: 76%% of pointer-manipulation guards elided on average)@.";
-  pf "  %-24s %8s %8s %8s %10s@." "function" "sites" "elided" "emitted"
-    "elided%";
-  let total_sites = ref 0 and total_elided = ref 0 in
+  pf "  (paper: 76%% of pointer-manipulation guards elided on average;@.";
+  pf "   el(int) = interval domain only, el(+tnum) = with known bits)@.";
+  pf "  %-24s %6s %8s %9s %4s %8s %9s@." "function" "sites" "el(int)"
+    "el(+tnum)" "d" "emitted" "elided%";
+  let total_sites = ref 0
+  and total_int = ref 0
+  and total_tnum = ref 0 in
   List.iter
     (fun kind ->
       List.iter
@@ -161,31 +189,29 @@ let table3 () =
               ~name:(Kflex_apps.Datastructs.name kind ^ "_" ^ opname)
               src
           in
-          match
-            Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex
-              ~contracts:Kflex.contracts ~ctx_size:Kflex_kernel.Hook.ctx_size
-              ~heap_size:(Int64.shift_left 1L 24)
-              compiled.Kflex_eclang.Compile.prog
-          with
-          | Error e ->
-              pf "  %-24s VERIFY ERROR: %a@."
+          match elision_counts compiled.Kflex_eclang.Compile.prog with
+          | None ->
+              pf "  %-24s VERIFY ERROR@."
                 (Kflex_apps.Datastructs.name kind ^ " " ^ opname)
-                Kflex_verifier.Verify.pp_error e
-          | Ok analysis ->
-              let kie = Kflex_kie.Instrument.run analysis in
-              let r = kie.Kflex_kie.Instrument.report in
+          | Some (r_int, r) ->
               total_sites := !total_sites + r.Kflex_kie.Report.counted_sites;
-              total_elided := !total_elided + r.Kflex_kie.Report.elided;
-              pf "  %-24s %8d %8d %8d %9.0f%%@."
+              total_int := !total_int + r_int.Kflex_kie.Report.elided;
+              total_tnum := !total_tnum + r.Kflex_kie.Report.elided;
+              pf "  %-24s %6d %8d %9d %+4d %8d %8.0f%%@."
                 (Kflex_apps.Datastructs.name kind ^ " " ^ opname)
-                r.Kflex_kie.Report.counted_sites r.Kflex_kie.Report.elided
+                r.Kflex_kie.Report.counted_sites r_int.Kflex_kie.Report.elided
+                r.Kflex_kie.Report.elided
+                (r.Kflex_kie.Report.elided - r_int.Kflex_kie.Report.elided)
                 r.Kflex_kie.Report.emitted
                 (100. *. Kflex_kie.Report.elision_ratio r))
         [ ("update", `Update); ("lookup", `Lookup); ("delete", `Delete) ])
     Kflex_apps.Datastructs.all;
   if !total_sites > 0 then
-    pf "  %-24s %8d %8d %8s %9.0f%%@." "TOTAL" !total_sites !total_elided ""
-      (100. *. float_of_int !total_elided /. float_of_int !total_sites)
+    pf "  %-24s %6d %8d %9d %+4d %8s %8.0f%%@." "TOTAL" !total_sites !total_int
+      !total_tnum
+      (!total_tnum - !total_int)
+      ""
+      (100. *. float_of_int !total_tnum /. float_of_int !total_sites)
 
 (* ---- Ablation: does verification reduce SFI overhead? (§5.4) ----------- *)
 
@@ -194,10 +220,20 @@ let table3 () =
    analysis honoured vs ignored (every heap access guarded). *)
 let ablation () =
   hr "Ablation (§5.4): guard elision ON vs OFF (per-op cost units)";
-  pf "  %-12s %10s %12s %12s %10s@." "structure" "KMod" "KFlex" "no-elision"
-    "saved";
+  pf "  %-12s %10s %12s %12s %10s %8s %9s@." "structure" "KMod" "KFlex"
+    "no-elision" "saved" "el(int)" "el(+tnum)";
   List.iter
     (fun kind ->
+      let static_elided =
+        (* static elision counts for this structure's update op, with and
+           without the known-bits domain *)
+        let compiled =
+          Kflex_eclang.Compile.compile_string
+            ~name:(Kflex_apps.Datastructs.name kind ^ "_update")
+            (Kflex_apps.Datastructs.op_source kind `Update)
+        in
+        elision_counts compiled.Kflex_eclang.Compile.prog
+      in
       let cost mode =
         let inst = Kflex_apps.Datastructs.create ~mode kind in
         for i = 0 to 4095 do
@@ -218,10 +254,18 @@ let ablation () =
       let kmod = cost Kflex_apps.Datastructs.M_kmod in
       let kflex = cost Kflex_apps.Datastructs.M_kflex in
       let noel = cost Kflex_apps.Datastructs.M_noelide in
-      pf "  %-12s %10.1f %12.1f %12.1f %9.1f%%@."
+      let el_int, el_tnum =
+        match static_elided with
+        | Some (r_int, r_tnum) ->
+            ( string_of_int r_int.Kflex_kie.Report.elided,
+              string_of_int r_tnum.Kflex_kie.Report.elided )
+        | None -> ("?", "?")
+      in
+      pf "  %-12s %10.1f %12.1f %12.1f %9.1f%% %8s %9s@."
         (Kflex_apps.Datastructs.name kind)
         kmod kflex noel
-        (100. *. (noel -. kflex) /. (noel -. kmod +. 1e-9)))
+        (100. *. (noel -. kflex) /. (noel -. kmod +. 1e-9))
+        el_int el_tnum)
     [
       Kflex_apps.Datastructs.Hashmap; Kflex_apps.Datastructs.Rbtree;
       Kflex_apps.Datastructs.Skiplist; Kflex_apps.Datastructs.Countmin;

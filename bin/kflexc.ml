@@ -4,6 +4,7 @@
      compile FILE.ec [-o OUT.kfx]   compile eclang to a KFlex bytecode blob
      disasm  FILE.kfx               disassemble a bytecode blob
      verify  FILE.ec|FILE.kfx       run the verifier and print the analysis
+     lint    FILE.ec|FILE.kfx       report dead code, dead stores, redundant guards
      report  FILE.ec [--perf-mode]  instrument and print the guard report
      run     FILE.ec [--payload HEX] load and execute with one packet *)
 
@@ -23,23 +24,23 @@ let load_prog path =
     let c = Kflex_eclang.Compile.compile_string ~name:(Filename.basename path) (read_file path) in
     (c.Kflex_eclang.Compile.prog, c.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size)
 
-let handle_errors f =
+let handle_errors ?(code = 1) f =
   try f () with
   | Kflex_eclang.Compile.Error m ->
       Format.eprintf "compile error: %s@." m;
-      exit 1
+      exit code
   | Kflex_eclang.Parser.Error { line; msg } ->
       Format.eprintf "parse error (line %d): %s@." line msg;
-      exit 1
+      exit code
   | Kflex_eclang.Lexer.Error { line; msg } ->
       Format.eprintf "lex error (line %d): %s@." line msg;
-      exit 1
+      exit code
   | Kflex_bpf.Encode.Decode_error m ->
       Format.eprintf "decode error: %s@." m;
-      exit 1
+      exit code
   | Sys_error m ->
       Format.eprintf "%s@." m;
-      exit 1
+      exit code
 
 let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
 
@@ -104,6 +105,48 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Verify kernel-interface compliance")
     Term.(const run $ file_arg $ heap_size_arg)
 
+let lint_cmd =
+  let run file heap_bits =
+    handle_errors ~code:2 (fun () ->
+        let prog, _ = load_prog file in
+        match
+          Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex
+            ~contracts:Kflex.contracts ~ctx_size:Kflex_kernel.Hook.ctx_size
+            ~heap_size:(Int64.shift_left 1L heap_bits) prog
+        with
+        | Error e ->
+            Format.eprintf "REJECTED: %a@." Kflex_verifier.Verify.pp_error e;
+            exit 2
+        | Ok a ->
+            let diags = Kflex_verifier.Lint.run ~contracts:Kflex.contracts a in
+            Format.printf "%a@." Kflex_kie.Report.pp_lint diags;
+            exit (Kflex_verifier.Lint.exit_code diags))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Report dead code, dead stores, provably-dead branches, redundant \
+          guards and ignored helper results. Exits 0 when clean, 1 with \
+          findings, 2 on compile/verify failure.")
+    Term.(const run $ file_arg $ heap_size_arg)
+
+let access_note (a : Kflex_verifier.Verify.analysis) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (x : Kflex_verifier.Verify.heap_access) ->
+      let what =
+        if x.Kflex_verifier.Verify.formation then "formation"
+        else if x.Kflex_verifier.Verify.elidable then "elidable"
+        else "guarded"
+      in
+      Hashtbl.replace tbl x.Kflex_verifier.Verify.pc
+        (Format.asprintf "%s %s w=%d eff=%a" what
+           (if x.Kflex_verifier.Verify.is_store then "store" else "load")
+           x.Kflex_verifier.Verify.width Kflex_verifier.Range.pp
+           x.Kflex_verifier.Verify.eff))
+    a.Kflex_verifier.Verify.heap_accesses;
+  fun pc -> Hashtbl.find_opt tbl pc
+
 let report_cmd =
   let pm = Arg.(value & flag & info [ "perf-mode" ] ~doc:"Performance mode") in
   let run file heap_bits pm =
@@ -124,8 +167,13 @@ let report_cmd =
                            Kflex_kie.Instrument.performance_mode = pm }
                 a
             in
+            Format.printf "%a@."
+              (Kflex_bpf.Prog.pp_with_notes ~notes:(access_note a))
+              prog;
             Format.printf "%a@." Kflex_kie.Report.pp
               kie.Kflex_kie.Instrument.report;
+            let diags = Kflex_verifier.Lint.run ~contracts:Kflex.contracts a in
+            Format.printf "%a@." Kflex_kie.Report.pp_lint diags;
             Format.printf "instrumented: %d -> %d insns@."
               (Kflex_bpf.Prog.length prog)
               (Kflex_bpf.Prog.length kie.Kflex_kie.Instrument.prog))
@@ -186,4 +234,7 @@ let run_cmd =
 
 let () =
   let info = Cmd.info "kflexc" ~doc:"KFlex extension toolchain" in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; disasm_cmd; verify_cmd; report_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; disasm_cmd; verify_cmd; lint_cmd; report_cmd; run_cmd ]))

@@ -59,10 +59,18 @@ let get p pc =
 
 let is_instrumented p = p.instrumented
 
-let pp ppf p =
+let pp_with_notes ~notes ppf p =
   Format.fprintf ppf "@[<v>; program %s (%d insns)@," p.name
     (Array.length p.insns);
   Array.iteri
-    (fun pc insn -> Format.fprintf ppf "%4d: %a@," pc Insn.pp insn)
+    (fun pc insn ->
+      match notes pc with
+      | None -> Format.fprintf ppf "%4d: %a@," pc Insn.pp insn
+      | Some note ->
+          Format.fprintf ppf "%4d: %-32s ; %s@," pc
+            (Format.asprintf "%a" Insn.pp insn)
+            note)
     p.insns;
   Format.fprintf ppf "@]"
+
+let pp ppf p = pp_with_notes ~notes:(fun _ -> None) ppf p

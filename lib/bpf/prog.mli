@@ -34,6 +34,13 @@ val is_instrumented : t -> bool
 val pp : Format.formatter -> t -> unit
 (** Full disassembly listing with pcs. *)
 
+val pp_with_notes :
+  notes:(int -> string option) -> Format.formatter -> t -> unit
+(** Like {!pp}, but appends [; note] after any instruction for which
+    [notes pc] is [Some note] — used by [kflexc report] to annotate heap
+    accesses with the analysis evidence (offset ranges, known bits) behind
+    each guard-elision decision. *)
+
 val stack_size : int
 (** Size in bytes of the per-invocation extension stack (512, as in eBPF). *)
 

@@ -23,6 +23,38 @@ let elision_ratio t =
   if t.counted_sites = 0 then 1.0
   else float_of_int t.elided /. float_of_int t.counted_sites
 
+let pp_lint ppf diags =
+  match diags with
+  | [] -> Format.fprintf ppf "lint: clean"
+  | _ ->
+      let count k =
+        List.length
+          (List.filter (fun (d : Kflex_verifier.Lint.diag) -> d.kind = k) diags)
+      in
+      let parts =
+        List.filter_map
+          (fun k ->
+            match count k with
+            | 0 -> None
+            | n ->
+                Some (Printf.sprintf "%d %s" n (Kflex_verifier.Lint.kind_name k)))
+          [
+            Kflex_verifier.Lint.Unreachable;
+            Kflex_verifier.Lint.Dead_store;
+            Kflex_verifier.Lint.Always_taken;
+            Kflex_verifier.Lint.Never_taken;
+            Kflex_verifier.Lint.Redundant_guard;
+            Kflex_verifier.Lint.Ignored_result;
+          ]
+      in
+      Format.fprintf ppf "@[<v>lint: %d finding%s (%s)" (List.length diags)
+        (if List.length diags = 1 then "" else "s")
+        (String.concat ", " parts);
+      List.iter
+        (fun d -> Format.fprintf ppf "@,  %a" Kflex_verifier.Lint.pp_diag d)
+        diags;
+      Format.fprintf ppf "@]"
+
 let pp ppf t =
   Format.fprintf ppf
     "guards: %d sites, %d elided (%.0f%%), %d emitted, %d formation, %d \

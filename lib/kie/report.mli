@@ -25,3 +25,8 @@ val elision_ratio : t -> float
 (** [elided / counted_sites]; 1.0 when there are no counted sites. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_lint : Format.formatter -> Kflex_verifier.Lint.diag list -> unit
+(** Summary line plus one indented line per diagnostic — the [kflexc lint]
+    and [kflexc report] rendering of {!Kflex_verifier.Lint.run} output.
+    Prints ["lint: clean"] for an empty list. *)

@@ -1,0 +1,277 @@
+open Kflex_bpf
+
+type kind =
+  | Unreachable
+  | Dead_store
+  | Always_taken
+  | Never_taken
+  | Redundant_guard
+  | Ignored_result
+
+type diag = { pc : int; kind : kind; msg : string }
+
+let kind_name = function
+  | Unreachable -> "unreachable"
+  | Dead_store -> "dead-store"
+  | Always_taken -> "always-taken"
+  | Never_taken -> "never-taken"
+  | Redundant_guard -> "redundant-guard"
+  | Ignored_result -> "ignored-result"
+
+let exit_code = function [] -> 0 | _ :: _ -> 1
+
+let pp_diag ppf d =
+  Format.fprintf ppf "insn %d: [%s] %s" d.pc (kind_name d.kind) d.msg
+
+(* --- register read/write sets (conservative) ---------------------------- *)
+
+let src_reads = function Insn.Reg r -> [ r ] | Insn.Imm _ -> []
+
+let call_arity contracts name =
+  match Contract.find contracts name with
+  | Some c -> List.length c.Contract.args
+  | None -> 5
+
+let reads contracts (insn : Insn.t) =
+  match insn with
+  | Insn.Mov (_, s) -> src_reads s
+  | Insn.Alu (_, d, s) -> d :: src_reads s
+  | Insn.Neg d -> [ d ]
+  | Insn.Ldx (_, _, s, _) -> [ s ]
+  | Insn.Stx (_, d, _, s) | Insn.Xstore (_, d, _, s) -> [ d; s ]
+  | Insn.St (_, d, _, _) -> [ d ]
+  | Insn.Atomic (op, _, d, _, s) ->
+      if op = Insn.Cmpxchg then [ d; s; Reg.R0 ] else [ d; s ]
+  | Insn.Ja _ | Insn.Checkpoint _ -> []
+  | Insn.Jcond (_, a, s, _) -> a :: src_reads s
+  | Insn.Call name ->
+      List.filteri (fun i _ -> i < call_arity contracts name)
+        [ Reg.R1; Reg.R2; Reg.R3; Reg.R4; Reg.R5 ]
+  | Insn.Exit -> [ Reg.R0 ]
+  | Insn.Guard (_, r) -> [ r ]
+
+let writes_r0 (insn : Insn.t) =
+  match insn with
+  | Insn.Mov (d, _) | Insn.Alu (_, d, _) | Insn.Neg d | Insn.Ldx (_, d, _, _) ->
+      Reg.equal d Reg.R0
+  | Insn.Atomic (op, _, _, _, s) -> (
+      match op with
+      | Insn.Cmpxchg -> true
+      | Insn.Fetch_add | Insn.Fetch_or | Insn.Fetch_and | Insn.Fetch_xor
+      | Insn.Xchg ->
+          Reg.equal s Reg.R0
+      | _ -> false)
+  | Insn.Call _ -> true
+  | _ -> false
+
+(* Whether the frame pointer's value escapes into data flow — a copied
+   stack address can alias any slot from any register, so dead-store
+   tracking must stand down for the whole program. Using fp as a load/store
+   base is not an escape; everything else that reads it is. *)
+let fp_escapes (insn : Insn.t) =
+  let fp = Reg.fp in
+  match insn with
+  | Insn.Ldx _ -> false
+  | Insn.Stx (_, _, _, s) | Insn.Xstore (_, _, _, s) -> Reg.equal s fp
+  | Insn.St _ -> false
+  | Insn.Mov (_, Insn.Reg s) -> Reg.equal s fp
+  | Insn.Alu (_, d, s) ->
+      Reg.equal d fp || List.exists (fun r -> Reg.equal r fp) (src_reads s)
+  | Insn.Neg d -> Reg.equal d fp
+  | Insn.Atomic (_, _, d, _, s) -> Reg.equal d fp || Reg.equal s fp
+  | Insn.Jcond (_, a, s, _) ->
+      Reg.equal a fp || List.exists (fun r -> Reg.equal r fp) (src_reads s)
+  | _ -> false
+
+(* --- per-analysis passes ------------------------------------------------- *)
+
+let unreachable_diags (a : Verify.analysis) =
+  let blocks = Cfg.blocks a.Verify.cfg in
+  Array.to_list blocks
+  |> List.filter_map (fun (b : Cfg.block) ->
+         if a.Verify.reached.(b.Cfg.id) then None
+         else
+           let why =
+             if Cfg.reachable a.Verify.cfg b.Cfg.id then
+               "every path to it dies on a contradictory branch"
+             else "no path from the entry leads here"
+           in
+           Some
+             {
+               pc = b.Cfg.first;
+               kind = Unreachable;
+               msg =
+                 Format.sprintf "insns %d..%d are unreachable: %s" b.Cfg.first
+                   b.Cfg.last why;
+             })
+
+let verdict_diags (a : Verify.analysis) =
+  List.map
+    (fun (pc, v) ->
+      let insn = Prog.get a.Verify.prog pc in
+      match v with
+      | Verify.Always_taken ->
+          {
+            pc;
+            kind = Always_taken;
+            msg =
+              Format.asprintf
+                "branch `%a` is always taken (fall-through edge is dead)"
+                Insn.pp insn;
+          }
+      | Verify.Never_taken ->
+          {
+            pc;
+            kind = Never_taken;
+            msg =
+              Format.asprintf "branch `%a` is never taken (taken edge is dead)"
+                Insn.pp insn;
+          })
+    a.Verify.verdicts
+
+let redundant_mask_diags (a : Verify.analysis) =
+  List.map
+    (fun (pc, m) ->
+      {
+        pc;
+        kind = Redundant_guard;
+        msg =
+          Format.sprintf
+            "mask `and 0x%Lx` is a no-op: all possibly-set bits already lie \
+             inside the mask (the sanitisation it performs is proven \
+             redundant)"
+            m;
+      })
+    a.Verify.redundant_masks
+
+let slot_of_full_store disp width =
+  let byte = disp + Prog.stack_size in
+  if width = 8 && byte mod 8 = 0 && byte >= 0 && byte + 8 <= Prog.stack_size
+  then Some (byte / 8)
+  else None
+
+let overlapping_slots disp width =
+  let first = disp + Prog.stack_size and last = disp + Prog.stack_size + width - 1 in
+  let lo = max 0 (first / 8) and hi = min (Prog.stack_size / 8 - 1) (last / 8) in
+  List.init (max 0 (hi - lo + 1)) (fun i -> lo + i)
+
+let dead_store_diags (a : Verify.analysis) =
+  let prog = a.Verify.prog in
+  let insns = Prog.insns prog in
+  if Array.exists fp_escapes insns then []
+  else
+    let diags = ref [] in
+    let blocks = Cfg.blocks a.Verify.cfg in
+    Array.iter
+      (fun (b : Cfg.block) ->
+        if a.Verify.reached.(b.Cfg.id) then begin
+          let pending = Hashtbl.create 8 in
+          let report slot store_pc overwritten_pc =
+            diags :=
+              {
+                pc = store_pc;
+                kind = Dead_store;
+                msg =
+                  (match overwritten_pc with
+                  | Some opc ->
+                      Format.sprintf
+                        "store to stack slot %d (fp%+d) is dead: overwritten \
+                         at insn %d before any read"
+                        slot
+                        ((slot * 8) - Prog.stack_size)
+                        opc
+                  | None ->
+                      Format.sprintf
+                        "store to stack slot %d (fp%+d) is dead: never read \
+                         before exit"
+                        slot
+                        ((slot * 8) - Prog.stack_size));
+              }
+              :: !diags
+          in
+          for pc = b.Cfg.first to b.Cfg.last do
+            match insns.(pc) with
+            | Insn.Stx (sz, d, disp, _) | Insn.St (sz, d, disp, _)
+              when Reg.equal d Reg.fp -> (
+                let width = Insn.size_bytes sz in
+                match slot_of_full_store disp width with
+                | Some slot ->
+                    (match Hashtbl.find_opt pending slot with
+                    | Some old_pc -> report slot old_pc (Some pc)
+                    | None -> ());
+                    Hashtbl.replace pending slot pc
+                | None ->
+                    (* partial or unaligned: clobbers without fully proving
+                       the prior store dead *)
+                    List.iter (Hashtbl.remove pending)
+                      (overlapping_slots disp width))
+            | Insn.Ldx (sz, _, s, disp) when Reg.equal s Reg.fp ->
+                List.iter (Hashtbl.remove pending)
+                  (overlapping_slots disp (Insn.size_bytes sz))
+            | Insn.Call _ ->
+                (* helpers may read stack buffers *)
+                Hashtbl.reset pending
+            | Insn.Exit ->
+                Hashtbl.iter (fun slot store_pc -> report slot store_pc None)
+                  pending;
+                Hashtbl.reset pending
+            | _ -> ()
+          done
+        end)
+      blocks;
+    !diags
+
+let ignored_result_diags ~contracts (a : Verify.analysis) =
+  let prog = a.Verify.prog in
+  let diags = ref [] in
+  let blocks = Cfg.blocks a.Verify.cfg in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if a.Verify.reached.(b.Cfg.id) then begin
+        let pending = ref None in
+        let report (pc0, name) clobber_pc =
+          diags :=
+            {
+              pc = pc0;
+              kind = Ignored_result;
+              msg =
+                Format.sprintf
+                  "result of `call %s` is ignored: r0 is overwritten at insn \
+                   %d without being read"
+                  name clobber_pc;
+            }
+            :: !diags
+        in
+        for pc = b.Cfg.first to b.Cfg.last do
+          let insn = Prog.get prog pc in
+          let reads_r0 =
+            List.exists (fun r -> Reg.equal r Reg.R0) (reads contracts insn)
+          in
+          if reads_r0 then pending := None
+          else if writes_r0 insn then begin
+            (match !pending with Some p -> report p pc | None -> ());
+            pending := None
+          end;
+          match insn with
+          | Insn.Call name -> (
+              match Contract.find contracts name with
+              | Some { Contract.ret = Contract.R_unit; _ } -> ()
+              | _ -> pending := Some (pc, name))
+          | _ -> ()
+        done
+      end)
+    blocks;
+  !diags
+
+let run ~contracts (a : Verify.analysis) =
+  let diags =
+    unreachable_diags a @ verdict_diags a @ redundant_mask_diags a
+    @ dead_store_diags a
+    @ ignored_result_diags ~contracts a
+  in
+  List.sort
+    (fun x y ->
+      match Int.compare x.pc y.pc with
+      | 0 -> compare x.kind y.kind
+      | c -> c)
+    diags

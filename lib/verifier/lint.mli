@@ -1,0 +1,49 @@
+(** Bytecode lint: structured diagnostics from the verifier's analysis.
+
+    Verification answers "is this extension safe to load"; lint answers
+    "does this extension say what its author meant". It reuses the
+    verifier's abstract-interpretation facts ({!Verify.analysis}) plus a
+    conservative syntactic pass over the bytecode, and reports:
+
+    - {e unreachable code}: blocks the abstract semantics never reaches —
+      either disconnected from the entry, or guarded by a contradictory
+      branch (a [refine] that proves an edge dead);
+    - {e dead stores}: stack slots written and then overwritten or
+      abandoned at [exit] without an intervening read;
+    - {e always/never-taken branches}: conditional jumps with a provably
+      dead edge;
+    - {e redundant guards}: hand-written [land]-sanitisations that the
+      known-bits analysis proves are no-ops — the runtime guard they
+      imitate would have been elided anyway;
+    - {e ignored helper results}: value-returning helper calls whose [r0]
+      is clobbered before any use.
+
+    Every diagnostic is conservative: a finding is only emitted when the
+    analysis {e proves} the code is inert on all paths, so there are no
+    false positives on verified programs (dead-store and ignored-result
+    tracking is block-local and gives up at calls or when a stack address
+    escapes [r10]). *)
+
+type kind =
+  | Unreachable
+  | Dead_store
+  | Always_taken
+  | Never_taken
+  | Redundant_guard
+  | Ignored_result
+
+type diag = { pc : int; kind : kind; msg : string }
+
+val run : contracts:Contract.registry -> Verify.analysis -> diag list
+(** Diagnostics in ascending pc order. [contracts] distinguishes
+    value-returning helpers from unit ones for {!Ignored_result}. *)
+
+val kind_name : kind -> string
+(** Stable kebab-case identifier, e.g. ["dead-store"]. *)
+
+val exit_code : diag list -> int
+(** The [kflexc lint] exit-code contract: [0] for a clean program, [1] when
+    there are findings. (Exit code [2] — compile/verify failure — is the
+    CLI's, since no diagnostics exist then.) *)
+
+val pp_diag : Format.formatter -> diag -> unit

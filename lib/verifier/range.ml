@@ -1,4 +1,10 @@
-type t = { umin : int64; umax : int64; smin : int64; smax : int64 }
+type t = {
+  umin : int64;
+  umax : int64;
+  smin : int64;
+  smax : int64;
+  bits : Tnum.t;
+}
 
 let u64_max = -1L (* 0xffff...ff as unsigned *)
 let ucmp = Int64.unsigned_compare
@@ -7,7 +13,22 @@ let umax_ a b = if ucmp a b >= 0 then a else b
 let smin_ = Int64.min
 let smax_ = Int64.max
 
-let top = { umin = 0L; umax = u64_max; smin = Int64.min_int; smax = Int64.max_int }
+(* The known-bits half of the domain can be switched off to measure what it
+   buys (the interval-only vs interval+tnum elision delta in the bench
+   ablation). When disabled every value carries Tnum.unknown and the domain
+   degenerates to the seed's pure interval analysis. *)
+let tnum_enabled = ref true
+let set_tnum enabled = tnum_enabled := enabled
+let tnum_on () = !tnum_enabled
+
+let top =
+  {
+    umin = 0L;
+    umax = u64_max;
+    smin = Int64.min_int;
+    smax = Int64.max_int;
+    bits = Tnum.unknown;
+  }
 
 (* Propagate information between the signed and unsigned views, following the
    same reasoning as the eBPF verifier's __reg_deduce_bounds. *)
@@ -34,32 +55,78 @@ let deduce r =
 
 let is_empty r = ucmp r.umin r.umax > 0 || r.smin > r.smax
 
-let const v = { umin = v; umax = v; smin = v; smax = v }
+(* Bidirectional bounds synchronisation (the reg_bounds_sync analogue):
+   known bits narrow the unsigned interval ([umin >= value],
+   [umax <= value lor mask]), then the interval pins high bits back into the
+   tnum via tnum_range intersection. A known-bits contradiction is reported
+   as an empty interval so callers share one emptiness test. *)
+let sync r =
+  let r = deduce r in
+  if not !tnum_enabled then { r with bits = Tnum.unknown }
+  else if is_empty r then r
+  else
+    let r =
+      deduce
+        {
+          r with
+          umin = umax_ r.umin (Tnum.umin r.bits);
+          umax = umin_ r.umax (Tnum.umax r.bits);
+        }
+    in
+    if is_empty r then r
+    else
+      match Tnum.intersect r.bits (Tnum.range r.umin r.umax) with
+      | Some bits -> { r with bits }
+      | None -> { r with umin = 1L; umax = 0L }
+
+(* For transfer functions: both halves over-approximate the same concrete
+   result set, so their intersection cannot be empty — but stay defensive
+   and fall back to the interval half alone rather than produce nonsense. *)
+let syncd r =
+  let r' = sync r in
+  if is_empty r' then deduce { r with bits = Tnum.unknown } else r'
+
+let const v =
+  {
+    umin = v;
+    umax = v;
+    smin = v;
+    smax = v;
+    bits = (if !tnum_enabled then Tnum.const v else Tnum.unknown);
+  }
 
 let make ?(umin = 0L) ?(umax = u64_max) ?(smin = Int64.min_int)
     ?(smax = Int64.max_int) () =
-  let r = deduce { umin; umax; smin; smax } in
+  let r = sync { umin; umax; smin; smax; bits = Tnum.unknown } in
   if is_empty r then top else r
 
-let unsigned lo hi =
-  make ~umin:lo ~umax:hi ()
+let unsigned lo hi = make ~umin:lo ~umax:hi ()
+
+let top_with_bits bits = syncd { top with bits }
 
 let is_const r = if r.umin = r.umax then Some r.umin else None
 
+let bits r = r.bits
+
 let equal a b =
   a.umin = b.umin && a.umax = b.umax && a.smin = b.smin && a.smax = b.smax
+  && Tnum.equal a.bits b.bits
 
+(* No sync on join: the componentwise bounds keep join a syntactic upper
+   bound of both operands (subset a (join a b) holds field by field). *)
 let join a b =
   {
     umin = umin_ a.umin b.umin;
     umax = umax_ a.umax b.umax;
     smin = smin_ a.smin b.smin;
     smax = smax_ a.smax b.smax;
+    bits = Tnum.union a.bits b.bits;
   }
 
 let subset a b =
   ucmp b.umin a.umin <= 0 && ucmp a.umax b.umax <= 0 && b.smin <= a.smin
   && a.smax <= b.smax
+  && Tnum.subset a.bits b.bits
 
 let fits_unsigned r ~lo ~hi = ucmp lo r.umin <= 0 && ucmp r.umax hi <= 0
 
@@ -91,7 +158,7 @@ let add a b =
         if sov then (Int64.min_int, Int64.max_int)
         else (Int64.add a.smin b.smin, Int64.add a.smax b.smax)
       in
-      deduce { umin; umax; smin; smax }
+      syncd { umin; umax; smin; smax; bits = Tnum.add a.bits b.bits }
 
 let sub a b =
   match try_const2 Int64.sub a b with
@@ -107,7 +174,7 @@ let sub a b =
       let smin, smax =
         if lo_ov || hi_ov then (Int64.min_int, Int64.max_int) else (lo, hi)
       in
-      deduce { umin; umax; smin; smax }
+      syncd { umin; umax; smin; smax; bits = Tnum.sub a.bits b.bits }
 
 let fits_u31 v = ucmp v 0x7fff_ffffL <= 0
 
@@ -115,10 +182,11 @@ let mul a b =
   match try_const2 Int64.mul a b with
   | Some r -> r
   | None ->
+      let bits = Tnum.mul a.bits b.bits in
       if fits_u31 a.umax && fits_u31 b.umax then
         let umin = Int64.mul a.umin b.umin and umax = Int64.mul a.umax b.umax in
-        deduce { umin; umax; smin = 0L; smax = umax }
-      else top
+        syncd { umin; umax; smin = 0L; smax = umax; bits }
+      else syncd { top with bits }
 
 let udiv x y = if y = 0L then 0L else Int64.unsigned_div x y
 let urem x y = if y = 0L then x else Int64.unsigned_rem x y
@@ -129,7 +197,7 @@ let div a b =
   | None -> (
       match is_const b with
       | Some c when c <> 0L ->
-          deduce { top with umin = udiv a.umin c; umax = udiv a.umax c }
+          syncd { top with umin = udiv a.umin c; umax = udiv a.umax c }
       | _ -> top)
 
 let rem a b =
@@ -139,7 +207,7 @@ let rem a b =
       match is_const b with
       | Some c when c <> 0L ->
           (* result in [0, c-1], and never exceeds the dividend *)
-          deduce { top with umin = 0L; umax = umin_ (Int64.sub c 1L) a.umax }
+          syncd { top with umin = 0L; umax = umin_ (Int64.sub c 1L) a.umax }
       | _ -> top)
 
 let logand a b =
@@ -147,7 +215,9 @@ let logand a b =
   | Some r -> r
   | None ->
       (* x land y <=u min(x, y) for any operands *)
-      deduce { top with umin = 0L; umax = umin_ a.umax b.umax }
+      syncd
+        { top with umin = 0L; umax = umin_ a.umax b.umax;
+          bits = Tnum.logand a.bits b.bits }
 
 let logor a b =
   match try_const2 Int64.logor a b with
@@ -159,25 +229,33 @@ let logor a b =
         else pow2_envelope v (Int64.logor (Int64.shift_left p 1) 1L)
       in
       let env = pow2_envelope (umax_ a.umax b.umax) 1L in
-      deduce { top with umin = umax_ a.umin b.umin; umax = env }
+      syncd
+        { top with umin = umax_ a.umin b.umin; umax = env;
+          bits = Tnum.logor a.bits b.bits }
 
 let logxor a b =
-  match try_const2 Int64.logxor a b with Some r -> r | None -> top
+  match try_const2 Int64.logxor a b with
+  | Some r -> r
+  | None ->
+      (* intervals say nothing about xor; the known bits often do — this is
+         the textbook case where the tnum half carries the analysis *)
+      syncd { top with bits = Tnum.logxor a.bits b.bits }
 
 let shl a b =
   match try_const2 (fun x y -> Int64.shift_left x (Int64.to_int y land 63)) a b with
   | Some r -> r
   | None -> (
+      let bits = Tnum.shl a.bits b.bits in
       match is_const b with
       | Some k when ucmp k 63L <= 0 ->
           let k = Int64.to_int k in
           if k = 0 then a
           else if ucmp a.umax (Int64.shift_right_logical u64_max k) <= 0 then
-            deduce
+            syncd
               { top with umin = Int64.shift_left a.umin k;
-                umax = Int64.shift_left a.umax k }
-          else top
-      | _ -> top)
+                umax = Int64.shift_left a.umax k; bits }
+          else syncd { top with bits }
+      | _ -> syncd { top with bits })
 
 let lshr a b =
   match
@@ -185,13 +263,14 @@ let lshr a b =
   with
   | Some r -> r
   | None -> (
+      let bits = Tnum.lshr a.bits b.bits in
       match is_const b with
       | Some k when ucmp k 63L <= 0 ->
           let k = Int64.to_int k in
-          deduce
+          syncd
             { top with umin = Int64.shift_right_logical a.umin k;
-              umax = Int64.shift_right_logical a.umax k }
-      | _ -> top)
+              umax = Int64.shift_right_logical a.umax k; bits }
+      | _ -> syncd { top with bits })
 
 let ashr a b =
   match
@@ -199,32 +278,40 @@ let ashr a b =
   with
   | Some r -> r
   | None -> (
+      let bits = Tnum.ashr a.bits b.bits in
       match is_const b with
       | Some k when ucmp k 63L <= 0 ->
           let k = Int64.to_int k in
-          deduce
+          syncd
             { top with smin = Int64.shift_right a.smin k;
-              smax = Int64.shift_right a.smax k }
-      | _ -> top)
+              smax = Int64.shift_right a.smax k; bits }
+      | _ -> syncd { top with bits })
 
-let neg a = match is_const a with Some v -> const (Int64.neg v) | None -> top
+let neg a =
+  match is_const a with
+  | Some v -> const (Int64.neg v)
+  | None -> syncd { top with bits = Tnum.neg a.bits }
 
 let intersect a b =
-  let r =
-    {
-      umin = umax_ a.umin b.umin;
-      umax = umin_ a.umax b.umax;
-      smin = smax_ a.smin b.smin;
-      smax = smin_ a.smax b.smax;
-    }
-  in
-  let r = deduce r in
-  if is_empty r then None else Some r
+  match Tnum.intersect a.bits b.bits with
+  | None -> None
+  | Some bits ->
+      let r =
+        {
+          umin = umax_ a.umin b.umin;
+          umax = umin_ a.umax b.umax;
+          smin = smax_ a.smin b.smin;
+          smax = smin_ a.smax b.smax;
+          bits;
+        }
+      in
+      let r = sync r in
+      if is_empty r then None else Some r
 
 let u_pred v = Int64.sub v 1L
 let u_succ v = Int64.add v 1L
 
-let check r = let r = deduce r in if is_empty r then None else Some r
+let check r = let r = sync r in if is_empty r then None else Some r
 
 open Kflex_bpf
 
@@ -306,5 +393,11 @@ let pp ppf r =
   match is_const r with
   | Some v -> Format.fprintf ppf "{%Ld}" v
   | None ->
-      Format.fprintf ppf "{u:[%Lu,%Lu] s:[%Ld,%Ld]}" r.umin r.umax r.smin
-        r.smax
+      Format.fprintf ppf "{u:[%Lu,%Lu] s:[%Ld,%Ld]" r.umin r.umax r.smin
+        r.smax;
+      (* print the known bits only when they say more than the interval *)
+      if
+        (not (Tnum.is_unknown r.bits))
+        && not (Tnum.equal r.bits (Tnum.range r.umin r.umax))
+      then Format.fprintf ppf " t:%a" Tnum.pp r.bits;
+      Format.fprintf ppf "}"

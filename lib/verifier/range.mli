@@ -2,12 +2,22 @@
 
     A simplified version of the eBPF verifier's scalar bounds tracking: each
     value carries simultaneous unsigned ([umin]/[umax]) and signed
-    ([smin]/[smax]) interval bounds, kept mutually consistent. This is the
-    analysis Kie queries to elide SFI guards: a heap pointer whose offset
-    range provably lies within the heap needs no runtime sanitisation
-    (§3.2, §5.4 of the paper). *)
+    ([smin]/[smax]) interval bounds {e and} a known-bits view ({!Tnum.t}),
+    all kept mutually consistent the way the kernel's [reg_bounds_sync]
+    does: known bits narrow the unsigned interval, and the interval pins the
+    common high bits back into the tnum. This is the analysis Kie queries to
+    elide SFI guards: a heap pointer whose offset range provably lies within
+    the heap needs no runtime sanitisation (§3.2, §5.4 of the paper), and it
+    is masking/alignment arithmetic — where intervals alone are blind but
+    known bits are exact — that the tnum half wins back. *)
 
-type t = private { umin : int64; umax : int64; smin : int64; smax : int64 }
+type t = private {
+  umin : int64;
+  umax : int64;
+  smin : int64;
+  smax : int64;
+  bits : Tnum.t;  (** known bits, consistent with the unsigned bounds *)
+}
 
 val top : t
 (** The unconstrained 64-bit value. *)
@@ -17,19 +27,26 @@ val const : int64 -> t
 
 val make : ?umin:int64 -> ?umax:int64 -> ?smin:int64 -> ?smax:int64 -> unit -> t
 (** A range with the given bounds (missing bounds unconstrained), with
-    signed/unsigned consistency deduced. Empty inputs collapse to the
-    nearest consistent non-empty range; use {!refine} for emptiness-aware
+    signed/unsigned/known-bits consistency deduced. Empty inputs collapse to
+    the nearest consistent non-empty range; use {!refine} for emptiness-aware
     intersection. *)
 
 val unsigned : int64 -> int64 -> t
 (** [unsigned lo hi] is the range of unsigned values in [lo..hi]. *)
+
+val top_with_bits : Tnum.t -> t
+(** The widest range consistent with the given known bits — what loop
+    widening degrades a changing scalar to, so alignment facts survive
+    fixpoint iteration. *)
+
+val bits : t -> Tnum.t
 
 val is_const : t -> int64 option
 
 val equal : t -> t -> bool
 
 val join : t -> t -> t
-(** Interval union (least upper bound). *)
+(** Interval union + tnum union (least upper bound). *)
 
 val subset : t -> t -> bool
 (** [subset a b]: every value admitted by [a] is admitted by [b]. *)
@@ -38,9 +55,21 @@ val fits_unsigned : t -> lo:int64 -> hi:int64 -> bool
 (** Whether all values in the range lie within [lo..hi] as unsigned
     integers — the guard-elision query. *)
 
+val set_tnum : bool -> unit
+(** Enable/disable the known-bits half of the domain (default enabled).
+    Disabled, every constructed value carries [Tnum.unknown] and the
+    analysis degenerates to the seed's interval-only precision — the
+    ablation switch behind the bench's elision-delta column. Restore to
+    [true] after measuring; the setting is global. *)
+
+val tnum_on : unit -> bool
+(** Current state of the {!set_tnum} switch. *)
+
 (** Abstract transfer functions, mirroring eBPF ALU semantics (64-bit;
     unsigned division and modulo; division by zero yields 0). All are sound
-    over-approximations, exact when both operands are singletons. *)
+    over-approximations, exact when both operands are singletons. Each
+    computes the interval and known-bits halves independently and
+    re-synchronises them. *)
 
 val add : t -> t -> t
 val sub : t -> t -> t
@@ -65,3 +94,6 @@ val negate_cond : Kflex_bpf.Insn.cond -> Kflex_bpf.Insn.cond
 (** The condition that holds exactly when the argument does not. *)
 
 val pp : Format.formatter -> t -> unit
+(** Constants print as [{v}]; other ranges print the unsigned/signed
+    intervals plus a [t:value/mask] known-bits component when it carries
+    information the interval does not. *)

@@ -109,13 +109,17 @@ let join a b =
         origin = Array.init 11 (fun i -> if a.origin.(i) = b.origin.(i) then a.origin.(i) else -1);
       }
 
+(* Widening drops the interval half (which can keep creeping) but keeps the
+   known-bits half: the tnum lattice is finite and only loses bits under
+   join, so retaining it cannot prevent termination — and it is exactly
+   what preserves alignment facts (index*8 etc.) across loop iterations. *)
 let widen_value ~prev v =
   match (prev, v) with
   | Value.Scalar p, Value.Scalar n when not (Range.equal p n) ->
-      Value.Scalar Range.top
+      Value.Scalar (Range.top_with_bits (Range.bits n))
   | Value.Ptr p, Value.Ptr n when p.kind = n.kind && not (Range.equal p.off n.off)
     ->
-      Value.Ptr { n with off = Range.top }
+      Value.Ptr { n with off = Range.top_with_bits (Range.bits n.off) }
   | _ -> v
 
 let widen ~prev st =

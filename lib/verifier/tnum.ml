@@ -1,0 +1,133 @@
+type t = { value : int64; mask : int64 }
+
+let ( &: ) = Int64.logand
+let ( |: ) = Int64.logor
+let ( ^: ) = Int64.logxor
+let ( +: ) = Int64.add
+let ( -: ) = Int64.sub
+let lnot64 = Int64.lognot
+
+let unknown = { value = 0L; mask = -1L }
+let const v = { value = v; mask = 0L }
+let make ~value ~mask = { value = value &: lnot64 mask; mask }
+let is_unknown t = t.mask = -1L && t.value = 0L
+let is_const t = if t.mask = 0L then Some t.value else None
+let equal a b = a.value = b.value && a.mask = b.mask
+let contains t w = (w ^: t.value) &: lnot64 t.mask = 0L
+let umin t = t.value
+let umax t = t.value |: t.mask
+let within_mask t m = (t.value |: t.mask) &: lnot64 m = 0L
+
+(* position of the highest set bit, 1-based; 0 for zero *)
+let fls64 x =
+  let rec go i =
+    if i < 0 then 0
+    else if x &: Int64.shift_left 1L i <> 0L then i + 1
+    else go (i - 1)
+  in
+  go 63
+
+let range lo hi =
+  let chi = lo ^: hi in
+  let bits = fls64 chi in
+  if bits > 63 then unknown
+  else
+    let delta = Int64.shift_left 1L bits -: 1L in
+    { value = lo &: lnot64 delta; mask = delta }
+
+let intersect a b =
+  if (a.value ^: b.value) &: lnot64 a.mask &: lnot64 b.mask <> 0L then None
+  else
+    let mu = a.mask &: b.mask in
+    Some { value = (a.value |: b.value) &: lnot64 mu; mask = mu }
+
+let union a b =
+  let mu = a.mask |: b.mask |: (a.value ^: b.value) in
+  { value = a.value &: lnot64 mu; mask = mu }
+
+let subset a b =
+  (* b's known bits must be known in a and agree *)
+  a.mask &: lnot64 b.mask = 0L && (a.value ^: b.value) &: lnot64 b.mask = 0L
+
+let add a b =
+  let sm = a.mask +: b.mask in
+  let sv = a.value +: b.value in
+  let sigma = sm +: sv in
+  let chi = sigma ^: sv in
+  let mu = chi |: a.mask |: b.mask in
+  { value = sv &: lnot64 mu; mask = mu }
+
+let sub a b =
+  let dv = a.value -: b.value in
+  let alpha = dv +: a.mask in
+  let beta = dv -: b.mask in
+  let chi = alpha ^: beta in
+  let mu = chi |: a.mask |: b.mask in
+  { value = dv &: lnot64 mu; mask = mu }
+
+let neg a = sub (const 0L) a
+
+let logand a b =
+  let alpha = a.value |: a.mask in
+  let beta = b.value |: b.mask in
+  let v = a.value &: b.value in
+  { value = v; mask = alpha &: beta &: lnot64 v }
+
+let logor a b =
+  let v = a.value |: b.value in
+  let mu = a.mask |: b.mask in
+  { value = v; mask = mu &: lnot64 v }
+
+let logxor a b =
+  let v = a.value ^: b.value in
+  let mu = a.mask |: b.mask in
+  { value = v &: lnot64 mu; mask = mu }
+
+let lshift a k =
+  { value = Int64.shift_left a.value k; mask = Int64.shift_left a.mask k }
+
+let rshift a k =
+  {
+    value = Int64.shift_right_logical a.value k;
+    mask = Int64.shift_right_logical a.mask k;
+  }
+
+let arshift a k =
+  (* an unknown sign bit replicates as unknown; the value's copy of that
+     bit is 0 by invariant, so the result respects the invariant too *)
+  make ~value:(Int64.shift_right a.value k) ~mask:(Int64.shift_right a.mask k)
+
+(* tnum_mul (kernel): decompose a bit by bit; a certain 1 in [a]
+   contributes a shifted copy of [b]'s uncertainty, an uncertain bit
+   contributes full uncertainty over [b]'s possible bits. *)
+let mul a b =
+  let acc_v = Int64.mul a.value b.value in
+  let rec go a b acc_m =
+    if a.value = 0L && a.mask = 0L then acc_m
+    else
+      let acc_m =
+        if a.value &: 1L <> 0L then add acc_m { value = 0L; mask = b.mask }
+        else if a.mask &: 1L <> 0L then
+          add acc_m { value = 0L; mask = b.value |: b.mask }
+        else acc_m
+      in
+      go (rshift a 1) (lshift b 1) acc_m
+  in
+  add (const acc_v) (go a b (const 0L))
+
+let div _ _ = unknown
+let rem _ _ = unknown
+
+let shift_by f a b =
+  match is_const b with
+  | Some k -> f a (Int64.to_int k land 63)
+  | None -> unknown
+
+let shl a b = shift_by lshift a b
+let lshr a b = shift_by rshift a b
+let ashr a b = shift_by arshift a b
+
+let pp ppf t =
+  match is_const t with
+  | Some v -> Format.fprintf ppf "%Ld" v
+  | None -> Format.fprintf ppf "0x%Lx/0x%Lx" t.value t.mask

@@ -22,7 +22,10 @@ type heap_access = {
   elidable : bool;
   formation : bool;
   stored_ptr : bool;
+  eff : Range.t;
 }
+
+type branch_verdict = Always_taken | Never_taken
 
 type res_entry = { res : State.resource; loc : State.loc }
 
@@ -34,6 +37,9 @@ type analysis = {
   res_at : res_entry list array;
   stack_used : int;
   insn_count : int;
+  reached : bool array;
+  verdicts : (int * branch_verdict) list;
+  redundant_masks : (int * int64) list;
 }
 
 exception Err of error
@@ -210,7 +216,7 @@ let stack_store env ~pc st off disp width v =
 type mem_region =
   | M_ctx
   | M_stack
-  | M_heap of { elidable : bool; formation : bool }
+  | M_heap of { elidable : bool; formation : bool; eff : Range.t }
 
 let classify_addr env ~pc ~width ~disp v =
   match v with
@@ -231,10 +237,18 @@ let classify_addr env ~pc ~width ~disp v =
          elision demands the full effective address be provably in-heap. *)
       let eff = Range.add off (Range.const (Int64.of_int disp)) in
       let elidable = (not nullable) && Range.fits_unsigned eff ~lo:0L ~hi:lim in
-      M_heap { elidable; formation = false }
-  | Value.Scalar _ | Value.Unknown ->
+      M_heap { elidable; formation = false; eff }
+  | Value.Scalar r ->
       ignore (require_heap env ~pc);
-      M_heap { elidable = false; formation = true }
+      M_heap
+        {
+          elidable = false;
+          formation = true;
+          eff = Range.add r (Range.const (Int64.of_int disp));
+        }
+  | Value.Unknown ->
+      ignore (require_heap env ~pc);
+      M_heap { elidable = false; formation = true; eff = Range.top }
   | Value.Obj _ ->
       err ~pc E_type
         "direct dereference of kernel object (use the helper interface)"
@@ -452,7 +466,7 @@ type outcome =
 let record_access accesses env ~pc ~is_store ~is_atomic ?(stored_ptr = false)
     ~width ~addr_reg region =
   match region with
-  | M_heap { elidable; formation } ->
+  | M_heap { elidable; formation; eff } ->
       accesses :=
         {
           pc;
@@ -463,6 +477,7 @@ let record_access accesses env ~pc ~is_store ~is_atomic ?(stored_ptr = false)
           elidable;
           formation;
           stored_ptr;
+          eff;
         }
         :: !accesses
   | _ -> ignore env
@@ -711,8 +726,13 @@ let run ~mode ~contracts ~ctx_size ?heap_size ?(sleepable = false) prog =
     done;
     (* Final pass: per-pc pre-states for object tables and access reporting.
        Re-run each reachable block once from its fixpoint state, recording
-       resource locations before each instruction. *)
+       resource locations before each instruction — plus the semantic facts
+       the lint pass consumes: branch verdicts (an edge the abstract
+       semantics never delivers a state to is dead) and no-op masks (an
+       [And] that provably cannot clear any possibly-set bit). *)
     let res_at = Array.make (Prog.length prog) [] in
+    let verdicts = ref [] in
+    let redundant_masks = ref [] in
     accesses := [];
     for b = 0 to nb - 1 do
       match in_states.(b) with
@@ -730,11 +750,35 @@ let run ~mode ~contracts ~ctx_size ?heap_size ?(sleepable = false) prog =
                     | Some loc -> Some { res = r; loc }
                     | None -> None)
                   !stref.State.res;
-              match transfer env accesses ~pc !stref (Prog.get prog pc) with
+              let insn = Prog.get prog pc in
+              (* the compiler materialises mask constants into registers, so
+                 accept both immediate and known-constant register operands *)
+              (match insn with
+              | Insn.Alu (Insn.And, d, src) -> (
+                  let mask =
+                    match src with
+                    | Insn.Imm m -> Some m
+                    | Insn.Reg s -> (
+                        match State.get !stref s with
+                        | Value.Scalar r -> Range.is_const r
+                        | _ -> None)
+                  in
+                  match (mask, State.get !stref d) with
+                  | Some m, Value.Scalar r
+                    when Tnum.within_mask (Range.bits r) m ->
+                      redundant_masks := (pc, m) :: !redundant_masks
+                  | _ -> ())
+              | _ -> ());
+              match transfer env accesses ~pc !stref insn with
               | Fall s -> stref := s
               | Jump _ | Stop -> continue := false
-              | Branch (_, Some s) -> stref := s
-              | Branch (_, None) -> continue := false
+              | Branch (taken, fall) ->
+                  (match (taken, fall) with
+                  | Some _, None -> verdicts := (pc, Always_taken) :: !verdicts
+                  | None, Some _ -> verdicts := (pc, Never_taken) :: !verdicts
+                  | _ -> ());
+                  (match fall with Some s -> stref := s | None -> ());
+                  continue := false
             end
           done
     done;
@@ -751,5 +795,9 @@ let run ~mode ~contracts ~ctx_size ?heap_size ?(sleepable = false) prog =
         res_at;
         stack_used = Prog.stack_size - !(env.min_stack);
         insn_count = Prog.length prog;
+        reached = Array.map Option.is_some in_states;
+        verdicts = List.sort (fun (a, _) (b, _) -> Int.compare a b) !verdicts;
+        redundant_masks =
+          List.sort (fun (a, _) (b, _) -> Int.compare a b) !redundant_masks;
       }
   with Err e -> Error e

@@ -55,7 +55,17 @@ type heap_access = {
       (** (stores only) the stored value is statically a heap pointer; with
           a shared heap Kie rewrites the store to translate-on-store
           ({!Kflex_bpf.Insn.Xstore}, §3.4). *)
+  eff : Range.t;
+      (** the effective address the access dereferences — the heap offset
+          range (displacement folded in) for pointer accesses, or the raw
+          scalar range for formation accesses. Carries the interval and
+          known-bits evidence behind the [elidable] verdict, so reports can
+          show {e why} a guard was or wasn't elided. *)
 }
+
+type branch_verdict =
+  | Always_taken  (** the fall-through edge is dead *)
+  | Never_taken  (** the taken edge is dead *)
 
 type res_entry = {
   res : State.resource;
@@ -70,6 +80,17 @@ type analysis = {
   res_at : res_entry list array;  (** held resources before each pc *)
   stack_used : int;  (** bytes of stack frame touched *)
   insn_count : int;
+  reached : bool array;
+      (** per CFG block id: whether the abstract semantics ever delivered a
+          state to it. A structurally-connected block that stays unreached
+          is dead code behind contradictory branches — lint material. *)
+  verdicts : (int * branch_verdict) list;
+      (** conditional jumps with a provably-dead edge, by pc, ascending *)
+  redundant_masks : (int * int64) list;
+      (** [And] instructions (by pc, ascending, with the mask value —
+          immediate or known-constant register) that provably cannot change
+          their operand: all possibly-set bits already inside the mask —
+          redundant hand-written sanitisation *)
 }
 
 val run :

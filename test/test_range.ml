@@ -23,10 +23,14 @@ let arb_range2 =
       (fun (a, b) -> ((a, b), Range.join (Range.const a) (Range.const b)))
       (pair arb_i64 arb_i64))
 
+(* Membership in the full combined domain: interval bounds AND known bits.
+   Using this in every soundness property below means the tnum half of each
+   transfer function is checked by the same models as the interval half. *)
 let in_range v (r : Range.t) =
   Int64.unsigned_compare r.Range.umin v <= 0
   && Int64.unsigned_compare v r.Range.umax <= 0
   && r.Range.smin <= v && v <= r.Range.smax
+  && Tnum.contains (Range.bits r) v
 
 let ops : (string * (Range.t -> Range.t -> Range.t) * (int64 -> int64 -> int64)) list
     =
@@ -98,6 +102,125 @@ let refine_tests =
                 models))
     conds
 
+(* ---- direct Tnum properties -------------------------------------------- *)
+
+(* A tnum built from two concrete witnesses (both of which are members). *)
+let arb_tnum2 =
+  QCheck.(
+    map
+      (fun (a, b) -> ((a, b), Tnum.union (Tnum.const a) (Tnum.const b)))
+      (pair arb_i64 arb_i64))
+
+let tnum_ops : (string * (Tnum.t -> Tnum.t -> Tnum.t) * (int64 -> int64 -> int64)) list
+    =
+  [
+    ("add", Tnum.add, Int64.add);
+    ("sub", Tnum.sub, Int64.sub);
+    ("mul", Tnum.mul, Int64.mul);
+    ("div", Tnum.div, fun a b -> if b = 0L then 0L else Int64.unsigned_div a b);
+    ("rem", Tnum.rem, fun a b -> if b = 0L then a else Int64.unsigned_rem a b);
+    ("and", Tnum.logand, Int64.logand);
+    ("or", Tnum.logor, Int64.logor);
+    ("xor", Tnum.logxor, Int64.logxor);
+    ("shl", Tnum.shl, fun a b -> Int64.shift_left a (Int64.to_int b land 63));
+    ( "shr",
+      Tnum.lshr,
+      fun a b -> Int64.shift_right_logical a (Int64.to_int b land 63) );
+    ("ashr", Tnum.ashr, fun a b -> Int64.shift_right a (Int64.to_int b land 63));
+  ]
+
+let tnum_soundness_tests =
+  List.map
+    (fun (name, abs, conc) ->
+      QCheck.Test.make ~count:1000 ~name:("tnum soundness " ^ name)
+        QCheck.(pair arb_tnum2 arb_tnum2)
+        (fun (((x1, x2), tx), ((y1, y2), ty)) ->
+          let res = abs tx ty in
+          List.for_all
+            (fun x ->
+              List.for_all (fun y -> Tnum.contains res (conc x y)) [ y1; y2 ])
+            [ x1; x2 ]))
+    tnum_ops
+
+let prop_tnum_neg =
+  QCheck.Test.make ~count:1000 ~name:"tnum soundness neg" arb_tnum2
+    (fun ((x1, x2), tx) ->
+      let res = Tnum.neg tx in
+      List.for_all (fun x -> Tnum.contains res (Int64.neg x)) [ x1; x2 ])
+
+let prop_tnum_const_exact =
+  QCheck.Test.make ~count:500 ~name:"tnum const ops are exact"
+    QCheck.(pair arb_i64 arb_i64)
+    (fun (a, b) ->
+      List.for_all
+        (fun (name, abs, conc) ->
+          (* div/rem deliberately degrade to unknown (see tnum.mli) *)
+          name = "div" || name = "rem"
+          || Tnum.is_const (abs (Tnum.const a) (Tnum.const b)) = Some (conc a b))
+        tnum_ops)
+
+let prop_tnum_range =
+  QCheck.Test.make ~count:1000 ~name:"tnum range contains the interval"
+    QCheck.(triple arb_i64 arb_i64 arb_i64)
+    (fun (a, b, c) ->
+      let sorted = List.sort Int64.unsigned_compare [ a; b; c ] in
+      match sorted with
+      | [ lo; mid; hi ] ->
+          let t = Tnum.range lo hi in
+          Tnum.contains t lo && Tnum.contains t mid && Tnum.contains t hi
+      | _ -> false)
+
+let prop_tnum_lattice =
+  QCheck.Test.make ~count:1000 ~name:"tnum union/intersect/subset agree"
+    QCheck.(pair arb_tnum2 arb_tnum2)
+    (fun (((x1, x2), tx), ((y1, y2), ty)) ->
+      let u = Tnum.union tx ty in
+      List.for_all (Tnum.contains u) [ x1; x2; y1; y2 ]
+      && Tnum.subset tx u && Tnum.subset ty u
+      &&
+      match Tnum.intersect tx ty with
+      | Some i ->
+          List.for_all
+            (fun w ->
+              Tnum.contains i w = (Tnum.contains tx w && Tnum.contains ty w))
+            [ x1; x2; y1; y2 ]
+      | None ->
+          (* empty intersection: no common member among the witnesses *)
+          not (List.exists (fun w -> Tnum.contains ty w) [ x1; x2 ])
+          || not (List.exists (fun w -> Tnum.contains tx w) [ y1; y2 ]))
+
+let prop_tnum_within_mask =
+  QCheck.Test.make ~count:1000 ~name:"within_mask implies land is identity"
+    QCheck.(pair arb_tnum2 arb_i64)
+    (fun (((x1, x2), tx), m) ->
+      (not (Tnum.within_mask tx m))
+      || List.for_all (fun x -> Int64.logand x m = x) [ x1; x2 ])
+
+(* refine and negate_cond partition concrete pairs: exactly one of the two
+   refinements accepts (a, b), and the accepting one admits it. *)
+let prop_refine_negate_consistent =
+  QCheck.Test.make ~count:1000 ~name:"refine/negate_cond partition constants"
+    QCheck.(pair arb_i64 arb_i64)
+    (fun (a, b) ->
+      List.for_all
+        (fun (c, holds) ->
+          let ra = Range.const a and rb = Range.const b in
+          let pos = Range.refine c ra rb in
+          let neg = Range.refine (Range.negate_cond c) ra rb in
+          let admits = function
+            | Some (ra', rb') -> in_range a ra' && in_range b rb'
+            | None -> false
+          in
+          if holds a b then admits pos && neg = None
+          else admits neg && pos = None)
+        conds)
+
+let prop_neg_sound =
+  QCheck.Test.make ~count:1000 ~name:"soundness neg" arb_range2
+    (fun ((x1, x2), rx) ->
+      let res = Range.neg rx in
+      List.for_all (fun x -> in_range (Int64.neg x) res) [ x1; x2 ])
+
 let prop_negate_cond =
   QCheck.Test.make ~count:500 ~name:"negate_cond is boolean negation"
     QCheck.(pair arb_i64 arb_i64)
@@ -162,5 +285,15 @@ let () =
         ( "props",
           List.map QCheck_alcotest.to_alcotest
             (soundness_tests @ refine_tests
-            @ [ prop_negate_cond; prop_join_subset; prop_const_exact ]) );
+            @ [
+                prop_negate_cond; prop_join_subset; prop_const_exact;
+                prop_neg_sound; prop_refine_negate_consistent;
+              ]) );
+        ( "tnum props",
+          List.map QCheck_alcotest.to_alcotest
+            (tnum_soundness_tests
+            @ [
+                prop_tnum_neg; prop_tnum_const_exact; prop_tnum_range;
+                prop_tnum_lattice; prop_tnum_within_mask;
+              ]) );
       ])

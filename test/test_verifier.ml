@@ -643,6 +643,249 @@ let prop_verifier_total =
           with
           | Ok _ | Error _ -> true))
 
+(* --- known bits (tnum) and guard elision --------------------------------- *)
+
+(* Interval analysis is blind through xor: after [x & 0xff ^ 0x3c] the seed
+   domain knows nothing, but the known-bits half still proves the value fits
+   in 8 bits — so the heap access below is elidable only with tnum. *)
+let xor_masked_access =
+  [
+    ldx Insn.U32 R6 R1 0;
+    alui Insn.And R6 255L;
+    alui Insn.Xor R6 60L;
+    call "kflex_heap_base";
+    alu Insn.Add R0 R6;
+    ldx Insn.U64 R3 R0 0;
+    movi R0 0L;
+    exit_;
+  ]
+
+let interval_only f =
+  Range.set_tnum false;
+  Fun.protect ~finally:(fun () -> Range.set_tnum true) f
+
+let t_tnum_elision_gain () =
+  let elidable () =
+    let a = expect_ok xor_masked_access in
+    match a.Verify.heap_accesses with
+    | [ acc ] ->
+        Alcotest.(check bool) "not formation" false acc.Verify.formation;
+        acc.Verify.elidable
+    | l -> Alcotest.failf "expected 1 heap access, got %d" (List.length l)
+  in
+  Alcotest.(check bool) "interval+tnum elides" true (elidable ());
+  Alcotest.(check bool) "interval-only cannot elide" false
+    (interval_only elidable)
+
+(* Switching the tnum domain on must never lose an elision anywhere on the
+   data-structure corpus, and must gain at least one. *)
+let t_corpus_elision_non_decrease () =
+  let total_gain = ref 0 in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (opname, op) ->
+          let name = Kflex_apps.Datastructs.name kind ^ "_" ^ opname in
+          let compiled =
+            Kflex_eclang.Compile.compile_string ~name
+              (Kflex_apps.Datastructs.op_source kind op)
+          in
+          let count () =
+            match
+              Verify.run ~mode:Verify.Kflex ~contracts:Kflex.contracts
+                ~ctx_size:Kflex_kernel.Hook.ctx_size
+                ~heap_size:(Int64.shift_left 1L 24)
+                compiled.Kflex_eclang.Compile.prog
+            with
+            | Error e -> Alcotest.failf "%s rejected: %a" name Verify.pp_error e
+            | Ok a ->
+                List.length
+                  (List.filter
+                     (fun (x : Verify.heap_access) ->
+                       x.Verify.elidable && not x.Verify.formation)
+                     a.Verify.heap_accesses)
+          in
+          let n_int = interval_only count in
+          let n_tnum = count () in
+          if n_tnum < n_int then
+            Alcotest.failf "%s: elision decreased %d -> %d" name n_int n_tnum;
+          total_gain := !total_gain + (n_tnum - n_int))
+        [ ("update", `Update); ("lookup", `Lookup); ("delete", `Delete) ])
+    Kflex_apps.Datastructs.all;
+  Alcotest.(check bool) "tnum gains at least one elision" true (!total_gain >= 1)
+
+(* --- lint ----------------------------------------------------------------- *)
+
+let lint items = Lint.run ~contracts (expect_ok items)
+
+let kinds_of diags =
+  List.sort_uniq Stdlib.compare
+    (List.map (fun (d : Lint.diag) -> d.Lint.kind) diags)
+
+let pcs_of kind diags =
+  List.filter_map
+    (fun (d : Lint.diag) -> if d.Lint.kind = kind then Some d.Lint.pc else None)
+    diags
+
+let t_lint_clean () =
+  let diags = lint [ movi R0 0L; exit_ ] in
+  Alcotest.(check int) "no findings" 0 (List.length diags);
+  Alcotest.(check int) "exit 0" 0 (Lint.exit_code diags)
+
+let t_lint_unreachable_structural () =
+  let diags = lint [ movi R0 0L; exit_; movi R0 1L; exit_ ] in
+  Alcotest.(check (list int)) "block at pc 2" [ 2 ]
+    (pcs_of Lint.Unreachable diags);
+  Alcotest.(check int) "exit 1" 1 (Lint.exit_code diags)
+
+let t_lint_always_taken () =
+  let diags =
+    lint
+      [
+        movi R2 5L;
+        jmpi Insn.Eq R2 5L "ok";
+        mov R0 R7;
+        exit_;
+        label "ok";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  Alcotest.(check (list int)) "branch at pc 1" [ 1 ]
+    (pcs_of Lint.Always_taken diags);
+  (* the dead fall-through block is also reported as unreachable *)
+  Alcotest.(check (list int)) "dead block at pc 2" [ 2 ]
+    (pcs_of Lint.Unreachable diags)
+
+let t_lint_never_taken () =
+  let diags =
+    lint
+      [
+        movi R2 3L;
+        jmpi Insn.Eq R2 5L "x";
+        movi R0 0L;
+        exit_;
+        label "x";
+        movi R0 1L;
+        exit_;
+      ]
+  in
+  Alcotest.(check (list int)) "branch at pc 1" [ 1 ]
+    (pcs_of Lint.Never_taken diags);
+  Alcotest.(check (list int)) "dead block at pc 4" [ 4 ]
+    (pcs_of Lint.Unreachable diags)
+
+let t_lint_dead_store_overwrite () =
+  let diags =
+    lint
+      [
+        sti Insn.U64 R10 (-8) 1L;
+        sti Insn.U64 R10 (-8) 2L;
+        ldx Insn.U64 R0 R10 (-8);
+        exit_;
+      ]
+  in
+  Alcotest.(check (list int)) "first store dead" [ 0 ]
+    (pcs_of Lint.Dead_store diags)
+
+let t_lint_dead_store_at_exit () =
+  let diags = lint [ sti Insn.U64 R10 (-16) 7L; movi R0 0L; exit_ ] in
+  Alcotest.(check (list int)) "unread store dead" [ 0 ]
+    (pcs_of Lint.Dead_store diags)
+
+let t_lint_dead_store_conservative () =
+  (* a load between the stores keeps the first one live; a partial overwrite
+     does not prove the first store dead either *)
+  let diags =
+    lint
+      [
+        sti Insn.U64 R10 (-8) 1L;
+        ldx Insn.U64 R3 R10 (-8);
+        sti Insn.U64 R10 (-8) 2L;
+        sti Insn.U8 R10 (-8) 3L;
+        ldx Insn.U64 R0 R10 (-8);
+        exit_;
+      ]
+  in
+  Alcotest.(check (list int)) "no dead stores" []
+    (pcs_of Lint.Dead_store diags)
+
+let t_lint_redundant_guard () =
+  let diags =
+    lint
+      [
+        ldx Insn.U32 R2 R1 0;
+        alui Insn.And R2 255L;
+        alui Insn.And R2 255L;
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  (* only the second mask is provably a no-op *)
+  Alcotest.(check (list int)) "second mask redundant" [ 2 ]
+    (pcs_of Lint.Redundant_guard diags);
+  (* the compiler materialises masks into registers; those count too *)
+  let diags =
+    lint
+      [
+        ldx Insn.U32 R2 R1 0;
+        alui Insn.And R2 255L;
+        movi R3 255L;
+        alu Insn.And R2 R3;
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  Alcotest.(check (list int)) "register-operand mask redundant" [ 3 ]
+    (pcs_of Lint.Redundant_guard diags)
+
+let t_lint_ignored_result () =
+  let diags =
+    lint [ call "bpf_ktime_get_ns"; call "bpf_ktime_get_ns"; exit_ ]
+  in
+  Alcotest.(check (list int)) "first call ignored" [ 0 ]
+    (pcs_of Lint.Ignored_result diags)
+
+let t_lint_result_used_not_flagged () =
+  let diags =
+    lint
+      [
+        call "bpf_ktime_get_ns";
+        mov R6 R0;
+        call "bpf_ktime_get_ns";
+        alu Insn.Add R0 R6;
+        exit_;
+      ]
+  in
+  Alcotest.(check (list Alcotest.int)) "nothing flagged" []
+    (pcs_of Lint.Ignored_result diags);
+  Alcotest.(check int) "exit 0" 0 (Lint.exit_code diags)
+
+let t_lint_kinds_cover () =
+  (* one program exercising several diagnostic kinds at once; sorted by pc *)
+  let diags =
+    lint
+      [
+        sti Insn.U64 R10 (-8) 1L;
+        sti Insn.U64 R10 (-8) 2L;
+        movi R2 5L;
+        jmpi Insn.Eq R2 5L "ok";
+        mov R0 R7;
+        exit_;
+        label "ok";
+        ldx Insn.U64 R0 R10 (-8);
+        exit_;
+      ]
+  in
+  Alcotest.(check bool) "dead store found" true
+    (List.mem Lint.Dead_store (kinds_of diags));
+  Alcotest.(check bool) "always-taken found" true
+    (List.mem Lint.Always_taken (kinds_of diags));
+  Alcotest.(check bool) "unreachable found" true
+    (List.mem Lint.Unreachable (kinds_of diags));
+  let pcs = List.map (fun (d : Lint.diag) -> d.Lint.pc) diags in
+  Alcotest.(check (list int)) "sorted by pc" (List.sort Int.compare pcs) pcs
+
 (* Guard semantics: sanitisation is idempotent and lands in-heap. *)
 let prop_sanitize_idempotent =
   QCheck.Test.make ~count:500 ~name:"sanitize is idempotent and in-heap"
@@ -737,5 +980,33 @@ let () =
           Alcotest.test_case "dead branch" `Quick t_dead_branch_not_explored;
           QCheck_alcotest.to_alcotest prop_verifier_total;
           QCheck_alcotest.to_alcotest prop_sanitize_idempotent;
+        ] );
+      ( "tnum elision",
+        [
+          Alcotest.test_case "xor-masked access needs tnum" `Quick
+            t_tnum_elision_gain;
+          Alcotest.test_case "corpus never loses elisions" `Quick
+            t_corpus_elision_non_decrease;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean program" `Quick t_lint_clean;
+          Alcotest.test_case "unreachable (structural)" `Quick
+            t_lint_unreachable_structural;
+          Alcotest.test_case "always-taken branch" `Quick t_lint_always_taken;
+          Alcotest.test_case "never-taken branch" `Quick t_lint_never_taken;
+          Alcotest.test_case "dead store (overwrite)" `Quick
+            t_lint_dead_store_overwrite;
+          Alcotest.test_case "dead store (at exit)" `Quick
+            t_lint_dead_store_at_exit;
+          Alcotest.test_case "dead store conservatism" `Quick
+            t_lint_dead_store_conservative;
+          Alcotest.test_case "redundant guard" `Quick t_lint_redundant_guard;
+          Alcotest.test_case "ignored helper result" `Quick
+            t_lint_ignored_result;
+          Alcotest.test_case "used result not flagged" `Quick
+            t_lint_result_used_not_flagged;
+          Alcotest.test_case "kind coverage + ordering" `Quick
+            t_lint_kinds_cover;
         ] );
     ]
