@@ -6,7 +6,9 @@
      verify  FILE.ec|FILE.kfx       run the verifier and print the analysis
      lint    FILE.ec|FILE.kfx       report dead code, dead stores, redundant guards
      report  FILE.ec [--perf-mode]  instrument and print the guard report
-     run     FILE.ec [--payload HEX] load and execute with one packet *)
+     run     FILE.ec [--payload HEX] load and execute with one packet
+     fuzz    --seed N --count K     differential soundness fuzzing campaign
+     replay  FILE.kfxr              re-run a fuzz reproducer file *)
 
 open Cmdliner
 
@@ -232,9 +234,50 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Load and execute an extension once")
     Term.(const run $ file_arg $ heap_size_arg $ payload)
 
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"N"
+           ~doc:"Master RNG seed; the whole campaign is deterministic in it")
+  in
+  let count =
+    Arg.(value & opt int 1000 & info [ "count" ] ~docv:"K"
+           ~doc:"Number of random programs to generate and check")
+  in
+  let out =
+    Arg.(value & opt string "fuzz-out" & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory for shrunk reproducer files")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary") in
+  let run seed count out quiet =
+    let log = if quiet then fun _ -> () else fun l -> Format.printf "%s@." l in
+    let s = Kflex_fuzz.Campaign.run ~out_dir:out ~log ~seed ~count () in
+    Format.printf "%a@." Kflex_fuzz.Campaign.pp_summary s;
+    if s.Kflex_fuzz.Campaign.failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential soundness fuzzing: random extensions checked against \
+          the abstract-containment, guard-elision, cancellation and \
+          encode-roundtrip oracles. Exits 1 when any oracle fails, writing \
+          shrunk reproducers to --out.")
+    Term.(const run $ seed $ count $ out $ quiet)
+
+let replay_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let r = Kflex_fuzz.Corpus.read file in
+        let v = Kflex_fuzz.Corpus.replay r in
+        Format.printf "%s: %a@." file Kflex_fuzz.Oracle.pp_verdict v;
+        match v with Kflex_fuzz.Oracle.Fail _ -> exit 1 | _ -> ())
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Re-run a fuzz reproducer (.kfxr) file")
+    Term.(const run $ file_arg)
+
 let () =
   let info = Cmd.info "kflexc" ~doc:"KFlex extension toolchain" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; disasm_cmd; verify_cmd; lint_cmd; report_cmd; run_cmd ]))
+          [ compile_cmd; disasm_cmd; verify_cmd; lint_cmd; report_cmd; run_cmd;
+            fuzz_cmd; replay_cmd ]))

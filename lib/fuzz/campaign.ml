@@ -1,0 +1,106 @@
+module Rng = Kflex_workload.Rng
+
+type summary = {
+  cases : int;
+  accepted : int;
+  rejected : int;
+  invalid : int;
+  failures : int;
+  reproducers : string list;
+}
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d cases: %d accepted, %d rejected, %d invalid, %d FAILURES" s.cases
+    s.accepted s.rejected s.invalid s.failures;
+  List.iter (fun p -> Format.fprintf ppf "@.  reproducer: %s" p) s.reproducers
+
+(* Randomised environment layout for one case, drawn from its own stream. *)
+let layout_config rng =
+  let heap_size = Int64.shift_left 1L (Rng.choose rng [| 12; 14; 16 |]) in
+  let kbase =
+    Int64.add 0x4000_0000_0000L
+      (Int64.shift_left (Int64.of_int (Rng.int rng 256)) 30)
+  in
+  let npages = Int64.to_int (Int64.div heap_size 4096L) in
+  let pages =
+    if Rng.bool rng then List.init npages Fun.id
+    else List.filter (fun _ -> Rng.int rng 4 < 3) (List.init npages Fun.id)
+  in
+  let port = 53 in
+  let prandom = Rng.int64 rng in
+  let payload = String.init 64 (fun _ -> Char.chr (Rng.int rng 256)) in
+  let dst_port = if Rng.bool rng then port else 9 in
+  {
+    Oracle.default_config with
+    heap_size;
+    kbase;
+    pages;
+    port;
+    prandom;
+    payload;
+    src_port = 1024 + Rng.int rng 60000;
+    dst_port;
+  }
+
+let shrink_failure cfg (f : Oracle.failure) items =
+  let check cand =
+    match Gen.assemble cand with
+    | exception _ -> false
+    | prog -> (
+        match Oracle.run_case cfg prog with
+        | Oracle.Fail f' -> f'.Oracle.oracle = f.Oracle.oracle
+        | _ -> false)
+  in
+  if check items then Shrink.shrink ~check items else items
+
+let run ?(out_dir = ".") ?(log = fun _ -> ()) ~seed ~count () =
+  if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755;
+  let master = Rng.create ~seed in
+  let accepted = ref 0
+  and rejected = ref 0
+  and invalid = ref 0
+  and failures = ref 0
+  and repros = ref [] in
+  for i = 0 to count - 1 do
+    let gen_rng = Rng.split master in
+    let layout_rng = Rng.split master in
+    let cfg = layout_config layout_rng in
+    let items =
+      Gen.generate ~rng:gen_rng ~heap_size:cfg.Oracle.heap_size
+        ~port:cfg.Oracle.port
+    in
+    match Gen.assemble items with
+    | exception e ->
+        incr invalid;
+        log (Printf.sprintf "case %d: did not assemble: %s" i
+               (Printexc.to_string e))
+    | prog -> (
+        match Oracle.run_case cfg prog with
+        | Oracle.Pass -> incr accepted
+        | Oracle.Rejected _ -> incr rejected
+        | Oracle.Fail f ->
+            incr failures;
+            log (Printf.sprintf "case %d: FAIL [%s] %s" i f.Oracle.oracle
+                   f.Oracle.detail);
+            let small = shrink_failure cfg f items in
+            let path =
+              Filename.concat out_dir
+                (Printf.sprintf "case_%d_%s.kfxr" i f.Oracle.oracle)
+            in
+            (match Gen.assemble small with
+            | small_prog ->
+                Corpus.write path ~oracle:f.Oracle.oracle cfg small_prog
+            | exception _ -> Corpus.write path ~oracle:f.Oracle.oracle cfg prog);
+            repros := path :: !repros;
+            log (Printf.sprintf "case %d: shrunk %d -> %d items, wrote %s" i
+                   (List.length items) (List.length small) path))
+  done;
+  {
+    cases = count;
+    accepted = !accepted;
+    rejected = !rejected;
+    invalid = !invalid;
+    failures = !failures;
+    reproducers = List.rev !repros;
+  }

@@ -1,0 +1,31 @@
+(** The fuzzing campaign driver.
+
+    Each case draws two independent streams from the master RNG
+    ({!Kflex_workload.Rng.split}): one for program generation, one for
+    environment-layout randomisation (heap size and base, populated pages,
+    packet bytes, PRNG seed, socket-lookup hit/miss). Failures are shrunk
+    and written as reproducer files. Everything is deterministic in
+    [(seed, count)] — two runs produce identical summaries, logs and
+    reproducers. *)
+
+type summary = {
+  cases : int;
+  accepted : int;  (** verifier-accepted, all four oracles green *)
+  rejected : int;  (** verifier refused (expected for random programs) *)
+  invalid : int;  (** did not even assemble (generator bug, kept visible) *)
+  failures : int;  (** oracle violations — each one is a soundness bug *)
+  reproducers : string list;  (** shrunk reproducer files written *)
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val run :
+  ?out_dir:string ->
+  ?log:(string -> unit) ->
+  seed:int64 ->
+  count:int ->
+  unit ->
+  summary
+(** [run ~seed ~count ()] fuzzes [count] cases. Reproducers go to [out_dir]
+    (default ["."], created if missing); [log] receives one line per failure
+    and occasional progress lines (default: silent). *)

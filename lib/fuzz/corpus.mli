@@ -1,0 +1,25 @@
+(** Reproducer files.
+
+    A reproducer captures everything a failing case depends on — the full
+    oracle configuration (heap geometry, page layout, packet, PRNG seed,
+    budgets) and the encoded program — in a line-oriented text format
+    ([kflex-fuzz-repro v1]) friendly to [git diff]. The fuzzer writes one
+    per shrunk failure; [test/corpus/*.kfxr] replays them in [dune runtest]
+    as regression tests. *)
+
+type t = {
+  oracle : string option;
+      (** which oracle failed when the file was written; [replay] does not
+          restrict itself to it — any failure on a corpus file is a bug *)
+  config : Oracle.config;
+  prog : Kflex_bpf.Prog.t;
+}
+
+val write : string -> ?oracle:string -> Oracle.config -> Kflex_bpf.Prog.t -> unit
+(** [write path ?oracle config prog] saves a reproducer. *)
+
+val read : string -> t
+(** @raise Failure on malformed files. *)
+
+val replay : t -> Oracle.verdict
+(** [Oracle.run_case] under the reproducer's own config. *)

@@ -1,0 +1,632 @@
+open Kflex_bpf
+module Rng = Kflex_workload.Rng
+
+(* Register conventions (see the mli): r6 = ctx, r7 = heap base, r8/r9 loop
+   counters, r10 frame pointer. The rest is scratch. *)
+let r_ctx = 6
+let r_heap = 7
+
+type t = {
+  rng : Rng.t;
+  heap_size : int64;
+  port : int;
+  mutable rev : Asm.item list; (* program under construction, reversed *)
+  mutable nlab : int;
+  mutable scalars : int list; (* registers holding initialised scalars *)
+  mutable unknowns : int list; (* registers holding untrusted heap words *)
+  mutable slots : int list; (* written 8-byte stack slots, as r10-relative
+                               byte offsets (negative, multiples of 8) *)
+  mutable reserved : int list; (* registers a snippet must not clobber *)
+  mutable depth : int; (* loop/branch nesting *)
+}
+
+let reg = Reg.of_int
+let emit g it = g.rev <- it :: g.rev
+
+let fresh_label g p =
+  g.nlab <- g.nlab + 1;
+  Printf.sprintf "%s_%d" p g.nlab
+
+(* --- register bookkeeping --------------------------------------------- *)
+
+let forget g r =
+  g.scalars <- List.filter (( <> ) r) g.scalars;
+  g.unknowns <- List.filter (( <> ) r) g.unknowns
+
+let set_scalar g r =
+  forget g r;
+  g.scalars <- r :: g.scalars
+
+let set_unknown g r =
+  forget g r;
+  g.unknowns <- r :: g.unknowns
+
+(* Helper calls clobber r0-r5; the callee-saved half survives. *)
+let clobber_caller_saved g =
+  g.scalars <- List.filter (fun r -> r > 5) g.scalars;
+  g.unknowns <- List.filter (fun r -> r > 5) g.unknowns
+
+let scratch ?(avoid = []) g =
+  let cand =
+    List.filter
+      (fun r -> not (List.mem r g.reserved || List.mem r avoid))
+      [ 0; 1; 2; 3; 4; 5; 8; 9 ]
+  in
+  List.nth cand (Rng.int g.rng (List.length cand))
+
+(* --- operand material -------------------------------------------------- *)
+
+let boundary_consts =
+  [|
+    0L; 1L; -1L; 2L; 7L; 8L; 15L; 16L; 31L; 63L; 64L; 255L; 256L; 4095L;
+    4096L; 0x7fff_ffffL; 0x8000_0000L; 0xffff_ffffL; 0x1_0000_0000L;
+    Int64.min_int; Int64.max_int; 0x5555_5555_5555_5555L;
+    -0x5555_5555_5555_5556L (* 0xaaaa... *);
+  |]
+
+let interesting g =
+  match Rng.int g.rng 8 with
+  | 0 -> Int64.of_int (Rng.int g.rng 16)
+  | 1 -> Rng.int64 g.rng
+  | 2 | 3 -> Rng.choose g.rng boundary_consts
+  | 4 -> Int64.sub g.heap_size (Int64.of_int (Rng.int g.rng 32))
+  | 5 -> Int64.shift_left 1L (Rng.int g.rng 64)
+  | 6 -> Int64.sub (Int64.shift_left 1L (Rng.int g.rng 64)) 1L
+  | _ -> Int64.neg (Int64.of_int (Rng.int g.rng 65536))
+
+(* A register holding an initialised scalar; materialises a constant into a
+   scratch register when none is live (or when asked for a fresh one, as
+   inside loop bodies where pre-loop shapes are unreliable at the join). *)
+let pick_scalar ?(fresh = false) ?(avoid = []) g =
+  let live = List.filter (fun r -> not (List.mem r avoid)) g.scalars in
+  if (not fresh) && live <> [] && Rng.int g.rng 4 > 0 then
+    List.nth live (Rng.int g.rng (List.length live))
+  else begin
+    let r = scratch ~avoid g in
+    emit g (Asm.movi (reg r) (interesting g));
+    set_scalar g r;
+    r
+  end
+
+let sizes = [| Insn.U8; Insn.U16; Insn.U32; Insn.U64 |]
+let alu_ops =
+  [|
+    Insn.Add; Insn.Sub; Insn.Mul; Insn.Div; Insn.Mod; Insn.And; Insn.Or;
+    Insn.Xor; Insn.Lsh; Insn.Rsh; Insn.Arsh;
+  |]
+let conds =
+  [|
+    Insn.Eq; Insn.Ne; Insn.Lt; Insn.Le; Insn.Gt; Insn.Ge; Insn.Slt; Insn.Sle;
+    Insn.Sgt; Insn.Sge; Insn.Set;
+  |]
+
+(* --- snippets ----------------------------------------------------------
+
+   Each snippet emits a small, self-consistent instruction sequence and
+   updates the register/slot tracking. Snippets used inside loop bodies must
+   be self-contained (initialise what they consume), because shapes tracked
+   before a loop may be poisoned at the header join. *)
+
+let gen_const g =
+  let d = scratch g in
+  emit g (Asm.movi (reg d) (interesting g));
+  set_scalar g d
+
+let gen_ctx_load g =
+  let sz = Rng.choose g.rng sizes in
+  let w = Insn.size_bytes sz in
+  let d = scratch g in
+  emit g (Asm.ldx sz (reg d) (reg r_ctx) (Rng.int g.rng (64 - w + 1)));
+  set_scalar g d
+
+(* Masking/alignment arithmetic — the tnum stress. *)
+let gen_mask g =
+  let s = pick_scalar g in
+  let d = if Rng.bool g.rng then s else scratch g in
+  if d <> s then emit g (Asm.mov (reg d) (reg s));
+  (match Rng.int g.rng 3 with
+  | 0 ->
+      (* align down: clear low bits *)
+      let k = Rng.int g.rng 12 in
+      emit g (Asm.alui Insn.And (reg d) (Int64.lognot (Int64.sub (Int64.shift_left 1L k) 1L)))
+  | 1 ->
+      (* bound: keep low bits *)
+      let k = 1 + Rng.int g.rng 16 in
+      emit g (Asm.alui Insn.And (reg d) (Int64.sub (Int64.shift_left 1L k) 1L))
+  | _ ->
+      (* shift-based alignment *)
+      let k = Int64.of_int (1 + Rng.int g.rng 12) in
+      emit g (Asm.alui Insn.Rsh (reg d) k);
+      emit g (Asm.alui Insn.Lsh (reg d) k));
+  set_scalar g d
+
+let gen_alu g =
+  let d = pick_scalar g in
+  let d =
+    (* never rewrite a reserved register in place *)
+    if List.mem d g.reserved then begin
+      let d' = scratch g in
+      emit g (Asm.mov (reg d') (reg d));
+      set_scalar g d';
+      d'
+    end
+    else d
+  in
+  let op = Rng.choose g.rng alu_ops in
+  if Rng.bool g.rng then begin
+    let imm =
+      match op with
+      | Insn.Lsh | Insn.Rsh | Insn.Arsh ->
+          (* mostly in-range shift amounts, occasionally wild *)
+          if Rng.int g.rng 8 = 0 then interesting g
+          else Int64.of_int (Rng.int g.rng 64)
+      | _ -> interesting g
+    in
+    emit g (Asm.alui op (reg d) imm)
+  end
+  else begin
+    let s = pick_scalar ~avoid:[ d ] g in
+    emit g (Asm.alu op (reg d) (reg s))
+  end;
+  set_scalar g d
+
+let gen_neg g =
+  let s = pick_scalar g in
+  let d = if List.mem s g.reserved then scratch g else s in
+  if d <> s then emit g (Asm.mov (reg d) (reg s));
+  emit g (Asm.I (Insn.Neg (reg d)));
+  set_scalar g d
+
+(* Spill a scalar to the stack and (usually) reload it. *)
+let gen_stack g =
+  let s = pick_scalar g in
+  let off = -8 * (1 + Rng.int g.rng 63) in
+  emit g (Asm.stx Insn.U64 Reg.fp off (reg s));
+  if not (List.mem off g.slots) then g.slots <- off :: g.slots;
+  if Rng.bool g.rng then begin
+    let d = scratch g in
+    emit g (Asm.ldx Insn.U64 (reg d) Reg.fp off);
+    set_scalar g d
+  end
+
+let gen_stack_reload g =
+  match g.slots with
+  | [] -> gen_stack g
+  | l ->
+      let off = List.nth l (Rng.int g.rng (List.length l)) in
+      let d = scratch g in
+      emit g (Asm.ldx Insn.U64 (reg d) Reg.fp off);
+      set_scalar g d
+
+(* An in-bounds heap access through masked arithmetic: the elision oracle's
+   bread and butter. The verifier should prove most of these elidable. *)
+let gen_heap_masked g =
+  let d = scratch g in
+  let t = scratch ~avoid:[ d ] g in
+  let s = pick_scalar ~avoid:[ d; t ] g in
+  emit g (Asm.mov (reg t) (reg s));
+  let k = 3 + Rng.int g.rng 10 in
+  let mask = Int64.sub (Int64.shift_left 1L k) 1L in
+  emit g (Asm.alui Insn.And (reg t) mask);
+  emit g (Asm.mov (reg d) (reg r_heap));
+  emit g (Asm.alu Insn.Add (reg d) (reg t));
+  forget g t;
+  let sz = Rng.choose g.rng sizes in
+  let disp = Rng.int g.rng 8 in
+  (match Rng.int g.rng 4 with
+  | 0 ->
+      let v = scratch ~avoid:[ d ] g in
+      emit g (Asm.ldx sz (reg v) (reg d) disp);
+      if sz = Insn.U64 then set_unknown g v else set_scalar g v
+  | 1 ->
+      let v = pick_scalar ~avoid:[ d ] g in
+      emit g (Asm.stx sz (reg d) disp (reg v))
+  | 2 -> emit g (Asm.sti sz (reg d) disp (interesting g))
+  | _ ->
+      let v = pick_scalar ~avoid:[ d ] g in
+      let sz = if Rng.bool g.rng then Insn.U32 else Insn.U64 in
+      let op =
+        Rng.choose g.rng
+          [|
+            Insn.Atomic_add; Insn.Atomic_or; Insn.Atomic_and; Insn.Atomic_xor;
+            Insn.Fetch_add; Insn.Fetch_xor; Insn.Xchg;
+          |]
+      in
+      emit g (Asm.I (Insn.Atomic (op, sz, reg d, disp, reg v)));
+      (match op with
+      | Insn.Fetch_add | Insn.Fetch_or | Insn.Fetch_and | Insn.Fetch_xor
+      | Insn.Xchg ->
+          set_unknown g v
+      | _ -> ()));
+  forget g d
+
+(* An access sitting right at (or just past) the heap edge: off-by-one
+   territory for the elision verdict, and guard-wrap territory at runtime. *)
+let gen_heap_near_bound g =
+  let d = scratch g in
+  let sz = Rng.choose g.rng sizes in
+  let w = Insn.size_bytes sz in
+  let delta = Rng.int g.rng 12 - 3 in
+  let off = Int64.sub g.heap_size (Int64.of_int (w + delta)) in
+  emit g (Asm.mov (reg d) (reg r_heap));
+  emit g (Asm.alui Insn.Add (reg d) off);
+  if Rng.bool g.rng then begin
+    let v = pick_scalar ~avoid:[ d ] g in
+    emit g (Asm.stx sz (reg d) 0 (reg v))
+  end
+  else begin
+    let v = scratch ~avoid:[ d ] g in
+    emit g (Asm.ldx sz (reg v) (reg d) 0);
+    if sz = Insn.U64 then set_unknown g v else set_scalar g v
+  end;
+  forget g d
+
+(* Dereference a raw scalar or an untrusted heap word: a formation access
+   whose guard can never be elided. *)
+let gen_heap_formation g =
+  let src =
+    match g.unknowns with
+    | u :: _ when Rng.bool g.rng -> u
+    | _ -> pick_scalar g
+  in
+  let d = if List.mem src g.reserved then scratch g else src in
+  if d <> src then emit g (Asm.mov (reg d) (reg src));
+  let sz = Rng.choose g.rng sizes in
+  if Rng.bool g.rng then begin
+    let v = scratch ~avoid:[ d ] g in
+    emit g (Asm.ldx sz (reg v) (reg d) 0);
+    if sz = Insn.U64 then set_unknown g v else set_scalar g v
+  end
+  else emit g (Asm.sti sz (reg d) 0 (interesting g));
+  forget g d
+
+(* kflex_malloc / access / maybe kflex_free. Heap pointers may be nullable
+   in KFlex mode (any dereference is guarded), so the null check itself is
+   optional. *)
+let gen_malloc g =
+  let size = Rng.choose g.rng [| 8L; 16L; 48L; 64L; 200L; 1000L; 4000L |] in
+  emit g (Asm.movi (reg 1) size);
+  emit g (Asm.call "kflex_malloc");
+  clobber_caller_saved g;
+  let checked = Rng.bool g.rng in
+  let l_null = fresh_label g "null" in
+  if checked then emit g (Asm.jmpi Insn.Eq (reg 0) 0L l_null);
+  let disp = Rng.int g.rng 16 in
+  (* within the smallest requested size, so usually elidable when checked *)
+  let disp = min disp (Int64.to_int size - 8) in
+  emit g (Asm.sti Insn.U64 (reg 0) disp (interesting g));
+  if Rng.bool g.rng then begin
+    emit g (Asm.mov (reg 1) (reg 0));
+    emit g (Asm.call "kflex_free");
+    clobber_caller_saved g;
+    set_scalar g 0 (* R_unit: r0 = 0 *)
+  end;
+  if checked then emit g (Asm.label l_null);
+  forget g 0
+
+(* Spin-lock critical section over a word in the globals area (page 0 is
+   always populated). The held handle lives in r0 or is spilled to the
+   stack, putting an L_slot entry in the object tables. *)
+let rec gen_lock g =
+  let lock_off = Int64.of_int (64 + (8 * Rng.int g.rng 8)) in
+  emit g (Asm.mov (reg 1) (reg r_heap));
+  emit g (Asm.alui Insn.Add (reg 1) lock_off);
+  emit g (Asm.call "kflex_spin_lock");
+  clobber_caller_saved g;
+  let spill = Rng.bool g.rng in
+  let slot_off = -8 * (50 + Rng.int g.rng 14) in
+  if spill then begin
+    emit g (Asm.stx Insn.U64 Reg.fp slot_off (reg 0));
+    if not (List.mem slot_off g.slots) then g.slots <- slot_off :: g.slots
+  end;
+  (* critical section: r0 (or the spill slot) must survive *)
+  let saved = g.reserved in
+  g.reserved <- (if spill then saved else 0 :: saved);
+  let n = Rng.int g.rng 3 in
+  for _ = 1 to n do
+    gen_snippet ~in_body:true g
+  done;
+  g.reserved <- saved;
+  if spill then emit g (Asm.ldx Insn.U64 (reg 1) Reg.fp slot_off)
+  else emit g (Asm.mov (reg 1) (reg 0));
+  emit g (Asm.call "kflex_spin_unlock");
+  clobber_caller_saved g;
+  set_scalar g 0
+
+(* Socket lookup: the canonical acquire/release pair. Hits when it draws the
+   harness's listening port, misses otherwise. *)
+and gen_sk_lookup g =
+  let port =
+    if Rng.bool g.rng then Int64.of_int g.port
+    else Int64.of_int (Rng.int g.rng 65536)
+  in
+  (* 16-byte lookup tuple on the stack, port in the first word *)
+  emit g (Asm.sti Insn.U64 Reg.fp (-16) port);
+  emit g (Asm.sti Insn.U64 Reg.fp (-8) 0L);
+  g.slots <- List.filter (fun o -> o <> -16 && o <> -8) g.slots;
+  g.slots <- -16 :: -8 :: g.slots;
+  emit g (Asm.mov (reg 1) (reg r_ctx));
+  emit g (Asm.mov (reg 2) Reg.fp);
+  emit g (Asm.alui Insn.Add (reg 2) (-16L));
+  emit g (Asm.movi (reg 3) 0L);
+  emit g (Asm.movi (reg 4) 0L);
+  emit g (Asm.movi (reg 5) 0L);
+  emit g
+    (Asm.call
+       (if Rng.bool g.rng then "bpf_sk_lookup_udp" else "bpf_sk_lookup_tcp"));
+  clobber_caller_saved g;
+  let l_miss = fresh_label g "miss" in
+  emit g (Asm.jmpi Insn.Eq (reg 0) 0L l_miss);
+  let spill = Rng.bool g.rng in
+  let slot_off = -8 * (34 + Rng.int g.rng 14) in
+  if spill then begin
+    emit g (Asm.stx Insn.U64 Reg.fp slot_off (reg 0));
+    if not (List.mem slot_off g.slots) then g.slots <- slot_off :: g.slots
+  end;
+  let saved = g.reserved in
+  g.reserved <- (if spill then saved else 0 :: saved);
+  let n = Rng.int g.rng 3 in
+  for _ = 1 to n do
+    gen_snippet ~in_body:true g
+  done;
+  g.reserved <- saved;
+  if spill then emit g (Asm.ldx Insn.U64 (reg 1) Reg.fp slot_off)
+  else emit g (Asm.mov (reg 1) (reg 0));
+  emit g (Asm.call "bpf_sk_release");
+  clobber_caller_saved g;
+  emit g (Asm.label l_miss);
+  forget g 0
+
+and gen_pkt g =
+  let off = pick_scalar g in
+  emit g (Asm.mov (reg 1) (reg r_ctx));
+  if Rng.bool g.rng then begin
+    emit g (Asm.mov (reg 2) (reg off));
+    emit g
+      (Asm.call
+         (Rng.choose g.rng
+            [| "pkt_read_u8"; "pkt_read_u16"; "pkt_read_u32"; "pkt_read_u64"; "pkt_len" |]))
+  end
+  else begin
+    emit g (Asm.movi (reg 2) (Int64.of_int (Rng.int g.rng 80)));
+    let v = pick_scalar g in
+    emit g (Asm.mov (reg 3) (reg v));
+    emit g
+      (Asm.call
+         (Rng.choose g.rng
+            [| "pkt_write_u8"; "pkt_write_u16"; "pkt_write_u32"; "pkt_write_u64" |]))
+  end;
+  clobber_caller_saved g;
+  set_scalar g 0
+
+and gen_map g =
+  let key_off = -8 * (18 + Rng.int g.rng 4) in
+  let val_off = key_off - 8 in
+  emit g (Asm.sti Insn.U64 Reg.fp key_off (Int64.of_int (Rng.int g.rng 8)));
+  emit g (Asm.sti Insn.U64 Reg.fp val_off (interesting g));
+  List.iter
+    (fun o -> if not (List.mem o g.slots) then g.slots <- o :: g.slots)
+    [ key_off; val_off ];
+  emit g (Asm.movi (reg 1) 3L (* first registered fd *));
+  emit g (Asm.mov (reg 2) Reg.fp);
+  emit g (Asm.alui Insn.Add (reg 2) (Int64.of_int key_off));
+  let op = Rng.int g.rng 3 in
+  if op < 2 then begin
+    emit g (Asm.mov (reg 3) Reg.fp);
+    emit g (Asm.alui Insn.Add (reg 3) (Int64.of_int val_off))
+  end;
+  emit g
+    (Asm.call
+       (match op with
+       | 0 -> "bpf_map_lookup"
+       | 1 -> "bpf_map_update"
+       | _ -> "bpf_map_delete"));
+  clobber_caller_saved g;
+  set_scalar g 0;
+  if op = 0 && Rng.bool g.rng then begin
+    let d = scratch g in
+    emit g (Asm.ldx Insn.U64 (reg d) Reg.fp val_off);
+    set_scalar g d
+  end
+
+and gen_misc_call g =
+  emit g
+    (Asm.call
+       (if Rng.bool g.rng then "bpf_get_prandom_u32"
+        else "bpf_get_smp_processor_id"));
+  clobber_caller_saved g;
+  set_scalar g 0
+
+(* A two-armed branch. Registers initialised on only one arm are dropped
+   from tracking at the join (their abstract join is unusable anyway). *)
+and gen_branch g =
+  let a = pick_scalar g in
+  let c = Rng.choose g.rng conds in
+  let l_then = fresh_label g "then" in
+  let l_join = fresh_label g "join" in
+  if Rng.bool g.rng then
+    emit g (Asm.jmpi c (reg a) (interesting g) l_then)
+  else begin
+    let b = pick_scalar g in
+    emit g (Asm.jmp c (reg a) (reg b) l_then)
+  end;
+  let snap_sc = g.scalars and snap_un = g.unknowns and snap_sl = g.slots in
+  g.depth <- g.depth + 1;
+  let n = Rng.int g.rng 3 in
+  for _ = 1 to n do
+    gen_snippet ~in_body:true g
+  done;
+  let else_sc = g.scalars and else_un = g.unknowns and else_sl = g.slots in
+  emit g (Asm.ja l_join);
+  emit g (Asm.label l_then);
+  g.scalars <- snap_sc;
+  g.unknowns <- snap_un;
+  g.slots <- snap_sl;
+  let n = Rng.int g.rng 3 in
+  for _ = 1 to n do
+    gen_snippet ~in_body:true g
+  done;
+  g.depth <- g.depth - 1;
+  emit g (Asm.label l_join);
+  let inter l l' = List.filter (fun x -> List.mem x l') l in
+  g.scalars <- inter g.scalars else_sc;
+  g.unknowns <- inter g.unknowns else_un;
+  g.slots <- inter g.slots else_sl
+
+(* A counted loop the verifier can bound. The §5.4 stress variant indexes
+   the heap with the (masked, shifted) counter, so widening at the header
+   must preserve alignment/bound facts for the access to stay elidable. *)
+and gen_loop_bounded g =
+  match List.filter (fun r -> not (List.mem r g.reserved)) [ 8; 9 ] with
+  | [] -> gen_alu g
+  | counters ->
+      let rc = List.nth counters (Rng.int g.rng (List.length counters)) in
+      let n = 1 + Rng.int g.rng 32 in
+      let l_head = fresh_label g "loop" in
+      emit g (Asm.movi (reg rc) 0L);
+      forget g rc;
+      let saved = g.reserved in
+      g.reserved <- rc :: saved;
+      g.depth <- g.depth + 1;
+      emit g (Asm.label l_head);
+      let body = 1 + Rng.int g.rng 2 in
+      for _ = 1 to body do
+        gen_snippet ~in_body:true g
+      done;
+      if Rng.bool g.rng then begin
+        (* counter-indexed heap store: mov t rc; t &= 63; t <<= 3 *)
+        let t = scratch g in
+        let d = scratch ~avoid:[ t ] g in
+        emit g (Asm.mov (reg t) (reg rc));
+        emit g (Asm.alui Insn.And (reg t) 63L);
+        emit g (Asm.alui Insn.Lsh (reg t) 3L);
+        emit g (Asm.mov (reg d) (reg r_heap));
+        emit g (Asm.alu Insn.Add (reg d) (reg t));
+        emit g (Asm.stx Insn.U64 (reg d) 0 (reg rc));
+        forget g t;
+        forget g d
+      end;
+      emit g (Asm.alui Insn.Add (reg rc) 1L);
+      emit g (Asm.jmpi Insn.Lt (reg rc) (Int64.of_int n) l_head);
+      g.depth <- g.depth - 1;
+      g.reserved <- saved;
+      set_scalar g rc
+
+(* A loop the verifier cannot bound — each iteration re-rolls the exit
+   condition from bpf_get_prandom_u32 — but which terminates concretely
+   with probability 1 (expected iterations: mask + 1). Gets a C1
+   checkpoint at its back edge. *)
+and gen_loop_unbounded g =
+  let l_head = fresh_label g "uloop" in
+  let mask = Rng.choose g.rng [| 1L; 3L; 7L; 15L |] in
+  g.depth <- g.depth + 1;
+  emit g (Asm.label l_head);
+  let body = 1 + Rng.int g.rng 2 in
+  for _ = 1 to body do
+    gen_snippet ~in_body:true g
+  done;
+  emit g (Asm.call "bpf_get_prandom_u32");
+  clobber_caller_saved g;
+  emit g (Asm.alui Insn.And (reg 0) mask);
+  emit g (Asm.jmpi Insn.Ne (reg 0) 0L l_head);
+  g.depth <- g.depth - 1;
+  set_scalar g 0
+
+(* A deliberately endless loop: only the quantum watchdog (via the C1
+   checkpoint) ends it. Rare, because each one costs a full quantum. *)
+and gen_loop_infinite g =
+  let l_head = fresh_label g "iloop" in
+  g.depth <- g.depth + 1;
+  emit g (Asm.label l_head);
+  gen_snippet ~in_body:true g;
+  emit g (Asm.ja l_head);
+  g.depth <- g.depth - 1
+
+and gen_snippet ~in_body g =
+  let pick =
+    if in_body then begin
+      (* Self-contained snippets only (pre-loop register shapes are
+         unreliable at the header join). While an object is held in r0 —
+         an unspilled critical section — helper calls would clobber its
+         only copy, so those bodies stay call-free. Deep nesting tapers. *)
+      let no_calls = List.mem 0 g.reserved in
+      let lim = if no_calls then 19 else if g.depth >= 2 then 22 else 27 in
+      match Rng.int g.rng lim with
+      | 0 | 1 -> gen_const
+      | 2 | 3 -> gen_ctx_load
+      | 4 | 5 -> gen_mask
+      | 6 | 7 -> gen_alu
+      | 8 -> gen_neg
+      | 9 | 10 | 11 -> gen_heap_masked
+      | 12 | 13 -> gen_heap_near_bound
+      | 14 | 15 -> gen_heap_formation
+      | 16 -> gen_stack
+      | 17 | 18 -> gen_branch
+      | 19 -> gen_pkt
+      | 20 -> gen_misc_call
+      | 21 -> gen_map
+      | 22 -> gen_loop_bounded
+      | 23 -> gen_malloc
+      | 24 -> gen_lock
+      | 25 -> gen_sk_lookup
+      | _ -> gen_misc_call
+    end
+    else
+      match Rng.int g.rng 30 with
+      | 0 | 1 -> gen_const
+      | 2 -> gen_ctx_load
+      | 3 | 4 | 5 -> gen_mask
+      | 6 | 7 -> gen_alu
+      | 8 -> gen_neg
+      | 9 | 10 | 11 -> gen_heap_masked
+      | 12 | 13 -> gen_heap_near_bound
+      | 14 | 15 -> gen_heap_formation
+      | 16 -> gen_stack
+      | 17 -> gen_stack_reload
+      | 18 | 19 -> gen_branch
+      | 20 | 21 -> gen_loop_bounded
+      | 22 | 23 -> gen_loop_unbounded
+      | 24 -> gen_malloc
+      | 25 -> gen_lock
+      | 26 -> gen_sk_lookup
+      | 27 -> gen_pkt
+      | 28 -> gen_map
+      | _ ->
+          if Rng.int g.rng 12 = 0 then gen_loop_infinite else gen_misc_call
+  in
+  pick g
+
+(* --- whole programs ---------------------------------------------------- *)
+
+let generate ~rng ~heap_size ~port =
+  let g =
+    {
+      rng;
+      heap_size;
+      port;
+      rev = [];
+      nlab = 0;
+      scalars = [];
+      unknowns = [];
+      slots = [];
+      reserved = [];
+      depth = 0;
+    }
+  in
+  (* prologue: stash ctx, fetch the heap base (r0 stays a heap pointer —
+     deliberately untracked) *)
+  emit g (Asm.mov (reg r_ctx) (reg 1));
+  emit g (Asm.call "kflex_heap_base");
+  emit g (Asm.mov (reg r_heap) (reg 0));
+  let n = 3 + Rng.int g.rng 10 in
+  for _ = 1 to n do
+    gen_snippet ~in_body:false g
+  done;
+  (* epilogue: r0 must be a scalar *)
+  (match List.filter (fun r -> r <> 0) g.scalars with
+  | r :: _ when Rng.bool g.rng -> emit g (Asm.mov (reg 0) (reg r))
+  | _ -> emit g (Asm.movi (reg 0) (interesting g)));
+  emit g Asm.exit_;
+  List.rev g.rev
+
+let assemble items = Asm.assemble ~name:"fuzz" items

@@ -1,0 +1,34 @@
+(** Random extension programs for the differential fuzzer.
+
+    Programs are generated as assembler item lists (label-based jumps, so the
+    shrinker can delete instructions without re-targeting) and are biased
+    toward the constructs that stress the verifier's abstract domains and the
+    instrumentation they feed:
+
+    - masking/alignment arithmetic (the tnum half of the range domain);
+    - heap loads/stores near the heap bounds (guard-elision verdicts);
+    - formation accesses through raw scalars and untrusted heap words;
+    - bounded and verifier-unbounded-but-concretely-terminating loops
+      (widening, C1 checkpoints);
+    - helper acquire/release pairs — sockets and spin locks, optionally
+      spilled to the stack across their critical section (object tables).
+
+    Register conventions: [r6] holds the context pointer, [r7] the heap base,
+    [r8]/[r9] serve as loop counters, everything else is scratch. Generated
+    programs always terminate concretely (loop counters are masked; the rare
+    deliberately-infinite loop relies on the quantum watchdog), and they
+    never call [bpf_ktime_get_ns], whose global virtual clock would break
+    run-to-run determinism. *)
+
+val generate :
+  rng:Kflex_workload.Rng.t ->
+  heap_size:int64 ->
+  port:int ->
+  Kflex_bpf.Asm.item list
+(** One random program. [port] is the UDP port the harness listens on, so
+    socket lookups can hit as well as miss. Drawing from the same [rng]
+    state yields the identical program. *)
+
+val assemble : Kflex_bpf.Asm.item list -> Kflex_bpf.Prog.t
+(** [Asm.assemble] under the fuzzer's fixed program name.
+    @raise Kflex_bpf.Asm.Error or [Prog.Malformed] like the assembler. *)

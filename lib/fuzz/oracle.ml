@@ -1,0 +1,455 @@
+open Kflex_bpf
+module Verify = Kflex_verifier.Verify
+module State = Kflex_verifier.State
+module Value = Kflex_verifier.Value
+module Range = Kflex_verifier.Range
+module Tnum = Kflex_verifier.Tnum
+module Contract = Kflex_verifier.Contract
+module Instrument = Kflex_kie.Instrument
+module Vm = Kflex_runtime.Vm
+module Heap = Kflex_runtime.Heap
+module Alloc = Kflex_runtime.Alloc
+module Helpers = Kflex_kernel.Helpers
+module Hook = Kflex_kernel.Hook
+module Packet = Kflex_kernel.Packet
+module Socket = Kflex_kernel.Socket
+module Map_ = Kflex_kernel.Map
+
+type config = {
+  heap_size : int64;
+  kbase : int64;
+  pages : int list;
+  port : int;
+  prandom : int64;
+  payload : string;
+  src_port : int;
+  dst_port : int;
+  quantum : int;
+  insn_budget : int;
+  inject_cap : int;
+}
+
+let default_config =
+  {
+    heap_size = 65536L;
+    kbase = 0x4000_0000_0000L;
+    pages = List.init 16 Fun.id;
+    port = 53;
+    prandom = 0x1234_5678L;
+    payload = String.init 64 (fun i -> Char.chr (i * 7 land 0xff));
+    src_port = 40000;
+    dst_port = 53;
+    quantum = 300_000;
+    insn_budget = 150_000;
+    inject_cap = 24;
+  }
+
+type failure = { oracle : string; detail : string }
+type verdict = Pass | Rejected of string | Fail of failure
+
+let pp_verdict ppf = function
+  | Pass -> Format.fprintf ppf "pass"
+  | Rejected m -> Format.fprintf ppf "rejected (%s)" m
+  | Fail f -> Format.fprintf ppf "FAIL [%s] %s" f.oracle f.detail
+
+let fail oracle fmt = Format.kasprintf (fun detail -> { oracle; detail }) fmt
+
+let contracts = Contract.registry Contract.kflex_base
+
+let verify cfg prog =
+  Verify.run ~mode:Verify.Kflex ~contracts ~ctx_size:Hook.ctx_size
+    ~heap_size:cfg.heap_size ~sleepable:false prog
+
+(* --- oracle 4: encode/decode/disasm round-trip ------------------------- *)
+
+let roundtrip prog =
+  let enc = Encode.encode prog in
+  match Encode.decode enc with
+  | exception e ->
+      Some (fail "roundtrip" "decode raised %s" (Printexc.to_string e))
+  | dec -> (
+      let a = Prog.insns prog and b = Prog.insns dec in
+      if Array.length a <> Array.length b then
+        Some
+          (fail "roundtrip" "length %d re-decoded as %d" (Array.length a)
+             (Array.length b))
+      else begin
+        let bad = ref None in
+        Array.iteri
+          (fun i ia ->
+            if !bad = None && not (Insn.equal ia b.(i)) then bad := Some i)
+          a;
+        match !bad with
+        | Some i ->
+            Some
+              (fail "roundtrip" "insn %d: %a re-decoded as %a" i Insn.pp a.(i)
+                 Insn.pp b.(i))
+        | None -> (
+            match Format.asprintf "%a" Prog.pp prog with
+            | (_ : string) -> None
+            | exception e ->
+                Some
+                  (fail "roundtrip" "disassembler raised %s"
+                     (Printexc.to_string e)))
+      end)
+
+(* --- execution environments -------------------------------------------- *)
+
+type env = {
+  ext : Vm.ext;
+  kernel : Helpers.t;
+  heap : Heap.t;
+  pkt : Packet.t;
+  ctx : Bytes.t;
+}
+
+(* Fresh, fully deterministic world per run: zeroed heap with the config's
+   base and page layout, fresh socket table / maps / allocator, fresh packet
+   bytes (extensions mutate the payload in place). *)
+let build_env cfg kie =
+  let heap = Heap.create ~kbase:cfg.kbase ~size:cfg.heap_size () in
+  let kernel = Helpers.create () in
+  Socket.listen (Helpers.sockets kernel) ~proto:Packet.Udp ~port:cfg.port;
+  Socket.listen (Helpers.sockets kernel) ~proto:Packet.Tcp ~port:cfg.port;
+  ignore (Map_.register (Helpers.maps kernel) (Map_.create ~max_entries:64) : int64);
+  (* the reserved words and globals (offsets < 64) are always backed *)
+  Heap.populate heap ~off:0L ~len:64L;
+  let alloc = Alloc.create ~data_start:64L heap in
+  List.iter
+    (fun p ->
+      let off = Int64.mul (Int64.of_int p) 4096L in
+      if off >= 0L && off < cfg.heap_size then Heap.populate heap ~off ~len:4096L)
+    cfg.pages;
+  let pkt =
+    Packet.make ~proto:Packet.Udp ~src_port:cfg.src_port ~dst_port:cfg.dst_port
+      (Bytes.of_string cfg.payload)
+  in
+  Helpers.set_packet kernel (Some pkt);
+  let ext =
+    Vm.create ~heap ~alloc ~quantum:cfg.quantum
+      ~default_ret:(Hook.default_ret Hook.Xdp)
+      ~helpers:(Helpers.implementations kernel)
+      kie
+  in
+  { ext; kernel; heap; pkt; ctx = Hook.build_ctx pkt }
+
+exception Trace_stop
+
+let reason_str = function
+  | Vm.Page_fault -> "page_fault"
+  | Vm.Guard_zone -> "guard_zone"
+  | Vm.Wild_access -> "wild_access"
+  | Vm.Quantum_expired -> "quantum_expired"
+  | Vm.Lock_stall -> "lock_stall"
+  | Vm.Ext_cancelled -> "ext_cancelled"
+
+let pp_outcome ppf = function
+  | Vm.Finished v -> Format.fprintf ppf "finished(0x%Lx)" v
+  | Vm.Cancelled c ->
+      Format.fprintf ppf "cancelled(pc=%d,%s,ret=%Ld,released=%d,leaked=%d)"
+        c.orig_pc (reason_str c.reason) c.ret (List.length c.released)
+        c.ledger_leaked
+
+(* --- oracle 1: abstract containment ------------------------------------ *)
+
+let contained (r : Range.t) v =
+  Int64.unsigned_compare r.Range.umin v <= 0
+  && Int64.unsigned_compare v r.Range.umax <= 0
+  && Int64.compare r.Range.smin v <= 0
+  && Int64.compare v r.Range.smax <= 0
+  && Tnum.contains r.Range.bits v
+
+let check_regs cfg st regs pc =
+  let bad = ref None in
+  for i = 0 to 10 do
+    if !bad = None then begin
+      let v = regs.(i) in
+      let mismatch what =
+        bad :=
+          Some
+            (Format.asprintf "pc %d: r%d = 0x%Lx outside abstract %s" pc i v
+               what)
+      in
+      match State.get st (Reg.of_int i) with
+      | Value.Uninit | Value.Unknown -> ()
+      | Value.Scalar r ->
+          if not (contained r v) then
+            mismatch (Format.asprintf "scalar %a" Value.pp (Value.Scalar r))
+      | Value.Ptr { kind; off; nullable } ->
+          if v = 0L then begin
+            if not nullable then
+              mismatch
+                (Format.asprintf "%a (non-nullable, concrete null)"
+                   Value.pp_ptr_kind kind)
+          end
+          else begin
+            let base =
+              match kind with
+              | Value.Ctx -> Vm.ctx_base
+              | Value.Stack ->
+                  Int64.add Vm.stack_base (Int64.of_int Prog.stack_size)
+              | Value.Heap -> cfg.kbase
+            in
+            if not (contained off (Int64.sub v base)) then
+              mismatch
+                (Format.asprintf "%a ptr (concrete offset 0x%Lx)"
+                   Value.pp_ptr_kind kind (Int64.sub v base))
+          end
+      | Value.Obj { nullable; klass; _ } ->
+          if (not nullable) && v = 0L then
+            mismatch (Printf.sprintf "non-null obj %s (concrete null)" klass)
+    end
+  done;
+  !bad
+
+(* Run the kmod baseline — no instrumentation, so instrumented pcs coincide
+   with the verifier's — checking every live register against the fixpoint
+   pre-state before each instruction. Wild faults end the run safely through
+   the normal cancellation machinery; the trace prefix still counts. *)
+let containment cfg analysis kie_k =
+  let env = build_env cfg kie_k in
+  let states = analysis.Verify.states_at in
+  let budget = ref cfg.insn_budget in
+  let viol = ref None in
+  let on_insn pc regs =
+    decr budget;
+    if !budget <= 0 then raise Trace_stop;
+    (match if pc < Array.length states then states.(pc) else None with
+    | None ->
+        viol :=
+          Some
+            (Printf.sprintf "pc %d executed but abstractly unreachable" pc)
+    | Some st -> viol := check_regs cfg st regs pc);
+    if !viol <> None then raise Trace_stop
+  in
+  Vm.seed_prandom cfg.prandom;
+  (try ignore (Vm.exec env.ext ~ctx:env.ctx ~on_insn () : Vm.outcome)
+   with Trace_stop -> ());
+  Option.map (fun d -> { oracle = "containment"; detail = d }) !viol
+
+(* --- oracle 2: guard-elision equivalence ------------------------------- *)
+
+type obs = {
+  outcome : Vm.outcome;
+  heap_pages : (int64 * string) list;
+  payload_after : string;
+  sites : int;
+  sock_refs : int;
+}
+
+let observe cfg kie =
+  let env = build_env cfg kie in
+  let sites = ref 0 in
+  let budget = ref ((4 * cfg.quantum) + 1_000_000) in
+  let on_insn _ _ =
+    decr budget;
+    if !budget <= 0 then raise Trace_stop
+  in
+  Vm.seed_prandom cfg.prandom;
+  match
+    Vm.exec env.ext ~ctx:env.ctx ~on_insn
+      ~on_site:(fun () ->
+        incr sites;
+        false)
+      ()
+  with
+  | exception Trace_stop ->
+      Error
+        (fail "harness" "execution exceeded the %d-insn safety budget"
+           ((4 * cfg.quantum) + 1_000_000))
+  | outcome ->
+      Ok
+        {
+          outcome;
+          heap_pages = Heap.snapshot env.heap;
+          payload_after = Bytes.to_string env.pkt.Packet.payload;
+          sites = !sites;
+          sock_refs = Socket.total_refs (Helpers.sockets env.kernel);
+        }
+
+let default_ret = Hook.default_ret Hook.Xdp
+
+(* Invariants every single run must satisfy, elided or not. *)
+let run_invariants mode o =
+  match o.outcome with
+  | Vm.Finished _ ->
+      if o.sock_refs <> 0 then
+        Some
+          (fail "cancellation" "%s: finished with %d socket refs outstanding"
+             mode o.sock_refs)
+      else None
+  | Vm.Cancelled c ->
+      if c.ledger_leaked <> 0 then
+        Some
+          (fail "cancellation" "%s: %a leaked %d ledger entries" mode
+             pp_outcome o.outcome c.ledger_leaked)
+      else if c.ret <> default_ret then
+        Some
+          (fail "cancellation" "%s: cancelled with ret %Ld (default %Ld)" mode
+             c.ret default_ret)
+      else if o.sock_refs <> 0 then
+        Some
+          (fail "cancellation" "%s: cancelled with %d socket refs outstanding"
+             mode o.sock_refs)
+      else None
+
+let first_diff_page a b =
+  let rec go = function
+    | (ia, pa) :: ra, (ib, pb) :: rb ->
+        if ia <> ib then Some (min ia ib)
+        else if pa <> pb then Some ia
+        else go (ra, rb)
+    | (ia, _) :: _, [] | [], (ia, _) :: _ -> Some ia
+    | [], [] -> None
+  in
+  go (a, b)
+
+let elision cfg analysis kie_a kie_b =
+  match observe cfg kie_a with
+  | Error f -> Error f
+  | Ok a -> (
+      (* an access the verifier marked elidable must never fault outside
+         the heap proper *)
+      let elided_fault =
+        match a.outcome with
+        | Vm.Cancelled { orig_pc; reason = Vm.Guard_zone | Vm.Wild_access; _ }
+          ->
+            List.exists
+              (fun (acc : Verify.heap_access) ->
+                acc.Verify.pc = orig_pc && acc.Verify.elidable)
+              analysis.Verify.heap_accesses
+        | _ -> false
+      in
+      if elided_fault then
+        Error
+          (fail "elision" "elidable access faulted outside the heap: %a"
+             pp_outcome a.outcome)
+      else
+        match run_invariants "elided" a with
+        | Some f -> Error f
+        | None -> (
+            match observe cfg kie_b with
+            | Error f -> Error f
+            | Ok b -> (
+                match run_invariants "forced" b with
+                | Some f -> Error f
+                | None ->
+                    let both_quantum =
+                      match (a.outcome, b.outcome) with
+                      | ( Vm.Cancelled { reason = Vm.Quantum_expired; _ },
+                          Vm.Cancelled { reason = Vm.Quantum_expired; _ } ) ->
+                          true
+                      | _ -> false
+                    in
+                    if a.sites <> b.sites && not both_quantum then
+                      Error
+                        (fail "elision"
+                           "cancellation sites diverge: %d elided vs %d forced"
+                           a.sites b.sites)
+                    else if both_quantum then
+                      (* guards cost a unit each, so the watchdog fires after
+                         different amounts of loop progress; only the
+                         unwinding invariants are comparable *)
+                      Ok a.sites
+                    else if a.outcome <> b.outcome then
+                      Error
+                        (fail "elision" "outcomes diverge: %a elided vs %a forced"
+                           pp_outcome a.outcome pp_outcome b.outcome)
+                    else if a.payload_after <> b.payload_after then
+                      Error (fail "elision" "packet payloads diverge")
+                    else
+                      match first_diff_page a.heap_pages b.heap_pages with
+                      | Some p ->
+                          Error
+                            (fail "elision"
+                               "heap contents diverge at page %Ld" p)
+                      | None -> Ok a.sites)))
+
+(* --- oracle 3: cancellation soundness ---------------------------------- *)
+
+let cancellation cfg kie_a sites =
+  if sites = 0 then None
+  else begin
+    let ks =
+      if sites <= cfg.inject_cap then List.init sites Fun.id
+      else List.init cfg.inject_cap (fun i -> i * sites / cfg.inject_cap)
+    in
+    let rec go = function
+      | [] -> None
+      | k :: rest -> (
+          let env = build_env cfg kie_a in
+          let n = ref (-1) in
+          Vm.seed_prandom cfg.prandom;
+          match
+            Vm.exec env.ext ~ctx:env.ctx
+              ~on_site:(fun () ->
+                incr n;
+                !n = k)
+              ()
+          with
+          | Vm.Finished v ->
+              Some
+                (fail "cancellation"
+                   "injection at site %d/%d did not cancel (finished 0x%Lx)" k
+                   sites v)
+          | Vm.Cancelled c ->
+              let refs = Socket.total_refs (Helpers.sockets env.kernel) in
+              if c.reason <> Vm.Ext_cancelled then
+                Some
+                  (fail "cancellation"
+                   "injection at site %d/%d preempted: %a" k sites pp_outcome
+                   (Vm.Cancelled c))
+              else if c.ledger_leaked <> 0 then
+                Some
+                  (fail "cancellation"
+                     "injection at site %d/%d leaked %d objects (%a)" k sites
+                     c.ledger_leaked pp_outcome (Vm.Cancelled c))
+              else if c.ret <> default_ret then
+                Some
+                  (fail "cancellation"
+                     "injection at site %d/%d returned %Ld (default %Ld)" k
+                     sites c.ret default_ret)
+              else if refs <> 0 then
+                Some
+                  (fail "cancellation"
+                     "injection at site %d/%d left %d socket refs" k sites refs)
+              else go rest)
+    in
+    go ks
+  end
+
+(* --- the full case ------------------------------------------------------ *)
+
+let run_case_exn cfg prog =
+  match roundtrip prog with
+    | Some f -> Fail f
+    | None -> (
+        match verify cfg prog with
+        | Error e -> Rejected (Format.asprintf "%a" Verify.pp_error e)
+        | Ok analysis -> (
+            let kie_a =
+              Instrument.run ~options:Instrument.default_options analysis
+            in
+            let kie_b =
+              Instrument.run ~options:Instrument.forced_guards analysis
+            in
+            let kie_k =
+              Instrument.run
+                ~options:
+                  { Instrument.default_options with kmod_baseline = true }
+                analysis
+            in
+            match containment cfg analysis kie_k with
+            | Some f -> Fail f
+            | None -> (
+                match elision cfg analysis kie_a kie_b with
+                | Error f -> Fail f
+                | Ok sites -> (
+                    match cancellation cfg kie_a sites with
+                    | Some f -> Fail f
+                    | None -> Pass))))
+
+let run_case cfg prog =
+  try run_case_exn cfg prog
+  with e ->
+    Fail (fail "harness" "unexpected exception: %s" (Printexc.to_string e))

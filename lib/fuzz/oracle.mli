@@ -1,0 +1,65 @@
+(** The differential oracle engine.
+
+    Every verifier-accepted program is executed concretely under several
+    instrumentation regimes and checked against four invariants:
+
+    - {b roundtrip}: [Encode.encode |> Encode.decode] reproduces the program
+      instruction for instruction (and the disassembler prints it without
+      raising);
+    - {b containment}: running the {e uninstrumented} program (the kmod
+      baseline, whose pcs coincide with the verifier's), every concrete
+      register value lies inside the verifier's final interval for that
+      register at that pc and is consistent with its tnum — a
+      [reg_bounds_sync] analogue for whole programs;
+    - {b elision}: execution with guards elided (the default) is
+      observationally identical — outcome, heap pages, packet bytes — to
+      execution with every guard forced ({!Kflex_kie.Instrument.forced_guards}),
+      and no elided access ever faults outside the heap;
+    - {b cancellation}: injecting an asynchronous cancellation at each
+      Checkpoint/heap-access site unwinds through the object tables with
+      zero leaked resources (ledger and socket refcounts) and the hook's
+      default return code.
+
+    All runs are deterministic: fresh heap/kernel state per run, the
+    [bpf_get_prandom_u32] stream reseeded from the case's config. *)
+
+type config = {
+  heap_size : int64;  (** power of two ≥ 4096 *)
+  kbase : int64;  (** randomized heap base, size-aligned *)
+  pages : int list;  (** heap pages populated before the run (page 0 — the
+      globals — is always populated) *)
+  port : int;  (** UDP+TCP listening port for socket lookups *)
+  prandom : int64;  (** seed for the in-VM PRNG *)
+  payload : string;  (** packet payload *)
+  src_port : int;
+  dst_port : int;
+  quantum : int;  (** watchdog budget (deliberately small, so infinite
+      loops cancel quickly) *)
+  insn_budget : int;  (** containment-trace instruction budget *)
+  inject_cap : int;  (** max cancellation injections per case *)
+}
+
+val default_config : config
+(** 64 KB heap at the default base, all pages populated, port 53, quantum
+    300k, modest budgets — what the corpus replayer uses unless a
+    reproducer file overrides it. *)
+
+type failure = {
+  oracle : string;  (** ["roundtrip" | "containment" | "elision" | "cancellation" | "harness"] *)
+  detail : string;
+}
+
+type verdict =
+  | Pass
+  | Rejected of string  (** the verifier refused the program (not a bug) *)
+  | Fail of failure
+
+val run_case : config -> Kflex_bpf.Prog.t -> verdict
+(** Verify the program, then run all four oracles. Deterministic in
+    [(config, prog)]. *)
+
+val run_case_exn : config -> Kflex_bpf.Prog.t -> verdict
+(** Like {!run_case}, but harness exceptions propagate — so a debugger (or a
+    test) sees the backtrace instead of a [Fail] with oracle ["harness"]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,95 @@
+open Kflex_bpf
+
+let remove_range l i k =
+  List.filteri (fun j _ -> j < i || j >= i + k) l
+
+(* Simpler variants of one item, most aggressive first. *)
+let variants = function
+  | Asm.I insn ->
+      let vs =
+        match insn with
+        | Insn.Mov (d, Insn.Imm v) when v <> 0L ->
+            Insn.Mov (d, Insn.Imm 0L)
+            :: (if Int64.div v 2L <> v then
+                  [ Insn.Mov (d, Insn.Imm (Int64.div v 2L)) ]
+                else [])
+        | Insn.Alu (op, d, Insn.Imm v) when v <> 0L ->
+            Insn.Alu (op, d, Insn.Imm 0L)
+            :: (if Int64.div v 2L <> v then
+                  [ Insn.Alu (op, d, Insn.Imm (Int64.div v 2L)) ]
+                else [])
+        | Insn.Ldx (sz, d, s, off) when off <> 0 ->
+            [ Insn.Ldx (sz, d, s, 0) ]
+        | Insn.Stx (sz, d, off, s) when off <> 0 ->
+            [ Insn.Stx (sz, d, 0, s) ]
+        | Insn.St (sz, d, off, v) ->
+            (if v <> 0L then [ Insn.St (sz, d, off, 0L) ] else [])
+            @ if off <> 0 then [ Insn.St (sz, d, 0, v) ] else []
+        | Insn.Atomic (op, sz, d, off, s) when off <> 0 ->
+            [ Insn.Atomic (op, sz, d, 0, s) ]
+        | _ -> []
+      in
+      List.map (fun i -> Asm.I i) vs
+  | Asm.Jcond_l (c, d, Insn.Imm v, l) when v <> 0L ->
+      [ Asm.Jcond_l (c, d, Insn.Imm 0L, l) ]
+  | Asm.L _ | Asm.Ja_l _ | Asm.Jcond_l _ -> []
+
+let shrink ?(budget = 300) ~check items =
+  let left = ref budget in
+  let check cand =
+    if !left <= 0 then false
+    else begin
+      decr left;
+      check cand
+    end
+  in
+  (* one full deletion sweep with halving chunk sizes *)
+  let delete items =
+    let rec pass k items =
+      if k < 1 then items
+      else begin
+        let rec scan i cur =
+          if i >= List.length cur then cur
+          else begin
+            let cand = remove_range cur i k in
+            if cand <> [] && check cand then scan i cand else scan (i + k) cur
+          end
+        in
+        pass (k / 2) (scan 0 items)
+      end
+    in
+    let n = List.length items in
+    pass (max 1 (n / 2)) items
+  in
+  (* one operand-simplification sweep; variants are recomputed from the
+     current item so independent simplifications (offset and immediate of
+     the same store) compose *)
+  let simplify items =
+    let arr = Array.of_list items in
+    let try_variant i v =
+      if v <> arr.(i) && !left > 0 then begin
+        let save = arr.(i) in
+        arr.(i) <- v;
+        if check (Array.to_list arr) then true
+        else begin
+          arr.(i) <- save;
+          false
+        end
+      end
+      else false
+    in
+    Array.iteri
+      (fun i _ ->
+        let rec improve () =
+          if List.exists (try_variant i) (variants arr.(i)) then improve ()
+        in
+        improve ())
+      arr;
+    Array.to_list arr
+  in
+  let rec fix items =
+    let items' = simplify (delete items) in
+    if !left > 0 && List.length items' < List.length items then fix items'
+    else items'
+  in
+  fix items

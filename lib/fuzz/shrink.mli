@@ -1,0 +1,22 @@
+(** Failure minimisation.
+
+    Shrinking operates on assembler item lists — jumps are label-based, so
+    deleting instructions never re-targets a branch — and alternates two
+    strategies until a fixpoint or the check budget runs out:
+
+    - {b deletion}: ddmin-style chunked removal with halving chunk sizes;
+    - {b operand simplification}: immediates toward [0] (halving), memory
+      displacements toward [0].
+
+    A candidate is kept only when [check] confirms it still exhibits the
+    original failure; [check] is expected to treat programs that no longer
+    assemble (dangling labels after deletion) as non-failing. *)
+
+val shrink :
+  ?budget:int ->
+  check:(Kflex_bpf.Asm.item list -> bool) ->
+  Kflex_bpf.Asm.item list ->
+  Kflex_bpf.Asm.item list
+(** [shrink ~check items] minimises [items] under [check] (which must hold
+    for [items] itself). [budget] caps the number of [check] invocations
+    (default 300 — each one re-verifies and re-runs all oracles). *)

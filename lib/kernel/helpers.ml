@@ -37,15 +37,24 @@ let pkt_len t (c : Vm.call_ctx) =
   c.Vm.charge 2;
   with_pkt t (fun p -> Vm.H_ret (Int64.of_int (Packet.len p)))
 
+(* Offsets arrive as full 64-bit scalars; [Int64.to_int] silently wraps the
+   high bits, which would alias huge offsets onto valid ones. Map anything
+   outside the (tiny) payload to [-1], which read/write treat as a miss. *)
+let pkt_off p v =
+  if Int64.compare v 0L < 0
+     || Int64.compare v (Int64.of_int (Packet.len p)) >= 0
+  then -1
+  else Int64.to_int v
+
 let pkt_read t width (c : Vm.call_ctx) =
   c.Vm.charge 3;
   with_pkt t (fun p ->
-      Vm.H_ret (Packet.read p ~width (Int64.to_int c.Vm.args.(1))))
+      Vm.H_ret (Packet.read p ~width (pkt_off p c.Vm.args.(1))))
 
 let pkt_write t width (c : Vm.call_ctx) =
   c.Vm.charge 3;
   with_pkt t (fun p ->
-      Packet.write p ~width (Int64.to_int c.Vm.args.(1)) c.Vm.args.(2);
+      Packet.write p ~width (pkt_off p c.Vm.args.(1)) c.Vm.args.(2);
       Vm.H_ret 0L)
 
 let map_of t (c : Vm.call_ctx) = Map.find t.map_reg c.Vm.args.(0)

@@ -12,8 +12,10 @@ let make ~proto ~src_port ~dst_port payload =
 
 let len t = Bytes.length t.payload
 
+(* [off + width] can overflow for attacker-chosen offsets near [max_int];
+   compare against [length - width] instead, which cannot. *)
 let read t ~width off =
-  if off < 0 || off + width > Bytes.length t.payload then 0L
+  if off < 0 || off > Bytes.length t.payload - width then 0L
   else
     match width with
     | 1 -> Int64.of_int (Char.code (Bytes.get t.payload off))
@@ -26,7 +28,7 @@ let read t ~width off =
     | _ -> invalid_arg "Packet.read: width"
 
 let write t ~width off v =
-  if off < 0 || off + width > Bytes.length t.payload then ()
+  if off < 0 || off > Bytes.length t.payload - width then ()
   else
     match width with
     | 1 -> Bytes.set t.payload off (Char.chr (Int64.to_int (Int64.logand v 0xffL)))

@@ -16,6 +16,8 @@ let default_options =
     no_elision = false;
   }
 
+let forced_guards = { default_options with no_elision = true }
+
 type obj_entry = { klass : string; destructor : string; loc : State.loc }
 
 type cp_kind = C1 | C2

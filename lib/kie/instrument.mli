@@ -35,6 +35,12 @@ type options = {
 
 val default_options : options
 
+val forced_guards : options
+(** [default_options] with [no_elision] set: every heap access guarded
+    regardless of what the analysis proved. The fuzzer's elision oracle runs
+    each program under both option sets and demands observationally identical
+    executions. *)
+
 type obj_entry = {
   klass : string;
   destructor : string;  (** helper to call with the object as argument *)

@@ -1,6 +1,7 @@
 type t = {
   size : int64;
   mask : int64;
+  kbase : int64;
   shared : bool;
   (* lazily backed 4 KB pages, keyed by page index *)
   pages : (int64, Bytes.t) Hashtbl.t;
@@ -17,7 +18,7 @@ let guard64 = 32768L
 let kbase_const = 0x4000_0000_0000L
 let ubase_const = 0x8000_0000_0000L
 
-let create ?(shared = false) ~size () =
+let create ?(shared = false) ?(kbase = kbase_const) ~size () =
   if
     size < page_size64
     || size > 0x100_0000_0000L (* 2^40 *)
@@ -26,15 +27,27 @@ let create ?(shared = false) ~size () =
     invalid_arg
       (Printf.sprintf "Heap.create: size %Ld must be a power of two in [4K, 1T]"
          size);
-  { size; mask = Int64.sub size 1L; shared; pages = Hashtbl.create 64 }
+  (* The base must be size-aligned (masking extracts the offset), sit at or
+     above the canonical kernel view, and leave the user view's window —
+     guard zones included — untouched. *)
+  if
+    Int64.logand kbase (Int64.sub size 1L) <> 0L
+    || kbase < kbase_const
+    || Int64.add (Int64.add kbase size) guard64
+       > Int64.sub ubase_const guard64
+  then
+    invalid_arg
+      (Printf.sprintf "Heap.create: kbase %Lx must be size-aligned in [2^46, 2^47)"
+         kbase);
+  { size; mask = Int64.sub size 1L; kbase; shared; pages = Hashtbl.create 64 }
 
 let size h = h.size
 let mask h = h.mask
-let kbase _ = kbase_const
+let kbase h = h.kbase
 let ubase h = if h.shared then Some ubase_const else None
 let is_shared h = h.shared
 
-let sanitize h addr = Int64.logor kbase_const (Int64.logand addr h.mask)
+let sanitize h addr = Int64.logor h.kbase (Int64.logand addr h.mask)
 
 let translate_user h addr =
   if not h.shared then invalid_arg "Heap.translate_user: heap is not shared"
@@ -44,7 +57,7 @@ let offset_of_addr h addr =
   let in_view base =
     addr >= Int64.sub base guard64 && addr < Int64.add (Int64.add base h.size) guard64
   in
-  if in_view kbase_const then Some (Int64.sub addr kbase_const)
+  if in_view h.kbase then Some (Int64.sub addr h.kbase)
   else if h.shared && in_view ubase_const then Some (Int64.sub addr ubase_const)
   else None
 
@@ -70,6 +83,12 @@ let populate h ~off ~len =
 let page_populated h off = Hashtbl.mem h.pages (Int64.div off page_size64)
 
 let populated_bytes h = Int64.of_int (Hashtbl.length h.pages * page_size)
+
+(* Deterministic view of the backed pages: Hashtbl iteration order depends
+   on insertion history, so differential comparisons must sort. *)
+let snapshot h =
+  Hashtbl.fold (fun idx p acc -> (idx, Bytes.to_string p) :: acc) h.pages []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
 
 (* Trusted offset-based access; populates pages (the runtime/user side owns
    its mappings). *)

@@ -23,11 +23,15 @@ val page_size : int
 val guard_bytes : int
 (** 32 KB on each side (2{^15}, the instruction displacement range, §4.1). *)
 
-val create : ?shared:bool -> size:int64 -> unit -> t
+val create : ?shared:bool -> ?kbase:int64 -> size:int64 -> unit -> t
 (** Create a heap. [size] must be a power of two between one page and 2{^40}
     bytes; physical backing is allocated lazily per page. [shared] also maps
-    the heap at its user-space base.
-    @raise Invalid_argument on a bad size. *)
+    the heap at its user-space base. [kbase] overrides the kernel-view base
+    address (default 2{^46}); it must be size-aligned, at least the default,
+    and leave the user-space window (2{^47}) and its guard zones clear —
+    the fuzzer randomises it to check no analysis or instrumentation baked
+    in the constant.
+    @raise Invalid_argument on a bad size or base. *)
 
 val size : t -> int64
 val mask : t -> int64
@@ -56,6 +60,10 @@ val page_populated : t -> int64 -> bool
 val populated_bytes : t -> int64
 (** Physical memory currently backing the heap (the cgroup accounting of
     §4.1). *)
+
+val snapshot : t -> (int64 * string) list
+(** Contents of every backed page, as [(page index, 4 KB of bytes)] sorted by
+    index — a deterministic digest source for differential testing. *)
 
 (** {2 Sized accesses}
 

@@ -199,7 +199,7 @@ let eval_alu op a b =
   | Insn.Rsh -> Int64.shift_right_logical a (Int64.to_int b land 63)
   | Insn.Arsh -> Int64.shift_right a (Int64.to_int b land 63)
 
-let exec e ~ctx ?(cpu = 0) ?stats () =
+let exec e ~ctx ?(cpu = 0) ?stats ?on_insn ?on_site () =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let prog = e.kie.Kflex_kie.Instrument.prog in
   let insns = Prog.insns prog in
@@ -210,10 +210,16 @@ let exec e ~ctx ?(cpu = 0) ?stats () =
   regs.(10) <- Int64.add stack_base (Int64.of_int Prog.stack_size);
   let ctx_size = Bytes.length ctx in
   let start_cost = total_cost stats in
+  (* Window tests compare offsets, not [addr + width]: adding the width to an
+     address near [Int64.max_int] wraps negative and would misclassify a wild
+     access as an in-window one. *)
+  let in_window base size addr width =
+    let off = Int64.sub addr base in
+    Int64.compare off 0L >= 0
+    && Int64.compare off (Int64.of_int (size - width)) <= 0
+  in
   let mem_read ~width addr =
-    if addr >= stack_base && Int64.add addr (Int64.of_int width)
-                             <= Int64.add stack_base (Int64.of_int Prog.stack_size)
-    then begin
+    if in_window stack_base Prog.stack_size addr width then begin
       let i = Int64.to_int (Int64.sub addr stack_base) in
       match width with
       | 1 -> Int64.of_int (Char.code (Bytes.get stack i))
@@ -222,9 +228,7 @@ let exec e ~ctx ?(cpu = 0) ?stats () =
       | 8 -> Bytes.get_int64_le stack i
       | _ -> assert false
     end
-    else if addr >= ctx_base && Int64.add addr (Int64.of_int width)
-                                <= Int64.add ctx_base (Int64.of_int ctx_size)
-    then begin
+    else if in_window ctx_base ctx_size addr width then begin
       let i = Int64.to_int (Int64.sub addr ctx_base) in
       match width with
       | 1 -> Int64.of_int (Char.code (Bytes.get ctx i))
@@ -239,9 +243,7 @@ let exec e ~ctx ?(cpu = 0) ?stats () =
       | None -> raise (Vm_fault Wild_access)
   in
   let mem_write ~width addr v =
-    if addr >= stack_base && Int64.add addr (Int64.of_int width)
-                             <= Int64.add stack_base (Int64.of_int Prog.stack_size)
-    then begin
+    if in_window stack_base Prog.stack_size addr width then begin
       let i = Int64.to_int (Int64.sub addr stack_base) in
       match width with
       | 1 -> Bytes.set stack i (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
@@ -275,6 +277,7 @@ let exec e ~ctx ?(cpu = 0) ?stats () =
   (try
      while !result = None do
        let insn = insns.(!pc) in
+       (match on_insn with Some f -> f !pc regs | None -> ());
        stats.insns <- stats.insns + 1;
        (* The watchdog: quantum measured in cost units per invocation. *)
        (match insn with
@@ -286,6 +289,35 @@ let exec e ~ctx ?(cpu = 0) ?stats () =
              raise (Vm_fault Quantum_expired)
            end
        | _ -> ());
+       (* Cancellation-injection sites: every Checkpoint (C1) plus every
+          memory access that leaves the stack/ctx windows (a potential C2
+          fault). The callback sees sites in execution order; returning
+          [true] cancels as if a sibling CPU had (§4.3). *)
+       (match on_site with
+       | None -> ()
+       | Some f ->
+           let outside addr width =
+             not
+               (in_window stack_base Prog.stack_size addr width
+               || in_window ctx_base ctx_size addr width)
+           in
+           let is_site =
+             match insn with
+             | Insn.Checkpoint _ -> true
+             | Insn.Ldx (sz, _, s, off) ->
+                 outside
+                   (Int64.add regs.(Reg.to_int s) (Int64.of_int off))
+                   (Insn.size_bytes sz)
+             | Insn.Stx (sz, d, off, _)
+             | Insn.St (sz, d, off, _)
+             | Insn.Xstore (sz, d, off, _)
+             | Insn.Atomic (_, sz, d, off, _) ->
+                 outside
+                   (Int64.add regs.(Reg.to_int d) (Int64.of_int off))
+                   (Insn.size_bytes sz)
+             | _ -> false
+           in
+           if is_site && f () then raise (Vm_fault Ext_cancelled));
        (match insn with
        | Insn.Mov (d, s) ->
            regs.(Reg.to_int d) <- src_val s;

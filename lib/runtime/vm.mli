@@ -70,6 +70,13 @@ type call_ctx = {
 
 type helper = call_ctx -> helper_outcome
 
+val stack_base : int64
+(** Virtual base of the 512-byte extension stack window ([r10] starts at
+    [stack_base + 512]). *)
+
+val ctx_base : int64
+(** Virtual base of the context window ([r1] at entry). *)
+
 val seed_prandom : int64 -> unit
 (** Reset the deterministic PRNG behind [bpf_get_prandom_u32] — benchmarks
     comparing instrumentation modes of randomised structures (skiplists)
@@ -109,6 +116,25 @@ val reset_cancel : ext -> unit
 
 val kie : ext -> Kflex_kie.Instrument.t
 
-val exec : ext -> ctx:Bytes.t -> ?cpu:int -> ?stats:stats -> unit -> outcome
+val exec :
+  ext ->
+  ctx:Bytes.t ->
+  ?cpu:int ->
+  ?stats:stats ->
+  ?on_insn:(int -> int64 array -> unit) ->
+  ?on_site:(unit -> bool) ->
+  unit ->
+  outcome
 (** Run one invocation with the given context block. [stats], when supplied,
-    accumulates across invocations. *)
+    accumulates across invocations.
+
+    [on_insn] observes every instruction boundary: it receives the
+    instrumented pc and the live register file {e before} the instruction
+    executes. Exceptions it raises propagate out of [exec] uncaught — the
+    fuzzer's containment oracle uses this both to check abstract states and
+    to bound runaway concrete loops.
+
+    [on_site] is consulted at every cancellation site — each [Checkpoint]
+    and each memory access whose address leaves the stack/ctx windows — in
+    execution order; returning [true] injects an asynchronous cancellation
+    ({!Ext_cancelled}) at that site, exercising object-table unwinding. *)

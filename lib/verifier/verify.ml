@@ -35,6 +35,7 @@ type analysis = {
   heap_accesses : heap_access list;
   unbounded : Cfg.loop list;
   res_at : res_entry list array;
+  states_at : State.t option array;
   stack_used : int;
   insn_count : int;
   reached : bool array;
@@ -731,6 +732,7 @@ let run ~mode ~contracts ~ctx_size ?heap_size ?(sleepable = false) prog =
        semantics never delivers a state to is dead) and no-op masks (an
        [And] that provably cannot clear any possibly-set bit). *)
     let res_at = Array.make (Prog.length prog) [] in
+    let states_at = Array.make (Prog.length prog) None in
     let verdicts = ref [] in
     let redundant_masks = ref [] in
     accesses := [];
@@ -743,6 +745,7 @@ let run ~mode ~contracts ~ctx_size ?heap_size ?(sleepable = false) prog =
           let continue = ref true in
           for pc = blk.Cfg.first to blk.Cfg.last do
             if !continue then begin
+              states_at.(pc) <- Some !stref;
               res_at.(pc) <-
                 List.filter_map
                   (fun (r : State.resource) ->
@@ -793,6 +796,7 @@ let run ~mode ~contracts ~ctx_size ?heap_size ?(sleepable = false) prog =
         heap_accesses;
         unbounded = (match mode with Ebpf -> [] | Kflex -> unbounded);
         res_at;
+        states_at;
         stack_used = Prog.stack_size - !(env.min_stack);
         insn_count = Prog.length prog;
         reached = Array.map Option.is_some in_states;

@@ -78,6 +78,11 @@ type analysis = {
   heap_accesses : heap_access list;  (** in increasing pc order *)
   unbounded : Kflex_bpf.Cfg.loop list;
   res_at : res_entry list array;  (** held resources before each pc *)
+  states_at : State.t option array;
+      (** final abstract pre-state per pc — the fixpoint facts the verifier
+          committed to at each instruction. [None] for unreached pcs. The
+          fuzzer's containment oracle checks every concrete register value
+          against these ([reg_bounds_sync] for whole programs). *)
   stack_used : int;  (** bytes of stack frame touched *)
   insn_count : int;
   reached : bool array;

@@ -16,3 +16,17 @@ let float t =
 let int t n =
   if n <= 0 then invalid_arg "Rng.int";
   Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int n))
+
+(* Derive an independent stream: draw one value from the parent and use it
+   as the child's state. splitmix64's output function is a bijection, so
+   children seeded from distinct parent draws never collide, and the parent
+   advances deterministically — callers get reproducible stream trees. *)
+let split t = { state = next t }
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let int64 t = next t
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose";
+  arr.(int t (Array.length arr))

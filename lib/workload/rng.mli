@@ -11,3 +11,18 @@ val float : t -> float
 
 val int : t -> int -> int
 (** Uniform in [0, n). *)
+
+val split : t -> t
+(** Derive an independent child stream. The parent advances by one draw;
+    the child's sequence is deterministic in the parent's state at the call.
+    Components that must not perturb each other's randomness (fuzz program
+    generation, heap-layout randomisation, sim workloads) each take their own
+    split. *)
+
+val bool : t -> bool
+
+val int64 : t -> int64
+(** Alias for {!next}; reads better at call sites drawing raw values. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,181 @@
+(* Regenerates the hand-written corpus entries in test/corpus/.
+
+   These are near-miss cases aimed at the boundaries the random generator
+   only hits occasionally: exact off-by-one heap bounds, join-point tnum
+   widening, loop-invariant resource sets, formation guards, malloc block
+   edges, and resources held across cancellation sites. Each file replays
+   green; a future soundness regression in the verifier, the instrumenter or
+   the runtime shows up as a red corpus replay without any fuzzing.
+
+     dune exec test/gen_corpus.exe -- test/corpus *)
+
+open Kflex_bpf
+module Gen = Kflex_fuzz.Gen
+module Corpus = Kflex_fuzz.Corpus
+module Oracle = Kflex_fuzz.Oracle
+
+let r0 = Reg.R0
+let r1 = Reg.R1
+let r2 = Reg.R2
+let r3 = Reg.R3
+let r4 = Reg.R4
+let r5 = Reg.R5
+let r6 = Reg.R6
+let r7 = Reg.R7
+let r8 = Reg.R8
+
+(* r6 = ctx, r7 = heap base: the fuzzer's register conventions. *)
+let prologue =
+  [ Asm.mov r6 r1; Asm.call "kflex_heap_base"; Asm.mov r7 r0 ]
+
+let epilogue = [ Asm.movi r0 0L; Asm.exit_ ]
+
+let hs = Oracle.default_config.Oracle.heap_size (* 64 KiB *)
+
+(* Loads hugging both sides of the heap edge: [size-8] (the last elidable
+   u64), [size-4] (u32 ending exactly at the edge), then [size-7] (one byte
+   past — a guarded access that must fault in the guard zone identically
+   with and without elision). *)
+let off_by_one_heap =
+  let at off w d =
+    [
+      Asm.movi r1 off;
+      Asm.mov r2 r7;
+      Asm.alu Insn.Add r2 r1;
+      Asm.ldx w d r2 0;
+    ]
+  in
+  prologue
+  @ at (Int64.sub hs 8L) Insn.U64 r3
+  @ at (Int64.sub hs 4L) Insn.U32 r4
+  @ at (Int64.sub hs 7L) Insn.U64 r5
+  @ epilogue
+
+(* Two branch arms materialise 0 and 8; the join's tnum must still prove
+   the subsequent masked heap access elidable. *)
+let tnum_join_widen =
+  prologue
+  @ [
+      Asm.ldx Insn.U32 r1 r6 0;
+      Asm.jmpi Insn.Ne r1 64L "else_";
+      Asm.movi r2 0L;
+      Asm.ja "join";
+      Asm.label "else_";
+      Asm.movi r2 8L;
+      Asm.label "join";
+      Asm.alui Insn.And r2 8L;
+      Asm.mov r3 r7;
+      Asm.alu Insn.Add r3 r2;
+      Asm.ldx Insn.U64 r4 r3 0;
+    ]
+  @ epilogue
+
+(* A bounded loop whose resource set is loop-invariant: every iteration
+   acquires and releases the same spin lock. Cancellation injected inside
+   the critical section must release it through the object table. *)
+let loop_resource =
+  prologue
+  @ [
+      Asm.movi r8 0L;
+      Asm.label "head";
+      Asm.mov r1 r7;
+      Asm.call "kflex_spin_lock";
+      Asm.mov r1 r0;
+      Asm.call "kflex_spin_unlock";
+      Asm.alui Insn.Add r8 1L;
+      Asm.jmpi Insn.Lt r8 4L "head";
+    ]
+  @ epilogue
+
+(* A formation access: dereferencing a raw scalar. Never elidable; the
+   guard must drag the address into the heap on both runs. *)
+let formation_guard =
+  prologue
+  @ [ Asm.movi r3 0x1_2345_6789L; Asm.ldx Insn.U64 r4 r3 0 ]
+  @ epilogue
+
+(* Store to the last word of a malloc'd block, then free it. *)
+let malloc_bounds =
+  prologue
+  @ [
+      Asm.movi r1 64L;
+      Asm.call "kflex_malloc";
+      Asm.jmpi Insn.Eq r0 0L "out";
+      Asm.sti Insn.U64 r0 56 7L;
+      Asm.mov r1 r0;
+      Asm.call "kflex_free";
+      Asm.label "out";
+    ]
+  @ epilogue
+
+(* §5.4's pattern: a loop-counter-indexed masked heap store the verifier
+   proves in-bounds (so elidable) from the counter's range alone. *)
+let counter_indexed_store =
+  prologue
+  @ [
+      Asm.movi r8 0L;
+      Asm.label "head";
+      Asm.mov r2 r8;
+      Asm.alui Insn.And r2 63L;
+      Asm.alui Insn.Lsh r2 3L;
+      Asm.mov r3 r7;
+      Asm.alu Insn.Add r3 r2;
+      Asm.stx Insn.U64 r3 0 r8;
+      Asm.alui Insn.Add r8 1L;
+      Asm.jmpi Insn.Lt r8 16L "head";
+    ]
+  @ epilogue
+
+(* A socket reference held across heap stores (cancellation sites): the
+   injection oracle must see bpf_sk_release run during unwinding. *)
+let cancel_socket =
+  prologue
+  @ [
+      Asm.sti Insn.U64 Reg.R10 (-16) 53L;
+      Asm.sti Insn.U64 Reg.R10 (-8) 0L;
+      Asm.mov r1 r6;
+      Asm.mov r2 Reg.R10;
+      Asm.alui Insn.Add r2 (-16L);
+      Asm.movi r3 0L;
+      Asm.movi r4 0L;
+      Asm.movi r5 0L;
+      Asm.call "bpf_sk_lookup_udp";
+      Asm.jmpi Insn.Eq r0 0L "out";
+      Asm.movi r2 128L;
+      Asm.mov r3 r7;
+      Asm.alu Insn.Add r3 r2;
+      Asm.sti Insn.U64 r3 0 1L;
+      Asm.sti Insn.U64 r3 8 2L;
+      Asm.mov r1 r0;
+      Asm.call "bpf_sk_release";
+      Asm.label "out";
+    ]
+  @ epilogue
+
+let cases =
+  [
+    ("off_by_one_heap", off_by_one_heap);
+    ("tnum_join_widen", tnum_join_widen);
+    ("loop_resource", loop_resource);
+    ("formation_guard", formation_guard);
+    ("malloc_bounds", malloc_bounds);
+    ("counter_indexed_store", counter_indexed_store);
+    ("cancel_socket", cancel_socket);
+  ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
+  List.iter
+    (fun (name, items) ->
+      let prog = Gen.assemble items in
+      let cfg = Oracle.default_config in
+      (match Oracle.run_case cfg prog with
+      | Oracle.Pass -> ()
+      | v ->
+          Format.eprintf "gen_corpus: %s does not pass: %a@." name
+            Oracle.pp_verdict v;
+          exit 1);
+      let path = Filename.concat dir (name ^ ".kfxr") in
+      Corpus.write path cfg prog;
+      Format.printf "wrote %s (%d insns)@." path (Prog.length prog))
+    cases

@@ -1,0 +1,181 @@
+(* Differential fuzzer tests: corpus replay, a fixed-seed smoke campaign,
+   bit-for-bit determinism, and the shrinker. *)
+open Kflex_bpf
+module Gen = Kflex_fuzz.Gen
+module Oracle = Kflex_fuzz.Oracle
+module Shrink = Kflex_fuzz.Shrink
+module Corpus = Kflex_fuzz.Corpus
+module Campaign = Kflex_fuzz.Campaign
+module Rng = Kflex_workload.Rng
+
+(* Every committed reproducer — shrunk finds from past campaigns plus the
+   hand-written near-miss cases — must replay without any oracle failing. *)
+let t_corpus_replay () =
+  let files =
+    Sys.readdir "corpus" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".kfxr")
+    |> List.sort compare
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "corpus is non-trivial (%d files)" (List.length files))
+    true
+    (List.length files >= 8);
+  List.iter
+    (fun f ->
+      let r = Corpus.read (Filename.concat "corpus" f) in
+      match Corpus.replay r with
+      | Oracle.Fail fl -> Alcotest.failf "%s: [%s] %s" f fl.Oracle.oracle fl.Oracle.detail
+      | Oracle.Pass | Oracle.Rejected _ -> ())
+    files
+
+let smoke_dir () =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) "kflex_fuzz_test" in
+  if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+  d
+
+(* A small fixed-seed campaign: no oracle may fail, every program must
+   assemble, and random rejects must stay a minority (the generator would
+   silently lose its teeth otherwise). *)
+let t_smoke_campaign () =
+  let s = Campaign.run ~out_dir:(smoke_dir ()) ~seed:42L ~count:200 () in
+  Alcotest.(check int) "no failures" 0 s.Campaign.failures;
+  Alcotest.(check int) "all assemble" 0 s.Campaign.invalid;
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly accepted (%d/200)" s.Campaign.accepted)
+    true (s.Campaign.accepted > 100)
+
+let t_campaign_deterministic () =
+  let run () = Campaign.run ~out_dir:(smoke_dir ()) ~seed:7L ~count:60 () in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical summaries" true (a = b)
+
+let t_gen_deterministic () =
+  let gen () =
+    let rng = Rng.create ~seed:99L in
+    Gen.generate ~rng ~heap_size:65536L ~port:53
+  in
+  let a = gen () and b = gen () in
+  Alcotest.(check bool) "identical items" true (a = b);
+  Alcotest.(check string) "identical encoding"
+    (Encode.encode (Gen.assemble a))
+    (Encode.encode (Gen.assemble b))
+
+(* The oracles on known-good input: a tiny hand-written program passes all
+   four. *)
+let t_oracle_pass () =
+  let prog =
+    Gen.assemble
+      [
+        Asm.mov Reg.R6 Reg.R1;
+        Asm.call "kflex_heap_base";
+        Asm.mov Reg.R7 Reg.R0;
+        Asm.sti Insn.U64 Reg.R7 256 42L;
+        Asm.ldx Insn.U64 Reg.R3 Reg.R7 256;
+        Asm.mov Reg.R0 Reg.R3;
+        Asm.alui Insn.And Reg.R0 3L;
+        Asm.exit_;
+      ]
+  in
+  match Oracle.run_case Oracle.default_config prog with
+  | Oracle.Pass -> ()
+  | v -> Alcotest.failf "expected pass: %a" Oracle.pp_verdict v
+
+(* The containment oracle must reject a harness-visible lie. We check the
+   plumbing indirectly: a program the verifier accepts whose concrete
+   behaviour is fine still exercises states_at on every insn (run above),
+   so here we only make sure Fail propagates from run_case_exn's wrapper. *)
+let t_oracle_harness_catch () =
+  (* a config the heap rejects: kbase not size-aligned *)
+  let cfg = { Oracle.default_config with Oracle.kbase = 0x4000_0000_1000L } in
+  let prog = Gen.assemble [ Asm.movi Reg.R0 0L; Asm.exit_ ] in
+  match Oracle.run_case cfg prog with
+  | Oracle.Fail f -> Alcotest.(check string) "harness" "harness" f.Oracle.oracle
+  | v -> Alcotest.failf "expected harness failure: %a" Oracle.pp_verdict v
+
+(* Shrinking against a synthetic predicate: anything containing the marker
+   instruction "fails", so the minimum is exactly one item. *)
+let t_shrink_minimises () =
+  let marker = Asm.I (Insn.Neg Reg.R3) in
+  let junk =
+    List.concat_map
+      (fun i ->
+        [
+          Asm.movi Reg.R1 (Int64.of_int i);
+          Asm.alui Insn.Add Reg.R1 1L;
+          Asm.movi Reg.R2 77L;
+        ])
+      (List.init 10 Fun.id)
+  in
+  let items = junk @ [ marker ] @ junk in
+  let check cand = List.mem marker cand in
+  let small = Shrink.shrink ~check items in
+  Alcotest.(check int) "one item left" 1 (List.length small);
+  Alcotest.(check bool) "the marker" true (List.mem marker small)
+
+(* Operand simplification: immediates shrink toward zero while the
+   predicate (an in-bounds store exists) keeps holding. *)
+let t_shrink_simplifies () =
+  let items = [ Asm.I (Insn.St (Insn.U64, Reg.R7, 96, 1234L)) ] in
+  let check = function
+    | [ Asm.I (Insn.St (Insn.U64, Reg.R7, _, _)) ] -> true
+    | _ -> false
+  in
+  match Shrink.shrink ~check items with
+  | [ Asm.I (Insn.St (Insn.U64, Reg.R7, off, v)) ] ->
+      Alcotest.(check int) "offset zeroed" 0 off;
+      Alcotest.(check int64) "imm zeroed" 0L v
+  | _ -> Alcotest.fail "unexpected shrink result"
+
+let t_corpus_roundtrip () =
+  let prog = Gen.assemble [ Asm.movi Reg.R0 7L; Asm.exit_ ] in
+  let cfg =
+    {
+      Oracle.default_config with
+      Oracle.heap_size = 4096L;
+      Oracle.kbase = 0x4567_0000_0000L;
+      Oracle.pages = [ 0 ];
+      Oracle.prandom = 0xdeadbeefL;
+      Oracle.payload = "\x00\xff\x7f ok";
+    }
+  in
+  let path = Filename.concat (smoke_dir ()) "roundtrip.kfxr" in
+  Corpus.write path ~oracle:"elision" cfg prog;
+  let r = Corpus.read path in
+  Alcotest.(check (option string)) "oracle" (Some "elision") r.Corpus.oracle;
+  Alcotest.(check bool) "config" true (r.Corpus.config = cfg);
+  Alcotest.(check string) "prog" (Encode.encode prog)
+    (Encode.encode r.Corpus.prog)
+
+(* Regression: the campaign must flag a genuinely unsound runtime. We
+   simulate one by replaying a wild-store program against a config whose
+   quantum is so small the A/B runs still agree — i.e. the case passes —
+   then making sure verdicts are stable across two replays (determinism of
+   run_case itself). *)
+let t_run_case_deterministic () =
+  let rng = Rng.create ~seed:5L in
+  let items = Gen.generate ~rng ~heap_size:65536L ~port:53 in
+  let prog = Gen.assemble items in
+  let a = Oracle.run_case Oracle.default_config prog in
+  let b = Oracle.run_case Oracle.default_config prog in
+  Alcotest.(check bool) "same verdict" true (a = b)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "corpus replay" `Quick t_corpus_replay;
+          Alcotest.test_case "smoke campaign" `Slow t_smoke_campaign;
+          Alcotest.test_case "campaign deterministic" `Quick
+            t_campaign_deterministic;
+          Alcotest.test_case "generator deterministic" `Quick
+            t_gen_deterministic;
+          Alcotest.test_case "oracle pass" `Quick t_oracle_pass;
+          Alcotest.test_case "harness catch" `Quick t_oracle_harness_catch;
+          Alcotest.test_case "shrink minimises" `Quick t_shrink_minimises;
+          Alcotest.test_case "shrink simplifies" `Quick t_shrink_simplifies;
+          Alcotest.test_case "corpus roundtrip" `Quick t_corpus_roundtrip;
+          Alcotest.test_case "run_case deterministic" `Quick
+            t_run_case_deterministic;
+        ] );
+    ]

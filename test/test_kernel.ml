@@ -75,6 +75,78 @@ let t_cost_ordering () =
   Alcotest.(check bool) "compute monotone" true
     (Cost.xdp_service_ns ~compute_ns:2000. ~reply:true > xdp)
 
+(* Regression (found by the differential fuzzer): [off + width] in the
+   packet bounds check overflowed for offsets near [max_int], turning a wild
+   read into a Bytes exception; and 64-bit helper offsets were truncated
+   before checking. *)
+let t_packet_offset_overflow () =
+  let p = Packet.make ~proto:Packet.Udp ~src_port:1 ~dst_port:2 (Bytes.make 8 '\042') in
+  Alcotest.(check int64) "max_int read" 0L (Packet.read p ~width:8 max_int);
+  Alcotest.(check int64) "near-max read" 0L (Packet.read p ~width:2 (max_int - 4));
+  Packet.write p ~width:8 max_int 7L;
+  Packet.write p ~width:4 (max_int - 2) 7L;
+  Alcotest.(check int64) "unchanged" 0x2a2a2a2a2a2a2a2aL (Packet.read p ~width:8 0)
+
+(* The cost model's structural claims, on a grid: every layered deployment
+   is monotone in compute, and adding a layer never makes a request
+   cheaper. These orderings are what every end-to-end figure rests on. *)
+let t_cost_monotone_grid () =
+  let computes = [ 0.; 100.; 500.; 1_000.; 2_000.; 4_000.; 10_000. ] in
+  let check_mono name f =
+    ignore
+      (List.fold_left
+         (fun prev c ->
+           let v = f c in
+           Alcotest.(check bool)
+             (Printf.sprintf "%s monotone at %g" name c)
+             true (v >= prev);
+           v)
+         neg_infinity computes)
+  in
+  check_mono "xdp reply" (fun c -> Cost.xdp_service_ns ~compute_ns:c ~reply:true);
+  check_mono "xdp drop" (fun c -> Cost.xdp_service_ns ~compute_ns:c ~reply:false);
+  check_mono "skb udp" (fun c -> Cost.skb_service_ns ~proto_tcp:false ~compute_ns:c);
+  check_mono "skb tcp" (fun c -> Cost.skb_service_ns ~proto_tcp:true ~compute_ns:c);
+  check_mono "user udp" (fun c -> Cost.user_service_ns ~proto_tcp:false ~compute_ns:c);
+  check_mono "user tcp" (fun c -> Cost.user_service_ns ~proto_tcp:true ~compute_ns:c);
+  List.iter
+    (fun c ->
+      let xdp = Cost.xdp_service_ns ~compute_ns:c ~reply:false in
+      let skb_u = Cost.skb_service_ns ~proto_tcp:false ~compute_ns:c in
+      let skb_t = Cost.skb_service_ns ~proto_tcp:true ~compute_ns:c in
+      let usr_u = Cost.user_service_ns ~proto_tcp:false ~compute_ns:c in
+      let usr_t = Cost.user_service_ns ~proto_tcp:true ~compute_ns:c in
+      Alcotest.(check bool) "xdp <= skb (udp)" true (xdp <= skb_u);
+      Alcotest.(check bool) "skb <= user (udp)" true (skb_u <= usr_u);
+      Alcotest.(check bool) "skb <= user (tcp)" true (skb_t <= usr_t);
+      Alcotest.(check bool) "udp <= tcp at skb" true (skb_u <= skb_t);
+      Alcotest.(check bool) "udp <= tcp at user" true (usr_u <= usr_t);
+      Alcotest.(check bool) "reply costs" true
+        (Cost.xdp_service_ns ~compute_ns:c ~reply:true >= xdp))
+    computes;
+  (* the layer gaps match their published building blocks *)
+  let gap =
+    Cost.user_service_ns ~proto_tcp:false ~compute_ns:0.
+    -. Cost.skb_service_ns ~proto_tcp:false ~compute_ns:0.
+  in
+  Alcotest.(check bool) "user gap is the boundary cost" true
+    (gap >= Cost.syscall_ns);
+  Alcotest.(check bool) "sane constants" true
+    (Cost.insn_ns > 0. && Cost.native_speedup >= 1.
+    && Cost.nic_to_xdp_ns > 0. && Cost.udp_stack_ns < Cost.tcp_stack_ns)
+
+(* Compute units -> ns conversion is linear in the measured cost. *)
+let t_cost_insn_linear () =
+  let base = Cost.xdp_service_ns ~compute_ns:0. ~reply:true in
+  List.iter
+    (fun units ->
+      let c = float_of_int units *. Cost.insn_ns in
+      let v = Cost.xdp_service_ns ~compute_ns:c ~reply:true in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "%d units" units)
+        (base +. c) v)
+    [ 1; 10; 1_000; 250_000 ]
+
 let t_helpers_pkt () =
   let k = Helpers.create () in
   let impls = Helpers.implementations k in
@@ -98,6 +170,10 @@ let () =
           Alcotest.test_case "hook ctx" `Quick t_hook_ctx;
           Alcotest.test_case "hook defaults" `Quick t_hook_defaults;
           Alcotest.test_case "cost ordering" `Quick t_cost_ordering;
+          Alcotest.test_case "packet offset overflow" `Quick
+            t_packet_offset_overflow;
+          Alcotest.test_case "cost monotone grid" `Quick t_cost_monotone_grid;
+          Alcotest.test_case "cost linear in insns" `Quick t_cost_insn_linear;
           Alcotest.test_case "helper registry" `Quick t_helpers_pkt;
         ] );
     ]

@@ -71,6 +71,58 @@ let t_stats () =
   Alcotest.(check (float 1e-9)) "new max" 1000.0 (Stats.max s);
   Alcotest.(check int) "count" 101 (Stats.count s)
 
+let t_rng_split () =
+  (* splitting is deterministic in the parent's state *)
+  let child seed = Rng.split (Rng.create ~seed) in
+  let seq r = List.init 20 (fun _ -> Rng.next r) in
+  Alcotest.(check bool) "same parent, same child" true
+    (seq (child 9L) = seq (child 9L));
+  (* the parent advances exactly one draw per split: two successive splits
+     yield distinct children *)
+  let p = Rng.create ~seed:9L in
+  let c1 = Rng.split p and c2 = Rng.split p in
+  Alcotest.(check bool) "siblings differ" true (seq c1 <> seq c2);
+  (* child streams are insulated from each other: draining one never
+     perturbs the other's sequence *)
+  let p = Rng.create ~seed:9L in
+  let c1 = Rng.split p in
+  let c2 = Rng.split p in
+  for _ = 1 to 1000 do
+    ignore (Rng.next c1)
+  done;
+  let p' = Rng.create ~seed:9L in
+  let _ = Rng.split p' in
+  let c2' = Rng.split p' in
+  Alcotest.(check bool) "independent" true (seq c2 = seq c2');
+  (* and the child does not mirror the parent's own stream *)
+  let p = Rng.create ~seed:9L in
+  let c = Rng.split p in
+  Alcotest.(check bool) "child <> parent" true (seq c <> seq p)
+
+let t_rng_derived_draws () =
+  let r = Rng.create ~seed:13L in
+  (* bool is roughly balanced *)
+  let heads = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool r then incr heads
+  done;
+  Alcotest.(check bool) "bool balanced" true (!heads > 400 && !heads < 600);
+  (* choose covers the array and only the array *)
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    let v = Rng.choose r arr in
+    Alcotest.(check bool) "in array" true (v >= 1 && v <= 5);
+    seen.(v - 1) <- true
+  done;
+  Alcotest.(check bool) "all reachable" true (Array.for_all Fun.id seen);
+  Alcotest.check_raises "empty choose"
+    (Invalid_argument "Rng.choose")
+    (fun () -> ignore (Rng.choose r [||]));
+  (* int64 is the raw stream *)
+  let a = Rng.create ~seed:5L and b = Rng.create ~seed:5L in
+  Alcotest.(check int64) "int64 = next" (Rng.next a) (Rng.int64 b)
+
 let () =
   Alcotest.run "workload"
     [
@@ -78,6 +130,8 @@ let () =
         [
           Alcotest.test_case "rng deterministic" `Quick t_rng_deterministic;
           Alcotest.test_case "rng ranges" `Quick t_rng_ranges;
+          Alcotest.test_case "rng split" `Quick t_rng_split;
+          Alcotest.test_case "rng derived draws" `Quick t_rng_derived_draws;
           Alcotest.test_case "zipf pmf" `Quick t_zipf_pmf;
           Alcotest.test_case "zipf sampling" `Quick t_zipf_sampling;
           Alcotest.test_case "stats" `Quick t_stats;
