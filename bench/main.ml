@@ -143,6 +143,181 @@ let fig5 () =
       if not is_sketch then row `D)
     Kflex_apps.Datastructs.all
 
+(* ---- VM backend: interpreter vs closure-compiled (BENCH_vm.json) ------- *)
+
+(* Wall-clock insns/sec of the three execution engines — interpreter,
+   compiled without fusion, compiled with superinstruction fusion — on the
+   Fig. 5 data-structure workloads. Each variant runs the identical
+   deterministic op sequence on a freshly built structure; the cost-model
+   stats must be bit-identical across variants (the compiled backends only
+   change wall-clock time, never accounting). *)
+
+type jit_meas = {
+  jm_stats : Kflex_runtime.Vm.stats;
+  jm_secs : float;
+  jm_compile_ms : float;
+  jm_fused : int;
+}
+
+let jit_variant kind ~opseq ~preload ~backend ~fuse =
+  let inst = Kflex_apps.Datastructs.create kind in
+  let loaded = Kflex_apps.Datastructs.loaded inst in
+  let compile_ms, fused =
+    match backend with
+    | `Interp -> (0., 0)
+    | `Compiled ->
+        let t0 = Unix.gettimeofday () in
+        let jit = Kflex_runtime.Vm.precompile ~fuse loaded.Kflex.ext in
+        ( (Unix.gettimeofday () -. t0) *. 1000.,
+          Kflex_runtime.Jit.fused_pairs jit )
+  in
+  ds_preload inst ~n:preload;
+  (* packets built outside the timed window; the PRNG stream (skiplist
+     tower levels) restarts identically for every variant *)
+  let pkts =
+    Array.map
+      (fun (op, key) -> Kflex_apps.Datastructs.op_packet ~op ~key ~value:1L)
+      opseq
+  in
+  Kflex_runtime.Vm.seed_prandom 0x2545F4914F6CDD1DL;
+  let stats = Kflex_runtime.Vm.fresh_stats () in
+  (* level the GC playing field: later variants otherwise inherit the
+     earlier variants' heap and pay their major collections *)
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to Array.length pkts - 1 do
+    match Kflex.run_packet loaded ~stats ~backend pkts.(i) with
+    | Kflex_runtime.Vm.Finished _ -> ()
+    | Kflex_runtime.Vm.Cancelled _ ->
+        failwith ("jit bench: op cancelled on " ^ Kflex_apps.Datastructs.name kind)
+  done;
+  {
+    jm_stats = stats;
+    jm_secs = Unix.gettimeofday () -. t0;
+    jm_compile_ms = compile_ms;
+    jm_fused = fused;
+  }
+
+(* Best-of-[reps] wall clock: the host's timing noise dwarfs the
+   variant differences in a single pass, and the minimum is the standard
+   robust estimator for deterministic workloads. Stats are deterministic,
+   so any repetition's counters serve for the identity check. *)
+let jit_best ~reps kind ~opseq ~preload ~backend ~fuse =
+  let best = ref (jit_variant kind ~opseq ~preload ~backend ~fuse) in
+  for _ = 2 to reps do
+    let m = jit_variant kind ~opseq ~preload ~backend ~fuse in
+    if m.jm_secs < !best.jm_secs then best := m
+  done;
+  !best
+
+let stats_tuple (s : Kflex_runtime.Vm.stats) =
+  (s.Kflex_runtime.Vm.insns, s.Kflex_runtime.Vm.guards,
+   s.Kflex_runtime.Vm.checkpoints, s.Kflex_runtime.Vm.helper_calls,
+   s.Kflex_runtime.Vm.helper_cost)
+
+let jit_bench ~smoke =
+  hr "VM backend: interpreter vs closure-compiled (insns/sec wall-clock)";
+  let ops = if smoke then 1_500 else 20_000 in
+  pf "  (%d ops per variant, 25%% update / 75%% lookup; identical stats \
+      required)@." ops;
+  pf "  %-12s %12s %12s %12s %8s %8s %6s@." "structure" "interp/s" "compiled/s"
+    "fused/s" "spd" "spd+f" "fused#";
+  let rows = ref [] in
+  let mismatches = ref 0 in
+  List.iter
+    (fun kind ->
+      let n =
+        match kind with
+        | Kflex_apps.Datastructs.Linked_list -> if smoke then 192 else 1024
+        | _ -> if smoke then 1024 else 8192
+      in
+      let preload =
+        match kind with
+        | Kflex_apps.Datastructs.Countmin | Kflex_apps.Datastructs.Countsketch
+          -> min n 2048
+        | _ -> n
+      in
+      let opseq =
+        let rng = Kflex_workload.Rng.create ~seed:7L in
+        Array.init ops (fun i ->
+            let op = if i land 3 = 0 then 0 else 1 (* 25% upd / 75% lkp *) in
+            (op, Int64.of_int (Kflex_workload.Rng.int rng n)))
+      in
+      let reps = if smoke then 2 else 5 in
+      let v backend fuse = jit_best ~reps kind ~opseq ~preload ~backend ~fuse in
+      let mi = v `Interp true in
+      let mc = v `Compiled false in
+      let mf = v `Compiled true in
+      let same =
+        stats_tuple mi.jm_stats = stats_tuple mc.jm_stats
+        && stats_tuple mi.jm_stats = stats_tuple mf.jm_stats
+      in
+      if not same then begin
+        incr mismatches;
+        let p (a, b, c, d, e) = Printf.sprintf "(%d,%d,%d,%d,%d)" a b c d e in
+        pf "  %-12s STATS MISMATCH interp %s compiled %s fused %s@."
+          (Kflex_apps.Datastructs.name kind)
+          (p (stats_tuple mi.jm_stats))
+          (p (stats_tuple mc.jm_stats))
+          (p (stats_tuple mf.jm_stats))
+      end;
+      let insns = float_of_int mi.jm_stats.Kflex_runtime.Vm.insns in
+      let ips m = insns /. m.jm_secs in
+      let spd_c = ips mc /. ips mi and spd_f = ips mf /. ips mi in
+      pf "  %-12s %12.3e %12.3e %12.3e %7.2fx %7.2fx %6d@."
+        (Kflex_apps.Datastructs.name kind)
+        (ips mi) (ips mc) (ips mf) spd_c spd_f mf.jm_fused;
+      rows :=
+        (kind, mi, mc, mf, same) :: !rows)
+    Kflex_apps.Datastructs.all;
+  let rows = List.rev !rows in
+  (* geometric mean and minimum of the fused speedup across workloads *)
+  let speedups =
+    List.map
+      (fun (_, mi, _, mf, _) -> mi.jm_secs /. mf.jm_secs)
+      rows
+  in
+  let geomean =
+    exp (List.fold_left (fun a s -> a +. log s) 0. speedups
+         /. float_of_int (List.length speedups))
+  in
+  let minimum = List.fold_left min infinity speedups in
+  pf "  fused speedup: min %.2fx, geomean %.2fx%s@." minimum geomean
+    (if !mismatches = 0 then "" else "  (STATS MISMATCHES!)");
+  (* machine-readable results *)
+  let oc = open_out "BENCH_vm.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"ops_per_variant\": %d,\n  \"smoke\": %b,\n  \"workloads\": [\n"
+    ops smoke;
+  List.iteri
+    (fun i (kind, mi, mc, mf, same) ->
+      let insns = float_of_int mi.jm_stats.Kflex_runtime.Vm.insns in
+      let ips m = insns /. m.jm_secs in
+      p "    {\"name\": %S, \"insns\": %d, \"guards\": %d, \"checkpoints\": \
+         %d, \"helper_cost\": %d,\n"
+        (Kflex_apps.Datastructs.name kind)
+        mi.jm_stats.Kflex_runtime.Vm.insns mi.jm_stats.Kflex_runtime.Vm.guards
+        mi.jm_stats.Kflex_runtime.Vm.checkpoints
+        mi.jm_stats.Kflex_runtime.Vm.helper_cost;
+      p "     \"interp_insns_per_sec\": %.0f, \"compiled_insns_per_sec\": \
+         %.0f, \"fused_insns_per_sec\": %.0f,\n"
+        (ips mi) (ips mc) (ips mf);
+      p "     \"speedup_compiled\": %.3f, \"speedup_fused\": %.3f, \
+         \"compile_ms\": %.3f, \"fused_pairs\": %d, \"stats_identical\": \
+         %b}%s\n"
+        (ips mc /. ips mi)
+        (ips mf /. ips mi)
+        mf.jm_compile_ms mf.jm_fused same
+        (if i = List.length rows - 1 then "" else ",");
+      ignore same)
+    rows;
+  p "  ],\n  \"summary\": {\"min_speedup_fused\": %.3f, \
+     \"geomean_speedup_fused\": %.3f, \"stats_identical\": %b}\n}\n"
+    minimum geomean (!mismatches = 0);
+  close_out oc;
+  pf "  wrote BENCH_vm.json@.";
+  if !mismatches > 0 then exit 1
+
 (* ---- Table 3: guard elision ------------------------------------------- *)
 
 let verify_ds prog =
@@ -376,10 +551,13 @@ let () =
   | "table3" -> table3 ()
   | "ablation" -> ablation ()
   | "bechamel" -> bechamel ()
+  | "jit" ->
+      jit_bench
+        ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke")
   | "all" -> all ()
   | other ->
       pf
         "unknown experiment %s (use \
-         table1|fig2|fig3|fig4|fig5|fig6|fig7|table3|ablation|bechamel|all)@."
+         table1|fig2|fig3|fig4|fig5|fig6|fig7|table3|ablation|bechamel|jit|all)@."
         other;
       exit 1

@@ -183,12 +183,19 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc:"Print the Kie instrumentation report")
     Term.(const run $ file_arg $ heap_size_arg $ pm)
 
+let backend_arg =
+  Arg.(value
+       & opt (enum [ ("interp", `Interp); ("compiled", `Compiled) ]) `Interp
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Execution engine: $(b,interp) (fetch/decode interpreter) or \
+                 $(b,compiled) (closure-compiled direct-threaded backend)")
+
 let run_cmd =
   let payload =
     Arg.(value & opt string "" & info [ "payload" ] ~docv:"HEX"
            ~doc:"Packet payload as hex bytes")
   in
-  let run file heap_bits payload =
+  let run file heap_bits payload backend =
     handle_errors (fun () ->
         let prog, globals =
           if Filename.check_suffix file ".kfx" then load_prog file
@@ -206,6 +213,21 @@ let run_cmd =
             Format.printf "REJECTED: %a@." Kflex_verifier.Verify.pp_error e;
             exit 1
         | Ok loaded -> (
+            let backend_name, compile_note =
+              match backend with
+              | `Interp -> ("interp", "")
+              | `Compiled ->
+                  let t0 = Unix.gettimeofday () in
+                  let jit =
+                    Kflex_runtime.Vm.precompile loaded.Kflex.ext
+                  in
+                  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                  ( "compiled",
+                    Printf.sprintf ", compiled %d insns (%d fused) in %.3f ms"
+                      (Kflex_runtime.Jit.insn_count jit)
+                      (Kflex_runtime.Jit.fused_pairs jit)
+                      ms )
+            in
             let bytes =
               if payload = "" then Bytes.make 64 '\000'
               else begin
@@ -219,20 +241,21 @@ let run_cmd =
                 ~src_port:1 ~dst_port:2 bytes
             in
             let stats = Kflex_runtime.Vm.fresh_stats () in
-            match Kflex.run_packet loaded ~stats pkt with
+            match Kflex.run_packet loaded ~stats ~backend pkt with
             | Kflex_runtime.Vm.Finished v ->
                 Format.printf "finished: ret=%Ld (%d insns, %d guards, %d \
-                               checkpoints)@."
+                               checkpoints; backend=%s%s)@."
                   v stats.Kflex_runtime.Vm.insns stats.Kflex_runtime.Vm.guards
-                  stats.Kflex_runtime.Vm.checkpoints
+                  stats.Kflex_runtime.Vm.checkpoints backend_name compile_note
             | Kflex_runtime.Vm.Cancelled { orig_pc; released; ret; _ } ->
-                Format.printf "cancelled at pc %d; released [%s]; ret=%Ld@."
+                Format.printf "cancelled at pc %d; released [%s]; ret=%Ld \
+                               (backend=%s%s)@."
                   orig_pc
                   (String.concat "; " (List.map fst released))
-                  ret))
+                  ret backend_name compile_note))
   in
   Cmd.v (Cmd.info "run" ~doc:"Load and execute an extension once")
-    Term.(const run $ file_arg $ heap_size_arg $ payload)
+    Term.(const run $ file_arg $ heap_size_arg $ payload $ backend_arg)
 
 let fuzz_cmd =
   let seed =
@@ -248,9 +271,11 @@ let fuzz_cmd =
            ~doc:"Directory for shrunk reproducer files")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary") in
-  let run seed count out quiet =
+  let run seed count out quiet backend =
     let log = if quiet then fun _ -> () else fun l -> Format.printf "%s@." l in
-    let s = Kflex_fuzz.Campaign.run ~out_dir:out ~log ~seed ~count () in
+    let s =
+      Kflex_fuzz.Campaign.run ~out_dir:out ~log ~backend ~seed ~count ()
+    in
     Format.printf "%a@." Kflex_fuzz.Campaign.pp_summary s;
     if s.Kflex_fuzz.Campaign.failures > 0 then exit 1
   in
@@ -259,20 +284,21 @@ let fuzz_cmd =
        ~doc:
          "Differential soundness fuzzing: random extensions checked against \
           the abstract-containment, guard-elision, cancellation and \
-          encode-roundtrip oracles. Exits 1 when any oracle fails, writing \
+          encode-roundtrip oracles (plus interpreter-vs-compiled equivalence \
+          with --backend compiled). Exits 1 when any oracle fails, writing \
           shrunk reproducers to --out.")
-    Term.(const run $ seed $ count $ out $ quiet)
+    Term.(const run $ seed $ count $ out $ quiet $ backend_arg)
 
 let replay_cmd =
-  let run file =
+  let run file backend =
     handle_errors (fun () ->
         let r = Kflex_fuzz.Corpus.read file in
-        let v = Kflex_fuzz.Corpus.replay r in
+        let v = Kflex_fuzz.Corpus.replay ~backend r in
         Format.printf "%s: %a@." file Kflex_fuzz.Oracle.pp_verdict v;
         match v with Kflex_fuzz.Oracle.Fail _ -> exit 1 | _ -> ())
   in
   Cmd.v (Cmd.info "replay" ~doc:"Re-run a fuzz reproducer (.kfxr) file")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ backend_arg)
 
 let () =
   let info = Cmd.info "kflexc" ~doc:"KFlex extension toolchain" in

@@ -8,7 +8,32 @@ type loaded = {
   alloc : Alloc.t option;
   kernel : Kflex_kernel.Helpers.t;
   hook : Kflex_kernel.Hook.kind;
+  backend : Vm.backend;
 }
+
+(* Compiled-program cache: attach/run paths and the fuzz oracles load the
+   same instrumented program repeatedly; compile it once. Keyed by a digest
+   of the instruction stream (instrumentation options are already baked into
+   the stream, so programs differing in options hash apart). *)
+let jit_cache : (string, Jit.t) Hashtbl.t = Hashtbl.create 16
+let jit_hits = ref 0
+let jit_misses = ref 0
+
+let jit_cache_stats () =
+  (!jit_hits, !jit_misses, Hashtbl.length jit_cache)
+
+let compiled_for kie =
+  let prog = kie.Kflex_kie.Instrument.prog in
+  let key = Digest.string (Marshal.to_string (Kflex_bpf.Prog.insns prog) []) in
+  match Hashtbl.find_opt jit_cache key with
+  | Some t ->
+      incr jit_hits;
+      t
+  | None ->
+      incr jit_misses;
+      let t = Jit.compile prog in
+      Hashtbl.replace jit_cache key t;
+      t
 
 let contracts = Kflex_verifier.Contract.registry Kflex_verifier.Contract.kflex_base
 
@@ -16,7 +41,7 @@ let globals_base = 64L
 
 let load ?(mode = Kflex_verifier.Verify.Kflex) ?options ?heap
     ?(globals_size = 0L) ?quantum ?on_cancel ?(extra_contracts = [])
-    ?(extra_helpers = []) ~kernel ~hook prog =
+    ?(extra_helpers = []) ?(backend = `Interp) ~kernel ~hook prog =
   let contracts =
     if extra_contracts = [] then contracts
     else
@@ -73,13 +98,26 @@ let load ?(mode = Kflex_verifier.Verify.Kflex) ?options ?heap
           ~default_ret:(Kflex_kernel.Hook.default_ret hook)
           ?on_cancel ~helpers kie
       in
-      Ok { ext; kie; analysis; heap; alloc; kernel; hook }
+      if backend = `Compiled then Vm.set_compiled ext (compiled_for kie);
+      Ok { ext; kie; analysis; heap; alloc; kernel; hook; backend }
 
-let run_raw t ?cpu ?stats ~ctx () = Vm.exec t.ext ~ctx ?cpu ?stats ()
+(* A run may select [`Compiled] on an extension loaded interpreted; route
+   the lazy compilation through the facade cache rather than Vm's per-ext
+   fallback. *)
+let ensure_backend t backend =
+  if backend = `Compiled && not (Vm.has_compiled t.ext) then
+    Vm.set_compiled t.ext (compiled_for t.kie)
 
-let run_packet t ?cpu ?stats pkt =
+let run_raw t ?cpu ?stats ?backend ~ctx () =
+  let backend = match backend with Some b -> b | None -> t.backend in
+  ensure_backend t backend;
+  Vm.exec t.ext ~ctx ?cpu ?stats ~backend ()
+
+let run_packet t ?cpu ?stats ?backend pkt =
+  let backend = match backend with Some b -> b | None -> t.backend in
+  ensure_backend t backend;
   Kflex_kernel.Helpers.set_packet t.kernel (Some pkt);
   let ctx = Kflex_kernel.Hook.build_ctx pkt in
-  let outcome = Vm.exec t.ext ~ctx ?cpu ?stats () in
+  let outcome = Vm.exec t.ext ~ctx ?cpu ?stats ~backend () in
   Kflex_kernel.Helpers.set_packet t.kernel None;
   outcome

@@ -24,10 +24,16 @@ type loaded = {
   alloc : Kflex_runtime.Alloc.t option;
   kernel : Kflex_kernel.Helpers.t;
   hook : Kflex_kernel.Hook.kind;
+  backend : Kflex_runtime.Vm.backend;  (** default engine for run calls *)
 }
 
 val contracts : Kflex_verifier.Contract.registry
 (** The default helper contracts ({!Kflex_verifier.Contract.kflex_base}). *)
+
+val jit_cache_stats : unit -> int * int * int
+(** Compiled-program cache counters: [(hits, misses, entries)]. The cache is
+    keyed by a digest of the instrumented instruction stream, so reloading
+    the same program (fuzz oracles, repeated attaches) compiles once. *)
 
 val load :
   ?mode:Kflex_verifier.Verify.mode ->
@@ -38,6 +44,7 @@ val load :
   ?on_cancel:(int64 -> int64) ->
   ?extra_contracts:Kflex_verifier.Contract.t list ->
   ?extra_helpers:(string * Kflex_runtime.Vm.helper) list ->
+  ?backend:Kflex_runtime.Vm.backend ->
   kernel:Kflex_kernel.Helpers.t ->
   hook:Kflex_kernel.Hook.kind ->
   Kflex_bpf.Prog.t ->
@@ -62,15 +69,18 @@ val run_packet :
   loaded ->
   ?cpu:int ->
   ?stats:Kflex_runtime.Vm.stats ->
+  ?backend:Kflex_runtime.Vm.backend ->
   Kflex_kernel.Packet.t ->
   Kflex_runtime.Vm.outcome
 (** Deliver one packet to the extension at its hook: installs the packet in
-    the kernel helper state, builds the hook context and executes. *)
+    the kernel helper state, builds the hook context and executes.
+    [backend] overrides the load-time default for this invocation. *)
 
 val run_raw :
   loaded ->
   ?cpu:int ->
   ?stats:Kflex_runtime.Vm.stats ->
+  ?backend:Kflex_runtime.Vm.backend ->
   ctx:Bytes.t ->
   unit ->
   Kflex_runtime.Vm.outcome

@@ -43,18 +43,18 @@ let layout_config rng =
     dst_port;
   }
 
-let shrink_failure cfg (f : Oracle.failure) items =
+let shrink_failure ?backend cfg (f : Oracle.failure) items =
   let check cand =
     match Gen.assemble cand with
     | exception _ -> false
     | prog -> (
-        match Oracle.run_case cfg prog with
+        match Oracle.run_case ?backend cfg prog with
         | Oracle.Fail f' -> f'.Oracle.oracle = f.Oracle.oracle
         | _ -> false)
   in
   if check items then Shrink.shrink ~check items else items
 
-let run ?(out_dir = ".") ?(log = fun _ -> ()) ~seed ~count () =
+let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
   if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755;
   let master = Rng.create ~seed in
   let accepted = ref 0
@@ -76,14 +76,14 @@ let run ?(out_dir = ".") ?(log = fun _ -> ()) ~seed ~count () =
         log (Printf.sprintf "case %d: did not assemble: %s" i
                (Printexc.to_string e))
     | prog -> (
-        match Oracle.run_case cfg prog with
+        match Oracle.run_case ?backend cfg prog with
         | Oracle.Pass -> incr accepted
         | Oracle.Rejected _ -> incr rejected
         | Oracle.Fail f ->
             incr failures;
             log (Printf.sprintf "case %d: FAIL [%s] %s" i f.Oracle.oracle
                    f.Oracle.detail);
-            let small = shrink_failure cfg f items in
+            let small = shrink_failure ?backend cfg f items in
             let path =
               Filename.concat out_dir
                 (Printf.sprintf "case_%d_%s.kfxr" i f.Oracle.oracle)

@@ -22,10 +22,13 @@ val pp_summary : Format.formatter -> summary -> unit
 val run :
   ?out_dir:string ->
   ?log:(string -> unit) ->
+  ?backend:Kflex_runtime.Vm.backend ->
   seed:int64 ->
   count:int ->
   unit ->
   summary
 (** [run ~seed ~count ()] fuzzes [count] cases. Reproducers go to [out_dir]
     (default ["."], created if missing); [log] receives one line per failure
-    and occasional progress lines (default: silent). *)
+    and occasional progress lines (default: silent). [backend] (default
+    [`Interp]) additionally runs the interpreter-vs-compiled equivalence
+    oracle on every accepted case when [`Compiled]. *)

@@ -95,4 +95,4 @@ let read path =
       { oracle = !oracle; config = !cfg; prog }
   | _ -> failwith ("corpus: bad magic in " ^ path)
 
-let replay t = Oracle.run_case t.config t.prog
+let replay ?backend t = Oracle.run_case ?backend t.config t.prog

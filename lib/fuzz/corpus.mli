@@ -21,5 +21,6 @@ val write : string -> ?oracle:string -> Oracle.config -> Kflex_bpf.Prog.t -> uni
 val read : string -> t
 (** @raise Failure on malformed files. *)
 
-val replay : t -> Oracle.verdict
-(** [Oracle.run_case] under the reproducer's own config. *)
+val replay : ?backend:Kflex_runtime.Vm.backend -> t -> Oracle.verdict
+(** [Oracle.run_case] under the reproducer's own config; [~backend:`Compiled]
+    additionally checks interpreter-vs-compiled equivalence. *)

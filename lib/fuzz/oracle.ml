@@ -418,9 +418,60 @@ let cancellation cfg kie_a sites =
     go ks
   end
 
+(* --- oracle 5: interpreter vs compiled backend -------------------------- *)
+
+(* Observational equivalence of the two execution engines on the
+   default-instrumented program: outcome, stats counters, heap pages and
+   packet bytes must be bit-identical. The reference interpreter run is
+   budget-bounded through [on_insn] (hooks force the interpreter anyway);
+   the compiled run relies on the watchdog — instrumented programs carry a
+   Checkpoint on every loop back-edge, so the quantum bounds it. *)
+let backend_equiv cfg kie =
+  let env_i = build_env cfg kie in
+  let stats_i = Vm.fresh_stats () in
+  let budget = ref ((4 * cfg.quantum) + 1_000_000) in
+  let on_insn _ _ =
+    decr budget;
+    if !budget <= 0 then raise Trace_stop
+  in
+  Vm.seed_prandom cfg.prandom;
+  match Vm.exec env_i.ext ~ctx:env_i.ctx ~stats:stats_i ~on_insn () with
+  | exception Trace_stop ->
+      Some
+        (fail "harness" "execution exceeded the %d-insn safety budget"
+           ((4 * cfg.quantum) + 1_000_000))
+  | out_i -> (
+      let env_c = build_env cfg kie in
+      let stats_c = Vm.fresh_stats () in
+      Vm.seed_prandom cfg.prandom;
+      let out_c =
+        Vm.exec env_c.ext ~ctx:env_c.ctx ~stats:stats_c ~backend:`Compiled ()
+      in
+      if out_i <> out_c then
+        Some
+          (fail "backend" "outcomes diverge: %a interpreted vs %a compiled"
+             pp_outcome out_i pp_outcome out_c)
+      else if stats_i <> stats_c then
+        Some
+          (fail "backend"
+             "stats diverge: interpreted (i=%d g=%d c=%d hc=%d cost=%d) vs \
+              compiled (i=%d g=%d c=%d hc=%d cost=%d)"
+             stats_i.Vm.insns stats_i.Vm.guards stats_i.Vm.checkpoints
+             stats_i.Vm.helper_calls stats_i.Vm.helper_cost stats_c.Vm.insns
+             stats_c.Vm.guards stats_c.Vm.checkpoints stats_c.Vm.helper_calls
+             stats_c.Vm.helper_cost)
+      else if
+        Bytes.to_string env_i.pkt.Packet.payload
+        <> Bytes.to_string env_c.pkt.Packet.payload
+      then Some (fail "backend" "packet payloads diverge")
+      else
+        match first_diff_page (Heap.snapshot env_i.heap) (Heap.snapshot env_c.heap) with
+        | Some p -> Some (fail "backend" "heap contents diverge at page %Ld" p)
+        | None -> None)
+
 (* --- the full case ------------------------------------------------------ *)
 
-let run_case_exn cfg prog =
+let run_case_exn ?(backend = `Interp) cfg prog =
   match roundtrip prog with
     | Some f -> Fail f
     | None -> (
@@ -447,9 +498,15 @@ let run_case_exn cfg prog =
                 | Ok sites -> (
                     match cancellation cfg kie_a sites with
                     | Some f -> Fail f
-                    | None -> Pass))))
+                    | None -> (
+                        match
+                          if backend = `Compiled then backend_equiv cfg kie_a
+                          else None
+                        with
+                        | Some f -> Fail f
+                        | None -> Pass)))))
 
-let run_case cfg prog =
-  try run_case_exn cfg prog
+let run_case ?backend cfg prog =
+  try run_case_exn ?backend cfg prog
   with e ->
     Fail (fail "harness" "unexpected exception: %s" (Printexc.to_string e))

@@ -1,7 +1,7 @@
 (** The differential oracle engine.
 
     Every verifier-accepted program is executed concretely under several
-    instrumentation regimes and checked against four invariants:
+    instrumentation regimes and checked against up to five invariants:
 
     - {b roundtrip}: [Encode.encode |> Encode.decode] reproduces the program
       instruction for instruction (and the disassembler prints it without
@@ -18,7 +18,11 @@
     - {b cancellation}: injecting an asynchronous cancellation at each
       Checkpoint/heap-access site unwinds through the object tables with
       zero leaked resources (ledger and socket refcounts) and the hook's
-      default return code.
+      default return code;
+    - {b backend} (when [~backend:`Compiled] is requested): the
+      closure-compiled engine ({!Kflex_runtime.Jit}) is observationally
+      identical to the interpreter — outcome, stats counters, heap pages,
+      packet bytes.
 
     All runs are deterministic: fresh heap/kernel state per run, the
     [bpf_get_prandom_u32] stream reseeded from the case's config. *)
@@ -45,7 +49,7 @@ val default_config : config
     reproducer file overrides it. *)
 
 type failure = {
-  oracle : string;  (** ["roundtrip" | "containment" | "elision" | "cancellation" | "harness"] *)
+  oracle : string;  (** ["roundtrip" | "containment" | "elision" | "cancellation" | "backend" | "harness"] *)
   detail : string;
 }
 
@@ -54,12 +58,21 @@ type verdict =
   | Rejected of string  (** the verifier refused the program (not a bug) *)
   | Fail of failure
 
-val run_case : config -> Kflex_bpf.Prog.t -> verdict
-(** Verify the program, then run all four oracles. Deterministic in
-    [(config, prog)]. *)
+val run_case :
+  ?backend:Kflex_runtime.Vm.backend -> config -> Kflex_bpf.Prog.t -> verdict
+(** Verify the program, then run the oracles. [backend] (default [`Interp])
+    additionally enables the interpreter-vs-compiled equivalence oracle when
+    [`Compiled]. Deterministic in [(config, prog, backend)]. *)
 
-val run_case_exn : config -> Kflex_bpf.Prog.t -> verdict
+val run_case_exn :
+  ?backend:Kflex_runtime.Vm.backend -> config -> Kflex_bpf.Prog.t -> verdict
 (** Like {!run_case}, but harness exceptions propagate — so a debugger (or a
     test) sees the backtrace instead of a [Fail] with oracle ["harness"]. *)
+
+val backend_equiv : config -> Kflex_kie.Instrument.t -> failure option
+(** The fifth oracle in isolation: run the instrumented program under both
+    execution engines in fresh environments and compare outcome, stats,
+    heap pages and packet payload. [None] means they agree. Exposed for the
+    qcheck differential suite in the runtime tests. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,18 +1,37 @@
+(* Page backing: small heaps (up to [max_arr_pages] pages) use a flat
+   option array so the hot extension access path costs one bounds-checked
+   array load instead of hashtable probes; the 2^40-byte upper end of the
+   permitted size range falls back to a hashtable keyed by page index. *)
+type backing = Arr of Bytes.t option array | Tbl of (int, Bytes.t) Hashtbl.t
+
 type t = {
   size : int64;
   mask : int64;
   kbase : int64;
   shared : bool;
+  npages : int;
   (* lazily backed 4 KB pages, keyed by page index *)
-  pages : (int64, Bytes.t) Hashtbl.t;
+  backing : backing;
+  mutable npop : int;  (* populated page count *)
+  (* [size - width] per access width, precomputed so the width-specialized
+     accessors below do a single unsigned bound check with no allocation *)
+  lim1 : int64;
+  lim2 : int64;
+  lim4 : int64;
+  lim8 : int64;
 }
 
 exception Fault of { addr : int64; reason : string }
 
 let page_size = 4096
 let page_size64 = 4096L
+let page_shift = 12
 let guard_bytes = 32768
 let guard64 = 32768L
+
+(* Flat page arrays are capped at 256 MiB of heap (64 Ki pages = one 512 KB
+   pointer array); anything larger — the spec allows 2^40 — stays sparse. *)
+let max_arr_pages = 65536
 
 (* Both views are aligned to 2^46, hence to any permitted heap size. *)
 let kbase_const = 0x4000_0000_0000L
@@ -39,7 +58,24 @@ let create ?(shared = false) ?(kbase = kbase_const) ~size () =
     invalid_arg
       (Printf.sprintf "Heap.create: kbase %Lx must be size-aligned in [2^46, 2^47)"
          kbase);
-  { size; mask = Int64.sub size 1L; kbase; shared; pages = Hashtbl.create 64 }
+  let npages = Int64.to_int (Int64.div size page_size64) in
+  let backing =
+    if npages <= max_arr_pages then Arr (Array.make npages None)
+    else Tbl (Hashtbl.create 64)
+  in
+  {
+    size;
+    mask = Int64.sub size 1L;
+    kbase;
+    shared;
+    npages;
+    backing;
+    npop = 0;
+    lim1 = Int64.sub size 1L;
+    lim2 = Int64.sub size 2L;
+    lim4 = Int64.sub size 4L;
+    lim8 = Int64.sub size 8L;
+  }
 
 let size h = h.size
 let mask h = h.mask
@@ -63,41 +99,71 @@ let offset_of_addr h addr =
 
 let fault addr reason = raise (Fault { addr; reason })
 
-let page_of h idx =
-  match Hashtbl.find_opt h.pages idx with
-  | Some p -> Some p
-  | None -> None
+(* [idx] is trusted to be in [0, npages) on array-backed heaps (the callers
+   below establish it from checked offsets). *)
+let get_page h idx =
+  match h.backing with
+  | Arr a -> Array.get a idx
+  | Tbl t -> Hashtbl.find_opt t idx
+
+let set_page h idx p =
+  (match h.backing with
+  | Arr a -> Array.set a idx (Some p)
+  | Tbl t -> Hashtbl.replace t idx p);
+  h.npop <- h.npop + 1
 
 let populate h ~off ~len =
   if off < 0L || len < 0L || Int64.add off len > h.size then
     invalid_arg "Heap.populate: range out of heap";
-  let first = Int64.div off page_size64 in
-  let last = Int64.div (Int64.add off (Int64.max 0L (Int64.sub len 1L))) page_size64 in
-  let idx = ref first in
-  while !idx <= last do
-    if not (Hashtbl.mem h.pages !idx) then
-      Hashtbl.replace h.pages !idx (Bytes.make page_size '\000');
-    idx := Int64.add !idx 1L
+  let first = Int64.to_int (Int64.div off page_size64) in
+  let last =
+    Int64.to_int
+      (Int64.div (Int64.add off (Int64.max 0L (Int64.sub len 1L))) page_size64)
+  in
+  for idx = first to min last (h.npages - 1) do
+    match get_page h idx with
+    | Some _ -> ()
+    | None -> set_page h idx (Bytes.make page_size '\000')
   done
 
-let page_populated h off = Hashtbl.mem h.pages (Int64.div off page_size64)
+let page_populated h off =
+  let idx = Int64.to_int (Int64.div off page_size64) in
+  idx >= 0 && idx < h.npages && get_page h idx <> None
 
-let populated_bytes h = Int64.of_int (Hashtbl.length h.pages * page_size)
+let populated_bytes h = Int64.of_int (h.npop * page_size)
 
-(* Deterministic view of the backed pages: Hashtbl iteration order depends
-   on insertion history, so differential comparisons must sort. *)
+(* Deterministic view of the backed pages, sorted by index (the array walk
+   is naturally ordered; the sparse table must sort). *)
 let snapshot h =
-  Hashtbl.fold (fun idx p acc -> (idx, Bytes.to_string p) :: acc) h.pages []
-  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  match h.backing with
+  | Arr a ->
+      let acc = ref [] in
+      for i = Array.length a - 1 downto 0 do
+        match Array.unsafe_get a i with
+        | Some p -> acc := (Int64.of_int i, Bytes.to_string p) :: !acc
+        | None -> ()
+      done;
+      !acc
+  | Tbl t ->
+      Hashtbl.fold
+        (fun idx p acc -> (Int64.of_int idx, Bytes.to_string p) :: acc)
+        t []
+      |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
 
 (* Trusted offset-based access; populates pages (the runtime/user side owns
    its mappings). *)
 let rec read_off h ~width off =
-  let page = Int64.div off page_size64 in
-  let inpage = Int64.to_int (Int64.rem off page_size64) in
+  let o = Int64.to_int off in
+  let inpage = o land (page_size - 1) in
   if inpage + width <= page_size then begin
-    if not (Hashtbl.mem h.pages page) then populate h ~off ~len:(Int64.of_int width);
-    let p = Hashtbl.find h.pages page in
+    let idx = o lsr page_shift in
+    let p =
+      match get_page h idx with
+      | Some p -> p
+      | None ->
+          populate h ~off ~len:(Int64.of_int width);
+          (match get_page h idx with Some p -> p | None -> assert false)
+    in
     match width with
     | 1 -> Int64.of_int (Char.code (Bytes.get p inpage))
     | 2 -> Int64.of_int (Bytes.get_uint16_le p inpage)
@@ -116,11 +182,17 @@ let rec read_off h ~width off =
   end
 
 let rec write_off h ~width off v =
-  let page = Int64.div off page_size64 in
-  let inpage = Int64.to_int (Int64.rem off page_size64) in
+  let o = Int64.to_int off in
+  let inpage = o land (page_size - 1) in
   if inpage + width <= page_size then begin
-    if not (Hashtbl.mem h.pages page) then populate h ~off ~len:(Int64.of_int width);
-    let p = Hashtbl.find h.pages page in
+    let idx = o lsr page_shift in
+    let p =
+      match get_page h idx with
+      | Some p -> p
+      | None ->
+          populate h ~off ~len:(Int64.of_int width);
+          (match get_page h idx with Some p -> p | None -> assert false)
+    in
     match width with
     | 1 -> Bytes.set p inpage (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
     | 2 -> Bytes.set_uint16_le p inpage (Int64.to_int (Int64.logand v 0xffffL))
@@ -135,31 +207,174 @@ let rec write_off h ~width off v =
         (Int64.shift_right_logical v (8 * i))
     done
 
-(* Untrusted (extension) access: faults on guard zones and unpopulated
-   pages. *)
+(* Untrusted (extension) access: faults on wild addresses, guard zones and
+   unpopulated pages, in that order. The checked offset is non-negative and
+   in-heap, so plain int arithmetic replaces the Int64 div/rem pair. *)
 let check_ext h addr width =
   match offset_of_addr h addr with
   | None -> fault addr "access outside any heap mapping"
   | Some off ->
       if off < 0L || Int64.add off (Int64.of_int width) > h.size then
         fault addr "guard zone access";
-      let first = Int64.div off page_size64 in
-      let last =
-        Int64.div (Int64.add off (Int64.of_int (width - 1))) page_size64
-      in
-      let idx = ref first in
-      while !idx <= last do
-        (match page_of h !idx with
-        | Some _ -> ()
-        | None -> fault addr "unpopulated heap page");
-        idx := Int64.add !idx 1L
-      done;
       off
+
+let check_pages h addr o width =
+  let first = o lsr page_shift in
+  let last = (o + width - 1) lsr page_shift in
+  for idx = first to last do
+    match get_page h idx with
+    | Some _ -> ()
+    | None -> fault addr "unpopulated heap page"
+  done
 
 let read h ~width addr =
   let off = check_ext h addr width in
-  read_off h ~width off
+  let o = Int64.to_int off in
+  let inpage = o land (page_size - 1) in
+  if inpage + width <= page_size then begin
+    match get_page h (o lsr page_shift) with
+    | None -> fault addr "unpopulated heap page"
+    | Some p -> (
+        match width with
+        | 1 -> Int64.of_int (Char.code (Bytes.get p inpage))
+        | 2 -> Int64.of_int (Bytes.get_uint16_le p inpage)
+        | 4 ->
+            Int64.logand (Int64.of_int32 (Bytes.get_int32_le p inpage))
+              0xffff_ffffL
+        | 8 -> Bytes.get_int64_le p inpage
+        | _ -> invalid_arg "Heap.read: width")
+  end
+  else begin
+    check_pages h addr o width;
+    read_off h ~width off
+  end
+
+(* Width-specialized extension reads/writes for the compiled backend: one
+   unsigned bound check against a precomputed limit, one page load, one
+   unaligned access. Anything unusual — guard zones, user-view addresses,
+   page-straddling accesses — falls back to the generic checked path above,
+   so fault reasons and their order are identical to the interpreter's. *)
+
+let read8 h addr =
+  let off = Int64.sub addr h.kbase in
+  if Int64.unsigned_compare off h.lim1 <= 0 then begin
+    let o = Int64.to_int off in
+    match get_page h (o lsr page_shift) with
+    | Some p -> Int64.of_int (Char.code (Bytes.get p (o land (page_size - 1))))
+    | None -> fault addr "unpopulated heap page"
+  end
+  else read h ~width:1 addr
+
+let read16 h addr =
+  let off = Int64.sub addr h.kbase in
+  if Int64.unsigned_compare off h.lim2 <= 0 then begin
+    let o = Int64.to_int off in
+    let inpage = o land (page_size - 1) in
+    if inpage <= page_size - 2 then
+      match get_page h (o lsr page_shift) with
+      | Some p -> Int64.of_int (Bytes.get_uint16_le p inpage)
+      | None -> fault addr "unpopulated heap page"
+    else read h ~width:2 addr
+  end
+  else read h ~width:2 addr
+
+let read32 h addr =
+  let off = Int64.sub addr h.kbase in
+  if Int64.unsigned_compare off h.lim4 <= 0 then begin
+    let o = Int64.to_int off in
+    let inpage = o land (page_size - 1) in
+    if inpage <= page_size - 4 then
+      match get_page h (o lsr page_shift) with
+      | Some p ->
+          Int64.logand (Int64.of_int32 (Bytes.get_int32_le p inpage))
+            0xffff_ffffL
+      | None -> fault addr "unpopulated heap page"
+    else read h ~width:4 addr
+  end
+  else read h ~width:4 addr
+
+let read64 h addr =
+  let off = Int64.sub addr h.kbase in
+  if Int64.unsigned_compare off h.lim8 <= 0 then begin
+    let o = Int64.to_int off in
+    let inpage = o land (page_size - 1) in
+    if inpage <= page_size - 8 then
+      match get_page h (o lsr page_shift) with
+      | Some p -> Bytes.get_int64_le p inpage
+      | None -> fault addr "unpopulated heap page"
+    else read h ~width:8 addr
+  end
+  else read h ~width:8 addr
 
 let write h ~width addr v =
   let off = check_ext h addr width in
-  write_off h ~width off v
+  let o = Int64.to_int off in
+  let inpage = o land (page_size - 1) in
+  if inpage + width <= page_size then begin
+    match get_page h (o lsr page_shift) with
+    | None -> fault addr "unpopulated heap page"
+    | Some p -> (
+        match width with
+        | 1 -> Bytes.set p inpage (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+        | 2 ->
+            Bytes.set_uint16_le p inpage (Int64.to_int (Int64.logand v 0xffffL))
+        | 4 -> Bytes.set_int32_le p inpage (Int64.to_int32 v)
+        | 8 -> Bytes.set_int64_le p inpage v
+        | _ -> invalid_arg "Heap.write: width")
+  end
+  else begin
+    check_pages h addr o width;
+    write_off h ~width off v
+  end
+
+let write8 h addr v =
+  let off = Int64.sub addr h.kbase in
+  if Int64.unsigned_compare off h.lim1 <= 0 then begin
+    let o = Int64.to_int off in
+    match get_page h (o lsr page_shift) with
+    | Some p ->
+        Bytes.set p (o land (page_size - 1))
+          (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+    | None -> fault addr "unpopulated heap page"
+  end
+  else write h ~width:1 addr v
+
+let write16 h addr v =
+  let off = Int64.sub addr h.kbase in
+  if Int64.unsigned_compare off h.lim2 <= 0 then begin
+    let o = Int64.to_int off in
+    let inpage = o land (page_size - 1) in
+    if inpage <= page_size - 2 then
+      match get_page h (o lsr page_shift) with
+      | Some p ->
+          Bytes.set_uint16_le p inpage (Int64.to_int (Int64.logand v 0xffffL))
+      | None -> fault addr "unpopulated heap page"
+    else write h ~width:2 addr v
+  end
+  else write h ~width:2 addr v
+
+let write32 h addr v =
+  let off = Int64.sub addr h.kbase in
+  if Int64.unsigned_compare off h.lim4 <= 0 then begin
+    let o = Int64.to_int off in
+    let inpage = o land (page_size - 1) in
+    if inpage <= page_size - 4 then
+      match get_page h (o lsr page_shift) with
+      | Some p -> Bytes.set_int32_le p inpage (Int64.to_int32 v)
+      | None -> fault addr "unpopulated heap page"
+    else write h ~width:4 addr v
+  end
+  else write h ~width:4 addr v
+
+let write64 h addr v =
+  let off = Int64.sub addr h.kbase in
+  if Int64.unsigned_compare off h.lim8 <= 0 then begin
+    let o = Int64.to_int off in
+    let inpage = o land (page_size - 1) in
+    if inpage <= page_size - 8 then
+      match get_page h (o lsr page_shift) with
+      | Some p -> Bytes.set_int64_le p inpage v
+      | None -> fault addr "unpopulated heap page"
+    else write h ~width:8 addr v
+  end
+  else write h ~width:8 addr v

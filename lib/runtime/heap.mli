@@ -73,6 +73,22 @@ val snapshot : t -> (int64 * string) list
 val read : t -> width:int -> int64 -> int64
 val write : t -> width:int -> int64 -> int64 -> unit
 
+(** {2 Width-specialized extension accesses}
+
+    Hot-path variants of {!read}/{!write} for the compiled backend: one
+    unsigned bound check against a precomputed limit and a direct page
+    access. Semantics (including fault reasons and their order) are exactly
+    those of the generic pair — unusual cases fall back to it. *)
+
+val read8 : t -> int64 -> int64
+val read16 : t -> int64 -> int64
+val read32 : t -> int64 -> int64
+val read64 : t -> int64 -> int64
+val write8 : t -> int64 -> int64 -> unit
+val write16 : t -> int64 -> int64 -> unit
+val write32 : t -> int64 -> int64 -> unit
+val write64 : t -> int64 -> int64 -> unit
+
 (** {2 Offset-based accesses for trusted code (runtime, user space)}
 
     These bypass the fault machinery for in-range, populated offsets and are

@@ -1,0 +1,881 @@
+(* Template JIT: ahead-of-time translation of an instrumented program into
+   an array of OCaml closures with direct-threaded dispatch. Each closure
+   performs the work of one instruction — or one superinstruction — and
+   tail-calls its continuation, so a run is a chain of tail calls with no
+   per-insn fetch/decode match and no hook-presence checks. Specialization
+   happens at compile time: ALU operators, comparison predicates, and
+   memory-access widths are each resolved into a dedicated closure body, so
+   the executed code contains no per-instruction operator dispatch.
+
+   Compilation walks the program backwards so that fall-through and
+   forward-jump continuations are captured directly; backward jumps (and
+   self-loops) fetch their entry at run time. The invariant throughout is
+   that [entries.(q)] executes the instruction stream from [q] onward —
+   which makes jumps into the middle of a superinstruction automatically
+   correct: every covered instruction keeps its own standalone closure.
+
+   Superinstruction fusion:
+   - Guard+Load / Guard+Store pairs: the sanitize result is an address
+     inside the heap window (kbase >= 2^46, stack/ctx windows < 2^46, and
+     the ±32 KB displacement range cannot bridge the gap), so the fused
+     closure skips the stack/ctx window tests and goes straight to the
+     heap's width-specialized accessor. Fault reasons and order (wild
+     access, guard zone, unpopulated page) are unchanged — the specialized
+     accessors fall back to the generic checked path for anything unusual.
+   - Regions: a maximal run of pure instructions (Mov/Alu/Neg, and frame
+     accesses when r10 is provably constant — see below), optionally
+     terminated by a jump, becomes one closure that charges the whole
+     run's [insns] upfront and applies the precompiled effects in
+     sequence. Pure instructions cannot fault and contain no observation
+     points, so batching the charge is unobservable.
+   - Frame accesses: when no instruction ever writes r10, the frame
+     pointer keeps its entry value, so [Ldx]/[Stx]/[St] at [r10 + off]
+     with the slot statically inside the frame resolve to constant-index
+     accesses on the stack bytes. These cannot fault, making them pure
+     region members; out-of-frame offsets keep the generic faulting
+     closure.
+
+   Cost accounting is bit-identical to the interpreter: guards, checkpoints
+   and helper counters bump in the interpreter's order, and fused closures
+   that touch memory batch their charge only across fault-free prefixes,
+   so a fault observes the same counts. *)
+
+open Kflex_bpf
+open Machine
+
+type op = state -> unit
+
+type t = {
+  entries : op array;
+  helper_names : string array;
+      (* helper-table slots, in order of first appearance; [run] requires
+         [st.helpers] linked at least this long *)
+  fused : int;  (* instructions absorbed into superinstructions *)
+  insns : int;
+}
+
+let helper_names t = t.helper_names
+let fused_pairs t = t.fused
+let insn_count t = t.insns
+
+let dummy : op = fun _ -> failwith "Jit: fell off the end of the program"
+
+let ri = Reg.to_int
+
+(* Register indices come from [Reg.to_int], which is always in [0, 10], and
+   [state.regs] has 11 slots — unsafe accesses are in bounds by construction.
+   The wrappers must stay eta-expanded with the array type pinned: binding the
+   primitive directly ([let ag = Array.unsafe_get]) leaves it at a weak type
+   and this toolchain then compiles the generic (float-dispatching) accessor,
+   which misreads boxed-[int64] elements. *)
+let[@inline] ag (a : int64 array) i = Array.unsafe_get a i
+let[@inline] au (a : int64 array) i (v : int64) = Array.unsafe_set a i v
+
+(* The register-only effect of a pure instruction, with the operator
+   resolved at compile time into a dedicated closure ([Int64] primitives
+   inline; there is no inner operator-closure call at run time). *)
+let eff_of insn : op option =
+  match insn with
+  | Insn.Mov (d, Insn.Imm i) ->
+      let d = ri d in
+      Some (fun st -> au st.regs d i)
+  | Insn.Mov (d, Insn.Reg r) ->
+      let d = ri d and r = ri r in
+      Some (fun st -> au st.regs d (ag st.regs r))
+  | Insn.Neg d ->
+      let d = ri d in
+      Some (fun st -> au st.regs d (Int64.neg (ag st.regs d)))
+  | Insn.Alu (op, d, Insn.Imm i) ->
+      let d = ri d in
+      Some
+        (match op with
+        | Insn.Add -> fun st -> au st.regs d (Int64.add (ag st.regs d) i)
+        | Insn.Sub -> fun st -> au st.regs d (Int64.sub (ag st.regs d) i)
+        | Insn.Mul -> fun st -> au st.regs d (Int64.mul (ag st.regs d) i)
+        | Insn.Div ->
+            if i = 0L then fun st -> au st.regs d 0L
+            else fun st -> au st.regs d (Int64.unsigned_div (ag st.regs d) i)
+        | Insn.Mod ->
+            if i = 0L then fun st -> au st.regs d (ag st.regs d)
+            else fun st -> au st.regs d (Int64.unsigned_rem (ag st.regs d) i)
+        | Insn.And -> fun st -> au st.regs d (Int64.logand (ag st.regs d) i)
+        | Insn.Or -> fun st -> au st.regs d (Int64.logor (ag st.regs d) i)
+        | Insn.Xor -> fun st -> au st.regs d (Int64.logxor (ag st.regs d) i)
+        | Insn.Lsh ->
+            let sh = Int64.to_int i land 63 in
+            fun st -> au st.regs d (Int64.shift_left (ag st.regs d) sh)
+        | Insn.Rsh ->
+            let sh = Int64.to_int i land 63 in
+            fun st -> au st.regs d (Int64.shift_right_logical (ag st.regs d) sh)
+        | Insn.Arsh ->
+            let sh = Int64.to_int i land 63 in
+            fun st -> au st.regs d (Int64.shift_right (ag st.regs d) sh))
+  | Insn.Alu (op, d, Insn.Reg r) ->
+      let d = ri d and r = ri r in
+      Some
+        (match op with
+        | Insn.Add ->
+            fun st -> au st.regs d (Int64.add (ag st.regs d) (ag st.regs r))
+        | Insn.Sub ->
+            fun st -> au st.regs d (Int64.sub (ag st.regs d) (ag st.regs r))
+        | Insn.Mul ->
+            fun st -> au st.regs d (Int64.mul (ag st.regs d) (ag st.regs r))
+        | Insn.Div ->
+            fun st ->
+              let b = ag st.regs r in
+              au st.regs d
+                (if b = 0L then 0L else Int64.unsigned_div (ag st.regs d) b)
+        | Insn.Mod ->
+            fun st ->
+              let b = ag st.regs r in
+              if b <> 0L then
+                au st.regs d (Int64.unsigned_rem (ag st.regs d) b)
+        | Insn.And ->
+            fun st -> au st.regs d (Int64.logand (ag st.regs d) (ag st.regs r))
+        | Insn.Or ->
+            fun st -> au st.regs d (Int64.logor (ag st.regs d) (ag st.regs r))
+        | Insn.Xor ->
+            fun st -> au st.regs d (Int64.logxor (ag st.regs d) (ag st.regs r))
+        | Insn.Lsh ->
+            fun st ->
+              au st.regs d
+                (Int64.shift_left (ag st.regs d)
+                   (Int64.to_int (ag st.regs r) land 63))
+        | Insn.Rsh ->
+            fun st ->
+              au st.regs d
+                (Int64.shift_right_logical (ag st.regs d)
+                   (Int64.to_int (ag st.regs r) land 63))
+        | Insn.Arsh ->
+            fun st ->
+              au st.regs d
+                (Int64.shift_right (ag st.regs d)
+                   (Int64.to_int (ag st.regs r) land 63)))
+  | _ -> None
+
+(* Whether an instruction can write the given register — used to prove the
+   frame pointer (r10) is never reassigned, which lets stack accesses
+   resolve to constant byte indices at compile time. *)
+let writes_reg r insn =
+  match insn with
+  | Insn.Mov (d, _) | Insn.Neg d | Insn.Alu (_, d, _) | Insn.Ldx (_, d, _, _)
+  | Insn.Guard (_, d) ->
+      ri d = r
+  | Insn.Atomic (op, _, _, _, s) -> (
+      match op with
+      | Insn.Fetch_add | Insn.Fetch_or | Insn.Fetch_and | Insn.Fetch_xor
+      | Insn.Xchg ->
+          ri s = r
+      | Insn.Cmpxchg -> r = 0
+      | Insn.Atomic_add | Insn.Atomic_or | Insn.Atomic_and | Insn.Atomic_xor ->
+          false)
+  | Insn.Call _ -> r = 0
+  | Insn.Stx _ | Insn.St _ | Insn.Xstore _ | Insn.Checkpoint _ | Insn.Ja _
+  | Insn.Jcond _ | Insn.Exit ->
+      false
+
+(* The effect of a stack access at a compile-time-constant frame offset:
+   valid only when r10 provably keeps its entry value (see [writes_reg]),
+   the base register is r10, and the slot is statically inside the frame —
+   then the access cannot fault and is as pure as a register move. *)
+let eff_stack insn : op option =
+  let idx off w =
+    let i = Prog.stack_size + off in
+    if i >= 0 && i + w <= Prog.stack_size then Some i else None
+  in
+  match insn with
+  | Insn.Ldx (sz, d, s, off) when ri s = 10 -> (
+      let d = ri d in
+      match sz with
+      | Insn.U8 ->
+          Option.map
+            (fun i ->
+              fun st ->
+               au st.regs d (Int64.of_int (Char.code (Bytes.get st.stack i))))
+            (idx off 1)
+      | Insn.U16 ->
+          Option.map
+            (fun i ->
+              fun st ->
+               au st.regs d (Int64.of_int (Bytes.get_uint16_le st.stack i)))
+            (idx off 2)
+      | Insn.U32 ->
+          Option.map
+            (fun i ->
+              fun st ->
+               au st.regs d
+                 (Int64.logand
+                    (Int64.of_int32 (Bytes.get_int32_le st.stack i))
+                    0xffff_ffffL))
+            (idx off 4)
+      | Insn.U64 ->
+          Option.map
+            (fun i -> fun st -> au st.regs d (Bytes.get_int64_le st.stack i))
+            (idx off 8))
+  | Insn.Stx (sz, d, off, s) when ri d = 10 -> (
+      let s = ri s in
+      match sz with
+      | Insn.U8 ->
+          Option.map
+            (fun i ->
+              fun st ->
+               Bytes.set st.stack i
+                 (Char.chr (Int64.to_int (Int64.logand (ag st.regs s) 0xffL))))
+            (idx off 1)
+      | Insn.U16 ->
+          Option.map
+            (fun i ->
+              fun st ->
+               Bytes.set_uint16_le st.stack i
+                 (Int64.to_int (Int64.logand (ag st.regs s) 0xffffL)))
+            (idx off 2)
+      | Insn.U32 ->
+          Option.map
+            (fun i ->
+              fun st ->
+               Bytes.set_int32_le st.stack i (Int64.to_int32 (ag st.regs s)))
+            (idx off 4)
+      | Insn.U64 ->
+          Option.map
+            (fun i ->
+              fun st -> Bytes.set_int64_le st.stack i (ag st.regs s))
+            (idx off 8))
+  | Insn.St (sz, d, off, imm) when ri d = 10 -> (
+      match sz with
+      | Insn.U8 ->
+          let c = Char.chr (Int64.to_int (Int64.logand imm 0xffL)) in
+          Option.map (fun i -> fun st -> Bytes.set st.stack i c) (idx off 1)
+      | Insn.U16 ->
+          let v = Int64.to_int (Int64.logand imm 0xffffL) in
+          Option.map
+            (fun i -> fun st -> Bytes.set_uint16_le st.stack i v)
+            (idx off 2)
+      | Insn.U32 ->
+          let v = Int64.to_int32 imm in
+          Option.map
+            (fun i -> fun st -> Bytes.set_int32_le st.stack i v)
+            (idx off 4)
+      | Insn.U64 ->
+          Option.map
+            (fun i -> fun st -> Bytes.set_int64_le st.stack i imm)
+            (idx off 8))
+  | _ -> None
+
+(* Compile-time-specialized condition test for [Jcond]. *)
+let cond_test c a s : state -> bool =
+  let a = ri a in
+  match s with
+  | Insn.Imm i -> (
+      match c with
+      | Insn.Eq -> fun st -> Int64.equal (ag st.regs a) i
+      | Insn.Ne -> fun st -> not (Int64.equal (ag st.regs a) i)
+      | Insn.Lt -> fun st -> Int64.unsigned_compare (ag st.regs a) i < 0
+      | Insn.Le -> fun st -> Int64.unsigned_compare (ag st.regs a) i <= 0
+      | Insn.Gt -> fun st -> Int64.unsigned_compare (ag st.regs a) i > 0
+      | Insn.Ge -> fun st -> Int64.unsigned_compare (ag st.regs a) i >= 0
+      | Insn.Slt -> fun st -> Int64.compare (ag st.regs a) i < 0
+      | Insn.Sle -> fun st -> Int64.compare (ag st.regs a) i <= 0
+      | Insn.Sgt -> fun st -> Int64.compare (ag st.regs a) i > 0
+      | Insn.Sge -> fun st -> Int64.compare (ag st.regs a) i >= 0
+      | Insn.Set -> fun st -> Int64.logand (ag st.regs a) i <> 0L)
+  | Insn.Reg r -> (
+      let r = ri r in
+      match c with
+      | Insn.Eq -> fun st -> Int64.equal (ag st.regs a) (ag st.regs r)
+      | Insn.Ne -> fun st -> not (Int64.equal (ag st.regs a) (ag st.regs r))
+      | Insn.Lt ->
+          fun st -> Int64.unsigned_compare (ag st.regs a) (ag st.regs r) < 0
+      | Insn.Le ->
+          fun st -> Int64.unsigned_compare (ag st.regs a) (ag st.regs r) <= 0
+      | Insn.Gt ->
+          fun st -> Int64.unsigned_compare (ag st.regs a) (ag st.regs r) > 0
+      | Insn.Ge ->
+          fun st -> Int64.unsigned_compare (ag st.regs a) (ag st.regs r) >= 0
+      | Insn.Slt -> fun st -> Int64.compare (ag st.regs a) (ag st.regs r) < 0
+      | Insn.Sle -> fun st -> Int64.compare (ag st.regs a) (ag st.regs r) <= 0
+      | Insn.Sgt -> fun st -> Int64.compare (ag st.regs a) (ag st.regs r) > 0
+      | Insn.Sge -> fun st -> Int64.compare (ag st.regs a) (ag st.regs r) >= 0
+      | Insn.Set ->
+          fun st -> Int64.logand (ag st.regs a) (ag st.regs r) <> 0L)
+
+(* One closure for a whole pure region: charge [k] insns upfront, apply the
+   effects in order, finish with [fin] (a branch or the fall-through entry).
+   Short regions get an unrolled body so the common case is a single frame. *)
+let region k (effs : op array) (fin : op) : op =
+  match effs with
+  | [||] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        fin st
+  | [| a |] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        a st;
+        fin st
+  | [| a; b |] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        a st;
+        b st;
+        fin st
+  | [| a; b; c |] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        a st;
+        b st;
+        c st;
+        fin st
+  | [| a; b; c; d |] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        a st;
+        b st;
+        c st;
+        d st;
+        fin st
+  | [| a; b; c; d; e |] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        a st;
+        b st;
+        c st;
+        d st;
+        e st;
+        fin st
+  | [| a; b; c; d; e; f |] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        a st;
+        b st;
+        c st;
+        d st;
+        e st;
+        f st;
+        fin st
+  | _ ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        for i = 0 to Array.length effs - 1 do
+          (Array.unsafe_get effs i) st
+        done;
+        fin st
+
+let compile ?(fuse = true) prog =
+  let insns = Prog.insns prog in
+  let n = Array.length insns in
+  (* r10 keeps its entry value (the frame top) iff nothing ever writes it;
+     then [eff_stack] may turn frame accesses into constant-index loads. *)
+  let fp_const = not (Array.exists (writes_reg 10) insns) in
+  let eff_any insn =
+    match eff_of insn with
+    | Some _ as e -> e
+    | None -> if fp_const then eff_stack insn else None
+  in
+  (* helper name -> slot in the per-extension linked table *)
+  let hidx = Hashtbl.create 8 in
+  let horder = ref [] in
+  Array.iter
+    (function
+      | Insn.Call name when not (Hashtbl.mem hidx name) ->
+          Hashtbl.add hidx name (Hashtbl.length hidx);
+          horder := name :: !horder
+      | _ -> ())
+    insns;
+  let helper_names = Array.of_list (List.rev !horder) in
+  let entries = Array.make (n + 1) dummy in
+  let goto pc target : op =
+    if target < 0 || target > n then
+      invalid_arg "Jit.compile: jump outside the program";
+    if target > pc then entries.(target) (* already compiled *)
+    else fun st -> entries.(target) st
+  in
+  (* pure_run.(p): length of the maximal run of register-pure instructions
+     starting at p — region-fusion candidates *)
+  let pure_run = Array.make (n + 1) 0 in
+  for p = n - 1 downto 0 do
+    if Option.is_some (eff_any insns.(p)) then
+      pure_run.(p) <- 1 + pure_run.(p + 1)
+  done;
+  let compile_one pc insn (next : op) : op =
+    match eff_any insn with
+    | Some eff ->
+        fun st ->
+          st.stats.insns <- st.stats.insns + 1;
+          eff st;
+          next st
+    | None -> (
+        match insn with
+        | Insn.Mov _ | Insn.Neg _ | Insn.Alu _ -> assert false
+        | Insn.Ldx (sz, d, s, off) -> (
+            let d = ri d and s = ri s in
+            let off = Int64.of_int off in
+            match sz with
+            | Insn.U8 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  au st.regs d (read8 st (Int64.add (ag st.regs s) off));
+                  next st
+            | Insn.U16 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  au st.regs d (read16 st (Int64.add (ag st.regs s) off));
+                  next st
+            | Insn.U32 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  au st.regs d (read32 st (Int64.add (ag st.regs s) off));
+                  next st
+            | Insn.U64 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  au st.regs d (read64 st (Int64.add (ag st.regs s) off));
+                  next st)
+        | Insn.Stx (sz, d, off, s) -> (
+            let d = ri d and s = ri s in
+            let off = Int64.of_int off in
+            match sz with
+            | Insn.U8 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  write8 st (Int64.add (ag st.regs d) off) (ag st.regs s);
+                  next st
+            | Insn.U16 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  write16 st (Int64.add (ag st.regs d) off) (ag st.regs s);
+                  next st
+            | Insn.U32 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  write32 st (Int64.add (ag st.regs d) off) (ag st.regs s);
+                  next st
+            | Insn.U64 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  write64 st (Int64.add (ag st.regs d) off) (ag st.regs s);
+                  next st)
+        | Insn.St (sz, d, off, imm) -> (
+            let d = ri d in
+            let off = Int64.of_int off in
+            match sz with
+            | Insn.U8 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  write8 st (Int64.add (ag st.regs d) off) imm;
+                  next st
+            | Insn.U16 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  write16 st (Int64.add (ag st.regs d) off) imm;
+                  next st
+            | Insn.U32 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  write32 st (Int64.add (ag st.regs d) off) imm;
+                  next st
+            | Insn.U64 ->
+                fun st ->
+                  st.stats.insns <- st.stats.insns + 1;
+                  st.fault_pc <- pc;
+                  write64 st (Int64.add (ag st.regs d) off) imm;
+                  next st)
+        | Insn.Xstore (sz, d, off, s) ->
+            let w = Insn.size_bytes sz in
+            let d = ri d and s = ri s in
+            let off = Int64.of_int off in
+            fun st ->
+              st.stats.insns <- st.stats.insns + 1;
+              st.fault_pc <- pc;
+              let h =
+                match st.heap with
+                | Some h -> h
+                | None -> raise (Vm_fault Wild_access)
+              in
+              let v = ag st.regs s in
+              let v = if Heap.is_shared h then Heap.translate_user h v else v in
+              write st ~width:w (Int64.add (ag st.regs d) off) v;
+              next st
+        | Insn.Guard (_, r) ->
+            let r = ri r in
+            fun st ->
+              st.stats.insns <- st.stats.insns + 1;
+              st.fault_pc <- pc;
+              (match st.heap with
+              | Some h ->
+                  st.stats.guards <- st.stats.guards + 1;
+                  au st.regs r (Heap.sanitize h (ag st.regs r))
+              | None -> raise (Vm_fault Wild_access));
+              next st
+        | Insn.Checkpoint _ ->
+            fun st ->
+              let s = st.stats in
+              s.insns <- s.insns + 1;
+              s.checkpoints <- s.checkpoints + 1;
+              st.fault_pc <- pc;
+              if !(st.cancel) then raise (Vm_fault Ext_cancelled);
+              if total_cost s - st.start_cost > st.quantum then begin
+                st.cancel := true;
+                raise (Vm_fault Quantum_expired)
+              end;
+              next st
+        | Insn.Atomic (op, sz, d, off, s) ->
+            let w = Insn.size_bytes sz in
+            let d = ri d and s = ri s in
+            let off = Int64.of_int off in
+            fun st ->
+              st.stats.insns <- st.stats.insns + 1;
+              st.fault_pc <- pc;
+              let addr = Int64.add st.regs.(d) off in
+              let old = read st ~width:w addr in
+              let sv = st.regs.(s) in
+              (match op with
+              | Insn.Atomic_add -> write st ~width:w addr (Int64.add old sv)
+              | Insn.Atomic_or -> write st ~width:w addr (Int64.logor old sv)
+              | Insn.Atomic_and -> write st ~width:w addr (Int64.logand old sv)
+              | Insn.Atomic_xor -> write st ~width:w addr (Int64.logxor old sv)
+              | Insn.Fetch_add ->
+                  write st ~width:w addr (Int64.add old sv);
+                  st.regs.(s) <- old
+              | Insn.Fetch_or ->
+                  write st ~width:w addr (Int64.logor old sv);
+                  st.regs.(s) <- old
+              | Insn.Fetch_and ->
+                  write st ~width:w addr (Int64.logand old sv);
+                  st.regs.(s) <- old
+              | Insn.Fetch_xor ->
+                  write st ~width:w addr (Int64.logxor old sv);
+                  st.regs.(s) <- old
+              | Insn.Xchg ->
+                  write st ~width:w addr sv;
+                  st.regs.(s) <- old
+              | Insn.Cmpxchg ->
+                  if old = st.regs.(0) then write st ~width:w addr sv;
+                  st.regs.(0) <- old);
+              next st
+        | Insn.Ja off ->
+            let k = goto pc (pc + 1 + off) in
+            fun st ->
+              st.stats.insns <- st.stats.insns + 1;
+              k st
+        | Insn.Jcond (c, a, s, off) ->
+            let test = cond_test c a s in
+            let jt = goto pc (pc + 1 + off) in
+            fun st ->
+              st.stats.insns <- st.stats.insns + 1;
+              if test st then jt st else next st
+        | Insn.Call name ->
+            let idx = Hashtbl.find hidx name in
+            fun st ->
+              let s = st.stats in
+              s.insns <- s.insns + 1;
+              s.helper_calls <- s.helper_calls + 1;
+              st.fault_pc <- pc;
+              let cc = st.call_ctx in
+              let regs = st.regs in
+              for i = 0 to 4 do
+                cc.args.(i) <- regs.(i + 1)
+              done;
+              (match st.helpers.(idx) cc with
+              | H_ret v -> regs.(0) <- v
+              | H_stall ->
+                  st.cancel := true;
+                  raise (Vm_fault Lock_stall));
+              next st
+        | Insn.Exit ->
+            fun st ->
+              st.stats.insns <- st.stats.insns + 1;
+              st.ret <- st.regs.(0))
+  in
+  (* Guard+access superinstructions. The fused closure must leave state and
+     stats exactly as the two standalone closures would at every observation
+     point. Once the heap check passes, nothing between the guard's
+     bookkeeping and the access can fault (sanitize is total), so the hot
+     path charges both instructions in one batch and sets [fault_pc] once,
+     to the access pc — any access fault observes exactly the interpreter's
+     counters. The guard-only charge survives in the cold wild-pointer
+     branch. The access goes straight to the heap's width-specialized
+     accessor (see the header comment). *)
+  let fuse_pair pc i1 i2 : op option =
+    match (i1, i2) with
+    | Insn.Guard (_, g), Insn.Ldx (sz, d, s, off) when ri s = ri g ->
+        let g = ri g and d = ri d in
+        let off = Int64.of_int off in
+        let cont = goto pc (pc + 2) in
+        Some
+          (match sz with
+          | Insn.U8 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    au st.regs d (Heap.read8 h (Int64.add a off))
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st
+          | Insn.U16 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    au st.regs d (Heap.read16 h (Int64.add a off))
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st
+          | Insn.U32 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    au st.regs d (Heap.read32 h (Int64.add a off))
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st
+          | Insn.U64 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    au st.regs d (Heap.read64 h (Int64.add a off))
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st)
+    | Insn.Guard (_, g), Insn.Stx (sz, d, off, s) when ri d = ri g ->
+        let g = ri g and s = ri s in
+        let off = Int64.of_int off in
+        let cont = goto pc (pc + 2) in
+        (* the source register is read after sanitizing: when s = g the
+           stored value is the sanitized one, as in the interpreter *)
+        Some
+          (match sz with
+          | Insn.U8 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    Heap.write8 h (Int64.add a off) (ag st.regs s)
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st
+          | Insn.U16 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    Heap.write16 h (Int64.add a off) (ag st.regs s)
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st
+          | Insn.U32 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    Heap.write32 h (Int64.add a off) (ag st.regs s)
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st
+          | Insn.U64 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    Heap.write64 h (Int64.add a off) (ag st.regs s)
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st)
+    | Insn.Guard (_, g), Insn.St (sz, d, off, imm) when ri d = ri g ->
+        let g = ri g in
+        let off = Int64.of_int off in
+        let cont = goto pc (pc + 2) in
+        Some
+          (match sz with
+          | Insn.U8 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    Heap.write8 h (Int64.add a off) imm
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st
+          | Insn.U16 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    Heap.write16 h (Int64.add a off) imm
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st
+          | Insn.U32 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    Heap.write32 h (Int64.add a off) imm
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st
+          | Insn.U64 ->
+              fun st ->
+                (match st.heap with
+                | Some h ->
+                    let stats = st.stats in
+                    stats.insns <- stats.insns + 2;
+                    stats.guards <- stats.guards + 1;
+                    st.fault_pc <- pc + 1;
+                    let a = Heap.sanitize h (ag st.regs g) in
+                    au st.regs g a;
+                    Heap.write64 h (Int64.add a off) imm
+                | None ->
+                    st.stats.insns <- st.stats.insns + 1;
+                    st.fault_pc <- pc;
+                    raise (Vm_fault Wild_access));
+                cont st)
+    | _ -> None
+  in
+  (* Region fusion: the run of pure instructions at [p] (length from
+     [pure_run]), plus a terminating jump when one follows. Returns the
+     closure and the number of instructions covered, or None when a region
+     would not beat the standalone closure. *)
+  let fuse_region p : (op * int) option =
+    let m = pure_run.(p) in
+    if m = 0 then None
+    else begin
+      let t = p + m in
+      let effs =
+        Array.init m (fun i ->
+            match eff_any insns.(p + i) with
+            | Some e -> e
+            | None -> assert false)
+      in
+      if t < n then
+        match insns.(t) with
+        | Insn.Jcond (c, a, s, off) ->
+            let test = cond_test c a s in
+            let jt = goto p (t + 1 + off) in
+            let jf = goto p (t + 1) in
+            let fin st = if test st then jt st else jf st in
+            Some (region (m + 1) effs fin, m + 1)
+        | Insn.Ja off ->
+            Some (region (m + 1) effs (goto p (t + 1 + off)), m + 1)
+        | _ ->
+            if m >= 2 then Some (region m effs (goto p t), m) else None
+      else if m >= 2 then Some (region m effs (goto p t), m)
+      else None
+    end
+  in
+  let fused = ref 0 in
+  for p = n - 1 downto 0 do
+    let body =
+      if not fuse then compile_one p insns.(p) entries.(p + 1)
+      else
+        match
+          if p + 1 < n then fuse_pair p insns.(p) insns.(p + 1) else None
+        with
+        | Some op ->
+            incr fused;
+            op
+        | None -> (
+            match fuse_region p with
+            | Some (op, covered) ->
+                fused := !fused + (covered - 1);
+                op
+            | None -> compile_one p insns.(p) entries.(p + 1))
+    in
+    entries.(p) <- body
+  done;
+  { entries; helper_names; fused = !fused; insns = n }
+
+let run t (st : state) =
+  if Array.length st.helpers < Array.length t.helper_names then
+    invalid_arg "Jit.run: helper table not linked";
+  t.entries.(0) st

@@ -12,3 +12,4 @@ let release t ~handle =
 
 let held t = Hashtbl.fold (fun h d acc -> (h, d) :: acc) t []
 let count t = Hashtbl.length t
+let clear t = Hashtbl.reset t

@@ -20,3 +20,7 @@ val held : t -> (int64 * string) list
 (** Currently held (handle, destructor) pairs. *)
 
 val count : t -> int
+
+val clear : t -> unit
+(** Drop every held entry — used when an execution context is recycled for
+    the next invocation. *)

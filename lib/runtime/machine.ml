@@ -1,0 +1,345 @@
+open Kflex_bpf
+
+type fault_reason =
+  | Page_fault
+  | Guard_zone
+  | Wild_access
+  | Quantum_expired
+  | Lock_stall
+  | Ext_cancelled
+
+type stats = {
+  mutable insns : int;
+  mutable guards : int;
+  mutable checkpoints : int;
+  mutable helper_calls : int;
+  mutable helper_cost : int;
+}
+
+let fresh_stats () =
+  { insns = 0; guards = 0; checkpoints = 0; helper_calls = 0; helper_cost = 0 }
+
+let total_cost s = s.insns + s.helper_cost
+
+type outcome =
+  | Finished of int64
+  | Cancelled of {
+      orig_pc : int;
+      reason : fault_reason;
+      released : (string * string) list;
+      ret : int64;
+      ledger_leaked : int;
+    }
+
+type helper_outcome = H_ret of int64 | H_stall
+
+type call_ctx = {
+  args : int64 array;
+  mutable cpu : int;
+  heap : Heap.t option;
+  alloc : Alloc.t option;
+  ledger : Ledger.t;
+  mem_read : width:int -> int64 -> int64;
+  mem_write : width:int -> int64 -> int64 -> unit;
+  charge : int -> unit;
+}
+
+type helper = call_ctx -> helper_outcome
+
+exception Vm_fault of fault_reason
+
+let stack_base = 0x2000_0000_0000L
+let ctx_base = 0x1000_0000_0000L
+
+(* The reusable execution context: registers, stack, ledger and the helper
+   call environment are allocated once per extension and recycled across
+   invocations (reset below), instead of re-allocated per [Vm.exec]. Both
+   the interpreter and the compiled backend run against this record. *)
+type state = {
+  regs : int64 array;  (* r0-r10 *)
+  stack : Bytes.t;  (* Prog.stack_size bytes, zeroed per invocation *)
+  mutable ctx : Bytes.t;
+  mutable ctx_size : int;
+  mutable stats : stats;
+  mutable start_cost : int;  (* total_cost at invocation entry *)
+  mutable fault_pc : int;  (* instrumented pc of the faulting insn *)
+  mutable ret : int64;  (* the compiled backend's Exit value *)
+  mutable helpers : helper array;  (* the jit's linked helper table *)
+  heap : Heap.t option;
+  alloc : Alloc.t option;
+  quantum : int;
+  cancel : bool ref;
+  ledger : Ledger.t;
+  call_ctx : call_ctx;
+  mutable in_use : bool;
+}
+
+(* Window tests compare offsets, not [addr + width]: adding the width to an
+   address near [Int64.max_int] wraps negative and would misclassify a wild
+   access as an in-window one. *)
+let in_window base size addr width =
+  let off = Int64.sub addr base in
+  Int64.compare off 0L >= 0
+  && Int64.compare off (Int64.of_int (size - width)) <= 0
+
+let read st ~width addr =
+  if in_window stack_base Prog.stack_size addr width then begin
+    let i = Int64.to_int (Int64.sub addr stack_base) in
+    let stack = st.stack in
+    match width with
+    | 1 -> Int64.of_int (Char.code (Bytes.get stack i))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le stack i)
+    | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le stack i)) 0xffff_ffffL
+    | 8 -> Bytes.get_int64_le stack i
+    | _ -> assert false
+  end
+  else if in_window ctx_base st.ctx_size addr width then begin
+    let i = Int64.to_int (Int64.sub addr ctx_base) in
+    let ctx = st.ctx in
+    match width with
+    | 1 -> Int64.of_int (Char.code (Bytes.get ctx i))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le ctx i)
+    | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le ctx i)) 0xffff_ffffL
+    | 8 -> Bytes.get_int64_le ctx i
+    | _ -> assert false
+  end
+  else
+    match st.heap with
+    | Some h -> Heap.read h ~width addr
+    | None -> raise (Vm_fault Wild_access)
+
+let write st ~width addr v =
+  if in_window stack_base Prog.stack_size addr width then begin
+    let i = Int64.to_int (Int64.sub addr stack_base) in
+    let stack = st.stack in
+    match width with
+    | 1 -> Bytes.set stack i (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+    | 2 -> Bytes.set_uint16_le stack i (Int64.to_int (Int64.logand v 0xffffL))
+    | 4 -> Bytes.set_int32_le stack i (Int64.to_int32 v)
+    | 8 -> Bytes.set_int64_le stack i v
+    | _ -> assert false
+  end
+  else if
+    addr >= ctx_base && addr < Int64.add ctx_base (Int64.of_int st.ctx_size)
+  then raise (Vm_fault Wild_access) (* ctx is read-only; verifier forbids *)
+  else
+    match st.heap with
+    | Some h -> Heap.write h ~width addr v
+    | None -> raise (Vm_fault Wild_access)
+
+(* Width-specialized memory paths for the compiled backend: the width is
+   known at compile time, so the per-access width dispatch disappears and
+   heap accesses use {!Heap}'s specialized entry points. Semantics are those
+   of [read]/[write] above, width pinned. *)
+
+let read8 st addr =
+  if in_window stack_base Prog.stack_size addr 1 then
+    Int64.of_int
+      (Char.code (Bytes.get st.stack (Int64.to_int (Int64.sub addr stack_base))))
+  else if in_window ctx_base st.ctx_size addr 1 then
+    Int64.of_int
+      (Char.code (Bytes.get st.ctx (Int64.to_int (Int64.sub addr ctx_base))))
+  else
+    match st.heap with
+    | Some h -> Heap.read8 h addr
+    | None -> raise (Vm_fault Wild_access)
+
+let read16 st addr =
+  if in_window stack_base Prog.stack_size addr 2 then
+    Int64.of_int
+      (Bytes.get_uint16_le st.stack (Int64.to_int (Int64.sub addr stack_base)))
+  else if in_window ctx_base st.ctx_size addr 2 then
+    Int64.of_int
+      (Bytes.get_uint16_le st.ctx (Int64.to_int (Int64.sub addr ctx_base)))
+  else
+    match st.heap with
+    | Some h -> Heap.read16 h addr
+    | None -> raise (Vm_fault Wild_access)
+
+let read32 st addr =
+  if in_window stack_base Prog.stack_size addr 4 then
+    Int64.logand
+      (Int64.of_int32
+         (Bytes.get_int32_le st.stack (Int64.to_int (Int64.sub addr stack_base))))
+      0xffff_ffffL
+  else if in_window ctx_base st.ctx_size addr 4 then
+    Int64.logand
+      (Int64.of_int32
+         (Bytes.get_int32_le st.ctx (Int64.to_int (Int64.sub addr ctx_base))))
+      0xffff_ffffL
+  else
+    match st.heap with
+    | Some h -> Heap.read32 h addr
+    | None -> raise (Vm_fault Wild_access)
+
+let read64 st addr =
+  if in_window stack_base Prog.stack_size addr 8 then
+    Bytes.get_int64_le st.stack (Int64.to_int (Int64.sub addr stack_base))
+  else if in_window ctx_base st.ctx_size addr 8 then
+    Bytes.get_int64_le st.ctx (Int64.to_int (Int64.sub addr ctx_base))
+  else
+    match st.heap with
+    | Some h -> Heap.read64 h addr
+    | None -> raise (Vm_fault Wild_access)
+
+let heap_or_fault st =
+  match st.heap with Some h -> h | None -> raise (Vm_fault Wild_access)
+
+let ctx_write_check st addr =
+  if addr >= ctx_base && addr < Int64.add ctx_base (Int64.of_int st.ctx_size)
+  then raise (Vm_fault Wild_access)
+
+let write8 st addr v =
+  if in_window stack_base Prog.stack_size addr 1 then
+    Bytes.set st.stack
+      (Int64.to_int (Int64.sub addr stack_base))
+      (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+  else begin
+    ctx_write_check st addr;
+    Heap.write8 (heap_or_fault st) addr v
+  end
+
+let write16 st addr v =
+  if in_window stack_base Prog.stack_size addr 2 then
+    Bytes.set_uint16_le st.stack
+      (Int64.to_int (Int64.sub addr stack_base))
+      (Int64.to_int (Int64.logand v 0xffffL))
+  else begin
+    ctx_write_check st addr;
+    Heap.write16 (heap_or_fault st) addr v
+  end
+
+let write32 st addr v =
+  if in_window stack_base Prog.stack_size addr 4 then
+    Bytes.set_int32_le st.stack
+      (Int64.to_int (Int64.sub addr stack_base))
+      (Int64.to_int32 v)
+  else begin
+    ctx_write_check st addr;
+    Heap.write32 (heap_or_fault st) addr v
+  end
+
+let write64 st addr v =
+  if in_window stack_base Prog.stack_size addr 8 then
+    Bytes.set_int64_le st.stack (Int64.to_int (Int64.sub addr stack_base)) v
+  else begin
+    ctx_write_check st addr;
+    Heap.write64 (heap_or_fault st) addr v
+  end
+
+let create_state ?heap ?alloc ~quantum ~cancel () =
+  let ledger = Ledger.create () in
+  (* the call_ctx closures need the state record; tie the knot through a
+     forward reference (helper calls are not the per-insn hot path) *)
+  let self = ref None in
+  let get () = match !self with Some s -> s | None -> assert false in
+  let call_ctx =
+    {
+      args = Array.make 5 0L;
+      cpu = 0;
+      heap;
+      alloc;
+      ledger;
+      mem_read = (fun ~width addr -> read (get ()) ~width addr);
+      mem_write = (fun ~width addr v -> write (get ()) ~width addr v);
+      charge =
+        (fun n ->
+          let s = (get ()).stats in
+          s.helper_cost <- s.helper_cost + n);
+    }
+  in
+  let st =
+    {
+      regs = Array.make 11 0L;
+      stack = Bytes.make Prog.stack_size '\000';
+      ctx = Bytes.empty;
+      ctx_size = 0;
+      stats = fresh_stats ();
+      start_cost = 0;
+      fault_pc = 0;
+      ret = 0L;
+      helpers = [||];
+      heap;
+      alloc;
+      quantum;
+      cancel;
+      ledger;
+      call_ctx;
+      in_use = false;
+    }
+  in
+  self := Some st;
+  st
+
+let reset_state st ~ctx ~cpu ~stats =
+  Array.fill st.regs 0 11 0L;
+  Bytes.fill st.stack 0 (Bytes.length st.stack) '\000';
+  Ledger.clear st.ledger;
+  st.ctx <- ctx;
+  st.ctx_size <- Bytes.length ctx;
+  st.stats <- stats;
+  st.start_cost <- total_cost stats;
+  st.fault_pc <- 0;
+  st.ret <- 0L;
+  st.call_ctx.cpu <- cpu;
+  st.regs.(1) <- ctx_base;
+  st.regs.(10) <- Int64.add stack_base (Int64.of_int Prog.stack_size)
+
+let u64_lt a b = Int64.unsigned_compare a b < 0
+let u64_le a b = Int64.unsigned_compare a b <= 0
+
+let eval_cond c a b =
+  match c with
+  | Insn.Eq -> Int64.equal a b
+  | Insn.Ne -> not (Int64.equal a b)
+  | Insn.Lt -> u64_lt a b
+  | Insn.Le -> u64_le a b
+  | Insn.Gt -> u64_lt b a
+  | Insn.Ge -> u64_le b a
+  | Insn.Slt -> Int64.compare a b < 0
+  | Insn.Sle -> Int64.compare a b <= 0
+  | Insn.Sgt -> Int64.compare a b > 0
+  | Insn.Sge -> Int64.compare a b >= 0
+  | Insn.Set -> Int64.logand a b <> 0L
+
+let eval_alu op a b =
+  match op with
+  | Insn.Add -> Int64.add a b
+  | Insn.Sub -> Int64.sub a b
+  | Insn.Mul -> Int64.mul a b
+  | Insn.Div -> if b = 0L then 0L else Int64.unsigned_div a b
+  | Insn.Mod -> if b = 0L then a else Int64.unsigned_rem a b
+  | Insn.And -> Int64.logand a b
+  | Insn.Or -> Int64.logor a b
+  | Insn.Xor -> Int64.logxor a b
+  | Insn.Lsh -> Int64.shift_left a (Int64.to_int b land 63)
+  | Insn.Rsh -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Insn.Arsh -> Int64.shift_right a (Int64.to_int b land 63)
+
+(* Closure-returning variants for the compiler: the operator is resolved
+   once at compile time, not matched per executed instruction. *)
+let alu_fn = function
+  | Insn.Add -> Int64.add
+  | Insn.Sub -> Int64.sub
+  | Insn.Mul -> Int64.mul
+  | Insn.Div -> fun a b -> if b = 0L then 0L else Int64.unsigned_div a b
+  | Insn.Mod -> fun a b -> if b = 0L then a else Int64.unsigned_rem a b
+  | Insn.And -> Int64.logand
+  | Insn.Or -> Int64.logor
+  | Insn.Xor -> Int64.logxor
+  | Insn.Lsh -> fun a b -> Int64.shift_left a (Int64.to_int b land 63)
+  | Insn.Rsh -> fun a b -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Insn.Arsh -> fun a b -> Int64.shift_right a (Int64.to_int b land 63)
+
+let cond_fn = function
+  | Insn.Eq -> Int64.equal
+  | Insn.Ne -> fun a b -> not (Int64.equal a b)
+  | Insn.Lt -> u64_lt
+  | Insn.Le -> u64_le
+  | Insn.Gt -> fun a b -> u64_lt b a
+  | Insn.Ge -> fun a b -> u64_le b a
+  | Insn.Slt -> fun a b -> Int64.compare a b < 0
+  | Insn.Sle -> fun a b -> Int64.compare a b <= 0
+  | Insn.Sgt -> fun a b -> Int64.compare a b > 0
+  | Insn.Sge -> fun a b -> Int64.compare a b >= 0
+  | Insn.Set -> fun a b -> Int64.logand a b <> 0L

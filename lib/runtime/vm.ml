@@ -1,6 +1,11 @@
 open Kflex_bpf
 
-type fault_reason =
+(* The execution-state machinery (stats, call_ctx, memory windows, the
+   reusable register/stack context) lives in [Machine], shared between this
+   interpreter and the compiled backend in [Jit]. The aliases below keep
+   [Vm] as the single public surface. *)
+
+type fault_reason = Machine.fault_reason =
   | Page_fault
   | Guard_zone
   | Wild_access
@@ -8,7 +13,7 @@ type fault_reason =
   | Lock_stall
   | Ext_cancelled
 
-type stats = {
+type stats = Machine.stats = {
   mutable insns : int;
   mutable guards : int;
   mutable checkpoints : int;
@@ -16,12 +21,10 @@ type stats = {
   mutable helper_cost : int;
 }
 
-let fresh_stats () =
-  { insns = 0; guards = 0; checkpoints = 0; helper_calls = 0; helper_cost = 0 }
+let fresh_stats = Machine.fresh_stats
+let total_cost = Machine.total_cost
 
-let total_cost s = s.insns + s.helper_cost
-
-type outcome =
+type outcome = Machine.outcome =
   | Finished of int64
   | Cancelled of {
       orig_pc : int;
@@ -31,11 +34,11 @@ type outcome =
       ledger_leaked : int;
     }
 
-type helper_outcome = H_ret of int64 | H_stall
+type helper_outcome = Machine.helper_outcome = H_ret of int64 | H_stall
 
-type call_ctx = {
+type call_ctx = Machine.call_ctx = {
   args : int64 array;
-  cpu : int;
+  mutable cpu : int;
   heap : Heap.t option;
   alloc : Alloc.t option;
   ledger : Ledger.t;
@@ -44,12 +47,12 @@ type call_ctx = {
   charge : int -> unit;
 }
 
-type helper = call_ctx -> helper_outcome
+type helper = Machine.helper
 
-exception Vm_fault of fault_reason
+exception Vm_fault = Machine.Vm_fault
 
-let stack_base = 0x2000_0000_0000L
-let ctx_base = 0x1000_0000_0000L
+let stack_base = Machine.stack_base
+let ctx_base = Machine.ctx_base
 
 (* --- builtin helpers -------------------------------------------------- *)
 
@@ -134,7 +137,9 @@ let builtin_helpers =
     ("bpf_get_smp_processor_id", h_cpu);
   ]
 
-(* --- the interpreter -------------------------------------------------- *)
+(* --- extensions ------------------------------------------------------- *)
+
+type backend = [ `Interp | `Compiled ]
 
 type ext = {
   kie : Kflex_kie.Instrument.t;
@@ -145,6 +150,10 @@ type ext = {
   default_ret : int64;
   on_cancel : (int64 -> int64) option;
   cancel_flag : bool ref;
+  mutable exec_state : Machine.state option;
+      (* the reusable execution context (satellite: hoisted allocations) *)
+  mutable jit : (Jit.t * helper array) option;
+      (* compiled form + helper table linked against [helpers] *)
 }
 
 let create ?heap ?alloc ?(quantum = 100_000_000) ?(default_ret = 0L) ?on_cancel
@@ -161,6 +170,8 @@ let create ?heap ?alloc ?(quantum = 100_000_000) ?(default_ret = 0L) ?on_cancel
     default_ret;
     on_cancel;
     cancel_flag = ref false;
+    exec_state = None;
+    jit = None;
   }
 
 let cancel e = e.cancel_flag := true
@@ -168,157 +179,74 @@ let cancelled e = !(e.cancel_flag)
 let reset_cancel e = e.cancel_flag := false
 let kie e = e.kie
 
-let u64_lt a b = Int64.unsigned_compare a b < 0
-let u64_le a b = Int64.unsigned_compare a b <= 0
+let eval_cond = Machine.eval_cond
+let eval_alu = Machine.eval_alu
 
-let eval_cond c a b =
-  match c with
-  | Insn.Eq -> Int64.equal a b
-  | Insn.Ne -> not (Int64.equal a b)
-  | Insn.Lt -> u64_lt a b
-  | Insn.Le -> u64_le a b
-  | Insn.Gt -> u64_lt b a
-  | Insn.Ge -> u64_le b a
-  | Insn.Slt -> Int64.compare a b < 0
-  | Insn.Sle -> Int64.compare a b <= 0
-  | Insn.Sgt -> Int64.compare a b > 0
-  | Insn.Sge -> Int64.compare a b >= 0
-  | Insn.Set -> Int64.logand a b <> 0L
+(* --- compiled backend plumbing ---------------------------------------- *)
 
-let eval_alu op a b =
-  match op with
-  | Insn.Add -> Int64.add a b
-  | Insn.Sub -> Int64.sub a b
-  | Insn.Mul -> Int64.mul a b
-  | Insn.Div -> if b = 0L then 0L else Int64.unsigned_div a b
-  | Insn.Mod -> if b = 0L then a else Int64.unsigned_rem a b
-  | Insn.And -> Int64.logand a b
-  | Insn.Or -> Int64.logor a b
-  | Insn.Xor -> Int64.logxor a b
-  | Insn.Lsh -> Int64.shift_left a (Int64.to_int b land 63)
-  | Insn.Rsh -> Int64.shift_right_logical a (Int64.to_int b land 63)
-  | Insn.Arsh -> Int64.shift_right a (Int64.to_int b land 63)
+let link_helpers e names =
+  Array.map
+    (fun n ->
+      match Hashtbl.find_opt e.helpers n with
+      | Some h -> h
+      | None -> fun _ -> failwith ("Vm.exec: unknown helper " ^ n))
+    names
 
-let exec e ~ctx ?(cpu = 0) ?stats ?on_insn ?on_site () =
-  let stats = match stats with Some s -> s | None -> fresh_stats () in
-  let prog = e.kie.Kflex_kie.Instrument.prog in
-  let insns = Prog.insns prog in
-  let regs = Array.make 11 0L in
-  let stack = Bytes.make Prog.stack_size '\000' in
-  let ledger = Ledger.create () in
-  regs.(1) <- ctx_base;
-  regs.(10) <- Int64.add stack_base (Int64.of_int Prog.stack_size);
-  let ctx_size = Bytes.length ctx in
-  let start_cost = total_cost stats in
-  (* Window tests compare offsets, not [addr + width]: adding the width to an
-     address near [Int64.max_int] wraps negative and would misclassify a wild
-     access as an in-window one. *)
-  let in_window base size addr width =
-    let off = Int64.sub addr base in
-    Int64.compare off 0L >= 0
-    && Int64.compare off (Int64.of_int (size - width)) <= 0
-  in
-  let mem_read ~width addr =
-    if in_window stack_base Prog.stack_size addr width then begin
-      let i = Int64.to_int (Int64.sub addr stack_base) in
-      match width with
-      | 1 -> Int64.of_int (Char.code (Bytes.get stack i))
-      | 2 -> Int64.of_int (Bytes.get_uint16_le stack i)
-      | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le stack i)) 0xffff_ffffL
-      | 8 -> Bytes.get_int64_le stack i
-      | _ -> assert false
-    end
-    else if in_window ctx_base ctx_size addr width then begin
-      let i = Int64.to_int (Int64.sub addr ctx_base) in
-      match width with
-      | 1 -> Int64.of_int (Char.code (Bytes.get ctx i))
-      | 2 -> Int64.of_int (Bytes.get_uint16_le ctx i)
-      | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le ctx i)) 0xffff_ffffL
-      | 8 -> Bytes.get_int64_le ctx i
-      | _ -> assert false
-    end
-    else
-      match e.heap with
-      | Some h -> Heap.read h ~width addr
-      | None -> raise (Vm_fault Wild_access)
-  in
-  let mem_write ~width addr v =
-    if in_window stack_base Prog.stack_size addr width then begin
-      let i = Int64.to_int (Int64.sub addr stack_base) in
-      match width with
-      | 1 -> Bytes.set stack i (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
-      | 2 -> Bytes.set_uint16_le stack i (Int64.to_int (Int64.logand v 0xffffL))
-      | 4 -> Bytes.set_int32_le stack i (Int64.to_int32 v)
-      | 8 -> Bytes.set_int64_le stack i v
-      | _ -> assert false
-    end
-    else if addr >= ctx_base && addr < Int64.add ctx_base (Int64.of_int ctx_size)
-    then raise (Vm_fault Wild_access) (* ctx is read-only; verifier forbids *)
-    else
-      match e.heap with
-      | Some h -> Heap.write h ~width addr v
-      | None -> raise (Vm_fault Wild_access)
-  in
-  let call_ctx =
-    {
-      args = Array.make 5 0L;
-      cpu;
-      heap = e.heap;
-      alloc = e.alloc;
-      ledger;
-      mem_read;
-      mem_write;
-      charge = (fun n -> stats.helper_cost <- stats.helper_cost + n);
-    }
-  in
+let set_compiled e t = e.jit <- Some (t, link_helpers e (Jit.helper_names t))
+let has_compiled e = match e.jit with Some _ -> true | None -> false
+
+let precompile ?fuse e =
+  let t = Jit.compile ?fuse e.kie.Kflex_kie.Instrument.prog in
+  set_compiled e t;
+  t
+
+let ensure_compiled e =
+  match e.jit with
+  | Some p -> p
+  | None ->
+      ignore (precompile e);
+      (match e.jit with Some p -> p | None -> assert false)
+
+(* --- execution context reuse ------------------------------------------ *)
+
+let acquire_state e =
+  match e.exec_state with
+  | Some st when not st.Machine.in_use ->
+      st.Machine.in_use <- true;
+      st
+  | Some _ ->
+      (* reentrant invocation (e.g. a helper running an extension): give it
+         a throwaway context rather than corrupting the live one *)
+      Machine.create_state ?heap:e.heap ?alloc:e.alloc ~quantum:e.quantum
+        ~cancel:e.cancel_flag ()
+  | None ->
+      let st =
+        Machine.create_state ?heap:e.heap ?alloc:e.alloc ~quantum:e.quantum
+          ~cancel:e.cancel_flag ()
+      in
+      st.Machine.in_use <- true;
+      e.exec_state <- Some st;
+      st
+
+(* --- the interpreter -------------------------------------------------- *)
+
+(* Hot loop with the hook checks hoisted out entirely: this variant runs
+   when neither [on_insn] nor [on_site] is supplied. *)
+let interp_fast e (st : Machine.state) =
+  let insns = Prog.insns e.kie.Kflex_kie.Instrument.prog in
+  let regs = st.Machine.regs in
+  let stats = st.Machine.stats in
+  let start_cost = st.Machine.start_cost in
+  let call_ctx = st.Machine.call_ctx in
   let src_val = function Insn.Reg r -> regs.(Reg.to_int r) | Insn.Imm i -> i in
   let pc = ref 0 in
-  let result = ref None in
+  let running = ref true in
+  let ret = ref 0L in
   (try
-     while !result = None do
+     while !running do
        let insn = insns.(!pc) in
-       (match on_insn with Some f -> f !pc regs | None -> ());
        stats.insns <- stats.insns + 1;
-       (* The watchdog: quantum measured in cost units per invocation. *)
-       (match insn with
-       | Insn.Checkpoint _ ->
-           stats.checkpoints <- stats.checkpoints + 1;
-           if !(e.cancel_flag) then raise (Vm_fault Ext_cancelled);
-           if total_cost stats - start_cost > e.quantum then begin
-             e.cancel_flag := true;
-             raise (Vm_fault Quantum_expired)
-           end
-       | _ -> ());
-       (* Cancellation-injection sites: every Checkpoint (C1) plus every
-          memory access that leaves the stack/ctx windows (a potential C2
-          fault). The callback sees sites in execution order; returning
-          [true] cancels as if a sibling CPU had (§4.3). *)
-       (match on_site with
-       | None -> ()
-       | Some f ->
-           let outside addr width =
-             not
-               (in_window stack_base Prog.stack_size addr width
-               || in_window ctx_base ctx_size addr width)
-           in
-           let is_site =
-             match insn with
-             | Insn.Checkpoint _ -> true
-             | Insn.Ldx (sz, _, s, off) ->
-                 outside
-                   (Int64.add regs.(Reg.to_int s) (Int64.of_int off))
-                   (Insn.size_bytes sz)
-             | Insn.Stx (sz, d, off, _)
-             | Insn.St (sz, d, off, _)
-             | Insn.Xstore (sz, d, off, _)
-             | Insn.Atomic (_, sz, d, off, _) ->
-                 outside
-                   (Int64.add regs.(Reg.to_int d) (Int64.of_int off))
-                   (Insn.size_bytes sz)
-             | _ -> false
-           in
-           if is_site && f () then raise (Vm_fault Ext_cancelled));
-       (match insn with
+       match insn with
        | Insn.Mov (d, s) ->
            regs.(Reg.to_int d) <- src_val s;
            incr pc
@@ -330,58 +258,76 @@ let exec e ~ctx ?(cpu = 0) ?stats ?on_insn ?on_site () =
            incr pc
        | Insn.Ldx (sz, d, s, off) ->
            let addr = Int64.add regs.(Reg.to_int s) (Int64.of_int off) in
-           regs.(Reg.to_int d) <- mem_read ~width:(Insn.size_bytes sz) addr;
+           regs.(Reg.to_int d) <-
+             Machine.read st ~width:(Insn.size_bytes sz) addr;
            incr pc
        | Insn.Stx (sz, d, off, s) ->
            let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
-           mem_write ~width:(Insn.size_bytes sz) addr regs.(Reg.to_int s);
+           Machine.write st ~width:(Insn.size_bytes sz) addr
+             regs.(Reg.to_int s);
            incr pc
        | Insn.St (sz, d, off, imm) ->
            let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
-           mem_write ~width:(Insn.size_bytes sz) addr imm;
+           Machine.write st ~width:(Insn.size_bytes sz) addr imm;
            incr pc
        | Insn.Xstore (sz, d, off, s) ->
-           let h = match e.heap with Some h -> h | None -> raise (Vm_fault Wild_access) in
+           let h =
+             match st.Machine.heap with
+             | Some h -> h
+             | None -> raise (Vm_fault Wild_access)
+           in
            let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
            let v = regs.(Reg.to_int s) in
            let v = if Heap.is_shared h then Heap.translate_user h v else v in
-           mem_write ~width:(Insn.size_bytes sz) addr v;
+           Machine.write st ~width:(Insn.size_bytes sz) addr v;
            incr pc
        | Insn.Guard (_, r) ->
-           let h = match e.heap with Some h -> h | None -> raise (Vm_fault Wild_access) in
+           let h =
+             match st.Machine.heap with
+             | Some h -> h
+             | None -> raise (Vm_fault Wild_access)
+           in
            stats.guards <- stats.guards + 1;
            regs.(Reg.to_int r) <- Heap.sanitize h regs.(Reg.to_int r);
            incr pc
        | Insn.Checkpoint _ ->
-           (* the [*terminate] load: one unit of cost, handled above *)
+           (* the [*terminate] load: one unit of cost; the watchdog *)
+           stats.checkpoints <- stats.checkpoints + 1;
+           if !(e.cancel_flag) then raise (Vm_fault Ext_cancelled);
+           if total_cost stats - start_cost > e.quantum then begin
+             e.cancel_flag := true;
+             raise (Vm_fault Quantum_expired)
+           end;
            incr pc
        | Insn.Atomic (op, sz, d, off, s) ->
            let width = Insn.size_bytes sz in
            let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
-           let old = mem_read ~width addr in
+           let old = Machine.read st ~width addr in
            let sv = regs.(Reg.to_int s) in
            (match op with
-           | Insn.Atomic_add -> mem_write ~width addr (Int64.add old sv)
-           | Insn.Atomic_or -> mem_write ~width addr (Int64.logor old sv)
-           | Insn.Atomic_and -> mem_write ~width addr (Int64.logand old sv)
-           | Insn.Atomic_xor -> mem_write ~width addr (Int64.logxor old sv)
+           | Insn.Atomic_add -> Machine.write st ~width addr (Int64.add old sv)
+           | Insn.Atomic_or -> Machine.write st ~width addr (Int64.logor old sv)
+           | Insn.Atomic_and ->
+               Machine.write st ~width addr (Int64.logand old sv)
+           | Insn.Atomic_xor ->
+               Machine.write st ~width addr (Int64.logxor old sv)
            | Insn.Fetch_add ->
-               mem_write ~width addr (Int64.add old sv);
+               Machine.write st ~width addr (Int64.add old sv);
                regs.(Reg.to_int s) <- old
            | Insn.Fetch_or ->
-               mem_write ~width addr (Int64.logor old sv);
+               Machine.write st ~width addr (Int64.logor old sv);
                regs.(Reg.to_int s) <- old
            | Insn.Fetch_and ->
-               mem_write ~width addr (Int64.logand old sv);
+               Machine.write st ~width addr (Int64.logand old sv);
                regs.(Reg.to_int s) <- old
            | Insn.Fetch_xor ->
-               mem_write ~width addr (Int64.logxor old sv);
+               Machine.write st ~width addr (Int64.logxor old sv);
                regs.(Reg.to_int s) <- old
            | Insn.Xchg ->
-               mem_write ~width addr sv;
+               Machine.write st ~width addr sv;
                regs.(Reg.to_int s) <- old
            | Insn.Cmpxchg ->
-               if old = regs.(0) then mem_write ~width addr sv;
+               if old = regs.(0) then Machine.write st ~width addr sv;
                regs.(0) <- old);
            incr pc
        | Insn.Ja off -> pc := !pc + 1 + off
@@ -406,56 +352,252 @@ let exec e ~ctx ?(cpu = 0) ?stats ?on_insn ?on_site () =
            | H_stall ->
                e.cancel_flag := true;
                raise (Vm_fault Lock_stall))
-       | Insn.Exit -> result := Some (Finished regs.(0)))
+       | Insn.Exit ->
+           ret := regs.(0);
+           running := false
      done
-   with
-  | (Vm_fault _ | Heap.Fault _) as exn ->
-    let reason =
-      match exn with
-      | Vm_fault r -> r
-      | Heap.Fault { reason; _ } ->
-          if reason = "unpopulated heap page" then Page_fault
-          else if reason = "guard zone access" then Guard_zone
-          else Wild_access
-      | _ -> assert false
-    in
-    (* Cancellation: unwind via the static object table of the faulting
-       cancellation point (§3.3). *)
-    let orig_pc = e.kie.Kflex_kie.Instrument.orig_of_new.(!pc) in
-    let table = e.kie.Kflex_kie.Instrument.tables.(orig_pc) in
-    let released = ref [] in
-    List.iter
-      (fun (entry : Kflex_kie.Instrument.obj_entry) ->
-        let v =
-          match entry.Kflex_kie.Instrument.loc with
-          | Kflex_verifier.State.L_reg r -> regs.(Reg.to_int r)
-          | Kflex_verifier.State.L_slot i -> Bytes.get_int64_le stack (i * 8)
-        in
-        if v <> 0L then begin
-          (match Hashtbl.find_opt e.helpers entry.Kflex_kie.Instrument.destructor with
-          | Some d ->
-              for i = 0 to 4 do
-                call_ctx.args.(i) <- 0L
-              done;
-              call_ctx.args.(0) <- v;
-              ignore (d call_ctx)
-          | None -> ());
-          released :=
-            (entry.Kflex_kie.Instrument.klass, entry.Kflex_kie.Instrument.destructor)
-            :: !released
-        end)
-      table;
-    let ret =
-      match e.on_cancel with Some f -> f e.default_ret | None -> e.default_ret
-    in
-    result :=
-      Some
-        (Cancelled
-           {
-             orig_pc;
-             reason;
-             released = List.rev !released;
-             ret;
-             ledger_leaked = Ledger.count ledger;
-           }));
-  match !result with Some o -> o | None -> assert false
+   with exn ->
+     st.Machine.fault_pc <- !pc;
+     raise exn);
+  Finished !ret
+
+(* Instrumented loop: identical semantics plus the [on_insn] / [on_site]
+   observation points. Lives separately so the fast loop never tests for
+   hook presence. *)
+let interp_hooked e (st : Machine.state) ~on_insn ~on_site =
+  let insns = Prog.insns e.kie.Kflex_kie.Instrument.prog in
+  let regs = st.Machine.regs in
+  let stats = st.Machine.stats in
+  let start_cost = st.Machine.start_cost in
+  let call_ctx = st.Machine.call_ctx in
+  let ctx_size = st.Machine.ctx_size in
+  let src_val = function Insn.Reg r -> regs.(Reg.to_int r) | Insn.Imm i -> i in
+  let pc = ref 0 in
+  let running = ref true in
+  let ret = ref 0L in
+  (try
+     while !running do
+       let insn = insns.(!pc) in
+       (match on_insn with Some f -> f !pc regs | None -> ());
+       stats.insns <- stats.insns + 1;
+       (* The watchdog: quantum measured in cost units per invocation. *)
+       (match insn with
+       | Insn.Checkpoint _ ->
+           stats.checkpoints <- stats.checkpoints + 1;
+           if !(e.cancel_flag) then raise (Vm_fault Ext_cancelled);
+           if total_cost stats - start_cost > e.quantum then begin
+             e.cancel_flag := true;
+             raise (Vm_fault Quantum_expired)
+           end
+       | _ -> ());
+       (* Cancellation-injection sites: every Checkpoint (C1) plus every
+          memory access that leaves the stack/ctx windows (a potential C2
+          fault). The callback sees sites in execution order; returning
+          [true] cancels as if a sibling CPU had (§4.3). *)
+       (match on_site with
+       | None -> ()
+       | Some f ->
+           let outside addr width =
+             not
+               (Machine.in_window stack_base Prog.stack_size addr width
+               || Machine.in_window ctx_base ctx_size addr width)
+           in
+           let is_site =
+             match insn with
+             | Insn.Checkpoint _ -> true
+             | Insn.Ldx (sz, _, s, off) ->
+                 outside
+                   (Int64.add regs.(Reg.to_int s) (Int64.of_int off))
+                   (Insn.size_bytes sz)
+             | Insn.Stx (sz, d, off, _)
+             | Insn.St (sz, d, off, _)
+             | Insn.Xstore (sz, d, off, _)
+             | Insn.Atomic (_, sz, d, off, _) ->
+                 outside
+                   (Int64.add regs.(Reg.to_int d) (Int64.of_int off))
+                   (Insn.size_bytes sz)
+             | _ -> false
+           in
+           if is_site && f () then raise (Vm_fault Ext_cancelled));
+       match insn with
+       | Insn.Mov (d, s) ->
+           regs.(Reg.to_int d) <- src_val s;
+           incr pc
+       | Insn.Neg d ->
+           regs.(Reg.to_int d) <- Int64.neg regs.(Reg.to_int d);
+           incr pc
+       | Insn.Alu (op, d, s) ->
+           regs.(Reg.to_int d) <- eval_alu op regs.(Reg.to_int d) (src_val s);
+           incr pc
+       | Insn.Ldx (sz, d, s, off) ->
+           let addr = Int64.add regs.(Reg.to_int s) (Int64.of_int off) in
+           regs.(Reg.to_int d) <-
+             Machine.read st ~width:(Insn.size_bytes sz) addr;
+           incr pc
+       | Insn.Stx (sz, d, off, s) ->
+           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           Machine.write st ~width:(Insn.size_bytes sz) addr
+             regs.(Reg.to_int s);
+           incr pc
+       | Insn.St (sz, d, off, imm) ->
+           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           Machine.write st ~width:(Insn.size_bytes sz) addr imm;
+           incr pc
+       | Insn.Xstore (sz, d, off, s) ->
+           let h =
+             match st.Machine.heap with
+             | Some h -> h
+             | None -> raise (Vm_fault Wild_access)
+           in
+           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           let v = regs.(Reg.to_int s) in
+           let v = if Heap.is_shared h then Heap.translate_user h v else v in
+           Machine.write st ~width:(Insn.size_bytes sz) addr v;
+           incr pc
+       | Insn.Guard (_, r) ->
+           let h =
+             match st.Machine.heap with
+             | Some h -> h
+             | None -> raise (Vm_fault Wild_access)
+           in
+           stats.guards <- stats.guards + 1;
+           regs.(Reg.to_int r) <- Heap.sanitize h regs.(Reg.to_int r);
+           incr pc
+       | Insn.Checkpoint _ ->
+           (* cost and watchdog handled above *)
+           incr pc
+       | Insn.Atomic (op, sz, d, off, s) ->
+           let width = Insn.size_bytes sz in
+           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           let old = Machine.read st ~width addr in
+           let sv = regs.(Reg.to_int s) in
+           (match op with
+           | Insn.Atomic_add -> Machine.write st ~width addr (Int64.add old sv)
+           | Insn.Atomic_or -> Machine.write st ~width addr (Int64.logor old sv)
+           | Insn.Atomic_and ->
+               Machine.write st ~width addr (Int64.logand old sv)
+           | Insn.Atomic_xor ->
+               Machine.write st ~width addr (Int64.logxor old sv)
+           | Insn.Fetch_add ->
+               Machine.write st ~width addr (Int64.add old sv);
+               regs.(Reg.to_int s) <- old
+           | Insn.Fetch_or ->
+               Machine.write st ~width addr (Int64.logor old sv);
+               regs.(Reg.to_int s) <- old
+           | Insn.Fetch_and ->
+               Machine.write st ~width addr (Int64.logand old sv);
+               regs.(Reg.to_int s) <- old
+           | Insn.Fetch_xor ->
+               Machine.write st ~width addr (Int64.logxor old sv);
+               regs.(Reg.to_int s) <- old
+           | Insn.Xchg ->
+               Machine.write st ~width addr sv;
+               regs.(Reg.to_int s) <- old
+           | Insn.Cmpxchg ->
+               if old = regs.(0) then Machine.write st ~width addr sv;
+               regs.(0) <- old);
+           incr pc
+       | Insn.Ja off -> pc := !pc + 1 + off
+       | Insn.Jcond (c, a, s, off) ->
+           if eval_cond c regs.(Reg.to_int a) (src_val s) then
+             pc := !pc + 1 + off
+           else incr pc
+       | Insn.Call name -> (
+           stats.helper_calls <- stats.helper_calls + 1;
+           let h =
+             match Hashtbl.find_opt e.helpers name with
+             | Some h -> h
+             | None -> failwith ("Vm.exec: unknown helper " ^ name)
+           in
+           for i = 0 to 4 do
+             call_ctx.args.(i) <- regs.(i + 1)
+           done;
+           match h call_ctx with
+           | H_ret v ->
+               regs.(0) <- v;
+               incr pc
+           | H_stall ->
+               e.cancel_flag := true;
+               raise (Vm_fault Lock_stall))
+       | Insn.Exit ->
+           ret := regs.(0);
+           running := false
+     done
+   with exn ->
+     st.Machine.fault_pc <- !pc;
+     raise exn);
+  Finished !ret
+
+(* Cancellation: unwind via the static object table of the faulting
+   cancellation point (§3.3). *)
+let unwind e (st : Machine.state) exn =
+  let reason =
+    match exn with
+    | Vm_fault r -> r
+    | Heap.Fault { reason; _ } ->
+        if reason = "unpopulated heap page" then Page_fault
+        else if reason = "guard zone access" then Guard_zone
+        else Wild_access
+    | _ -> assert false
+  in
+  let regs = st.Machine.regs in
+  let stack = st.Machine.stack in
+  let call_ctx = st.Machine.call_ctx in
+  let orig_pc = e.kie.Kflex_kie.Instrument.orig_of_new.(st.Machine.fault_pc) in
+  let table = e.kie.Kflex_kie.Instrument.tables.(orig_pc) in
+  let released = ref [] in
+  List.iter
+    (fun (entry : Kflex_kie.Instrument.obj_entry) ->
+      let v =
+        match entry.Kflex_kie.Instrument.loc with
+        | Kflex_verifier.State.L_reg r -> regs.(Reg.to_int r)
+        | Kflex_verifier.State.L_slot i -> Bytes.get_int64_le stack (i * 8)
+      in
+      if v <> 0L then begin
+        (match
+           Hashtbl.find_opt e.helpers entry.Kflex_kie.Instrument.destructor
+         with
+        | Some d ->
+            for i = 0 to 4 do
+              call_ctx.args.(i) <- 0L
+            done;
+            call_ctx.args.(0) <- v;
+            ignore (d call_ctx)
+        | None -> ());
+        released :=
+          (entry.Kflex_kie.Instrument.klass, entry.Kflex_kie.Instrument.destructor)
+          :: !released
+      end)
+    table;
+  let ret =
+    match e.on_cancel with Some f -> f e.default_ret | None -> e.default_ret
+  in
+  Cancelled
+    {
+      orig_pc;
+      reason;
+      released = List.rev !released;
+      ret;
+      ledger_leaked = Ledger.count st.Machine.ledger;
+    }
+
+let exec e ~ctx ?(cpu = 0) ?stats ?on_insn ?on_site ?(backend = `Interp) () =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let st = acquire_state e in
+  Fun.protect
+    ~finally:(fun () -> st.Machine.in_use <- false)
+    (fun () ->
+      Machine.reset_state st ~ctx ~cpu ~stats;
+      try
+        match (backend, on_insn, on_site) with
+        | `Compiled, None, None ->
+            let t, helpers = ensure_compiled e in
+            st.Machine.helpers <- helpers;
+            Jit.run t st;
+            Finished st.Machine.ret
+        | `Interp, None, None -> interp_fast e st
+        | _ ->
+            (* hooks force the interpreter: observation points only exist
+               there *)
+            interp_hooked e st ~on_insn ~on_site
+      with (Vm_fault _ | Heap.Fault _) as exn -> unwind e st exn)

@@ -57,9 +57,9 @@ type helper_outcome =
           call site *)
 
 (** Environment a helper executes in. *)
-type call_ctx = {
+type call_ctx = Machine.call_ctx = {
   args : int64 array;  (** r1–r5 *)
-  cpu : int;
+  mutable cpu : int;
   heap : Heap.t option;
   alloc : Alloc.t option;
   ledger : Ledger.t;
@@ -116,6 +116,26 @@ val reset_cancel : ext -> unit
 
 val kie : ext -> Kflex_kie.Instrument.t
 
+type backend = [ `Interp | `Compiled ]
+(** Execution engine selection: the classic fetch/decode interpreter, or the
+    closure-compiled direct-threaded backend ({!Jit}). Both produce
+    bit-identical outcomes, stats and memory effects; the compiled backend
+    exists purely for speed. *)
+
+val precompile : ?fuse:bool -> ext -> Jit.t
+(** Compile the extension's instrumented program and install the result, so
+    subsequent [`Compiled] executions skip lazy compilation. [fuse]
+    (default [true]) enables superinstruction fusion. Returns the compiled
+    form (for fusion/compile-time reporting). *)
+
+val set_compiled : ext -> Jit.t -> unit
+(** Install an externally compiled program (e.g. from the core facade's
+    compiled-program cache), linking its helper table against this
+    extension's helpers. *)
+
+val has_compiled : ext -> bool
+(** Whether a compiled form is already installed. *)
+
 val exec :
   ext ->
   ctx:Bytes.t ->
@@ -123,6 +143,7 @@ val exec :
   ?stats:stats ->
   ?on_insn:(int -> int64 array -> unit) ->
   ?on_site:(unit -> bool) ->
+  ?backend:backend ->
   unit ->
   outcome
 (** Run one invocation with the given context block. [stats], when supplied,
@@ -137,4 +158,8 @@ val exec :
     [on_site] is consulted at every cancellation site — each [Checkpoint]
     and each memory access whose address leaves the stack/ctx windows — in
     execution order; returning [true] injects an asynchronous cancellation
-    ({!Ext_cancelled}) at that site, exercising object-table unwinding. *)
+    ({!Ext_cancelled}) at that site, exercising object-table unwinding.
+
+    [backend] selects the engine (default [`Interp]). Supplying either hook
+    forces the interpreter regardless of [backend]: observation points only
+    exist there. *)

@@ -28,6 +28,19 @@ let t_corpus_replay () =
       | Oracle.Pass | Oracle.Rejected _ -> ())
     files
 
+(* The same reproducers replayed with the compiled backend requested: the
+   fifth oracle (interpreter-vs-compiled equivalence) runs on top of the
+   usual four, so every historical find also pins the Jit's behaviour. *)
+let t_corpus_replay_compiled () =
+  Sys.readdir "corpus" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".kfxr")
+  |> List.iter (fun f ->
+         let r = Corpus.read (Filename.concat "corpus" f) in
+         match Corpus.replay ~backend:`Compiled r with
+         | Oracle.Fail fl ->
+             Alcotest.failf "%s: [%s] %s" f fl.Oracle.oracle fl.Oracle.detail
+         | Oracle.Pass | Oracle.Rejected _ -> ())
+
 let smoke_dir () =
   let d = Filename.concat (Filename.get_temp_dir_name ()) "kflex_fuzz_test" in
   if not (Sys.file_exists d) then Unix.mkdir d 0o755;
@@ -165,6 +178,8 @@ let () =
       ( "fuzz",
         [
           Alcotest.test_case "corpus replay" `Quick t_corpus_replay;
+          Alcotest.test_case "corpus replay compiled" `Quick
+            t_corpus_replay_compiled;
           Alcotest.test_case "smoke campaign" `Slow t_smoke_campaign;
           Alcotest.test_case "campaign deterministic" `Quick
             t_campaign_deterministic;

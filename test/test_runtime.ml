@@ -422,6 +422,152 @@ let t_stats_accounting () =
   Alcotest.(check bool) "insns counted" true (stats.Vm.insns >= 3);
   Alcotest.(check int) "one guard" 1 stats.Vm.guards
 
+(* --- compiled backend (Jit) ---------------------------------------------- *)
+
+let stats_tuple (s : Vm.stats) =
+  (s.Vm.insns, s.Vm.guards, s.Vm.checkpoints, s.Vm.helper_calls,
+   s.Vm.helper_cost)
+
+(* Run the same program under both engines, each in a fresh environment,
+   and return outcome plus the full cost-accounting tuple. *)
+let both_backends ?quantum items =
+  let go backend =
+    let _, ext = with_heap ?quantum items in
+    let stats = Vm.fresh_stats () in
+    let o = Vm.exec ext ~ctx:(Bytes.make 64 '\000') ~stats ~backend () in
+    (o, stats_tuple stats)
+  in
+  (go `Interp, go `Compiled)
+
+let check_stats (a, b, c, d, e) (a', b', c', d', e') =
+  Alcotest.(check int) "insns" a a';
+  Alcotest.(check int) "guards" b b';
+  Alcotest.(check int) "checkpoints" c c';
+  Alcotest.(check int) "helper calls" d d';
+  Alcotest.(check int) "helper cost" e e'
+
+(* A program mixing frame slots, guarded heap traffic, ALU chains and a
+   branch — the constructs the compiler specializes and fuses — must produce
+   the identical outcome and identical stats on both backends. *)
+let t_jit_parity () =
+  let items =
+    [
+      call "kflex_heap_base";
+      mov R6 R0;
+      movi R1 0x1234_5678_9abc_def0L;
+      stx Insn.U64 R10 (-8) R1;
+      ldx Insn.U32 R2 R10 (-8);
+      stx Insn.U64 R6 128 R2;
+      ldx Insn.U64 R3 R6 128;
+      alui Insn.Mul R3 3L;
+      jmpi Insn.Gt R3 0L "big";
+      movi R3 7L;
+      label "big";
+      mov R0 R3;
+      exit_;
+    ]
+  in
+  let (oi, si), (oc, sc) = both_backends items in
+  (match (oi, oc) with
+  | Vm.Finished a, Vm.Finished b ->
+      Alcotest.(check int64) "ret" a b;
+      Alcotest.(check int64) "value" (Int64.mul 0x9abc_def0L 3L) b
+  | _ -> Alcotest.fail "expected Finished on both backends");
+  check_stats si sc
+
+(* Quantum expiry fires at a checkpoint; the compiled backend must cancel
+   with the same reason after exactly the same number of instructions. *)
+let t_jit_quantum_parity () =
+  let items =
+    [
+      call "kflex_heap_base";
+      mov R1 R0;
+      alui Insn.Add R1 64L;
+      stx Insn.U64 R1 0 R1;
+      label "loop";
+      ldx Insn.U64 R1 R1 0;
+      jmpi Insn.Ne R1 0L "loop";
+      movi R0 0L;
+      exit_;
+    ]
+  in
+  let (oi, si), (oc, sc) = both_backends ~quantum:5_000 items in
+  (match (oi, oc) with
+  | ( Vm.Cancelled { reason = Vm.Quantum_expired; _ },
+      Vm.Cancelled { reason = Vm.Quantum_expired; _ } ) ->
+      ()
+  | _ -> Alcotest.fail "expected quantum cancellation on both backends");
+  check_stats si sc
+
+(* A wild pointer is sanitized by the fused Guard+Ldx superinstruction into
+   the heap window; here it lands on an unpopulated page, so both backends
+   must page-fault with identical accounting. *)
+let t_jit_fused_fault_parity () =
+  let items = [ movi R1 0xdead_beefL; ldx Insn.U64 R0 R1 0; exit_ ] in
+  let (oi, si), (oc, sc) = both_backends items in
+  (match (oi, oc) with
+  | ( Vm.Cancelled { reason = Vm.Page_fault; _ },
+      Vm.Cancelled { reason = Vm.Page_fault; _ } ) ->
+      ()
+  | _ -> Alcotest.fail "expected page fault on both backends");
+  check_stats si sc
+
+(* Repeated runs reuse the pooled execution state; the persistent heap must
+   accumulate identically under either engine. *)
+let t_jit_state_reuse () =
+  let items =
+    [
+      call "kflex_heap_base";
+      mov R6 R0;
+      ldx Insn.U64 R1 R6 200;
+      mov R0 R1;
+      alui Insn.Add R1 1L;
+      stx Insn.U64 R6 200 R1;
+      exit_;
+    ]
+  in
+  let go ext backend =
+    match Vm.exec ext ~ctx:(Bytes.make 64 '\000') ~backend () with
+    | Vm.Finished v -> v
+    | Vm.Cancelled _ -> Alcotest.fail "unexpected cancellation"
+  in
+  let _, ei = with_heap items in
+  let _, ec = with_heap items in
+  List.iter
+    (fun expect ->
+      Alcotest.(check int64) "interp counter" expect (go ei `Interp);
+      Alcotest.(check int64) "compiled counter" expect (go ec `Compiled))
+    [ 0L; 1L; 2L ]
+
+(* Random verifier-accepted programs: the interpreter and the compiled
+   engine must agree on outcome, stats, heap pages and packet bytes — the
+   fifth oracle applied as a qcheck property. *)
+let prop_jit_differential =
+  QCheck.Test.make ~name:"interp/compiled differential (random programs)"
+    ~count:60
+    QCheck.(map Int64.of_int small_int)
+    (fun seed ->
+      let rng = Kflex_workload.Rng.create ~seed in
+      let cfg = Kflex_fuzz.Oracle.default_config in
+      let items =
+        Kflex_fuzz.Gen.generate ~rng ~heap_size:cfg.Kflex_fuzz.Oracle.heap_size
+          ~port:cfg.Kflex_fuzz.Oracle.port
+      in
+      let prog = Kflex_fuzz.Gen.assemble items in
+      match
+        Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex ~contracts
+          ~ctx_size:64 ~heap_size:cfg.Kflex_fuzz.Oracle.heap_size
+          ~sleepable:false prog
+      with
+      | Error _ -> true (* rejection is not a backend question *)
+      | Ok analysis -> (
+          let kie = Kflex_kie.Instrument.run analysis in
+          match Kflex_fuzz.Oracle.backend_equiv cfg kie with
+          | None -> true
+          | Some f ->
+              QCheck.Test.fail_reportf "[%s] %s" f.Kflex_fuzz.Oracle.oracle
+                f.Kflex_fuzz.Oracle.detail))
+
 let () =
   Alcotest.run "runtime"
     [
@@ -464,5 +610,14 @@ let () =
           Alcotest.test_case "cross-cpu cancel" `Quick t_cancel_cross_cpu;
           Alcotest.test_case "on_cancel callback" `Quick t_on_cancel_callback;
           Alcotest.test_case "stats" `Quick t_stats_accounting;
+        ] );
+      ( "jit",
+        [
+          Alcotest.test_case "backend parity" `Quick t_jit_parity;
+          Alcotest.test_case "quantum parity" `Quick t_jit_quantum_parity;
+          Alcotest.test_case "fused fault parity" `Quick
+            t_jit_fused_fault_parity;
+          Alcotest.test_case "state reuse" `Quick t_jit_state_reuse;
+          QCheck_alcotest.to_alcotest prop_jit_differential;
         ] );
     ]
