@@ -318,6 +318,203 @@ let jit_bench ~smoke =
   pf "  wrote BENCH_vm.json@.";
   if !mismatches > 0 then exit 1
 
+(* ---- Engine: multi-tenant scaling curve (BENCH_engine.json) ------------ *)
+
+(* Aggregate throughput of the multi-tenant engine as shards and chain
+   length grow, measured in DES virtual time (the container is single-core,
+   so the per-CPU scaling claim is about the simulated shard model, not
+   host parallelism): each shard serves its own FIFO of flow-hashed events,
+   service time = the chain's charged cost through the calibrated model.
+   Also checks the single-shard engine is observationally identical to the
+   facade on every fuzz reproducer (the chain oracle run as a self-pair). *)
+
+let engine_corpus_identity () =
+  let dir = "test/corpus" in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then (0, 0, 0)
+  else
+    Array.fold_left
+      (fun (ok, skip, bad) f ->
+        if Filename.check_suffix f ".kfxr" then begin
+          let t = Kflex_fuzz.Corpus.read (Filename.concat dir f) in
+          match Kflex_fuzz.Oracle.chain_equiv t.Kflex_fuzz.Corpus.config
+                  t.Kflex_fuzz.Corpus.prog t.Kflex_fuzz.Corpus.prog
+          with
+          | Kflex_fuzz.Oracle.Pass -> (ok + 1, skip, bad)
+          | Kflex_fuzz.Oracle.Rejected _ -> (ok, skip + 1, bad)
+          | Kflex_fuzz.Oracle.Fail fl ->
+              pf "  corpus DIVERGENCE %s: %s@." f fl.Kflex_fuzz.Oracle.detail;
+              (ok, skip, bad + 1)
+        end
+        else (ok, skip, bad))
+      (0, 0, 0) (Sys.readdir dir)
+
+type eng_row = {
+  er_kind : Kflex_apps.Datastructs.kind;
+  er_shards : int;
+  er_chain : int;
+  er_res : Kflex_sim.Closed_loop.result;
+  er_tot : Kflex_engine.Engine.totals;
+}
+
+let engine_bench ~smoke =
+  hr "Engine: multi-tenant scaling (shards x chain, DES virtual time)";
+  let events = if smoke then 1_200 else min 6_000 (max 2_000 (requests / 5)) in
+  let structures =
+    [
+      Kflex_apps.Datastructs.Hashmap; Kflex_apps.Datastructs.Rbtree;
+      Kflex_apps.Datastructs.Skiplist;
+    ]
+  in
+  let keyspace = 4096 in
+  (* deterministic op/key/flow sequence shared by every configuration *)
+  let opseq =
+    let rng = Kflex_workload.Rng.create ~seed:11L in
+    Array.init events (fun i ->
+        let op = if i land 3 = 0 then 0 else 1 in
+        ( op,
+          Int64.of_int (Kflex_workload.Rng.int rng keyspace),
+          1024 + Kflex_workload.Rng.int rng 60000 ))
+  in
+  let pkts =
+    Array.map
+      (fun (op, key, src_port) ->
+        let b = Bytes.make 17 '\000' in
+        Bytes.set b 0 (Char.chr op);
+        Bytes.set_int64_le b 1 key;
+        Bytes.set_int64_le b 9 1L;
+        Kflex_kernel.Packet.make ~proto:Kflex_kernel.Packet.Udp ~src_port
+          ~dst_port:9 b)
+      opseq
+  in
+  let run_config compiled ~shards ~chain =
+    let eng = Kflex_engine.Engine.create ~shards () in
+    let handles =
+      List.init chain (fun _ ->
+          match
+            Kflex_engine.Engine.attach eng
+              ~globals_size:
+                compiled.Kflex_eclang.Compile.layout
+                  .Kflex_eclang.Compile.globals_size
+              ~heap_size:(Int64.shift_left 1L 22)
+              ~hook:Kflex_kernel.Hook.Xdp compiled.Kflex_eclang.Compile.prog
+          with
+          | Ok h -> h
+          | Error e ->
+              Format.kasprintf failwith "engine bench: rejected: %a"
+                Kflex_verifier.Verify.pp_error e)
+    in
+    let res =
+      Kflex_sim.Closed_loop.run_engine ~clients:32 ~rtt_ns:2_000.
+        ~requests:events
+        ~gen:(fun i -> pkts.(i))
+        ~ns_of_cost:(fun c ->
+          Kflex_kernel.Cost.xdp_service_ns
+            ~compute_ns:(float_of_int c *. Kflex_kernel.Cost.insn_ns)
+            ~reply:false)
+        eng
+    in
+    let tot = Kflex_engine.Engine.totals eng in
+    List.iter (fun h -> Kflex_engine.Engine.detach eng h) handles;
+    (res, tot)
+  in
+  pf "  (%d events, 25%% update / 75%% lookup, 32 clients; throughput is@."
+    events;
+  pf "   aggregate MOps/s in simulated time across per-CPU shards)@.";
+  pf "  %-10s %5s %5s %12s %10s %8s %6s@." "structure" "shard" "chain"
+    "MOps/s" "p99(us)" "cancel" "leak";
+  let rows = ref [] in
+  List.iter
+    (fun kind ->
+      let compiled =
+        Kflex_eclang.Compile.compile_string
+          ~name:(Kflex_apps.Datastructs.name kind ^ "_chain")
+          (Kflex_apps.Datastructs.chain_source kind)
+      in
+      List.iter
+        (fun chain ->
+          List.iter
+            (fun shards ->
+              let res, tot = run_config compiled ~shards ~chain in
+              pf "  %-10s %5d %5d %12.3f %10.1f %8d %6d@."
+                (Kflex_apps.Datastructs.name kind)
+                shards chain res.Kflex_sim.Closed_loop.throughput_mops
+                res.Kflex_sim.Closed_loop.p99_us
+                tot.Kflex_engine.Engine.cancelled
+                tot.Kflex_engine.Engine.leaked;
+              rows :=
+                {
+                  er_kind = kind;
+                  er_shards = shards;
+                  er_chain = chain;
+                  er_res = res;
+                  er_tot = tot;
+                }
+                :: !rows)
+            [ 1; 2; 4 ])
+        [ 1; 3 ])
+    structures;
+  let rows = List.rev !rows in
+  let tp r = r.er_res.Kflex_sim.Closed_loop.throughput_mops in
+  let speedups =
+    List.filter_map
+      (fun r ->
+        if r.er_shards <> 4 then None
+        else
+          let base =
+            List.find
+              (fun b ->
+                b.er_kind = r.er_kind && b.er_chain = r.er_chain
+                && b.er_shards = 1)
+              rows
+          in
+          Some (r.er_kind, r.er_chain, tp r /. tp base))
+      rows
+  in
+  let min_speedup =
+    List.fold_left (fun a (_, _, s) -> Stdlib.min a s) infinity speedups
+  in
+  List.iter
+    (fun (k, c, s) ->
+      pf "  %-10s chain %d: 4-shard speedup %.2fx@."
+        (Kflex_apps.Datastructs.name k)
+        c s)
+    speedups;
+  let corpus_ok, corpus_skip, corpus_bad = engine_corpus_identity () in
+  pf "  corpus identity: %d identical, %d skipped, %d divergent@." corpus_ok
+    corpus_skip corpus_bad;
+  pf "  min 4-shard speedup %.2fx (gate: > 1.8x)@." min_speedup;
+  let leaks = List.fold_left (fun a r -> a + r.er_tot.Kflex_engine.Engine.leaked) 0 rows in
+  let oc = open_out "BENCH_engine.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"events\": %d,\n  \"smoke\": %b,\n  \"configs\": [\n" events smoke;
+  List.iteri
+    (fun i r ->
+      p "    {\"structure\": %S, \"shards\": %d, \"chain\": %d, \
+         \"throughput_mops\": %.4f, \"p99_us\": %.2f, \"events\": %d, \
+         \"cancelled\": %d, \"leaked\": %d}%s\n"
+        (Kflex_apps.Datastructs.name r.er_kind)
+        r.er_shards r.er_chain (tp r) r.er_res.Kflex_sim.Closed_loop.p99_us
+        r.er_tot.Kflex_engine.Engine.events r.er_tot.Kflex_engine.Engine.cancelled
+        r.er_tot.Kflex_engine.Engine.leaked
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ],\n  \"scaling_4shard_vs_1\": [\n";
+  List.iteri
+    (fun i (k, c, s) ->
+      p "    {\"structure\": %S, \"chain\": %d, \"speedup\": %.3f}%s\n"
+        (Kflex_apps.Datastructs.name k)
+        c s
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  p "  ],\n  \"summary\": {\"min_speedup_4shard\": %.3f, \"leaked\": %d, \
+     \"corpus_identical\": %d, \"corpus_skipped\": %d, \"corpus_divergent\": \
+     %d, \"gate_passed\": %b}\n}\n"
+    min_speedup leaks corpus_ok corpus_skip corpus_bad
+    (min_speedup > 1.8 && corpus_bad = 0 && leaks = 0);
+  close_out oc;
+  pf "  wrote BENCH_engine.json@.";
+  if min_speedup <= 1.8 || corpus_bad > 0 || leaks > 0 then exit 1
+
 (* ---- Table 3: guard elision ------------------------------------------- *)
 
 let verify_ds prog =
@@ -554,10 +751,13 @@ let () =
   | "jit" ->
       jit_bench
         ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke")
+  | "engine" ->
+      engine_bench
+        ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke")
   | "all" -> all ()
   | other ->
       pf
         "unknown experiment %s (use \
-         table1|fig2|fig3|fig4|fig5|fig6|fig7|table3|ablation|bechamel|jit|all)@."
+         table1|fig2|fig3|fig4|fig5|fig6|fig7|table3|ablation|bechamel|jit|engine|all)@."
         other;
       exit 1

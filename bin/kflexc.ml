@@ -8,7 +8,9 @@
      report  FILE.ec [--perf-mode]  instrument and print the guard report
      run     FILE.ec [--payload HEX] load and execute with one packet
      fuzz    --seed N --count K     differential soundness fuzzing campaign
-     replay  FILE.kfxr              re-run a fuzz reproducer file *)
+     replay  FILE.kfxr              re-run a fuzz reproducer file
+     serve   --attach FILE ...      drive a multi-tenant engine (or --selftest)
+     chain   FILE...                run one packet through an ad-hoc chain *)
 
 open Cmdliner
 
@@ -300,10 +302,279 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc:"Re-run a fuzz reproducer (.kfxr) file")
     Term.(const run $ file_arg $ backend_arg)
 
+(* ---- serve / chain: the multi-tenant engine ---------------------------- *)
+
+module Engine = Kflex_engine.Engine
+
+let attach_file eng ?quantum ~heap_bits file =
+  let prog, globals = load_prog file in
+  match
+    Engine.attach eng ~name:(Filename.basename file) ~globals_size:globals
+      ?quantum
+      ~heap_size:(Int64.shift_left 1L heap_bits)
+      ~hook:Kflex_kernel.Hook.Xdp prog
+  with
+  | Ok h -> h
+  | Error e ->
+      Format.eprintf "%s: REJECTED: %a@." file Kflex_verifier.Verify.pp_error e;
+      exit 1
+
+(* The built-in selftest tenants: a 3-extension chain whose composed verdict
+   depends only on per-flow state, so any shard count must produce the same
+   aggregate verdict histogram (flows are partitioned, never split). *)
+let selftest_filter = {|
+fn prog(c: ctx) -> u64 {
+  var flow: u64 = pkt_read_u64(c, 1);
+  var low: u64 = flow & 7;
+  if (low == 0) { return 1; }
+  return 2;
+}
+|}
+
+let selftest_counter_body = {|
+struct node { key: u64; count: u64; next: ptr<node>; }
+global buckets: [ptr<node>; 256];
+
+fn bump(k: u64) -> u64 {
+  var b: u64 = k & 255;
+  var n: ptr<node> = buckets[b];
+  while (n != null) {
+    if (n.key == k) { n.count = n.count + 1; return n.count; }
+    n = n.next;
+  }
+  var m: ptr<node> = new node;
+  if (m == null) { return 0; }
+  m.key = k;
+  m.count = 1;
+  m.next = buckets[b];
+  buckets[b] = m;
+  return 1;
+}
+|}
+
+let selftest_counter = selftest_counter_body ^ {|
+fn prog(c: ctx) -> u64 {
+  var flow: u64 = pkt_read_u64(c, 1);
+  var n: u64 = bump(flow);
+  if (n == 0) { return 0; }
+  return 2;
+}
+|}
+
+let selftest_capper = selftest_counter_body ^ {|
+fn prog(c: ctx) -> u64 {
+  var flow: u64 = pkt_read_u64(c, 1);
+  var n: u64 = bump(flow);
+  if (n > 96) { return 1; }
+  return 2;
+}
+|}
+
+let selftest_progs =
+  [ ("filter", selftest_filter); ("counter", selftest_counter);
+    ("capper", selftest_capper) ]
+
+let attach_selftest eng =
+  List.iter
+    (fun (name, src) ->
+      let c = Kflex_eclang.Compile.compile_string ~name src in
+      match
+        Engine.attach eng ~name
+          ~globals_size:
+            c.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size
+          ~heap_size:(Int64.shift_left 1L 20)
+          ~hook:Kflex_kernel.Hook.Xdp c.Kflex_eclang.Compile.prog
+      with
+      | Ok _ -> ()
+      | Error e ->
+          Format.kasprintf failwith "selftest program %s rejected: %a" name
+            Kflex_verifier.Verify.pp_error e)
+    selftest_progs
+
+(* Deterministic event stream: flow id in the payload (what the tenants
+   key on), flow-derived ports (what the engine hashes for placement). *)
+let selftest_packets ~seed ~events =
+  let rng = Kflex_workload.Rng.create ~seed in
+  Array.init events (fun _ ->
+      let flow = Kflex_workload.Rng.int rng 512 in
+      let b = Bytes.make 17 '\000' in
+      Bytes.set_int64_le b 1 (Int64.of_int flow);
+      Kflex_kernel.Packet.make ~proto:Kflex_kernel.Packet.Udp
+        ~src_port:(1024 + (flow * 97 mod 60000))
+        ~dst_port:9 b)
+
+let pp_totals ppf (t : Engine.totals) =
+  Format.fprintf ppf "%d events, %d cancelled, %d leaked; verdicts [%s]"
+    t.Engine.events t.Engine.cancelled t.Engine.leaked
+    (String.concat "; "
+       (List.map
+          (fun (v, n) -> Printf.sprintf "%Ld: %d" v n)
+          t.Engine.verdicts))
+
+let serve_cmd =
+  let attach =
+    Arg.(value & opt_all string [] & info [ "attach" ] ~docv:"FILE"
+           ~doc:"Extension to attach to the XDP chain (repeatable, in order)")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
+           ~doc:"Number of per-CPU shards")
+  in
+  let events =
+    Arg.(value & opt int 50_000 & info [ "events" ] ~docv:"K"
+           ~doc:"Synthetic events to deliver")
+  in
+  let seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"N"
+           ~doc:"Event-stream seed (the run is deterministic in it)")
+  in
+  let threaded =
+    Arg.(value & flag & info [ "threaded" ]
+           ~doc:"One OCaml domain per shard instead of deterministic mode")
+  in
+  let quantum =
+    Arg.(value & opt (some int) None & info [ "quantum" ] ~docv:"COST"
+           ~doc:"Per-invocation cost budget (watchdog quantum)")
+  in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Attach the built-in 3-tenant chain and assert the N-shard \
+                 aggregate verdict histogram matches a 1-shard run, with \
+                 zero leaked resources")
+  in
+  let run attach shards events seed threaded quantum selftest heap_bits =
+    handle_errors (fun () ->
+        let mode = if threaded then `Threaded else `Deterministic in
+        let pkts = selftest_packets ~seed ~events in
+        let drive eng =
+          (match Engine.mode eng with
+          | `Deterministic ->
+              Array.iter (fun p -> ignore (Engine.run_packet eng p)) pkts
+          | `Threaded ->
+              Array.iter (fun p -> Engine.submit eng p) pkts;
+              Engine.drain eng);
+          let t = Engine.totals eng in
+          let refs = Engine.socket_refs eng in
+          Engine.shutdown eng;
+          (t, refs)
+        in
+        if selftest then begin
+          let eng = Engine.create ~shards ~mode ?quantum () in
+          attach_selftest eng;
+          let t_n, refs_n = drive eng in
+          let one = Engine.create ~shards:1 ?quantum () in
+          attach_selftest one;
+          let t_1, refs_1 = drive one in
+          Format.printf "%d shards%s: %a@." shards
+            (if threaded then " (threaded)" else "")
+            pp_totals t_n;
+          Format.printf "1 shard:  %a@." pp_totals t_1;
+          let ok =
+            t_n.Engine.verdicts = t_1.Engine.verdicts
+            && t_n.Engine.events = events
+            && t_1.Engine.events = events
+            && t_n.Engine.leaked = 0 && t_1.Engine.leaked = 0
+            && refs_n = 0 && refs_1 = 0
+          in
+          if ok then Format.printf "selftest OK@."
+          else begin
+            Format.printf
+              "selftest FAILED (socket refs %d vs %d; histograms %s)@." refs_n
+              refs_1
+              (if t_n.Engine.verdicts = t_1.Engine.verdicts then "equal"
+               else "DIFFER");
+            exit 1
+          end
+        end
+        else begin
+          if attach = [] then begin
+            Format.eprintf "serve: nothing to attach (use --attach or --selftest)@.";
+            exit 2
+          end;
+          let eng = Engine.create ~shards ~mode ?quantum () in
+          List.iter
+            (fun f -> ignore (attach_file eng ?quantum ~heap_bits f))
+            attach;
+          let t, refs = drive eng in
+          Format.printf "%a@." pp_totals t;
+          Format.printf "socket refs %d; per-shard events [%s]@." refs
+            (String.concat "; "
+               (List.init shards (fun s ->
+                    string_of_int (Engine.shard_events eng s))))
+        end)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Drive a multi-tenant engine: N per-CPU shards, an XDP hook chain \
+          of attached extensions, flow-hashed event placement and a \
+          deterministic synthetic event stream. $(b,--selftest) checks \
+          shard-count invariance of the built-in 3-tenant chain.")
+    Term.(const run $ attach $ shards $ events $ seed $ threaded $ quantum
+          $ selftest $ heap_size_arg)
+
+let chain_cmd =
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE"
+           ~doc:"Extensions, attached to the XDP chain in argument order")
+  in
+  let payload =
+    Arg.(value & opt string "" & info [ "payload" ] ~docv:"HEX"
+           ~doc:"Packet payload as hex bytes")
+  in
+  let quantum =
+    Arg.(value & opt (some int) None & info [ "quantum" ] ~docv:"COST"
+           ~doc:"Per-invocation cost budget (watchdog quantum)")
+  in
+  let run files payload quantum heap_bits =
+    handle_errors (fun () ->
+        let eng = Engine.create ~shards:1 ?quantum () in
+        let handles =
+          List.map (fun f -> attach_file eng ?quantum ~heap_bits f) files
+        in
+        let bytes =
+          if payload = "" then Bytes.make 64 '\000'
+          else
+            Bytes.init
+              (String.length payload / 2)
+              (fun i ->
+                Char.chr (int_of_string ("0x" ^ String.sub payload (2 * i) 2)))
+        in
+        let pkt =
+          Kflex_kernel.Packet.make ~proto:Kflex_kernel.Packet.Udp ~src_port:1
+            ~dst_port:2 bytes
+        in
+        let r = Engine.run_packet eng pkt in
+        List.iteri
+          (fun i o ->
+            let name =
+              match List.nth_opt handles i with
+              | Some h -> Engine.handle_name h
+              | None -> Printf.sprintf "#%d" i
+            in
+            match o with
+            | Kflex_runtime.Vm.Finished v ->
+                Format.printf "  %-20s ret=%Ld%s@." name v
+                  (if Kflex_engine.Chain.continue_on Kflex_kernel.Hook.Xdp v
+                   then "" else "  (chain stops here)")
+            | Kflex_runtime.Vm.Cancelled { orig_pc; ret; _ } ->
+                Format.printf "  %-20s CANCELLED at pc %d, ret=%Ld@." name
+                  orig_pc ret)
+          r.Engine.outcomes;
+        Format.printf "verdict %Ld (%d of %d ran, cost %d)@." r.Engine.verdict
+          r.Engine.executed (List.length files) r.Engine.cost)
+  in
+  Cmd.v
+    (Cmd.info "chain"
+       ~doc:
+         "Run one packet through an ad-hoc XDP chain and print each \
+          extension's verdict and where composition stopped.")
+    Term.(const run $ files $ payload $ quantum $ heap_size_arg)
+
 let () =
   let info = Cmd.info "kflexc" ~doc:"KFlex extension toolchain" in
   exit
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; disasm_cmd; verify_cmd; lint_cmd; report_cmd; run_cmd;
-            fuzz_cmd; replay_cmd ]))
+            fuzz_cmd; replay_cmd; serve_cmd; chain_cmd ]))

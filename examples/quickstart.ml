@@ -1,9 +1,12 @@
-(* Quickstart: write a kernel extension in eclang, load it through the full
-   KFlex pipeline (verify -> instrument -> attach), and deliver packets.
+(* Quickstart: write kernel extensions in eclang, admit them into the
+   multi-tenant engine (verify -> instrument -> attach), and deliver
+   packets through the hook's chain.
 
    Run with:  dune exec examples/quickstart.exe *)
 
-let source = {|
+module Engine = Kflex_engine.Engine
+
+let counter_source = {|
 // A tiny per-port packet counter with a histogram in the extension heap —
 // extension-defined state that plain eBPF would force into a fixed map.
 global counts: [u64; 65536];
@@ -20,31 +23,56 @@ fn prog(c: ctx) -> u64 {
 }
 |}
 
+let audit_source = {|
+// A second tenant on the same hook, with its own private heap. The chain
+// reaches it only while earlier verdicts are XDP_PASS, so it counts the
+// packets the rate limiter let through.
+global seen: u64;
+
+fn prog(c: ctx) -> u64 {
+  seen = seen + 1;
+  return 2;
+}
+|}
+
 let () =
   (* 1. compile eclang to KFlex bytecode *)
-  let compiled = Kflex_eclang.Compile.compile_string ~name:"quickstart" source in
-  Format.printf "compiled to %d instructions@."
-    (Kflex_bpf.Prog.length compiled.Kflex_eclang.Compile.prog);
+  let counter =
+    Kflex_eclang.Compile.compile_string ~name:"counter" counter_source
+  in
+  let audit = Kflex_eclang.Compile.compile_string ~name:"audit" audit_source in
+  Format.printf "compiled to %d + %d instructions@."
+    (Kflex_bpf.Prog.length counter.Kflex_eclang.Compile.prog)
+    (Kflex_bpf.Prog.length audit.Kflex_eclang.Compile.prog);
 
-  (* 2. create the kernel side and an extension heap, then load: this runs
-        the verifier and the Kie instrumentation engine *)
-  let kernel = Kflex_kernel.Helpers.create () in
-  let heap = Kflex_runtime.Heap.create ~size:(Int64.shift_left 1L 20) () in
-  let loaded =
+  (* 2. create an engine and attach both tenants to the XDP hook. Each
+        attach runs the admission pipeline — verifier, Kie instrumentation,
+        (optionally) compilation through the shared program cache — once,
+        then instantiates the program with a private heap on every shard.
+        One shard here; raise ~shards for per-CPU scaling. *)
+  let eng = Engine.create ~shards:1 () in
+  let attach name (c : Kflex_eclang.Compile.compiled) =
     match
-      Kflex.load ~kernel ~heap
-        ~globals_size:compiled.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size
-        ~hook:Kflex_kernel.Hook.Xdp compiled.Kflex_eclang.Compile.prog
+      Engine.attach eng ~name
+        ~globals_size:c.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size
+        ~heap_size:(Int64.shift_left 1L 20)
+        ~hook:Kflex_kernel.Hook.Xdp c.Kflex_eclang.Compile.prog
     with
-    | Ok l -> l
+    | Ok h -> h
     | Error e ->
-        Format.kasprintf failwith "rejected by the verifier: %a"
+        Format.kasprintf failwith "%s rejected by the verifier: %a" name
           Kflex_verifier.Verify.pp_error e
   in
-  Format.printf "instrumentation: %a@." Kflex_kie.Report.pp
-    loaded.Kflex.kie.Kflex_kie.Instrument.report;
+  let h_counter = attach "counter" counter in
+  let h_audit = attach "audit" audit in
+  let report (l : Kflex.loaded) =
+    Format.printf "instrumentation: %a@." Kflex_kie.Report.pp
+      l.Kflex.kie.Kflex_kie.Instrument.report
+  in
+  report (Engine.instance h_counter ~shard:0);
 
-  (* 3. deliver packets *)
+  (* 3. deliver packets: the chain composes verdicts — the first non-PASS
+        wins and later tenants do not run *)
   let send port =
     let payload = Bytes.make 4 '\000' in
     Bytes.set_uint16_le payload 0 port;
@@ -52,19 +80,26 @@ let () =
       Kflex_kernel.Packet.make ~proto:Kflex_kernel.Packet.Udp ~src_port:9999
         ~dst_port:80 payload
     in
-    match Kflex.run_packet loaded pkt with
-    | Kflex_runtime.Vm.Finished v -> v
-    | Kflex_runtime.Vm.Cancelled _ -> failwith "cancelled"
+    let r = Engine.run_packet eng pkt in
+    (r.Engine.verdict, r.Engine.executed)
   in
   for i = 1 to 6 do
-    let action = send 443 in
-    Format.printf "packet %d to port 443 -> %s@." i
+    let action, ran = send 443 in
+    Format.printf "packet %d to port 443 -> %s (%d of 2 tenants ran)@." i
       (if action = 1L then "DROP" else "PASS")
+      ran
   done;
   Format.printf "packet to port 80 -> %s@."
-    (if send 80 = 2L then "PASS" else "DROP");
+    (if fst (send 80) = 2L then "PASS" else "DROP");
 
-  (* 4. inspect extension state from the host *)
-  let total_off = Kflex_eclang.Compile.global_offset compiled "total" in
-  Format.printf "extension counted %Ld packets total@."
-    (Kflex_runtime.Heap.read_off heap ~width:8 total_off)
+  (* 4. inspect extension state from the host, per tenant and shard *)
+  let heap_of h =
+    match (Engine.instance h ~shard:0).Kflex.heap with
+    | Some heap -> heap
+    | None -> assert false
+  in
+  let total_off = Kflex_eclang.Compile.global_offset counter "total" in
+  let seen_off = Kflex_eclang.Compile.global_offset audit "seen" in
+  Format.printf "counter saw %Ld packets; audit saw %Ld get past it@."
+    (Kflex_runtime.Heap.read_off (heap_of h_counter) ~width:8 total_off)
+    (Kflex_runtime.Heap.read_off (heap_of h_audit) ~width:8 seen_off)

@@ -526,8 +526,25 @@ fn prog(c: ctx) -> u64 {
 }
 |}
 
+(* Chain-friendly entry: perform the dispatched operation but always
+   return XDP_PASS (2), so several structures attached to one hook each see
+   every event (the engine stops a chain at the first non-pass verdict). *)
+let chain_entry = {|
+fn prog(c: ctx) -> u64 {
+  var op: u64 = pkt_read_u8(c, 0);
+  var key: u64 = pkt_read_u64(c, 1);
+  var val: u64 = pkt_read_u64(c, 9);
+  var r: u64 = 0;
+  if (op == 0) { r = update(key, val); }
+  if (op == 1) { r = lookup(key); }
+  if (op == 2) { r = remove(key); }
+  return 2;
+}
+|}
+
 let source kind = body kind ^ dispatch_entry
 let op_source kind op = body kind ^ single_entry op
+let chain_source kind = body kind ^ chain_entry
 
 (* ---------------------------------------------------------------------- *)
 

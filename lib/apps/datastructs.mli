@@ -23,6 +23,11 @@ val op_source : kind -> [ `Update | `Lookup | `Delete ] -> string
 (** A program whose entry performs only the given operation — what Table 3
     compiles to count guards per function. *)
 
+val chain_source : kind -> string
+(** Like {!source}, but the entry returns [XDP_PASS] (2) after the
+    operation, so multi-tenant chains attached to one hook fall through to
+    every structure. *)
+
 (** Instrumentation mode for an instance. *)
 type mode =
   | M_kflex  (** full KFlex runtime checks *)

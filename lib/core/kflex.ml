@@ -11,44 +11,107 @@ type loaded = {
   backend : Vm.backend;
 }
 
-(* Compiled-program cache: attach/run paths and the fuzz oracles load the
-   same instrumented program repeatedly; compile it once. Keyed by a digest
-   of the instruction stream (instrumentation options are already baked into
-   the stream, so programs differing in options hash apart). *)
-let jit_cache : (string, Jit.t) Hashtbl.t = Hashtbl.create 16
+type admitted = {
+  a_kie : Kflex_kie.Instrument.t;
+  a_analysis : Kflex_verifier.Verify.analysis;
+  a_hook : Kflex_kernel.Hook.kind;
+}
+
+(* --- compiled-program cache -------------------------------------------- *)
+
+(* Attach/run paths and the fuzz oracles load the same instrumented program
+   repeatedly; compile it once. Keyed by a digest of the instruction stream
+   (instrumentation options are already baked into the stream, so programs
+   differing in options hash apart).
+
+   The cache is LRU-bounded: entries carry a logical-clock stamp bumped on
+   every hit, and an insert past capacity evicts the stalest entry. The
+   capacity is small (an engine attaches a handful of distinct programs, a
+   fuzz campaign churns through thousands — exactly the workload an
+   unbounded table grows without limit under), and eviction is O(capacity),
+   which at these sizes is cheaper than maintaining an intrusive list. *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;
+  capacity : int;
+}
+
+let jit_cache : (string, Jit.t * int ref) Hashtbl.t = Hashtbl.create 16
 let jit_hits = ref 0
 let jit_misses = ref 0
+let jit_evictions = ref 0
+let jit_capacity = ref 64
+let jit_clock = ref 0
+
+let jit_cache_mutex = Mutex.create ()
+(* threaded-engine shards race attach-time compiles through here *)
+
+let evict_one () =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k (_, stamp) ->
+      match !victim with
+      | Some (_, s) when s <= !stamp -> ()
+      | _ -> victim := Some (k, !stamp))
+    jit_cache;
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove jit_cache k;
+      incr jit_evictions
+  | None -> ()
 
 let jit_cache_stats () =
-  (!jit_hits, !jit_misses, Hashtbl.length jit_cache)
+  Mutex.protect jit_cache_mutex (fun () ->
+      {
+        hits = !jit_hits;
+        misses = !jit_misses;
+        entries = Hashtbl.length jit_cache;
+        evictions = !jit_evictions;
+        capacity = !jit_capacity;
+      })
+
+let set_jit_cache_capacity n =
+  if n < 1 then invalid_arg "Kflex.set_jit_cache_capacity";
+  Mutex.protect jit_cache_mutex (fun () ->
+      jit_capacity := n;
+      while Hashtbl.length jit_cache > n do
+        evict_one ()
+      done)
 
 let compiled_for kie =
   let prog = kie.Kflex_kie.Instrument.prog in
   let key = Digest.string (Marshal.to_string (Kflex_bpf.Prog.insns prog) []) in
-  match Hashtbl.find_opt jit_cache key with
-  | Some t ->
-      incr jit_hits;
-      t
-  | None ->
-      incr jit_misses;
-      let t = Jit.compile prog in
-      Hashtbl.replace jit_cache key t;
-      t
+  Mutex.protect jit_cache_mutex (fun () ->
+      incr jit_clock;
+      match Hashtbl.find_opt jit_cache key with
+      | Some (t, stamp) ->
+          incr jit_hits;
+          stamp := !jit_clock;
+          t
+      | None ->
+          incr jit_misses;
+          let t = Jit.compile prog in
+          if Hashtbl.length jit_cache >= !jit_capacity then evict_one ();
+          Hashtbl.replace jit_cache key (t, ref !jit_clock);
+          t)
 
 let contracts = Kflex_verifier.Contract.registry Kflex_verifier.Contract.kflex_base
 
 let globals_base = 64L
 
-let load ?(mode = Kflex_verifier.Verify.Kflex) ?options ?heap
-    ?(globals_size = 0L) ?quantum ?on_cancel ?(extra_contracts = [])
-    ?(extra_helpers = []) ?(backend = `Interp) ~kernel ~hook prog =
+(* --- admission ---------------------------------------------------------- *)
+
+let admit ?(mode = Kflex_verifier.Verify.Kflex) ?options ?heap_size
+    ?(extra_contracts = []) ?(backend = `Interp) ~hook prog =
   let contracts =
     if extra_contracts = [] then contracts
     else
       Kflex_verifier.Contract.registry
         (Kflex_verifier.Contract.kflex_base @ extra_contracts)
   in
-  let heap_size = Option.map Heap.size heap in
   let verify p =
     Kflex_verifier.Verify.run ~mode ~contracts
       ~ctx_size:Kflex_kernel.Hook.ctx_size ?heap_size
@@ -76,30 +139,71 @@ let load ?(mode = Kflex_verifier.Verify.Kflex) ?options ?heap
         | None ->
             {
               Kflex_kie.Instrument.performance_mode = false;
-              translate_on_store =
-                (match heap with Some h -> Heap.is_shared h | None -> false);
+              translate_on_store = false;
               kmod_baseline = false;
               no_elision = false;
             }
       in
       let kie = Kflex_kie.Instrument.run ~options analysis in
-      let alloc =
+      (* the admission-time compile: chain reloads and sibling-shard
+         instantiations hit the cache and share the compiled form *)
+      if backend = `Compiled then ignore (compiled_for kie : Jit.t);
+      Ok { a_kie = kie; a_analysis = analysis; a_hook = hook }
+
+let instantiate ?heap ?(globals_size = 0L) ?quantum ?on_cancel
+    ?(extra_helpers = []) ?(backend = `Interp) ~kernel a =
+  let alloc =
+    Option.map
+      (fun h ->
+        let data_start = Int64.add globals_base globals_size in
+        (* globals live on always-populated pages *)
+        Heap.populate h ~off:0L ~len:data_start;
+        Alloc.create ~data_start h)
+      heap
+  in
+  let helpers = Kflex_kernel.Helpers.implementations kernel @ extra_helpers in
+  let ext =
+    Vm.create ?heap ?alloc ?quantum
+      ~default_ret:(Kflex_kernel.Hook.default_ret a.a_hook)
+      ?on_cancel ~helpers a.a_kie
+  in
+  if backend = `Compiled then Vm.set_compiled ext (compiled_for a.a_kie);
+  {
+    ext;
+    kie = a.a_kie;
+    analysis = a.a_analysis;
+    heap;
+    alloc;
+    kernel;
+    hook = a.a_hook;
+    backend;
+  }
+
+let load ?mode ?options ?heap ?globals_size ?quantum ?on_cancel
+    ?extra_contracts ?extra_helpers ?(backend = `Interp) ~kernel ~hook prog =
+  let options =
+    match options with
+    | Some o -> Some o
+    | None ->
+        (* the facade defaults translate-on-store from the heap it is handed;
+           [admit] alone cannot (the heap only exists at instantiation) *)
         Option.map
           (fun h ->
-            let data_start = Int64.add globals_base globals_size in
-            (* globals live on always-populated pages *)
-            Heap.populate h ~off:0L ~len:data_start;
-            Alloc.create ~data_start h)
+            {
+              Kflex_kie.Instrument.performance_mode = false;
+              translate_on_store = Heap.is_shared h;
+              kmod_baseline = false;
+              no_elision = false;
+            })
           heap
-      in
-      let helpers = Kflex_kernel.Helpers.implementations kernel @ extra_helpers in
-      let ext =
-        Vm.create ?heap ?alloc ?quantum
-          ~default_ret:(Kflex_kernel.Hook.default_ret hook)
-          ?on_cancel ~helpers kie
-      in
-      if backend = `Compiled then Vm.set_compiled ext (compiled_for kie);
-      Ok { ext; kie; analysis; heap; alloc; kernel; hook; backend }
+  in
+  let heap_size = Option.map Heap.size heap in
+  match admit ?mode ?options ?heap_size ?extra_contracts ~backend ~hook prog with
+  | Error e -> Error e
+  | Ok a ->
+      Ok
+        (instantiate ?heap ?globals_size ?quantum ?on_cancel ?extra_helpers
+           ~backend ~kernel a)
 
 (* A run may select [`Compiled] on an extension loaded interpreted; route
    the lazy compilation through the facade cache rather than Vm's per-ext

@@ -27,13 +27,65 @@ type loaded = {
   backend : Kflex_runtime.Vm.backend;  (** default engine for run calls *)
 }
 
+type admitted
+(** A verified, instrumented (and, for the compiled backend, JIT-compiled)
+    program — the output of the admission pipeline, ready to be instantiated
+    any number of times (once per engine shard) without re-verifying. *)
+
 val contracts : Kflex_verifier.Contract.registry
 (** The default helper contracts ({!Kflex_verifier.Contract.kflex_base}). *)
 
-val jit_cache_stats : unit -> int * int * int
-(** Compiled-program cache counters: [(hits, misses, entries)]. The cache is
-    keyed by a digest of the instrumented instruction stream, so reloading
-    the same program (fuzz oracles, repeated attaches) compiles once. *)
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;
+  capacity : int;
+}
+
+val jit_cache_stats : unit -> cache_stats
+(** Compiled-program cache counters. The cache is keyed by a digest of the
+    instrumented instruction stream, so reloading the same program (fuzz
+    oracles, repeated attaches, per-shard instantiation) compiles once — and
+    it is LRU-bounded at [capacity] entries, with [evictions] counting
+    programs dropped to stay under it. *)
+
+val set_jit_cache_capacity : int -> unit
+(** Change the cache bound (default 64), evicting stalest-first down to the
+    new capacity if needed. Raises [Invalid_argument] for < 1. *)
+
+val admit :
+  ?mode:Kflex_verifier.Verify.mode ->
+  ?options:Kflex_kie.Instrument.options ->
+  ?heap_size:int64 ->
+  ?extra_contracts:Kflex_verifier.Contract.t list ->
+  ?backend:Kflex_runtime.Vm.backend ->
+  hook:Kflex_kernel.Hook.kind ->
+  Kflex_bpf.Prog.t ->
+  (admitted, Kflex_verifier.Verify.error) result
+(** The once-per-program half of {!load}: verify (with the §4.3 spill-retry
+    on [E_leak]), instrument, and — when [backend] is [`Compiled] — compile
+    through the shared cache. [options] defaults to the standard
+    instrumentation with translate-on-store {e off}; callers instantiating
+    over shared heaps must pass options explicitly (as {!load} does).
+    [heap_size] bounds the verifier's heap-pointer ranges exactly as an
+    attached heap of that size would. *)
+
+val instantiate :
+  ?heap:Kflex_runtime.Heap.t ->
+  ?globals_size:int64 ->
+  ?quantum:int ->
+  ?on_cancel:(int64 -> int64) ->
+  ?extra_helpers:(string * Kflex_runtime.Vm.helper) list ->
+  ?backend:Kflex_runtime.Vm.backend ->
+  kernel:Kflex_kernel.Helpers.t ->
+  admitted ->
+  loaded
+(** The per-instance half of {!load}: build the heap allocator, link helpers
+    and create the VM extension over an already-admitted program. O(1) per
+    shard — the engine calls this once per (attachment, shard) with the
+    shard's own heap, kernel state and helper overrides; the compiled form
+    is shared via the cache. *)
 
 val load :
   ?mode:Kflex_verifier.Verify.mode ->

@@ -1,0 +1,53 @@
+module Hook = Kflex_kernel.Hook
+
+type 'a t = {
+  gen : int;
+  xdp : 'a array;
+  sk_skb : 'a array;
+  lsm : 'a array;
+}
+
+let empty = { gen = 0; xdp = [||]; sk_skb = [||]; lsm = [||] }
+
+let get t = function
+  | Hook.Xdp -> t.xdp
+  | Hook.Sk_skb -> t.sk_skb
+  | Hook.Lsm -> t.lsm
+
+let set t kind chain =
+  let t = { t with gen = t.gen + 1 } in
+  match kind with
+  | Hook.Xdp -> { t with xdp = chain }
+  | Hook.Sk_skb -> { t with sk_skb = chain }
+  | Hook.Lsm -> { t with lsm = chain }
+
+let generation t = t.gen
+let length t kind = Array.length (get t kind)
+
+let attach t kind a = set t kind (Array.append (get t kind) [| a |])
+
+let detach t kind pred =
+  let chain = get t kind in
+  let removed = Array.to_list (Array.of_seq (Seq.filter pred (Array.to_seq chain))) in
+  if removed = [] then (t, [])
+  else
+    ( set t kind
+        (Array.of_seq (Seq.filter (fun a -> not (pred a)) (Array.to_seq chain))),
+      removed )
+
+let replace t kind pred a' =
+  let chain = get t kind in
+  let old = ref None in
+  let chain' =
+    Array.map
+      (fun a ->
+        if !old = None && pred a then begin
+          old := Some a;
+          a'
+        end
+        else a)
+      chain
+  in
+  match !old with None -> (t, None) | Some o -> (set t kind chain', Some o)
+
+let continue_on kind verdict = verdict = Hook.pass_verdict kind

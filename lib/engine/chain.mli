@@ -1,0 +1,40 @@
+(** Hook chains: the registry mapping each {!Kflex_kernel.Hook.kind} to an
+    ordered chain of attachments.
+
+    A value is immutable and generation-stamped: every lifecycle operation
+    returns a new registry with [gen] bumped. The engine publishes the
+    current registry through one [Atomic.t] — shards read a consistent
+    snapshot with a single load (no locks on the hot path), and detach
+    quiesces by waiting for every shard to observe (or be idle past) the
+    new generation, the epoch scheme of RCU-style reclamation. *)
+
+type 'a t
+
+val empty : 'a t
+
+val generation : 'a t -> int
+(** Monotonic epoch; bumped by {!attach}, {!detach} and {!replace}. *)
+
+val get : 'a t -> Kflex_kernel.Hook.kind -> 'a array
+(** The chain at a hook, in attach order. *)
+
+val length : 'a t -> Kflex_kernel.Hook.kind -> int
+
+val attach : 'a t -> Kflex_kernel.Hook.kind -> 'a -> 'a t
+(** Append to the hook's chain (new programs run last, like
+    [BPF_F_LINK] multi-prog attachment). *)
+
+val detach : 'a t -> Kflex_kernel.Hook.kind -> ('a -> bool) -> 'a t * 'a list
+(** Remove every attachment matching the predicate; returns the removals
+    (for the caller to tear down {e after} quiescence). The generation is
+    unchanged when nothing matched. *)
+
+val replace :
+  'a t -> Kflex_kernel.Hook.kind -> ('a -> bool) -> 'a -> 'a t * 'a option
+(** Swap the first match in place — chain position preserved, one epoch.
+    [None] when nothing matched (registry unchanged). *)
+
+val continue_on : Kflex_kernel.Hook.kind -> int64 -> bool
+(** Tail-call verdict composition: [true] iff the verdict is the hook's
+    {!Kflex_kernel.Hook.pass_verdict}, i.e. the event falls through to the
+    next program in the chain. First drop/tx/deny wins. *)

@@ -1,0 +1,171 @@
+(** The multi-tenant extension engine.
+
+    Lifts the one-program facade ({!Kflex.load} / {!Kflex.run_packet}) to
+    the shape the paper evaluates (§5): N per-CPU {e shards}, each owning
+    its own heaps, kernel helper state, {!Kflex_runtime.Vm.stats} and
+    PRNG/clock streams; per-hook {e chains} of attached extensions with
+    tail-call verdict composition; an {e admission pipeline}
+    (verify → instrument → compile, via {!Kflex.admit} and the shared
+    compiled-program cache) run once per attach; and a central cancellation
+    {e reaper} ({!Reaper}) that injects cancellation into invocations past
+    their deadline.
+
+    Two execution modes:
+    - [`Deterministic] (default): events run synchronously on their flow
+      shard in the caller's thread — single-shard runs are bit-identical to
+      the facade; the sim and tests use this.
+    - [`Threaded]: one OCaml 5 domain per shard consuming a per-shard queue,
+      plus a reaper domain scanning on the wall clock when a deadline is
+      configured.
+
+    Chain registry updates are epoch-quiesced: mutations publish an
+    immutable generation-stamped snapshot ({!Chain}) through one atomic,
+    and detach/replace wait until every shard has observed the new
+    generation (or is idle), so teardown never races a heap still in use. *)
+
+type t
+
+type mode = [ `Deterministic | `Threaded ]
+
+type handle
+(** An attachment: one admitted program instantiated on every shard. *)
+
+val create :
+  ?shards:int ->
+  ?mode:mode ->
+  ?quantum:int ->
+  ?deadline_ns:float ->
+  ?seed:int64 ->
+  unit ->
+  t
+(** [shards] defaults to 1; [quantum] is the default per-invocation cost
+    budget for attached programs (unset = the VM default); [deadline_ns]
+    arms the reaper with a per-invocation deadline in (virtual or wall)
+    nanoseconds; [seed] derives each shard's [bpf_get_prandom_u32] stream.
+    Threaded engines spawn their domains here — call {!shutdown} when
+    done. *)
+
+val attach :
+  t ->
+  ?name:string ->
+  ?mode:Kflex_verifier.Verify.mode ->
+  ?options:Kflex_kie.Instrument.options ->
+  ?globals_size:int64 ->
+  ?quantum:int ->
+  ?heap_size:int64 ->
+  ?kbase:int64 ->
+  ?backend:Kflex_runtime.Vm.backend ->
+  ?configure:
+    (shard:int -> Kflex_kernel.Helpers.t -> Kflex_runtime.Heap.t option -> unit) ->
+  hook:Kflex_kernel.Hook.kind ->
+  Kflex_bpf.Prog.t ->
+  (handle, Kflex_verifier.Verify.error) result
+(** Admit the program once ({!Kflex.admit}: verify with the §4.3
+    spill-retry, instrument, compile through the shared cache when
+    [backend] is [`Compiled]), then instantiate it on every shard —
+    [heap_size] gives each shard its own private heap (at [kbase] if
+    supplied), and each instance gets fresh kernel helper state plus the
+    shard's PRNG/clock helper overrides. [configure] runs once per shard
+    after instantiation (listen on sockets, populate heap pages, …). The
+    new program is appended to [hook]'s chain. *)
+
+val detach : t -> handle -> unit
+(** Remove from the chain and wait for epoch quiescence; idempotent. *)
+
+val replace :
+  t ->
+  handle ->
+  ?name:string ->
+  ?mode:Kflex_verifier.Verify.mode ->
+  ?options:Kflex_kie.Instrument.options ->
+  ?globals_size:int64 ->
+  ?quantum:int ->
+  ?heap_size:int64 ->
+  ?kbase:int64 ->
+  ?backend:Kflex_runtime.Vm.backend ->
+  ?configure:
+    (shard:int -> Kflex_kernel.Helpers.t -> Kflex_runtime.Heap.t option -> unit) ->
+  Kflex_bpf.Prog.t ->
+  (handle, Kflex_verifier.Verify.error) result
+(** Atomically swap a live attachment for a freshly admitted program at the
+    same chain position (one epoch, O(1) chain work — admission is cached). *)
+
+type run_result = {
+  verdict : int64;  (** composed chain verdict *)
+  executed : int;  (** chain entries that ran *)
+  cancelled : int;  (** entries cancelled during this event *)
+  cost : int;  (** cost units charged across the chain *)
+  outcomes : Kflex_runtime.Vm.outcome list;  (** per entry, chain order *)
+}
+
+val shard_of : t -> Kflex_kernel.Packet.t -> int
+(** The flow hash: deterministic shard placement by (proto, ports). *)
+
+val run_packet :
+  t -> ?hook:Kflex_kernel.Hook.kind -> Kflex_kernel.Packet.t -> run_result
+(** Deliver one event to its flow shard's chain (default hook [Xdp]),
+    synchronously. Deterministic mode only. *)
+
+val run_on :
+  t ->
+  shard:int ->
+  ?hook:Kflex_kernel.Hook.kind ->
+  Kflex_kernel.Packet.t ->
+  run_result
+(** Like {!run_packet} on an explicit shard — the DES closed loop routes
+    placement itself. Deterministic mode only. *)
+
+val submit : t -> ?hook:Kflex_kernel.Hook.kind -> Kflex_kernel.Packet.t -> unit
+(** Threaded mode: enqueue an event on its flow shard. *)
+
+val drain : t -> unit
+(** Block until every shard queue is empty and no event is executing. *)
+
+val shutdown : t -> unit
+(** Drain, then stop and join worker/reaper domains. Idempotent; a
+    deterministic engine needs no shutdown but tolerates one. *)
+
+(** {2 Observation} *)
+
+type totals = {
+  events : int;
+  cancelled : int;
+  leaked : int;  (** ledger entries leaked by cancellations — invariantly 0 *)
+  verdicts : (int64 * int) list;  (** verdict histogram, sorted *)
+  stats : Kflex_runtime.Vm.stats;  (** merged across shards *)
+}
+
+val totals : t -> totals
+(** Fold the per-shard records (read-side aggregation — the hot path only
+    ever touches shard-local state). Call after {!drain} in threaded mode. *)
+
+val shards : t -> int
+val mode : t -> mode
+val shard_stats : t -> int -> Kflex_runtime.Vm.stats
+val shard_events : t -> int -> int
+val shard_cancelled : t -> int -> int
+val shard_verdicts : t -> int -> (int64 * int) list
+
+val socket_refs : t -> int
+(** Outstanding socket references across every live instance — 0 between
+    events (cancellation unwinding guarantees it). *)
+
+val reaper : t -> Reaper.t
+(** The engine's reaper — tests register §4.4 time-slices on it. *)
+
+val epoch : t -> int
+(** Current registry generation. *)
+
+val chain_length : t -> Kflex_kernel.Hook.kind -> int
+
+val seed_shard : t -> shard:int -> ?vtime:int64 -> int64 -> unit
+(** Reset a shard's PRNG (as {!Kflex_runtime.Vm.seed_prandom} would) and
+    virtual clock — differential tests align shard 0 with the facade's
+    global streams. *)
+
+val handle_name : handle -> string
+val handle_hook : handle -> Kflex_kernel.Hook.kind
+
+val instance : handle -> shard:int -> Kflex.loaded
+(** The per-shard instantiation behind an attachment (tests inspect heaps
+    and kernels through it). *)

@@ -1,0 +1,72 @@
+module Timeslice = Kflex_runtime.Timeslice
+
+type token = {
+  deadline : float;
+  cancel : unit -> unit;
+  mutable live : bool;
+}
+
+type watched = { ts : Timeslice.t; mutable forced : bool }
+
+type t = {
+  m : Mutex.t;
+  mutable execs : token list;
+  mutable watches : watched list;
+  mutable cancellations : int;
+  mutable preemptions : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    execs = [];
+    watches = [];
+    cancellations = 0;
+    preemptions = 0;
+  }
+
+let start_exec t ~now ~deadline_ns ~cancel =
+  let tok = { deadline = now +. deadline_ns; cancel; live = true } in
+  Mutex.protect t.m (fun () -> t.execs <- tok :: t.execs);
+  tok
+
+let end_exec t tok =
+  Mutex.protect t.m (fun () ->
+      tok.live <- false;
+      t.execs <- List.filter (fun e -> e.live) t.execs)
+
+let watch t ts =
+  Mutex.protect t.m (fun () -> t.watches <- { ts; forced = false } :: t.watches)
+
+let unwatch t ts =
+  Mutex.protect t.m (fun () ->
+      t.watches <- List.filter (fun w -> w.ts != ts) t.watches)
+
+let scan t ~now =
+  Mutex.protect t.m (fun () ->
+      (* §4.4: a lock holder past its time slice is preempted once — the
+         extension spinning on its lock then stalls until the watchdog
+         cancels it below *)
+      List.iter
+        (fun w ->
+          if (not w.forced) && Timeslice.should_preempt w.ts ~now then begin
+            ignore (Timeslice.force_preempt w.ts : Timeslice.t);
+            w.forced <- true;
+            t.preemptions <- t.preemptions + 1
+          end)
+        t.watches;
+      (* §4.3: invocations past their deadline get cancellation injected;
+         the extension faults at its next cancellation point and unwinds
+         through the static object table *)
+      List.iter
+        (fun e ->
+          if e.live && now > e.deadline then begin
+            e.live <- false;
+            t.cancellations <- t.cancellations + 1;
+            e.cancel ()
+          end)
+        t.execs;
+      t.execs <- List.filter (fun e -> e.live) t.execs)
+
+let cancellations t = Mutex.protect t.m (fun () -> t.cancellations)
+let preemptions t = Mutex.protect t.m (fun () -> t.preemptions)

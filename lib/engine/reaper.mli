@@ -1,0 +1,46 @@
+(** The central cancellation reaper (§4.3 done the way the kernel does it).
+
+    Per-invocation cost quanta catch runaway loops from {e inside} the VM;
+    the reaper is the complementary {e outside} watchdog: every in-flight
+    invocation registers with a wall/virtual-time deadline, and a periodic
+    scan injects cancellation — via each invocation's [cancel] closure,
+    which flips the extension's cancel flag so the next cancellation point
+    faults and unwinds through the static object table — into any that
+    overstayed. It also watches {!Kflex_runtime.Timeslice} values for §4.4
+    lock holders owing a preemption, force-preempting each at most once.
+
+    In the engine's threaded mode a dedicated domain calls {!scan} on the
+    wall clock; in deterministic mode the executing shard calls it from the
+    VM's cancellation-site hook with cost-derived virtual time, so tests
+    and the fuzzer replay byte-identical schedules. *)
+
+type t
+
+type token
+(** One registered in-flight invocation. *)
+
+val create : unit -> t
+
+val start_exec :
+  t -> now:float -> deadline_ns:float -> cancel:(unit -> unit) -> token
+(** Register an invocation starting at [now] whose deadline is
+    [now +. deadline_ns]. [cancel] is invoked (under the reaper lock, at
+    most once) when a scan finds the deadline passed. *)
+
+val end_exec : t -> token -> unit
+(** Deregister on completion; a token never fires after [end_exec]. *)
+
+val watch : t -> Kflex_runtime.Timeslice.t -> unit
+(** Watch a §4.4 time-slice: scans {!Kflex_runtime.Timeslice.force_preempt}
+    it (once) as soon as [should_preempt] holds. *)
+
+val unwatch : t -> Kflex_runtime.Timeslice.t -> unit
+
+val scan : t -> now:float -> unit
+(** One watchdog pass at time [now] (ns). *)
+
+val cancellations : t -> int
+(** Total cancellations injected. *)
+
+val preemptions : t -> int
+(** Total time-slice force-preemptions issued. *)

@@ -5,14 +5,16 @@ type summary = {
   accepted : int;
   rejected : int;
   invalid : int;
+  chained : int;
   failures : int;
   reproducers : string list;
 }
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "%d cases: %d accepted, %d rejected, %d invalid, %d FAILURES" s.cases
-    s.accepted s.rejected s.invalid s.failures;
+    "%d cases: %d accepted, %d rejected, %d invalid, %d chain-checked, %d \
+     FAILURES"
+    s.cases s.accepted s.rejected s.invalid s.chained s.failures;
   List.iter (fun p -> Format.fprintf ppf "@.  reproducer: %s" p) s.reproducers
 
 (* Randomised environment layout for one case, drawn from its own stream. *)
@@ -54,12 +56,29 @@ let shrink_failure ?backend cfg (f : Oracle.failure) items =
   in
   if check items then Shrink.shrink ~check items else items
 
+(* The chain oracle rides on accepted cases: a second program drawn from the
+   continuation of the case's generation stream (the master stream is
+   untouched, so single-program cases reproduce exactly as before) forms a
+   2-program chain checked engine-vs-facade. Chain failures shrink the
+   second program with the first held fixed. *)
+let shrink_chain_partner cfg prog1 items2 =
+  let check cand =
+    match Gen.assemble cand with
+    | exception _ -> false
+    | p2 -> (
+        match Oracle.chain_equiv cfg prog1 p2 with
+        | Oracle.Fail _ -> true
+        | _ -> false)
+  in
+  if check items2 then Shrink.shrink ~check items2 else items2
+
 let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
   if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755;
   let master = Rng.create ~seed in
   let accepted = ref 0
   and rejected = ref 0
   and invalid = ref 0
+  and chained = ref 0
   and failures = ref 0
   and repros = ref [] in
   for i = 0 to count - 1 do
@@ -77,7 +96,41 @@ let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
                (Printexc.to_string e))
     | prog -> (
         match Oracle.run_case ?backend cfg prog with
-        | Oracle.Pass -> incr accepted
+        | Oracle.Pass -> (
+            incr accepted;
+            let items2 =
+              Gen.generate ~rng:gen_rng ~heap_size:cfg.Oracle.heap_size
+                ~port:cfg.Oracle.port
+            in
+            match Gen.assemble items2 with
+            | exception _ -> ()
+            | prog2 -> (
+                match Oracle.chain_equiv cfg prog prog2 with
+                | Oracle.Rejected _ -> ()
+                | Oracle.Pass -> incr chained
+                | Oracle.Fail f ->
+                    incr chained;
+                    incr failures;
+                    log
+                      (Printf.sprintf "case %d: FAIL [%s] %s" i f.Oracle.oracle
+                         f.Oracle.detail);
+                    let small2 = shrink_chain_partner cfg prog items2 in
+                    let path =
+                      Filename.concat out_dir
+                        (Printf.sprintf "case_%d_chain.kfxr" i)
+                    in
+                    (match Gen.assemble small2 with
+                    | small_prog2 ->
+                        Corpus.write path ~oracle:"chain" ~prog2:small_prog2
+                          cfg prog
+                    | exception _ ->
+                        Corpus.write path ~oracle:"chain" ~prog2 cfg prog);
+                    repros := path :: !repros;
+                    log
+                      (Printf.sprintf
+                         "case %d: chain partner shrunk %d -> %d items, wrote \
+                          %s"
+                         i (List.length items2) (List.length small2) path)))
         | Oracle.Rejected _ -> incr rejected
         | Oracle.Fail f ->
             incr failures;
@@ -101,6 +154,7 @@ let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
     accepted = !accepted;
     rejected = !rejected;
     invalid = !invalid;
+    chained = !chained;
     failures = !failures;
     reproducers = List.rev !repros;
   }

@@ -13,6 +13,10 @@ type summary = {
   accepted : int;  (** verifier-accepted, all four oracles green *)
   rejected : int;  (** verifier refused (expected for random programs) *)
   invalid : int;  (** did not even assemble (generator bug, kept visible) *)
+  chained : int;
+      (** accepted cases additionally run as a 2-program chain through the
+          engine-vs-facade chain oracle (the partner program comes from the
+          continuation of the case's generation stream) *)
   failures : int;  (** oracle violations — each one is a soundness bug *)
   reproducers : string list;  (** shrunk reproducer files written *)
 }

@@ -4,6 +4,7 @@ type t = {
   oracle : string option;
   config : Oracle.config;
   prog : Prog.t;
+  prog2 : Prog.t option;
 }
 
 let magic = "kflex-fuzz-repro v1"
@@ -18,7 +19,7 @@ let of_hex s =
   String.init (String.length s / 2) (fun i ->
       Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
 
-let write path ?oracle (cfg : Oracle.config) prog =
+let write path ?oracle ?prog2 (cfg : Oracle.config) prog =
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
   pr "%s\n" magic;
@@ -35,6 +36,9 @@ let write path ?oracle (cfg : Oracle.config) prog =
   pr "inject_cap %d\n" cfg.inject_cap;
   pr "payload %s\n" (to_hex cfg.payload);
   pr "prog %s\n" (to_hex (Encode.encode prog));
+  (match prog2 with
+  | Some p -> pr "prog2 %s\n" (to_hex (Encode.encode p))
+  | None -> ());
   close_out oc
 
 let read path =
@@ -52,7 +56,8 @@ let read path =
   | m :: rest when String.trim m = magic ->
       let oracle = ref None
       and cfg = ref Oracle.default_config
-      and prog = ref None in
+      and prog = ref None
+      and prog2 = ref None in
       List.iter
         (fun line ->
           match String.index_opt line ' ' with
@@ -85,6 +90,7 @@ let read path =
                   cfg := { !cfg with inject_cap = int_of_string v }
               | "payload" -> cfg := { !cfg with payload = of_hex v }
               | "prog" -> prog := Some (Encode.decode (of_hex v))
+              | "prog2" -> prog2 := Some (Encode.decode (of_hex v))
               | _ -> failwith ("corpus: unknown key in " ^ path ^ ": " ^ k)))
         rest;
       let prog =
@@ -92,7 +98,10 @@ let read path =
         | Some p -> p
         | None -> failwith ("corpus: missing prog in " ^ path)
       in
-      { oracle = !oracle; config = !cfg; prog }
+      { oracle = !oracle; config = !cfg; prog; prog2 = !prog2 }
   | _ -> failwith ("corpus: bad magic in " ^ path)
 
-let replay ?backend t = Oracle.run_case ?backend t.config t.prog
+let replay ?backend t =
+  match t.prog2 with
+  | Some p2 -> Oracle.chain_equiv t.config t.prog p2
+  | None -> Oracle.run_case ?backend t.config t.prog

@@ -13,14 +13,24 @@ type t = {
           restrict itself to it — any failure on a corpus file is a bug *)
   config : Oracle.config;
   prog : Kflex_bpf.Prog.t;
+  prog2 : Kflex_bpf.Prog.t option;
+      (** chain-oracle reproducers carry the second chain program *)
 }
 
-val write : string -> ?oracle:string -> Oracle.config -> Kflex_bpf.Prog.t -> unit
-(** [write path ?oracle config prog] saves a reproducer. *)
+val write :
+  string ->
+  ?oracle:string ->
+  ?prog2:Kflex_bpf.Prog.t ->
+  Oracle.config ->
+  Kflex_bpf.Prog.t ->
+  unit
+(** [write path ?oracle config prog] saves a reproducer; [prog2] makes it a
+    chain-oracle pair. *)
 
 val read : string -> t
 (** @raise Failure on malformed files. *)
 
 val replay : ?backend:Kflex_runtime.Vm.backend -> t -> Oracle.verdict
 (** [Oracle.run_case] under the reproducer's own config; [~backend:`Compiled]
-    additionally checks interpreter-vs-compiled equivalence. *)
+    additionally checks interpreter-vs-compiled equivalence. Pair files
+    replay through {!Oracle.chain_equiv} instead. *)

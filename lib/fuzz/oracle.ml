@@ -469,6 +469,131 @@ let backend_equiv cfg kie =
         | Some p -> Some (fail "backend" "heap contents diverge at page %Ld" p)
         | None -> None)
 
+(* --- oracle 6: chain equivalence ---------------------------------------- *)
+
+module Engine = Kflex_engine.Engine
+
+(* A 2-program chain under a one-shard engine must be observationally
+   equivalent to running the programs sequentially through the facade with
+   hand-rolled verdict composition: same composed verdict, same per-program
+   outcomes and heap snapshots, same packet bytes, same (shared) stats —
+   and zero leaked resources on both sides. The facade side uses the global
+   PRNG/clock (reseeded), the engine side its shard-0 streams (reseeded
+   identically); both consume one combined stream, the way two programs on
+   one CPU would. *)
+let chain_equiv cfg prog1 prog2 =
+  match (verify cfg prog1, verify cfg prog2) with
+  | Error e, _ -> Rejected (Format.asprintf "prog1: %a" Verify.pp_error e)
+  | _, Error e -> Rejected (Format.asprintf "prog2: %a" Verify.pp_error e)
+  | Ok an1, Ok an2 -> (
+      let kie1 = Instrument.run ~options:Instrument.default_options an1 in
+      let kie2 = Instrument.run ~options:Instrument.default_options an2 in
+      (* facade reference: sequential runs, shared packet and stats *)
+      let env1 = build_env cfg kie1 in
+      let env2 = build_env cfg kie2 in
+      let pkt_f =
+        Packet.make ~proto:Packet.Udp ~src_port:cfg.src_port
+          ~dst_port:cfg.dst_port
+          (Bytes.of_string cfg.payload)
+      in
+      let stats_f = Vm.fresh_stats () in
+      Vm.seed_prandom cfg.prandom;
+      Vm.set_vtime 0L;
+      let run_one env =
+        Helpers.set_packet env.kernel (Some pkt_f);
+        let o = Vm.exec env.ext ~ctx:(Hook.build_ctx pkt_f) ~stats:stats_f () in
+        Helpers.set_packet env.kernel None;
+        (* mirror the engine's per-invocation cancel re-arm *)
+        if Vm.cancelled env.ext then Vm.reset_cancel env.ext;
+        o
+      in
+      let o1 = run_one env1 in
+      let v1 =
+        match o1 with Vm.Finished v -> v | Vm.Cancelled { ret; _ } -> ret
+      in
+      let cont = v1 = Hook.pass_verdict Hook.Xdp in
+      let o2 = if cont then Some (run_one env2) else None in
+      let verdict_f =
+        match o2 with
+        | None -> v1
+        | Some (Vm.Finished v) -> v
+        | Some (Vm.Cancelled { ret; _ }) -> ret
+      in
+      let outcomes_f = o1 :: Option.to_list o2 in
+      (* engine: same layout per shard instance, one shard, chained *)
+      let eng = Engine.create ~shards:1 ~quantum:cfg.quantum () in
+      let configure ~shard:_ kernel heap =
+        Socket.listen (Helpers.sockets kernel) ~proto:Packet.Udp ~port:cfg.port;
+        Socket.listen (Helpers.sockets kernel) ~proto:Packet.Tcp ~port:cfg.port;
+        ignore
+          (Map_.register (Helpers.maps kernel) (Map_.create ~max_entries:64)
+            : int64);
+        match heap with
+        | None -> ()
+        | Some h ->
+            List.iter
+              (fun p ->
+                let off = Int64.mul (Int64.of_int p) 4096L in
+                if off >= 0L && off < cfg.heap_size then
+                  Heap.populate h ~off ~len:4096L)
+              cfg.pages
+      in
+      let att prog =
+        Engine.attach eng ~options:Instrument.default_options
+          ~heap_size:cfg.heap_size ~kbase:cfg.kbase ~quantum:cfg.quantum
+          ~configure ~hook:Hook.Xdp prog
+      in
+      match (att prog1, att prog2) with
+      | Error e, _ | _, Error e ->
+          Fail
+            (fail "chain"
+               "engine rejected a facade-accepted program: %a" Verify.pp_error
+               e)
+      | Ok h1, Ok h2 -> (
+          Engine.seed_shard eng ~shard:0 ~vtime:0L cfg.prandom;
+          let pkt_e =
+            Packet.make ~proto:Packet.Udp ~src_port:cfg.src_port
+              ~dst_port:cfg.dst_port
+              (Bytes.of_string cfg.payload)
+          in
+          let r = Engine.run_packet eng pkt_e in
+          let heap_of h =
+            match (Engine.instance h ~shard:0).Kflex.heap with
+            | Some hp -> Heap.snapshot hp
+            | None -> []
+          in
+          let totals = Engine.totals eng in
+          if r.Engine.verdict <> verdict_f then
+            Fail
+              (fail "chain" "verdicts diverge: %Ld facade vs %Ld engine"
+                 verdict_f r.Engine.verdict)
+          else if r.Engine.outcomes <> outcomes_f then
+            Fail
+              (fail "chain" "outcomes diverge (%d facade vs %d engine entries)"
+                 (List.length outcomes_f)
+                 (List.length r.Engine.outcomes))
+          else if Engine.shard_stats eng 0 <> stats_f then
+            Fail (fail "chain" "stats diverge")
+          else if
+            Bytes.to_string pkt_e.Packet.payload
+            <> Bytes.to_string pkt_f.Packet.payload
+          then Fail (fail "chain" "packet payloads diverge")
+          else if totals.Engine.leaked <> 0 then
+            Fail (fail "chain" "engine leaked %d ledger entries" totals.Engine.leaked)
+          else if Engine.socket_refs eng <> 0 then
+            Fail
+              (fail "chain" "engine left %d socket refs" (Engine.socket_refs eng))
+          else
+            match
+              ( first_diff_page (Heap.snapshot env1.heap) (heap_of h1),
+                first_diff_page (Heap.snapshot env2.heap) (heap_of h2) )
+            with
+            | Some p, _ ->
+                Fail (fail "chain" "prog1 heaps diverge at page %Ld" p)
+            | _, Some p ->
+                Fail (fail "chain" "prog2 heaps diverge at page %Ld" p)
+            | None, None -> Pass))
+
 (* --- the full case ------------------------------------------------------ *)
 
 let run_case_exn ?(backend = `Interp) cfg prog =

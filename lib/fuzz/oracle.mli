@@ -69,6 +69,15 @@ val run_case_exn :
 (** Like {!run_case}, but harness exceptions propagate — so a debugger (or a
     test) sees the backtrace instead of a [Fail] with oracle ["harness"]. *)
 
+val chain_equiv : config -> Kflex_bpf.Prog.t -> Kflex_bpf.Prog.t -> verdict
+(** The chain oracle: a 2-program chain executed by a one-shard
+    {!Kflex_engine.Engine} must be observationally equivalent to running
+    the programs sequentially through the facade with tail-call verdict
+    composition — composed verdict, per-program outcomes, shared stats,
+    heap snapshots, packet bytes — with zero leaked resources on either
+    side. [Rejected] when the verifier refuses either program under this
+    config. Deterministic in [(config, prog1, prog2)]. *)
+
 val backend_equiv : config -> Kflex_kie.Instrument.t -> failure option
 (** The fifth oracle in isolation: run the instrumented program under both
     execution engines in fresh environments and compare outcome, stats,

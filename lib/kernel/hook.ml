@@ -16,4 +16,5 @@ let xdp_pass = 2L
 let xdp_tx = 3L
 
 let default_ret = function Xdp -> xdp_pass | Sk_skb -> 0L | Lsm -> -1L
+let pass_verdict = function Xdp -> xdp_pass | Sk_skb -> 0L | Lsm -> 0L
 let sleepable = function Xdp | Sk_skb -> false | Lsm -> true

@@ -30,5 +30,11 @@ val default_ret : kind -> int64
 (** What a cancelled extension returns: [xdp_pass] for XDP, pass (0) for
     [Sk_skb], deny (-1) for [Lsm] (§4.3). *)
 
+val pass_verdict : kind -> int64
+(** The verdict on which a hook chain falls through to the next attached
+    program (tail-call composition): [xdp_pass] for XDP, pass (0) for
+    [Sk_skb], allow (0) for [Lsm]. Any other verdict is terminal — first
+    drop/tx/deny wins. *)
+
 val sleepable : kind -> bool
 (** Whether extensions at this hook may call sleepable helpers. *)

@@ -104,24 +104,34 @@ let h_spin_unlock c =
 
 let h_heap_base c = H_ret (Heap.kbase (get_heap c))
 
-let prandom_state = ref 0x853c49e6748fea9bL
+(* The PRNG and virtual clock behind [bpf_get_prandom_u32] /
+   [bpf_ktime_get_ns] are exposed both as process-global helpers (the
+   facade's single-CPU world) and as constructors over caller-owned state:
+   the engine gives every shard its own stream so shards stay deterministic
+   and race-free regardless of how events interleave across domains. *)
 
-let seed_prandom seed = prandom_state := Int64.logor seed 1L
-
-let h_prandom _ =
+let prandom_helper state : helper =
+ fun _ ->
   (* xorshift64*; deterministic for reproducible runs *)
-  let x = !prandom_state in
+  let x = !state in
   let x = Int64.logxor x (Int64.shift_left x 13) in
   let x = Int64.logxor x (Int64.shift_right_logical x 7) in
   let x = Int64.logxor x (Int64.shift_left x 17) in
-  prandom_state := x;
+  state := x;
   H_ret (Int64.logand x 0xffff_ffffL)
 
-let vtime = ref 0L
+let prandom_state = ref 0x853c49e6748fea9bL
+let seed_prandom seed = prandom_state := Int64.logor seed 1L
+let h_prandom = prandom_helper prandom_state
 
-let h_ktime _ =
-  vtime := Int64.add !vtime 1L;
-  H_ret !vtime
+let ktime_helper clock : helper =
+ fun _ ->
+  clock := Int64.add !clock 1L;
+  H_ret !clock
+
+let vtime = ref 0L
+let set_vtime v = vtime := v
+let h_ktime = ktime_helper vtime
 
 let h_cpu c = H_ret (Int64.of_int c.cpu)
 

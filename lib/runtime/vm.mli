@@ -82,6 +82,22 @@ val seed_prandom : int64 -> unit
     comparing instrumentation modes of randomised structures (skiplists)
     need identical shapes across runs. *)
 
+val set_vtime : int64 -> unit
+(** Reset the virtual clock behind [bpf_ktime_get_ns] (each call advances it
+    by one tick). Differential tests aligning the facade against the
+    engine's per-shard clocks reset both to the same origin. *)
+
+val prandom_helper : int64 ref -> helper
+(** A [bpf_get_prandom_u32] implementation over caller-owned state, using
+    the exact global algorithm (xorshift64-star). Seed the ref with
+    [Int64.logor seed 1L] to match {!seed_prandom}. The engine shadows the
+    builtin with one of these per shard, so streams are per-CPU like the
+    kernel's and never race across domains. *)
+
+val ktime_helper : int64 ref -> helper
+(** Same for [bpf_ktime_get_ns]: a one-tick-per-call virtual clock over
+    caller-owned state. *)
+
 val builtin_helpers : (string * helper) list
 (** Implementations of the KFlex runtime API: [kflex_malloc], [kflex_free],
     [kflex_spin_lock], [kflex_spin_unlock], [kflex_heap_base],

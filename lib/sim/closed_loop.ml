@@ -99,3 +99,83 @@ let run (cfg : 'req config) =
     p99_us = Kflex_workload.Stats.percentile lat 0.99;
     completed = !completed;
   }
+
+(* The engine-driven closed loop: same client population and FIFO law, but
+   the server side is the engine's shard array rather than an anonymous
+   worker pool — one service lane per shard, placement by the engine's flow
+   hash, per-shard FIFO queues. Service work really executes the chain
+   ([Engine.run_on], deterministic mode) and its cost converts to virtual
+   time through [ns_of_cost], so the scaling curve reflects the actual
+   per-event instruction mix. Latency is recorded into per-shard recorders
+   and folded with [Stats.merge] at the end, mirroring how the engine keeps
+   its own hot-path stats shard-local. *)
+let run_engine ~clients ~rtt_ns ~requests ?(warmup_frac = 0.1)
+    ?(hook = Kflex_kernel.Hook.Xdp) ~gen ~ns_of_cost eng =
+  if clients <= 0 || requests <= 0 then invalid_arg "Closed_loop.run_engine";
+  let nshards = Kflex_engine.Engine.shards eng in
+  let des = Des.create () in
+  let lat = Array.init nshards (fun _ -> Kflex_workload.Stats.create ()) in
+  let warmup = int_of_float (warmup_frac *. float_of_int requests) in
+  let issued = ref 0 in
+  let completed = ref 0 in
+  let t_first = ref nan and t_last = ref 0.0 in
+  let queues :
+      Kflex_kernel.Packet.t job Queue.t array =
+    Array.init nshards (fun _ -> Queue.create ())
+  in
+  let busy = Array.make nshards false in
+  let rec issue_next () =
+    if !issued < requests then begin
+      let idx = !issued in
+      incr issued;
+      let req = gen idx in
+      let issue = Des.now des in
+      Des.schedule des ~delay:(rtt_ns /. 2.0) (fun () ->
+          arrival { req; issue; idx })
+    end
+  and arrival job =
+    let sh = Kflex_engine.Engine.shard_of eng job.req in
+    if busy.(sh) then Queue.push job queues.(sh)
+    else begin
+      busy.(sh) <- true;
+      start_service sh job
+    end
+  and start_service sh job =
+    let r = Kflex_engine.Engine.run_on eng ~shard:sh ~hook job.req in
+    Des.schedule des
+      ~delay:(ns_of_cost r.Kflex_engine.Engine.cost)
+      (fun () -> complete sh job)
+  and complete sh job =
+    (match Queue.take_opt queues.(sh) with
+    | Some next -> start_service sh next
+    | None -> busy.(sh) <- false);
+    Des.schedule des ~delay:(rtt_ns /. 2.0) (fun () ->
+        let now = Des.now des in
+        incr completed;
+        if job.idx >= warmup then begin
+          if Float.is_nan !t_first then t_first := now;
+          t_last := now;
+          Kflex_workload.Stats.add lat.(sh) ((now -. job.issue) /. 1000.0)
+        end;
+        issue_next ())
+  in
+  for _ = 1 to clients do
+    Des.schedule des ~delay:0.0 issue_next
+  done;
+  Des.run des;
+  let merged =
+    Array.fold_left Kflex_workload.Stats.merge
+      (Kflex_workload.Stats.create ())
+      lat
+  in
+  let span_ns = !t_last -. !t_first in
+  let counted = Kflex_workload.Stats.count merged in
+  {
+    throughput_mops =
+      (if span_ns > 0.0 then float_of_int (counted - 1) /. span_ns *. 1000.0
+       else 0.0);
+    mean_us = Kflex_workload.Stats.mean merged;
+    p50_us = Kflex_workload.Stats.percentile merged 0.50;
+    p99_us = Kflex_workload.Stats.percentile merged 0.99;
+    completed = !completed;
+  }

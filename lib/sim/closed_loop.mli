@@ -33,3 +33,21 @@ type result = {
 }
 
 val run : 'req config -> result
+
+val run_engine :
+  clients:int ->
+  rtt_ns:float ->
+  requests:int ->
+  ?warmup_frac:float ->
+  ?hook:Kflex_kernel.Hook.kind ->
+  gen:(int -> Kflex_kernel.Packet.t) ->
+  ns_of_cost:(int -> float) ->
+  Kflex_engine.Engine.t ->
+  result
+(** Closed loop over a (deterministic-mode) engine: one service lane per
+    shard with its own FIFO queue, events placed by the engine's flow hash,
+    and {!Kflex_engine.Engine.run_on} as the service function — the charged
+    chain cost becomes service time via [ns_of_cost]. Shards serve their
+    queues concurrently in virtual time, which is what the scaling-curve
+    benchmark measures; latency is folded across shards with
+    {!Kflex_workload.Stats.merge}. *)

@@ -46,3 +46,13 @@ let percentile t p =
 
 let min t = if t.n = 0 then 0.0 else (ensure_sorted t; t.data.(0))
 let max t = if t.n = 0 then 0.0 else (ensure_sorted t; t.data.(t.n - 1))
+
+(* Per-shard recorders are merged after a run; the result is a fresh
+   recorder over the multiset union of the samples, so [merge] commutes and
+   associates up to sample order (which [percentile] normalises away by
+   sorting). *)
+let merge a b =
+  let t = { data = Array.make (Stdlib.max 1 (a.n + b.n)) 0.0; n = a.n + b.n; sorted = false } in
+  Array.blit a.data 0 t.data 0 a.n;
+  Array.blit b.data 0 t.data a.n b.n;
+  t

@@ -12,3 +12,9 @@ val percentile : t -> float -> float
 
 val min : t -> float
 val max : t -> float
+
+val merge : t -> t -> t
+(** A fresh recorder over the multiset union of both sample sets (neither
+    argument is mutated). Commutative and associative in every observable
+    ([count], [percentile], [min], [max]); the engine's per-shard latency
+    recorders are folded with this after a run. *)

@@ -1,0 +1,336 @@
+(* Multi-tenant engine tests: hook-chain verdict composition, the
+   attach/detach/replace lifecycle with epoch quiescence, the LRU-bounded
+   compiled-program cache behind admission, per-shard state isolation,
+   shard-count invariance of flow-keyed chains, and single-shard
+   equivalence with the one-program facade. *)
+
+open Kflex_kernel
+module Engine = Kflex_engine.Engine
+module Chain = Kflex_engine.Chain
+module Vm = Kflex_runtime.Vm
+
+let compile name src = Kflex_eclang.Compile.compile_string ~name src
+
+let prog_of (c : Kflex_eclang.Compile.compiled) = c.Kflex_eclang.Compile.prog
+
+let globals_of (c : Kflex_eclang.Compile.compiled) =
+  c.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size
+
+(* a heapless extension returning a constant verdict *)
+let ret_src v = Printf.sprintf "fn prog(c: ctx) -> u64 { return %d; }" v
+
+let attach_exn ?name ?globals_size ?heap_size ?configure eng prog =
+  match
+    Engine.attach eng ?name ?globals_size ?heap_size ?configure ~hook:Hook.Xdp
+      prog
+  with
+  | Ok h -> h
+  | Error e ->
+      Alcotest.failf "attach rejected: %a" Kflex_verifier.Verify.pp_error e
+
+let attach_ret eng v =
+  let name = Printf.sprintf "ret%d" v in
+  (* even a constant-return program needs a (tiny) heap: instrumentation
+     polls the terminate word at heap offset 0 *)
+  attach_exn ~name ~heap_size:4096L eng (prog_of (compile name (ret_src v)))
+
+let pkt ?(src_port = 1) ?(dst_port = 2) ?(payload = Bytes.make 17 '\000') () =
+  Packet.make ~proto:Packet.Udp ~src_port ~dst_port payload
+
+(* --- verdict composition ------------------------------------------------ *)
+
+let t_chain_composition () =
+  let eng = Engine.create () in
+  (* empty chain: the hook's pass verdict, nothing ran *)
+  let r = Engine.run_packet eng (pkt ()) in
+  Alcotest.(check int64) "empty = pass" Hook.xdp_pass r.Engine.verdict;
+  Alcotest.(check int) "none ran" 0 r.Engine.executed;
+  (* pass falls through; the first non-pass verdict wins and stops *)
+  let _a = attach_ret eng 2 in
+  let _b = attach_ret eng 3 in
+  let _c = attach_ret eng 1 in
+  Alcotest.(check int) "chain length" 3 (Engine.chain_length eng Hook.Xdp);
+  let r = Engine.run_packet eng (pkt ()) in
+  Alcotest.(check int64) "first non-pass wins" Hook.xdp_tx r.Engine.verdict;
+  Alcotest.(check int) "stopped at tx" 2 r.Engine.executed;
+  Alcotest.(check int) "outcomes per ran entry" 2
+    (List.length r.Engine.outcomes);
+  (* all-pass chain runs every entry *)
+  let eng2 = Engine.create () in
+  let _ = attach_ret eng2 2 and _ = attach_ret eng2 2 in
+  let r2 = Engine.run_packet eng2 (pkt ()) in
+  Alcotest.(check int64) "all pass" Hook.xdp_pass r2.Engine.verdict;
+  Alcotest.(check int) "both ran" 2 r2.Engine.executed
+
+let t_chain_module () =
+  (* the pure chain structure underneath the registry *)
+  let c = Chain.empty in
+  Alcotest.(check int) "gen 0" 0 (Chain.generation c);
+  let c = Chain.attach c Hook.Xdp "a" in
+  let c = Chain.attach c Hook.Xdp "b" in
+  let c = Chain.attach c Hook.Lsm "l" in
+  Alcotest.(check int) "xdp len" 2 (Chain.length c Hook.Xdp);
+  Alcotest.(check int) "lsm len" 1 (Chain.length c Hook.Lsm);
+  Alcotest.(check int) "3 mutations" 3 (Chain.generation c);
+  let c', removed = Chain.detach c Hook.Xdp (fun x -> x = "a") in
+  Alcotest.(check (list string)) "removed" [ "a" ] removed;
+  Alcotest.(check int) "shrunk" 1 (Chain.length c' Hook.Xdp);
+  Alcotest.(check int) "gen bumped" 4 (Chain.generation c');
+  (* detaching a missing entry does not publish a new generation *)
+  let c'', removed' = Chain.detach c' Hook.Xdp (fun x -> x = "zzz") in
+  Alcotest.(check (list string)) "nothing removed" [] removed';
+  Alcotest.(check int) "gen unchanged" 4 (Chain.generation c'');
+  let c3, old = Chain.replace c' Hook.Xdp (fun x -> x = "b") "b2" in
+  Alcotest.(check (option string)) "replaced" (Some "b") old;
+  Alcotest.(check int) "same arity" 1 (Chain.length c3 Hook.Xdp);
+  (* verdict fall-through rule *)
+  Alcotest.(check bool) "xdp pass continues" true
+    (Chain.continue_on Hook.Xdp Hook.xdp_pass);
+  Alcotest.(check bool) "xdp drop stops" false
+    (Chain.continue_on Hook.Xdp Hook.xdp_drop);
+  Alcotest.(check bool) "lsm 0 continues" true (Chain.continue_on Hook.Lsm 0L)
+
+(* --- attach / detach / replace lifecycle -------------------------------- *)
+
+let t_lifecycle_epochs () =
+  let eng = Engine.create ~shards:2 () in
+  let e0 = Engine.epoch eng in
+  let a = attach_ret eng 2 in
+  let b = attach_ret eng 1 in
+  Alcotest.(check bool) "attach bumps epoch" true (Engine.epoch eng > e0);
+  Alcotest.(check int) "two attached" 2 (Engine.chain_length eng Hook.Xdp);
+  let r = Engine.run_packet eng (pkt ()) in
+  Alcotest.(check int64) "drop wins" Hook.xdp_drop r.Engine.verdict;
+  (* replace the dropper with a passer in place *)
+  let e1 = Engine.epoch eng in
+  let b' =
+    match
+      Engine.replace eng b ~name:"ret2'" ~heap_size:4096L
+        (prog_of (compile "ret2'" (ret_src 2)))
+    with
+    | Ok h -> h
+    | Error e -> Alcotest.failf "replace: %a" Kflex_verifier.Verify.pp_error e
+  in
+  Alcotest.(check bool) "replace bumps epoch" true (Engine.epoch eng > e1);
+  Alcotest.(check int) "arity kept" 2 (Engine.chain_length eng Hook.Xdp);
+  let r = Engine.run_packet eng (pkt ()) in
+  Alcotest.(check int64) "now passes" Hook.xdp_pass r.Engine.verdict;
+  Alcotest.(check int) "both ran" 2 r.Engine.executed;
+  (* detach is idempotent *)
+  Engine.detach eng a;
+  Engine.detach eng a;
+  Alcotest.(check int) "one left" 1 (Engine.chain_length eng Hook.Xdp);
+  Engine.detach eng b';
+  Alcotest.(check int) "empty" 0 (Engine.chain_length eng Hook.Xdp);
+  Alcotest.(check int) "no socket refs after teardown" 0
+    (Engine.socket_refs eng)
+
+(* --- the LRU-bounded compiled-program cache ----------------------------- *)
+
+let t_jit_cache_lru () =
+  let restore = (Kflex.jit_cache_stats ()).Kflex.capacity in
+  Fun.protect
+    ~finally:(fun () -> Kflex.set_jit_cache_capacity restore)
+    (fun () ->
+      Kflex.set_jit_cache_capacity 3;
+      Alcotest.(check bool) "capped at 3" true
+        ((Kflex.jit_cache_stats ()).Kflex.entries <= 3);
+      let admit_ret i =
+        let name = Printf.sprintf "cache%d" i in
+        match
+          Kflex.admit ~backend:`Compiled ~heap_size:4096L ~hook:Hook.Xdp
+            (prog_of (compile name (ret_src (100 + i))))
+        with
+        | Ok a -> a
+        | Error e ->
+            Alcotest.failf "admit: %a" Kflex_verifier.Verify.pp_error e
+      in
+      let s0 = Kflex.jit_cache_stats () in
+      (* more distinct programs than the capacity *)
+      for i = 0 to 5 do
+        ignore (admit_ret i)
+      done;
+      let s1 = Kflex.jit_cache_stats () in
+      Alcotest.(check int) "all missed" (s0.Kflex.misses + 6) s1.Kflex.misses;
+      Alcotest.(check bool) "bounded" true (s1.Kflex.entries <= 3);
+      Alcotest.(check bool) "evicted" true
+        (s1.Kflex.evictions >= s0.Kflex.evictions + 3);
+      (* the most recent program is still cached ... *)
+      ignore (admit_ret 5);
+      let s2 = Kflex.jit_cache_stats () in
+      Alcotest.(check int) "hit" (s1.Kflex.hits + 1) s2.Kflex.hits;
+      (* ... and the oldest was evicted, so it misses again *)
+      ignore (admit_ret 0);
+      let s3 = Kflex.jit_cache_stats () in
+      Alcotest.(check int) "stale missed" (s2.Kflex.misses + 1) s3.Kflex.misses;
+      (* shrinking the capacity evicts down immediately *)
+      Kflex.set_jit_cache_capacity 1;
+      Alcotest.(check bool) "evicts down" true
+        ((Kflex.jit_cache_stats ()).Kflex.entries <= 1);
+      Alcotest.check_raises "capacity >= 1"
+        (Invalid_argument "Kflex.set_jit_cache_capacity") (fun () ->
+          Kflex.set_jit_cache_capacity 0))
+
+(* --- per-shard state ---------------------------------------------------- *)
+
+(* flow-keyed per-shard counter: counts per flow must not depend on how
+   flows are sharded, so aggregate verdicts are shard-count invariant *)
+let counter_src = {|
+struct node { key: u64; count: u64; next: ptr<node>; }
+global buckets: [ptr<node>; 64];
+
+fn bump(k: u64) -> u64 {
+  var b: u64 = k & 63;
+  var n: ptr<node> = buckets[b];
+  while (n != null) {
+    if (n.key == k) { n.count = n.count + 1; return n.count; }
+    n = n.next;
+  }
+  var m: ptr<node> = new node;
+  if (m == null) { return 0; }
+  m.key = k;
+  m.count = 1;
+  m.next = buckets[b];
+  buckets[b] = m;
+  return 1;
+}
+
+fn prog(c: ctx) -> u64 {
+  var flow: u64 = pkt_read_u64(c, 1);
+  var n: u64 = bump(flow);
+  if (n > 5) { return 1; }
+  return 2;
+}
+|}
+
+let flow_packets ~events =
+  let rng = Kflex_workload.Rng.create ~seed:3L in
+  Array.init events (fun _ ->
+      let flow = Kflex_workload.Rng.int rng 40 in
+      let b = Bytes.make 17 '\000' in
+      Bytes.set_int64_le b 1 (Int64.of_int flow);
+      pkt ~src_port:(1024 + (flow * 131)) ~payload:b ())
+
+let attach_counter eng =
+  let c = compile "counter" counter_src in
+  attach_exn ~name:"counter" ~globals_size:(globals_of c)
+    ~heap_size:(Int64.shift_left 1L 16)
+    eng (prog_of c)
+
+let t_shard_invariance () =
+  let run shards =
+    let eng = Engine.create ~shards () in
+    let _ = attach_counter eng in
+    let pkts = flow_packets ~events:600 in
+    Array.iter (fun p -> ignore (Engine.run_packet eng p)) pkts;
+    (eng, Engine.totals eng)
+  in
+  let eng3, t3 = run 3 in
+  let _, t1 = run 1 in
+  Alcotest.(check bool) "histograms equal" true
+    (t3.Engine.verdicts = t1.Engine.verdicts);
+  Alcotest.(check int) "all events" 600 t3.Engine.events;
+  Alcotest.(check int) "no leaks" 0 t3.Engine.leaked;
+  (* placement is the flow hash: per-shard counts sum to the total and more
+     than one shard did work *)
+  let per = List.init 3 (fun s -> Engine.shard_events eng3 s) in
+  Alcotest.(check int) "events partitioned" 600
+    (List.fold_left ( + ) 0 per);
+  Alcotest.(check bool) "spread across shards" true
+    (List.length (List.filter (fun n -> n > 0) per) > 1);
+  (* read-side totals merge the per-shard stats exactly *)
+  let insns s = s.Vm.insns and guards s = s.Vm.guards in
+  Alcotest.(check int) "stats merged (insns)"
+    (List.fold_left ( + ) 0
+       (List.init 3 (fun s -> insns (Engine.shard_stats eng3 s))))
+    (insns t3.Engine.stats);
+  Alcotest.(check int) "stats merged (guards)"
+    (List.fold_left ( + ) 0
+       (List.init 3 (fun s -> guards (Engine.shard_stats eng3 s))))
+    (guards t3.Engine.stats)
+
+(* single-shard engine vs the one-program facade, same program and inputs:
+   verdicts, costs and stats must be identical *)
+let t_facade_equivalence () =
+  let kind = Kflex_apps.Datastructs.Hashmap in
+  let c =
+    compile "hashmap_eq" (Kflex_apps.Datastructs.source kind)
+  in
+  (* facade *)
+  let inst = Kflex_apps.Datastructs.create kind in
+  (* engine, same source attached on one shard *)
+  let eng = Engine.create ~shards:1 () in
+  let _ =
+    attach_exn ~name:"hashmap" ~globals_size:(globals_of c)
+      ~heap_size:(Int64.shift_left 1L 24)
+      eng (prog_of c)
+  in
+  let stats_f = Vm.fresh_stats () in
+  let check_op ~op ~key ~value =
+    let p = Kflex_apps.Datastructs.op_packet ~op ~key ~value in
+    let vf =
+      match
+        Kflex.run_packet (Kflex_apps.Datastructs.loaded inst) ~stats:stats_f p
+      with
+      | Vm.Finished v -> v
+      | Vm.Cancelled _ -> Alcotest.fail "facade op cancelled"
+    in
+    let r = Engine.run_packet eng p in
+    Alcotest.(check int64)
+      (Printf.sprintf "op %d key %Ld" op key)
+      vf r.Engine.verdict
+  in
+  for i = 0 to 63 do
+    check_op ~op:0 ~key:(Int64.of_int i) ~value:(Int64.of_int (i * 7))
+  done;
+  for i = 0 to 63 do
+    check_op ~op:1 ~key:(Int64.of_int i) ~value:0L
+  done;
+  for i = 0 to 15 do
+    check_op ~op:2 ~key:(Int64.of_int (i * 4)) ~value:0L
+  done;
+  let se = Engine.shard_stats eng 0 in
+  Alcotest.(check int) "same insns" stats_f.Vm.insns se.Vm.insns;
+  Alcotest.(check int) "same guards" stats_f.Vm.guards se.Vm.guards;
+  Alcotest.(check int) "same checkpoints" stats_f.Vm.checkpoints
+    se.Vm.checkpoints;
+  Alcotest.(check int) "same helper cost" stats_f.Vm.helper_cost
+    se.Vm.helper_cost
+
+(* --- threaded mode ------------------------------------------------------ *)
+
+let t_threaded_smoke () =
+  let eng = Engine.create ~shards:2 ~mode:`Threaded () in
+  let _ = attach_counter eng in
+  let pkts = flow_packets ~events:400 in
+  Array.iter (fun p -> Engine.submit eng p) pkts;
+  Engine.drain eng;
+  let t = Engine.totals eng in
+  Engine.shutdown eng;
+  Alcotest.(check int) "all drained" 400 t.Engine.events;
+  Alcotest.(check int) "no leaks" 0 t.Engine.leaked;
+  (* flow-keyed verdicts match a deterministic single-shard run *)
+  let det = Engine.create ~shards:1 () in
+  let _ = attach_counter det in
+  Array.iter (fun p -> ignore (Engine.run_packet det p)) pkts;
+  Alcotest.(check bool) "threaded = deterministic histogram" true
+    ((Engine.totals det).Engine.verdicts = t.Engine.verdicts)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "verdict composition" `Quick t_chain_composition;
+          Alcotest.test_case "chain structure" `Quick t_chain_module;
+          Alcotest.test_case "lifecycle + epochs" `Quick t_lifecycle_epochs;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "LRU bound + eviction" `Quick t_jit_cache_lru ] );
+      ( "shards",
+        [
+          Alcotest.test_case "shard-count invariance" `Quick t_shard_invariance;
+          Alcotest.test_case "facade equivalence" `Quick t_facade_equivalence;
+          Alcotest.test_case "threaded smoke" `Quick t_threaded_smoke;
+        ] );
+    ]

@@ -159,6 +159,69 @@ let t_corpus_roundtrip () =
   Alcotest.(check string) "prog" (Encode.encode prog)
     (Encode.encode r.Corpus.prog)
 
+(* The chain oracle on known-good input: a hand-written pass-through pair
+   run as a 2-program chain through the single-shard engine must be
+   observationally identical to sequential facade runs. *)
+let t_chain_oracle_pass () =
+  let p1 =
+    Gen.assemble
+      [
+        Asm.mov Reg.R6 Reg.R1;
+        Asm.call "kflex_heap_base";
+        Asm.sti Insn.U64 Reg.R0 256 41L;
+        Asm.movi Reg.R0 2L;
+        (* XDP_PASS: the chain falls through *)
+        Asm.exit_;
+      ]
+  in
+  let p2 =
+    Gen.assemble
+      [
+        Asm.call "kflex_heap_base";
+        Asm.ldx Insn.U64 Reg.R3 Reg.R0 256;
+        Asm.mov Reg.R0 Reg.R3;
+        Asm.exit_;
+      ]
+  in
+  match Oracle.chain_equiv Oracle.default_config p1 p2 with
+  | Oracle.Pass -> ()
+  | v -> Alcotest.failf "expected chain pass: %a" Oracle.pp_verdict v
+
+(* Every committed reproducer also replays as a self-pair chain: the
+   single-shard engine must agree with the facade on the very inputs that
+   once broke an oracle — this is the deterministic-mode bit-identity claim
+   on the reproducer corpus. *)
+let t_corpus_chain_identity () =
+  Sys.readdir "corpus" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".kfxr")
+  |> List.iter (fun f ->
+         let r = Corpus.read (Filename.concat "corpus" f) in
+         match Oracle.chain_equiv r.Corpus.config r.Corpus.prog r.Corpus.prog with
+         | Oracle.Fail fl ->
+             Alcotest.failf "%s: [%s] %s" f fl.Oracle.oracle fl.Oracle.detail
+         | Oracle.Pass | Oracle.Rejected _ -> ())
+
+let t_chain_equiv_deterministic () =
+  let rng = Rng.create ~seed:21L in
+  let p1 = Gen.assemble (Gen.generate ~rng ~heap_size:65536L ~port:53) in
+  let p2 = Gen.assemble (Gen.generate ~rng ~heap_size:65536L ~port:53) in
+  let a = Oracle.chain_equiv Oracle.default_config p1 p2 in
+  let b = Oracle.chain_equiv Oracle.default_config p1 p2 in
+  Alcotest.(check bool) "same verdict" true (a = b)
+
+(* A chain-pair reproducer file round-trips including its second program. *)
+let t_corpus_pair_roundtrip () =
+  let p1 = Gen.assemble [ Asm.movi Reg.R0 2L; Asm.exit_ ] in
+  let p2 = Gen.assemble [ Asm.movi Reg.R0 1L; Asm.exit_ ] in
+  let path = Filename.concat (smoke_dir ()) "pair.kfxr" in
+  Corpus.write path ~oracle:"chain" ~prog2:p2 Oracle.default_config p1;
+  let r = Corpus.read path in
+  Alcotest.(check (option string)) "oracle" (Some "chain") r.Corpus.oracle;
+  (match r.Corpus.prog2 with
+  | Some q -> Alcotest.(check string) "prog2" (Encode.encode p2) (Encode.encode q)
+  | None -> Alcotest.fail "prog2 lost");
+  Alcotest.(check string) "prog" (Encode.encode p1) (Encode.encode r.Corpus.prog)
+
 (* Regression: the campaign must flag a genuinely unsound runtime. We
    simulate one by replaying a wild-store program against a config whose
    quantum is so small the A/B runs still agree — i.e. the case passes —
@@ -192,5 +255,12 @@ let () =
           Alcotest.test_case "corpus roundtrip" `Quick t_corpus_roundtrip;
           Alcotest.test_case "run_case deterministic" `Quick
             t_run_case_deterministic;
+          Alcotest.test_case "chain oracle pass" `Quick t_chain_oracle_pass;
+          Alcotest.test_case "corpus chain identity" `Quick
+            t_corpus_chain_identity;
+          Alcotest.test_case "chain_equiv deterministic" `Quick
+            t_chain_equiv_deterministic;
+          Alcotest.test_case "corpus pair roundtrip" `Quick
+            t_corpus_pair_roundtrip;
         ] );
     ]

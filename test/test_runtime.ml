@@ -380,6 +380,74 @@ let t_quantum_cancellation () =
         (match reason with Vm.Page_fault -> "page" | _ -> "other")
   | Vm.Finished _ -> Alcotest.fail "should have been cancelled"
 
+(* §4.4 through the engine's central reaper: a user-space thread holds a
+   lock past its extended time slice while an extension spins waiting for
+   it. The reaper must (a) forcibly preempt the holder once the slice
+   expires ([should_preempt]/[force_preempt]) and (b) inject cancellation
+   into the spinning extension at its deadline — kernel forward progress
+   beats waiting out a faulty application. *)
+let t_engine_reaper_contention () =
+  let module Engine = Kflex_engine.Engine in
+  let module Reaper = Kflex_engine.Reaper in
+  let src = {|
+global lock: u64;
+
+fn prog(c: ctx) -> u64 {
+  var spins: u64 = 0;
+  while (lock != 0) {
+    spins = spins + 1;
+  }
+  return 2;
+}
+|}
+  in
+  let compiled = Kflex_eclang.Compile.compile_string ~name:"spinner" src in
+  let lock_off = Kflex_eclang.Compile.global_offset compiled "lock" in
+  (* deadline chosen past the 50 us slice: the holder is preempted first,
+     the spinner is reaped after *)
+  let eng = Engine.create ~shards:1 ~deadline_ns:150_000.0 () in
+  let ts = Timeslice.create () in
+  Timeslice.lock_acquired ts ~now:0.0;
+  Reaper.watch (Engine.reaper eng) ts;
+  let configure ~shard:_ _kernel heap =
+    match heap with
+    | Some h -> Heap.write h ~width:8 (Int64.add (Heap.kbase h) lock_off) 1L
+    | None -> Alcotest.fail "spinner has no heap"
+  in
+  (match
+     Engine.attach eng ~name:"spinner"
+       ~globals_size:
+         compiled.Kflex_eclang.Compile.layout.Kflex_eclang.Compile.globals_size
+       ~heap_size:(Int64.shift_left 1L 16)
+       ~configure ~hook:Kflex_kernel.Hook.Xdp
+       compiled.Kflex_eclang.Compile.prog
+   with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "spinner rejected: %a" Kflex_verifier.Verify.pp_error e);
+  let pkt =
+    Kflex_kernel.Packet.make ~proto:Kflex_kernel.Packet.Udp ~src_port:1
+      ~dst_port:2 (Bytes.make 16 '\000')
+  in
+  let r = Engine.run_packet eng pkt in
+  (match r.Engine.outcomes with
+  | [ Vm.Cancelled { reason = Vm.Ext_cancelled; _ } ] -> ()
+  | [ Vm.Cancelled { reason = _; _ } ] ->
+      Alcotest.fail "cancelled, but not by the reaper's injection"
+  | _ -> Alcotest.fail "spinning extension was not cancelled");
+  Alcotest.(check int) "event counted cancelled" 1 r.Engine.cancelled;
+  Alcotest.(check int) "holder force-preempted once" 1
+    (Reaper.preemptions (Engine.reaper eng));
+  Alcotest.(check bool) "reaper injected the cancel" true
+    (Reaper.cancellations (Engine.reaper eng) >= 1);
+  let t = Engine.totals eng in
+  Alcotest.(check int) "no leaked resources" 0 t.Engine.leaked;
+  (* a second event on the same (still-contended) chain is reaped again:
+     the cancel flag was rearmed, not left sticky *)
+  let r2 = Engine.run_packet eng pkt in
+  Alcotest.(check int) "second event reaped too" 1 r2.Engine.cancelled;
+  Reaper.unwatch (Engine.reaper eng) ts
+
 let t_cancel_cross_cpu () =
   let _, ext = with_heap [ movi R0 7L; exit_ ] in
   Vm.cancel ext;
@@ -607,6 +675,8 @@ let () =
           Alcotest.test_case "atomics" `Quick t_atomics;
           Alcotest.test_case "malloc/free" `Quick t_malloc_free_via_vm;
           Alcotest.test_case "quantum cancellation" `Quick t_quantum_cancellation;
+          Alcotest.test_case "engine reaper contention" `Quick
+            t_engine_reaper_contention;
           Alcotest.test_case "cross-cpu cancel" `Quick t_cancel_cross_cpu;
           Alcotest.test_case "on_cancel callback" `Quick t_on_cancel_callback;
           Alcotest.test_case "stats" `Quick t_stats_accounting;

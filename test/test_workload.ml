@@ -71,6 +71,38 @@ let t_stats () =
   Alcotest.(check (float 1e-9)) "new max" 1000.0 (Stats.max s);
   Alcotest.(check int) "count" 101 (Stats.count s)
 
+(* Stats.merge is the read-side fold of per-shard latency recorders: the
+   result must be the recorder of the multiset union, so merging is
+   commutative and associative in every observable (count, extremes,
+   nearest-rank percentiles are all order-free once sorted). *)
+let prop_merge_assoc_comm =
+  QCheck.Test.make ~count:200 ~name:"Stats.merge associative + commutative"
+    QCheck.(
+      triple
+        (list (int_bound 1000))
+        (list (int_bound 1000))
+        (list (int_bound 1000)))
+    (fun (xs, ys, zs) ->
+      let mk l =
+        let s = Stats.create () in
+        List.iter (fun i -> Stats.add s (float_of_int i)) l;
+        s
+      in
+      let obs s =
+        ( Stats.count s,
+          Stats.min s,
+          Stats.max s,
+          List.map
+            (fun p -> Stats.percentile s p)
+            [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ] )
+      in
+      let a = mk xs and b = mk ys and c = mk zs in
+      obs (Stats.merge a b) = obs (Stats.merge b a)
+      && obs (Stats.merge (Stats.merge a b) c)
+         = obs (Stats.merge a (Stats.merge b c))
+      && obs (Stats.merge a b) = obs (mk (xs @ ys))
+      && Stats.count (Stats.merge a b) = Stats.count a + Stats.count b)
+
 let t_rng_split () =
   (* splitting is deterministic in the parent's state *)
   let child seed = Rng.split (Rng.create ~seed) in
@@ -135,5 +167,6 @@ let () =
           Alcotest.test_case "zipf pmf" `Quick t_zipf_pmf;
           Alcotest.test_case "zipf sampling" `Quick t_zipf_sampling;
           Alcotest.test_case "stats" `Quick t_stats;
+          QCheck_alcotest.to_alcotest prop_merge_assoc_comm;
         ] );
     ]
