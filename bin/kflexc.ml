@@ -110,29 +110,122 @@ let verify_cmd =
     Term.(const run $ file_arg $ heap_size_arg)
 
 let lint_cmd =
-  let run file heap_bits =
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE"
+           ~doc:"Programs to lint (.ec, .kfx, or .kfxr fuzz reproducers — a \
+                 pair reproducer contributes both chain programs). With more \
+                 than one program, they are additionally analysed as an XDP \
+                 chain in argument order.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit machine-readable diagnostics: one JSON object per \
+                 program (JSON lines), plus a final chain object when more \
+                 than one program is given. See README for the schema.")
+  in
+  let run files json heap_bits =
     handle_errors ~code:2 (fun () ->
-        let prog, _ = load_prog file in
-        match
-          Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex
-            ~contracts:Kflex.contracts ~ctx_size:Kflex_kernel.Hook.ctx_size
-            ~heap_size:(Int64.shift_left 1L heap_bits) prog
-        with
-        | Error e ->
-            Format.eprintf "REJECTED: %a@." Kflex_verifier.Verify.pp_error e;
-            exit 2
-        | Ok a ->
-            let diags = Kflex_verifier.Lint.run ~contracts:Kflex.contracts a in
-            Format.printf "%a@." Kflex_kie.Report.pp_lint diags;
-            exit (Kflex_verifier.Lint.exit_code diags))
+        (* Each input contributes one or two (name, prog, heap_size) units;
+           a .kfxr reproducer carries its own heap geometry. *)
+        let units =
+          List.concat_map
+            (fun file ->
+              if Filename.check_suffix file ".kfxr" then begin
+                let r = Kflex_fuzz.Corpus.read file in
+                let hs =
+                  r.Kflex_fuzz.Corpus.config.Kflex_fuzz.Oracle.heap_size
+                in
+                let base = Filename.basename file in
+                match r.Kflex_fuzz.Corpus.prog2 with
+                | None -> [ (base, r.Kflex_fuzz.Corpus.prog, hs) ]
+                | Some p2 ->
+                    [ (base, r.Kflex_fuzz.Corpus.prog, hs);
+                      (base ^ "#2", p2, hs) ]
+              end
+              else
+                let prog, _ = load_prog file in
+                [ (Filename.basename file, prog,
+                   Int64.shift_left 1L heap_bits) ])
+            files
+        in
+        let analyses =
+          List.map
+            (fun (name, prog, heap_size) ->
+              match
+                Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex
+                  ~contracts:Kflex.contracts
+                  ~ctx_size:Kflex_kernel.Hook.ctx_size ~heap_size prog
+              with
+              | Error e ->
+                  Format.eprintf "%s: REJECTED: %a@." name
+                    Kflex_verifier.Verify.pp_error e;
+                  exit 2
+              | Ok a -> (name, a))
+            units
+        in
+        let per =
+          List.map
+            (fun (name, a) ->
+              ( name,
+                Kflex_verifier.Lint.run ~contracts:Kflex.contracts a,
+                Kflex_verifier.Lifecycle.run ~contracts:Kflex.contracts a ))
+            analyses
+        in
+        let multi = List.length analyses > 1 in
+        let chain =
+          if multi then
+            Kflex_verifier.Lifecycle.run_chain ~contracts:Kflex.contracts
+              ~pass_verdict:
+                (Kflex_kernel.Hook.pass_verdict Kflex_kernel.Hook.Xdp)
+              (List.map snd analyses)
+          else []
+        in
+        if json then begin
+          List.iter
+            (fun (name, diags, findings) ->
+              print_endline
+                (Kflex_kie.Report.lint_json ~program:name ~diags ~findings))
+            per;
+          if multi then
+            print_endline
+              (Kflex_kie.Report.chain_json
+                 ~programs:(List.map (fun (n, _, _) -> n) per)
+                 ~findings:chain)
+        end
+        else begin
+          List.iter
+            (fun (name, diags, findings) ->
+              if multi then Format.printf "%s:@." name;
+              Format.printf "%a@." Kflex_kie.Report.pp_lint diags;
+              Format.printf "%a@." Kflex_kie.Report.pp_lifecycle findings)
+            per;
+          if multi then begin
+            if chain = [] then Format.printf "chain: clean@."
+            else
+              List.iter
+                (fun (cf : Kflex_verifier.Lifecycle.chain_finding) ->
+                  Format.printf "chain: #%d %a@."
+                    cf.Kflex_verifier.Lifecycle.index
+                    Kflex_verifier.Lifecycle.pp_finding
+                    cf.Kflex_verifier.Lifecycle.finding)
+                chain
+          end
+        end;
+        let any =
+          chain <> []
+          || List.exists (fun (_, d, f) -> d <> [] || f <> []) per
+        in
+        exit (if any then 1 else 0))
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Report dead code, dead stores, provably-dead branches, redundant \
-          guards and ignored helper results. Exits 0 when clean, 1 with \
-          findings, 2 on compile/verify failure.")
-    Term.(const run $ file_arg $ heap_size_arg)
+          guards, ignored helper results, and path-sensitive lifecycle \
+          hazards (leaks, double-release, use-after-release, null derefs, \
+          lock pairing/ordering, chain-unreachable programs). Exits 0 when \
+          clean, 1 with findings, 2 on compile/verify failure.")
+    Term.(const run $ files $ json $ heap_size_arg)
 
 let access_note (a : Kflex_verifier.Verify.analysis) =
   let tbl = Hashtbl.create 16 in
@@ -178,6 +271,8 @@ let report_cmd =
               kie.Kflex_kie.Instrument.report;
             let diags = Kflex_verifier.Lint.run ~contracts:Kflex.contracts a in
             Format.printf "%a@." Kflex_kie.Report.pp_lint diags;
+            Format.printf "%a@." Kflex_kie.Report.pp_lifecycle
+              (Kflex_verifier.Lifecycle.run ~contracts:Kflex.contracts a);
             Format.printf "instrumented: %d -> %d insns@."
               (Kflex_bpf.Prog.length prog)
               (Kflex_bpf.Prog.length kie.Kflex_kie.Instrument.prog))

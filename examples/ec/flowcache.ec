@@ -1,0 +1,16 @@
+// A deliberately buggy flow-cache entry allocator, kept as the lint
+// demonstration: `kflexc lint` reports a missing null check on the
+// allocation, a conditional leak on the early-drop path, and the verdicts
+// below make it a useful chain partner. The SFI guards make every one of
+// these *safe* to load — the lifecycle pass exists to tell you they are
+// still wrong.
+struct entry { key: u64; hits: u64; }
+
+fn prog(c: ctx) -> u64 {
+  var e: ptr<entry> = new entry;
+  e.key = pkt_read_u64(c, 0);      // null-deref: `new` can fail, no check
+  e.hits = 1;
+  if (e.key == 7) { return 1; }    // leak: `e` is never freed on this path
+  free e;
+  return 2;                        // XDP_PASS
+}

@@ -6,6 +6,7 @@ type summary = {
   rejected : int;
   invalid : int;
   chained : int;
+  flagged : int;
   failures : int;
   reproducers : string list;
 }
@@ -13,8 +14,8 @@ type summary = {
 let pp_summary ppf s =
   Format.fprintf ppf
     "%d cases: %d accepted, %d rejected, %d invalid, %d chain-checked, %d \
-     FAILURES"
-    s.cases s.accepted s.rejected s.invalid s.chained s.failures;
+     lifecycle-flagged, %d FAILURES"
+    s.cases s.accepted s.rejected s.invalid s.chained s.flagged s.failures;
   List.iter (fun p -> Format.fprintf ppf "@.  reproducer: %s" p) s.reproducers
 
 (* Randomised environment layout for one case, drawn from its own stream. *)
@@ -79,6 +80,7 @@ let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
   and rejected = ref 0
   and invalid = ref 0
   and chained = ref 0
+  and flagged = ref 0
   and failures = ref 0
   and repros = ref [] in
   for i = 0 to count - 1 do
@@ -95,7 +97,9 @@ let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
         log (Printf.sprintf "case %d: did not assemble: %s" i
                (Printexc.to_string e))
     | prog -> (
-        match Oracle.run_case ?backend cfg prog with
+        let verdict, nflag = Oracle.run_case_stats ?backend cfg prog in
+        flagged := !flagged + nflag;
+        match verdict with
         | Oracle.Pass -> (
             incr accepted;
             let items2 =
@@ -155,6 +159,7 @@ let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
     rejected = !rejected;
     invalid = !invalid;
     chained = !chained;
+    flagged = !flagged;
     failures = !failures;
     reproducers = List.rev !repros;
   }

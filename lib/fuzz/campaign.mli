@@ -17,6 +17,10 @@ type summary = {
       (** accepted cases additionally run as a 2-program chain through the
           engine-vs-facade chain oracle (the partner program comes from the
           continuation of the case's generation stream) *)
+  flagged : int;
+      (** total lifecycle findings the static pass reported across all
+          verifier-accepted cases — each checked against the concrete
+          no-false-positive oracle ({!Oracle.lifecycle_report}) *)
   failures : int;  (** oracle violations — each one is a soundness bug *)
   reproducers : string list;  (** shrunk reproducer files written *)
 }

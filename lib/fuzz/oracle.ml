@@ -105,8 +105,10 @@ type env = {
 
 (* Fresh, fully deterministic world per run: zeroed heap with the config's
    base and page layout, fresh socket table / maps / allocator, fresh packet
-   bytes (extensions mutate the payload in place). *)
-let build_env cfg kie =
+   bytes (extensions mutate the payload in place). [helpers_shim] lets an
+   oracle shadow individual helper implementations (the lifecycle oracle's
+   allocation-failure run). *)
+let build_env ?(helpers_shim = fun h -> h) cfg kie =
   let heap = Heap.create ~kbase:cfg.kbase ~size:cfg.heap_size () in
   let kernel = Helpers.create () in
   Socket.listen (Helpers.sockets kernel) ~proto:Packet.Udp ~port:cfg.port;
@@ -128,7 +130,7 @@ let build_env cfg kie =
   let ext =
     Vm.create ~heap ~alloc ~quantum:cfg.quantum
       ~default_ret:(Hook.default_ret Hook.Xdp)
-      ~helpers:(Helpers.implementations kernel)
+      ~helpers:(helpers_shim (Helpers.implementations kernel))
       kie
   in
   { ext; kernel; heap; pkt; ctx = Hook.build_ctx pkt }
@@ -469,6 +471,284 @@ let backend_equiv cfg kie =
         | Some p -> Some (fail "backend" "heap contents diverge at page %Ld" p)
         | None -> None)
 
+(* --- oracle 7: lifecycle no-false-positive ------------------------------ *)
+
+module Lifecycle = Kflex_verifier.Lifecycle
+
+type lifecycle_status = Confirmed | Unexercised | Refuted
+
+let lifecycle_status_name = function
+  | Confirmed -> "confirmed"
+  | Unexercised -> "unexercised"
+  | Refuted -> "REFUTED"
+
+(* The lifecycle pass claims a finding holds along a specific path — the pc
+   witness. Concrete execution follows exactly one path, so whenever the
+   kmod-baseline run (pcs coincide with the verifier's) happens to take the
+   witnessed path, the claimed event is checkable against ground truth: the
+   allocator's live set, the lock depth, the register file at the deref. A
+   finding is [Refuted] — an oracle failure — only under a full witness
+   prefix match whose concrete evidence contradicts the claim; anything the
+   run does not exercise stays [Unexercised]. *)
+
+module Iset = Set.Make (Int)
+
+type lc_obs = {
+  trace : int array;  (* first [cap] executed pcs *)
+  tlen : int;  (* number of pcs recorded (min of steps and cap) *)
+  finished : bool;
+  allocs : (int, int64 list) Hashtbl.t;  (* site pc -> non-null results *)
+  frees : (int * int, int64 * bool) Hashtbl.t;
+      (* (release pc, step) -> (argument address, was a live block) *)
+  derefs : (int * int, int64 * bool) Hashtbl.t;
+      (* (deref pc, step) -> (base register value, inside a live block) *)
+  locks : (int * int, bool) Hashtbl.t;  (* (pc, step) -> depth > 0 *)
+  live_at_end : (int64, int) Hashtbl.t;  (* address -> alloc-site pc *)
+}
+
+let base_reg_of = function
+  | Insn.Ldx (_, _, src, _) -> Some src
+  | Insn.Stx (_, dst, _, _) | Insn.St (_, dst, _, _)
+  | Insn.Atomic (_, _, dst, _, _) ->
+      Some dst
+  | _ -> None
+
+let is_allocator name =
+  match Contract.find contracts name with
+  | Some c -> c.Contract.ret = Contract.R_heap_ptr_or_null && c.Contract.destructor <> None
+  | None -> false
+
+let release_index name =
+  match Contract.find contracts name with
+  | Some { Contract.eff = Contract.E_release i; _ } -> Some i
+  | _ -> None
+
+let is_lock_edge name =
+  match Contract.find contracts name with
+  | Some c when c.Contract.lock_ordinal <> None -> (
+      match c.Contract.eff with
+      | Contract.E_acquire -> Some `Acquire
+      | Contract.E_release _ -> Some `Release
+      | Contract.E_pure -> None)
+  | _ -> None
+
+(* Shadow every allocator so it reports exhaustion: the run that exercises
+   the paths the verifier only reaches through [R_heap_ptr_or_null]'s null
+   arm. Overrides are appended (not mapped) because the allocators are Vm
+   builtins, absent from the kernel-helper list. *)
+let alloc_fail_shim impls =
+  let allocators =
+    List.filter_map
+      (fun (c : Contract.t) ->
+        if is_allocator c.Contract.name then Some c.Contract.name else None)
+      Contract.kflex_base
+  in
+  List.filter (fun (n, _) -> not (List.mem n allocators)) impls
+  @ List.map
+      (fun n -> (n, fun (_ : Vm.call_ctx) -> Vm.H_ret 0L))
+      allocators
+
+let lc_run ?helpers_shim cfg prog (findings : Lifecycle.finding list) kie_k =
+  let cap =
+    List.fold_left
+      (fun m (f : Lifecycle.finding) -> max m (List.length f.Lifecycle.witness))
+      1 findings
+  in
+  let pcs_of k =
+    List.fold_left
+      (fun s (f : Lifecycle.finding) ->
+        if List.mem f.Lifecycle.kind k then Iset.add f.Lifecycle.pc s else s)
+      Iset.empty findings
+  in
+  let deref_pcs = pcs_of [ Lifecycle.Use_after_release; Lifecycle.Null_deref ] in
+  let free_pcs = pcs_of [ Lifecycle.Double_release ] in
+  let lock_pcs = pcs_of [ Lifecycle.Lock_hazard; Lifecycle.Lock_order ] in
+  let trace = Array.make cap (-1) in
+  let allocs = Hashtbl.create 8 in
+  let frees = Hashtbl.create 8 in
+  let derefs = Hashtbl.create 8 in
+  let locks = Hashtbl.create 8 in
+  (* our own mirror of the allocator's live set: address -> (site, size) *)
+  let live = Hashtbl.create 8 in
+  let in_live b =
+    Hashtbl.fold
+      (fun a (_, sz) acc ->
+        acc
+        || Int64.unsigned_compare a b <= 0
+           && Int64.unsigned_compare b (Int64.add a (max 1L sz)) < 0)
+      live false
+  in
+  let step = ref 0 in
+  let budget = ref cfg.insn_budget in
+  let pending = ref None in
+  let depth = ref 0 in
+  let on_insn pc regs =
+    decr budget;
+    if !budget <= 0 then raise Trace_stop;
+    (match !pending with
+    | Some (site, size) ->
+        pending := None;
+        let r0 = regs.(0) in
+        if r0 <> 0L then begin
+          Hashtbl.replace live r0 (site, size);
+          Hashtbl.replace allocs site
+            (r0 :: Option.value ~default:[] (Hashtbl.find_opt allocs site))
+        end
+    | None -> ());
+    let s = !step in
+    incr step;
+    if s < cap then begin
+      trace.(s) <- pc;
+      if Iset.mem pc lock_pcs then Hashtbl.replace locks (pc, s) (!depth > 0);
+      if Iset.mem pc deref_pcs then begin
+        match
+          if pc < Prog.length prog then base_reg_of (Prog.get prog pc)
+          else None
+        with
+        | Some r ->
+            let b = regs.(Reg.to_int r) in
+            Hashtbl.replace derefs (pc, s) (b, in_live b)
+        | None -> ()
+      end
+    end;
+    (* the insn's own effect on the tracker (helper calls) *)
+    match if pc < Prog.length prog then Prog.get prog pc else Insn.Exit with
+    | Insn.Call name -> (
+        if is_allocator name then pending := Some (pc, regs.(1));
+        (match release_index name with
+        | Some i ->
+            let addr = regs.(i + 1) in
+            if s < cap && Iset.mem pc free_pcs then
+              Hashtbl.replace frees (pc, s) (addr, Hashtbl.mem live addr);
+            Hashtbl.remove live addr
+        | None -> ());
+        match is_lock_edge name with
+        | Some `Acquire -> incr depth
+        | Some `Release -> decr depth
+        | None -> ())
+    | _ -> ()
+  in
+  let env = build_env ?helpers_shim cfg kie_k in
+  Vm.seed_prandom cfg.prandom;
+  let finished =
+    match Vm.exec env.ext ~ctx:env.ctx ~on_insn () with
+    | Vm.Finished _ -> true
+    | Vm.Cancelled _ -> false
+    | exception Trace_stop -> false
+  in
+  {
+    trace;
+    tlen = min !step cap;
+    finished;
+    allocs;
+    frees;
+    derefs;
+    locks;
+    live_at_end =
+      (let t = Hashtbl.create 8 in
+       Hashtbl.iter (fun a (site, _) -> Hashtbl.replace t a site) live;
+       t);
+  }
+
+let lc_prefix_matches o witness =
+  let n = List.length witness in
+  n > 0 && n <= o.tlen
+  && List.for_all2 Int.equal witness
+       (Array.to_list (Array.sub o.trace 0 n))
+
+let lc_classify run1 run2 (f : Lifecycle.finding) =
+  let w = f.Lifecycle.witness in
+  let last = List.length w - 1 in
+  match f.Lifecycle.kind with
+  | Lifecycle.Leak ->
+      if lc_prefix_matches run1 w && run1.finished then
+        match Hashtbl.find_opt run1.allocs f.Lifecycle.site with
+        | None | Some [] -> Unexercised  (* the acquisition concretely failed *)
+        | Some addrs ->
+            if List.exists (Hashtbl.mem run1.live_at_end) addrs then Confirmed
+            else Refuted
+      else Unexercised
+  | Lifecycle.Double_release -> (
+      match
+        (lc_prefix_matches run1 w,
+         Hashtbl.find_opt run1.frees (f.Lifecycle.pc, last))
+      with
+      | true, Some (addr, was_live) ->
+          if addr = 0L then Unexercised
+          else if was_live then Refuted
+          else Confirmed
+      | _ -> Unexercised)
+  | Lifecycle.Use_after_release -> (
+      match
+        (lc_prefix_matches run1 w,
+         Hashtbl.find_opt run1.derefs (f.Lifecycle.pc, last))
+      with
+      | true, Some (base, in_live) ->
+          if in_live then Refuted
+          else if base <> 0L then Confirmed
+          else Unexercised
+      | _ -> Unexercised)
+  | Lifecycle.Null_deref -> (
+      (* only the allocation-failure run can take the null arm *)
+      match run2 with
+      | None -> Unexercised
+      | Some r2 -> (
+          match
+            (lc_prefix_matches r2 w,
+             Hashtbl.find_opt r2.derefs (f.Lifecycle.pc, last))
+          with
+          | true, Some (base, _) -> if base = 0L then Confirmed else Refuted
+          | _ -> Unexercised))
+  | Lifecycle.Lock_hazard | Lifecycle.Lock_order -> (
+      match
+        (lc_prefix_matches run1 w,
+         Hashtbl.find_opt run1.locks (f.Lifecycle.pc, last))
+      with
+      | true, Some held -> if held then Confirmed else Refuted
+      | _ -> Unexercised)
+  | Lifecycle.Chain_unreachable -> Unexercised  (* checked in chain_equiv *)
+
+let lc_statuses cfg prog (findings : Lifecycle.finding list) kie_k =
+  let run1 = lc_run cfg prog findings kie_k in
+  let run2 =
+    if
+      List.exists
+        (fun (f : Lifecycle.finding) -> f.Lifecycle.kind = Lifecycle.Null_deref)
+        findings
+    then Some (lc_run ~helpers_shim:alloc_fail_shim cfg prog findings kie_k)
+    else None
+  in
+  List.map (fun f -> (f, lc_classify run1 run2 f)) findings
+
+let lifecycle_report cfg prog =
+  match verify cfg prog with
+  | Error e -> Error (Format.asprintf "%a" Verify.pp_error e)
+  | Ok analysis ->
+      let findings = Lifecycle.run ~contracts analysis in
+      if findings = [] then Ok []
+      else
+        let kie_k =
+          Instrument.run
+            ~options:{ Instrument.default_options with kmod_baseline = true }
+            analysis
+        in
+        Ok (lc_statuses cfg prog findings kie_k)
+
+let lifecycle_failure cfg prog findings kie_k =
+  if findings = [] then None
+  else
+    List.find_map
+      (fun ((f : Lifecycle.finding), st) ->
+        if st = Refuted then
+          Some
+            (fail "lifecycle"
+               "refuted %s at pc %d (site %d): concrete execution followed \
+                the witness path but contradicts the claim: %s"
+               (Lifecycle.kind_name f.Lifecycle.kind)
+               f.Lifecycle.pc f.Lifecycle.site f.Lifecycle.msg)
+        else None)
+      (lc_statuses cfg prog findings kie_k)
+
 (* --- oracle 6: chain equivalence ---------------------------------------- *)
 
 module Engine = Kflex_engine.Engine
@@ -512,6 +792,25 @@ let chain_equiv cfg prog1 prog2 =
         match o1 with Vm.Finished v -> v | Vm.Cancelled { ret; _ } -> ret
       in
       let cont = v1 = Hook.pass_verdict Hook.Xdp in
+      (* chain-level lifecycle claims are checkable right here: a
+         [Chain_unreachable] for prog2 asserts prog1 can never return the
+         pass verdict, so a concrete chain continuation refutes it *)
+      let chain_claims_unreachable =
+        List.exists
+          (fun (cf : Lifecycle.chain_finding) ->
+            cf.Lifecycle.index = 1
+            && cf.Lifecycle.finding.Lifecycle.kind = Lifecycle.Chain_unreachable)
+          (Lifecycle.run_chain ~contracts
+             ~pass_verdict:(Hook.pass_verdict Hook.Xdp)
+             ~default_ret:(Hook.default_ret Hook.Xdp)
+             [ an1; an2 ])
+      in
+      if chain_claims_unreachable && cont then
+        Fail
+          (fail "lifecycle"
+             "chain analysis claims prog2 is unreachable, but the concrete \
+              chain continued past prog1 (verdict %Ld)" v1)
+      else
       let o2 = if cont then Some (run_one env2) else None in
       let verdict_f =
         match o2 with
@@ -596,12 +895,12 @@ let chain_equiv cfg prog1 prog2 =
 
 (* --- the full case ------------------------------------------------------ *)
 
-let run_case_exn ?(backend = `Interp) cfg prog =
+let run_case_stats_exn ?(backend = `Interp) cfg prog =
   match roundtrip prog with
-    | Some f -> Fail f
+    | Some f -> (Fail f, 0)
     | None -> (
         match verify cfg prog with
-        | Error e -> Rejected (Format.asprintf "%a" Verify.pp_error e)
+        | Error e -> (Rejected (Format.asprintf "%a" Verify.pp_error e), 0)
         | Ok analysis -> (
             let kie_a =
               Instrument.run ~options:Instrument.default_options analysis
@@ -615,23 +914,35 @@ let run_case_exn ?(backend = `Interp) cfg prog =
                   { Instrument.default_options with kmod_baseline = true }
                 analysis
             in
+            let findings = Lifecycle.run ~contracts analysis in
+            let flagged = List.length findings in
             match containment cfg analysis kie_k with
-            | Some f -> Fail f
+            | Some f -> (Fail f, flagged)
             | None -> (
                 match elision cfg analysis kie_a kie_b with
-                | Error f -> Fail f
+                | Error f -> (Fail f, flagged)
                 | Ok sites -> (
                     match cancellation cfg kie_a sites with
-                    | Some f -> Fail f
+                    | Some f -> (Fail f, flagged)
                     | None -> (
                         match
                           if backend = `Compiled then backend_equiv cfg kie_a
                           else None
                         with
-                        | Some f -> Fail f
-                        | None -> Pass)))))
+                        | Some f -> (Fail f, flagged)
+                        | None -> (
+                            match
+                              lifecycle_failure cfg prog findings kie_k
+                            with
+                            | Some f -> (Fail f, flagged)
+                            | None -> (Pass, flagged)))))))
 
-let run_case ?backend cfg prog =
-  try run_case_exn ?backend cfg prog
+let run_case_exn ?backend cfg prog = fst (run_case_stats_exn ?backend cfg prog)
+
+let run_case_stats ?backend cfg prog =
+  try run_case_stats_exn ?backend cfg prog
   with e ->
-    Fail (fail "harness" "unexpected exception: %s" (Printexc.to_string e))
+    ( Fail (fail "harness" "unexpected exception: %s" (Printexc.to_string e)),
+      0 )
+
+let run_case ?backend cfg prog = fst (run_case_stats ?backend cfg prog)

@@ -64,6 +64,15 @@ val run_case :
     additionally enables the interpreter-vs-compiled equivalence oracle when
     [`Compiled]. Deterministic in [(config, prog, backend)]. *)
 
+val run_case_stats :
+  ?backend:Kflex_runtime.Vm.backend ->
+  config ->
+  Kflex_bpf.Prog.t ->
+  verdict * int
+(** {!run_case} plus the number of lifecycle findings the static pass
+    reported on the program (0 for rejected programs) — the campaign's
+    [flagged] counter. *)
+
 val run_case_exn :
   ?backend:Kflex_runtime.Vm.backend -> config -> Kflex_bpf.Prog.t -> verdict
 (** Like {!run_case}, but harness exceptions propagate — so a debugger (or a
@@ -77,6 +86,31 @@ val chain_equiv : config -> Kflex_bpf.Prog.t -> Kflex_bpf.Prog.t -> verdict
     heap snapshots, packet bytes — with zero leaked resources on either
     side. [Rejected] when the verifier refuses either program under this
     config. Deterministic in [(config, prog1, prog2)]. *)
+
+(** Concrete status of one static lifecycle finding (the seventh oracle).
+
+    A finding is [Refuted] — an oracle failure — only when the kmod-baseline
+    run followed the finding's full pc witness and the concrete evidence
+    contradicts the claim (the "leaked" block was freed, the "released"
+    block is live, the lock is not held, ...). [Confirmed] means the run
+    followed the witness and the claimed event concretely happened.
+    [Unexercised] means the concrete path diverged from the witness before
+    its end (the usual case: one run explores one path), so the static
+    claim is neither provable nor disprovable by this execution. *)
+type lifecycle_status = Confirmed | Unexercised | Refuted
+
+val lifecycle_status_name : lifecycle_status -> string
+
+val lifecycle_report :
+  config ->
+  Kflex_bpf.Prog.t ->
+  ((Kflex_verifier.Lifecycle.finding * lifecycle_status) list, string) result
+(** Run the static lifecycle pass, then classify every finding against two
+    concrete kmod-baseline executions: the normal run, and — for
+    [Null_deref] findings, which live on the allocator's null arm — a run
+    with every allocator shadowed to report exhaustion. [Error] when the
+    verifier rejects the program. The no-false-positive contract tested by
+    the corpus gate and the fuzz property is: no finding is ever [Refuted]. *)
 
 val backend_equiv : config -> Kflex_kie.Instrument.t -> failure option
 (** The fifth oracle in isolation: run the instrumented program under both

@@ -30,3 +30,38 @@ val pp_lint : Format.formatter -> Kflex_verifier.Lint.diag list -> unit
 (** Summary line plus one indented line per diagnostic — the [kflexc lint]
     and [kflexc report] rendering of {!Kflex_verifier.Lint.run} output.
     Prints ["lint: clean"] for an empty list. *)
+
+val pp_lifecycle :
+  Format.formatter -> Kflex_verifier.Lifecycle.finding list -> unit
+(** Same shape as {!pp_lint} for the path-sensitive lifecycle pass:
+    summary line with per-kind counts, then one indented line per finding
+    (with its pc-trace witness). Prints ["lifecycle: clean"] for []. *)
+
+val lint_json :
+  program:string ->
+  diags:Kflex_verifier.Lint.diag list ->
+  findings:Kflex_verifier.Lifecycle.finding list ->
+  string
+(** One JSON object (no trailing newline) with the stable machine-readable
+    diagnostics schema used by [kflexc lint --json]:
+
+    {v
+    {"version":1,"program":<string>,"findings":[
+      {"source":"lint","kind":<kind>,"pc":<int>,"message":<string>},
+      {"source":"lifecycle","kind":<kind>,"pc":<int>,"site":<int>,
+       "witness":[<int>,...],"message":<string>}, ...]}
+    v}
+
+    Finding order is lint diagnostics (ascending pc) followed by lifecycle
+    findings (ascending pc). [kind] strings come from
+    {!Kflex_verifier.Lint.kind_name} / {!Kflex_verifier.Lifecycle.kind_name}
+    and are part of the schema contract. *)
+
+val chain_json :
+  programs:string list ->
+  findings:Kflex_verifier.Lifecycle.chain_finding list ->
+  string
+(** JSON object for cross-program chain analysis: like {!lint_json} but
+    with a ["chain"] array of program names instead of ["program"], and
+    each finding carries an additional ["index"] field naming the chain
+    position it applies to. *)

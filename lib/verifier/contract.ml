@@ -25,10 +25,12 @@ type t = {
   eff : effect_kind;
   destructor : string option;
   sleepable : bool;
+  lock_ordinal : int option;
 }
 
-let make ?(eff = E_pure) ?destructor ?(sleepable = false) ~name ~args ~ret () =
-  { name; args; ret; eff; destructor; sleepable }
+let make ?(eff = E_pure) ?destructor ?(sleepable = false) ?lock_ordinal ~name
+    ~args ~ret () =
+  { name; args; ret; eff; destructor; sleepable; lock_ordinal }
 
 type registry = (string, t) Hashtbl.t
 
@@ -49,16 +51,79 @@ let find reg name = Hashtbl.find_opt reg name
 let names reg =
   Hashtbl.fold (fun k _ acc -> k :: acc) reg [] |> List.sort String.compare
 
+let invariant_errors reg =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let check c =
+    let n = c.name in
+    (match c.lock_ordinal with
+    | Some k when k < 0 -> err "%s: negative lock ordinal %d" n k
+    | _ -> ());
+    (match (c.ret, c.eff) with
+    | (R_obj _ | R_obj_or_null _), E_acquire -> ()
+    | (R_obj _ | R_obj_or_null _), _ ->
+        err "%s: returns an object but is not E_acquire" n
+    | _, E_acquire -> err "%s: E_acquire but does not return an object" n
+    | _ -> ());
+    (match c.eff with
+    | E_release i ->
+        if i < 0 || i >= List.length c.args then
+          err "%s: E_release %d out of argument range" n i
+        else (
+          (match List.nth c.args i with
+          | A_obj _ -> ()
+          | _ -> err "%s: E_release %d argument is not A_obj" n i);
+          if c.lock_ordinal <> None then
+            let paired =
+              Hashtbl.fold
+                (fun _ a acc -> acc || a.destructor = Some n)
+                reg false
+            in
+            if not paired then
+              err "%s: lock-ordinal release is no contract's destructor" n)
+    | _ -> ());
+    match (c.eff, c.destructor) with
+    | E_acquire, None -> err "%s: E_acquire without a destructor" n
+    | E_acquire, Some d -> (
+        let klass =
+          match c.ret with
+          | R_obj k | R_obj_or_null k -> Some k
+          | _ -> None
+        in
+        match Hashtbl.find_opt reg d with
+        | None -> err "%s: destructor %s is not registered" n d
+        | Some dc -> (
+            (match dc.eff with
+            | E_release i -> (
+                match (List.nth_opt dc.args i, klass) with
+                | Some (A_obj k'), Some k when k <> k' ->
+                    err "%s: destructor %s releases class %s, acquires %s" n d
+                      k' k
+                | _ -> ())
+            | _ -> err "%s: destructor %s has no E_release effect" n d);
+            match (c.lock_ordinal, dc.lock_ordinal) with
+            | Some a, Some b when a <> b ->
+                err "%s: lock ordinal %d disagrees with destructor %s (%d)" n a
+                  d b
+            | Some _, None ->
+                err "%s: has a lock ordinal but destructor %s does not" n d
+            | _ -> ()))
+    | _ -> ()
+  in
+  Hashtbl.iter (fun _ c -> check c) reg;
+  List.sort String.compare !errs
+
 let kflex_base =
   [
     (* KFlex runtime API (Table 2 of the paper). *)
-    make ~name:"kflex_malloc" ~args:[ A_scalar ] ~ret:R_heap_ptr_or_null ();
+    make ~name:"kflex_malloc" ~args:[ A_scalar ] ~ret:R_heap_ptr_or_null
+      ~destructor:"kflex_free" ();
     make ~name:"kflex_heap_base" ~args:[] ~ret:R_heap_base ();
     make ~name:"kflex_free" ~args:[ A_heap_or_null ] ~ret:R_unit ();
     make ~name:"kflex_spin_lock" ~args:[ A_heap_ptr ] ~ret:(R_obj "kflex_lock")
-      ~eff:E_acquire ~destructor:"kflex_spin_unlock" ();
+      ~eff:E_acquire ~destructor:"kflex_spin_unlock" ~lock_ordinal:0 ();
     make ~name:"kflex_spin_unlock" ~args:[ A_obj "kflex_lock" ] ~ret:R_unit
-      ~eff:(E_release 0) ();
+      ~eff:(E_release 0) ~lock_ordinal:0 ();
     (* Kernel interface helpers used by the paper's extensions. *)
     make ~name:"bpf_sk_lookup_udp"
       ~args:[ A_ctx; A_stack_ptr 16; A_scalar; A_scalar; A_scalar ]

@@ -46,12 +46,18 @@ type t = {
           the object on cancellation (e.g. [bpf_sk_release]). *)
   sleepable : bool;  (** whether the helper may block (disallowed in
           non-sleepable hooks). *)
+  lock_ordinal : int option;
+      (** for spin-lock acquire/release pairs: a global lock-ordering rank.
+          Two locks must always be nested in increasing (ordinal, address)
+          order; {!Lifecycle} uses this as the source of truth for
+          order-inversion detection. *)
 }
 
 val make :
   ?eff:effect_kind ->
   ?destructor:string ->
   ?sleepable:bool ->
+  ?lock_ordinal:int ->
   name:string ->
   args:arg list ->
   ret:ret ->
@@ -66,6 +72,14 @@ val registry : t list -> registry
 val find : registry -> string -> t option
 
 val names : registry -> string list
+
+val invariant_errors : registry -> string list
+(** Structural invariants every registry must satisfy, as human-readable
+    violations (empty list = well-formed): acquiring helpers return objects
+    and name a registered destructor whose [E_release] argument matches the
+    acquired class; releasing helpers point their [E_release] index at an
+    [A_obj] argument within arity; lock ordinals are non-negative and agree
+    between an acquirer and its destructor. Sorted for determinism. *)
 
 val kflex_base : t list
 (** Contracts for the KFlex runtime API of Table 2 ([kflex_malloc],

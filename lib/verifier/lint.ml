@@ -155,118 +155,214 @@ let overlapping_slots disp width =
   let lo = max 0 (first / 8) and hi = min (Prog.stack_size / 8 - 1) (last / 8) in
   List.init (max 0 (hi - lo + 1)) (fun i -> lo + i)
 
-let dead_store_diags (a : Verify.analysis) =
+(* --- slot liveness on the fixpoint engine --------------------------------
+
+   Dead-store detection is backward liveness over the 64 stack slots: a
+   full-slot store whose slot is dead in the post-fact is never read on any
+   path. The old block-local pass gave up at every helper call; here the
+   contract registry proves most calls cannot read a given slot — only the
+   slots covered by an [A_stack_ptr n] argument (at its abstract constant
+   offset) are made live, and only a helper whose arguments could carry an
+   unannotated stack pointer degrades the fact to "all live". *)
+
+type slot_live = { top : bool; mask : int64 }
+
+let sl_join x y = { top = x.top || y.top; mask = Int64.logor x.mask y.mask }
+
+let sl_equal x y = x.top = y.top && Int64.equal x.mask y.mask
+
+let sl_all = { top = true; mask = -1L }
+
+let sl_none = { top = false; mask = 0L }
+
+let sl_gen f slots =
+  if f.top then f
+  else
+    {
+      f with
+      mask =
+        List.fold_left
+          (fun m s -> Int64.logor m (Int64.shift_left 1L s))
+          f.mask slots;
+    }
+
+let sl_kill f slot =
+  if f.top then f
+  else { f with mask = Int64.logand f.mask (Int64.lognot (Int64.shift_left 1L slot)) }
+
+let sl_mem f slot =
+  f.top || Int64.logand f.mask (Int64.shift_left 1L slot) <> 0L
+
+(* Slots a helper call may read, from its contract and the verifier's
+   abstract pre-state at the call; [None] = unknown (all slots live). *)
+let call_slot_gen ~contracts (a : Verify.analysis) pc name =
+  match Contract.find contracts name with
+  | None -> None
+  | Some c ->
+      let st = a.Verify.states_at.(pc) in
+      let arg_val i =
+        match st with
+        | Some st when i < 5 -> Some (State.get st (Reg.of_int (i + 1)))
+        | _ -> None
+      in
+      let rec go i acc = function
+        | [] -> Some acc
+        | arg :: tl -> (
+            match (arg, arg_val i) with
+            | Contract.A_stack_ptr n, Some (Value.Ptr { kind = Value.Stack; off; _ })
+              -> (
+                match Range.is_const off with
+                | Some o ->
+                    let byte = Int64.to_int o + Prog.stack_size in
+                    let lo = max 0 (byte / 8)
+                    and hi = min (Prog.stack_size / 8 - 1) ((byte + n - 1) / 8) in
+                    let slots = List.init (max 0 (hi - lo + 1)) (fun k -> lo + k) in
+                    go (i + 1) (slots @ acc) tl
+                | None -> None)
+            | Contract.A_stack_ptr _, _ -> None
+            | Contract.A_any, Some (Value.Ptr { kind = Value.Stack; _ }) -> None
+            | Contract.A_any, None -> None
+            | _ -> go (i + 1) acc tl)
+      in
+      go 0 [] c.Contract.args
+
+let slot_transfer ~contracts (a : Verify.analysis) pc insn f =
+  match insn with
+  | Insn.Stx (sz, d, disp, _) | Insn.St (sz, d, disp, _)
+    when Reg.equal d Reg.fp -> (
+      match slot_of_full_store disp (Insn.size_bytes sz) with
+      | Some slot -> sl_kill f slot
+      | None -> f (* partial: neither reads nor fully overwrites *))
+  | Insn.Ldx (sz, _, s, disp) when Reg.equal s Reg.fp ->
+      sl_gen f (overlapping_slots disp (Insn.size_bytes sz))
+  | Insn.Atomic (_, sz, d, disp, _) when Reg.equal d Reg.fp ->
+      sl_gen f (overlapping_slots disp (Insn.size_bytes sz))
+  | Insn.Call name -> (
+      match call_slot_gen ~contracts a pc name with
+      | Some slots -> sl_gen f slots
+      | None -> sl_all)
+  | _ -> f
+
+(* Block-local look-ahead for the friendlier half of the message. *)
+let overwrite_pc ~contracts (a : Verify.analysis) pc slot =
+  let b = Cfg.block_of_pc a.Verify.cfg pc in
+  let insns = Prog.insns a.Verify.prog in
+  let rec scan pc' =
+    if pc' > b.Cfg.last then None
+    else
+      match insns.(pc') with
+      | Insn.Stx (sz, d, disp, _) | Insn.St (sz, d, disp, _)
+        when Reg.equal d Reg.fp
+             && slot_of_full_store disp (Insn.size_bytes sz) = Some slot ->
+          Some pc'
+      | insn ->
+          (* anything that could read the slot ends the scan *)
+          let keeps_looking =
+            match insn with
+            | Insn.Ldx (sz, _, s, disp) when Reg.equal s Reg.fp ->
+                not (List.mem slot (overlapping_slots disp (Insn.size_bytes sz)))
+            | Insn.Call name ->
+                call_slot_gen ~contracts a pc' name = Some []
+            | Insn.Exit -> false
+            | _ -> true
+          in
+          if keeps_looking then scan (pc' + 1) else None
+  in
+  scan (pc + 1)
+
+let dead_store_diags ~contracts (a : Verify.analysis) =
   let prog = a.Verify.prog in
   let insns = Prog.insns prog in
   if Array.exists fp_escapes insns then []
   else
-    let diags = ref [] in
-    let blocks = Cfg.blocks a.Verify.cfg in
-    Array.iter
-      (fun (b : Cfg.block) ->
-        if a.Verify.reached.(b.Cfg.id) then begin
-          let pending = Hashtbl.create 8 in
-          let report slot store_pc overwritten_pc =
-            diags :=
-              {
-                pc = store_pc;
-                kind = Dead_store;
-                msg =
-                  (match overwritten_pc with
-                  | Some opc ->
-                      Format.sprintf
-                        "store to stack slot %d (fp%+d) is dead: overwritten \
-                         at insn %d before any read"
-                        slot
-                        ((slot * 8) - Prog.stack_size)
-                        opc
-                  | None ->
-                      Format.sprintf
-                        "store to stack slot %d (fp%+d) is dead: never read \
-                         before exit"
-                        slot
-                        ((slot * 8) - Prog.stack_size));
-              }
-              :: !diags
-          in
-          for pc = b.Cfg.first to b.Cfg.last do
-            match insns.(pc) with
+    let spec =
+      {
+        Dataflow.join = sl_join;
+        equal = sl_equal;
+        transfer = slot_transfer ~contracts a;
+        edge = None;
+      }
+    in
+    match Dataflow.backward a ~exit_fact:sl_none spec with
+    | exception Dataflow.Diverged -> []
+    | post ->
+        let diags = ref [] in
+        Array.iteri
+          (fun pc insn ->
+            match insn with
             | Insn.Stx (sz, d, disp, _) | Insn.St (sz, d, disp, _)
               when Reg.equal d Reg.fp -> (
-                let width = Insn.size_bytes sz in
-                match slot_of_full_store disp width with
-                | Some slot ->
-                    (match Hashtbl.find_opt pending slot with
-                    | Some old_pc -> report slot old_pc (Some pc)
-                    | None -> ());
-                    Hashtbl.replace pending slot pc
-                | None ->
-                    (* partial or unaligned: clobbers without fully proving
-                       the prior store dead *)
-                    List.iter (Hashtbl.remove pending)
-                      (overlapping_slots disp width))
-            | Insn.Ldx (sz, _, s, disp) when Reg.equal s Reg.fp ->
-                List.iter (Hashtbl.remove pending)
-                  (overlapping_slots disp (Insn.size_bytes sz))
-            | Insn.Call _ ->
-                (* helpers may read stack buffers *)
-                Hashtbl.reset pending
-            | Insn.Exit ->
-                Hashtbl.iter (fun slot store_pc -> report slot store_pc None)
-                  pending;
-                Hashtbl.reset pending
-            | _ -> ()
-          done
-        end)
-      blocks;
-    !diags
+                match (slot_of_full_store disp (Insn.size_bytes sz), post.(pc)) with
+                | Some slot, Some f when not (sl_mem f slot) ->
+                    let where =
+                      match overwrite_pc ~contracts a pc slot with
+                      | Some opc ->
+                          Format.sprintf "overwritten at insn %d before any read"
+                            opc
+                      | None -> "never read on any path to exit"
+                    in
+                    diags :=
+                      {
+                        pc;
+                        kind = Dead_store;
+                        msg =
+                          Format.sprintf
+                            "store to stack slot %d (fp%+d) is dead: %s" slot
+                            ((slot * 8) - Prog.stack_size)
+                            where;
+                      }
+                      :: !diags
+                | _ -> ())
+            | _ -> ())
+          insns;
+        !diags
+
+(* --- r0 liveness on the fixpoint engine ---------------------------------- *)
 
 let ignored_result_diags ~contracts (a : Verify.analysis) =
   let prog = a.Verify.prog in
-  let diags = ref [] in
-  let blocks = Cfg.blocks a.Verify.cfg in
-  Array.iter
-    (fun (b : Cfg.block) ->
-      if a.Verify.reached.(b.Cfg.id) then begin
-        let pending = ref None in
-        let report (pc0, name) clobber_pc =
-          diags :=
-            {
-              pc = pc0;
-              kind = Ignored_result;
-              msg =
-                Format.sprintf
-                  "result of `call %s` is ignored: r0 is overwritten at insn \
-                   %d without being read"
-                  name clobber_pc;
-            }
-            :: !diags
-        in
-        for pc = b.Cfg.first to b.Cfg.last do
-          let insn = Prog.get prog pc in
-          let reads_r0 =
-            List.exists (fun r -> Reg.equal r Reg.R0) (reads contracts insn)
-          in
-          if reads_r0 then pending := None
-          else if writes_r0 insn then begin
-            (match !pending with Some p -> report p pc | None -> ());
-            pending := None
-          end;
+  let spec =
+    {
+      Dataflow.join = ( || );
+      equal = Bool.equal;
+      transfer =
+        (fun _pc insn live ->
+          List.exists (fun r -> Reg.equal r Reg.R0) (reads contracts insn)
+          || (live && not (writes_r0 insn)));
+      edge = None;
+    }
+  in
+  match Dataflow.backward a ~exit_fact:false spec with
+  | exception Dataflow.Diverged -> []
+  | post ->
+      let diags = ref [] in
+      Array.iteri
+        (fun pc insn ->
           match insn with
-          | Insn.Call name -> (
-              match Contract.find contracts name with
-              | Some { Contract.ret = Contract.R_unit; _ } -> ()
-              | _ -> pending := Some (pc, name))
-          | _ -> ()
-        done
-      end)
-    blocks;
-  !diags
+          | Insn.Call name
+            when (match Contract.find contracts name with
+                 | Some { Contract.ret = Contract.R_unit; _ } -> false
+                 | _ -> true)
+                 && post.(pc) = Some false ->
+              diags :=
+                {
+                  pc;
+                  kind = Ignored_result;
+                  msg =
+                    Format.sprintf
+                      "result of `call %s` is ignored: r0 is never read on \
+                       any path"
+                      name;
+                }
+                :: !diags
+          | _ -> ())
+        (Prog.insns prog);
+      !diags
 
 let run ~contracts (a : Verify.analysis) =
   let diags =
     unreachable_diags a @ verdict_diags a @ redundant_mask_diags a
-    @ dead_store_diags a
+    @ dead_store_diags ~contracts a
     @ ignored_result_diags ~contracts a
   in
   List.sort

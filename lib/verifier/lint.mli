@@ -20,9 +20,13 @@
 
     Every diagnostic is conservative: a finding is only emitted when the
     analysis {e proves} the code is inert on all paths, so there are no
-    false positives on verified programs (dead-store and ignored-result
-    tracking is block-local and gives up at calls or when a stack address
-    escapes [r10]). *)
+    false positives on verified programs. Dead-store and ignored-result
+    tracking run as whole-program backward liveness on {!Dataflow}; a
+    helper call only keeps a slot alive when its contract says it can read
+    it (an [A_stack_ptr n] argument covering the slot at the abstract call
+    state, or an argument shape that could hide a stack pointer). The one
+    global give-up left is a stack address escaping [r10] into data flow,
+    where slots can alias through any register. *)
 
 type kind =
   | Unreachable

@@ -235,6 +235,100 @@ let t_run_case_deterministic () =
   let b = Oracle.run_case Oracle.default_config prog in
   Alcotest.(check bool) "same verdict" true (a = b)
 
+(* --- the lifecycle no-false-positive contract --------------------------- *)
+
+module Lifecycle = Kflex_verifier.Lifecycle
+
+(* A finding is a false positive only when concrete execution follows its
+   full pc witness and contradicts the claim — [Oracle.Refuted]. Anything
+   merely unexercised is fine (one run explores one path); anything
+   confirmed is the pass working as designed. *)
+let lifecycle_no_refutation name cfg prog =
+  match Oracle.lifecycle_report cfg prog with
+  | Error _ -> ()
+  | Ok statuses ->
+      List.iter
+        (fun ((f : Lifecycle.finding), st) ->
+          if st = Oracle.Refuted then
+            Alcotest.failf "%s: refuted %s at pc %d (site %d): %s" name
+              (Lifecycle.kind_name f.Lifecycle.kind)
+              f.Lifecycle.pc f.Lifecycle.site f.Lifecycle.msg)
+        statuses
+
+(* Every committed reproducer, under its own config: no lifecycle finding on
+   either program of a pair may be refuted by concrete execution. *)
+let t_corpus_lifecycle_gate () =
+  Sys.readdir "corpus" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".kfxr")
+  |> List.iter (fun f ->
+         let r = Corpus.read (Filename.concat "corpus" f) in
+         lifecycle_no_refutation f r.Corpus.config r.Corpus.prog;
+         Option.iter
+           (lifecycle_no_refutation (f ^ "#2") r.Corpus.config)
+           r.Corpus.prog2)
+
+(* The concrete side of the oracle must be able to say [Confirmed], not just
+   [Unexercised] — otherwise the no-refutation property would be vacuous.
+   Two straight-line programs whose findings any run exercises: *)
+let t_lifecycle_confirms () =
+  let status name prog kind =
+    match Oracle.lifecycle_report Oracle.default_config prog with
+    | Error e -> Alcotest.failf "%s: rejected: %s" name e
+    | Ok statuses -> (
+        match
+          List.find_opt
+            (fun ((f : Lifecycle.finding), _) -> f.Lifecycle.kind = kind)
+            statuses
+        with
+        | Some (_, st) -> Oracle.lifecycle_status_name st
+        | None ->
+            Alcotest.failf "%s: no %s finding" name (Lifecycle.kind_name kind))
+  in
+  let leak =
+    Gen.assemble
+      [
+        Asm.movi Reg.R1 64L;
+        Asm.call "kflex_malloc";
+        Asm.movi Reg.R0 0L;
+        Asm.exit_;
+      ]
+  in
+  Alcotest.(check string) "leak confirmed" "confirmed"
+    (status "leak" leak Lifecycle.Leak);
+  let nullderef =
+    Gen.assemble
+      [
+        Asm.movi Reg.R1 64L;
+        Asm.call "kflex_malloc";
+        Asm.ldx Insn.U64 Reg.R3 Reg.R0 0;
+        Asm.movi Reg.R0 0L;
+        Asm.exit_;
+      ]
+  in
+  Alcotest.(check string) "null-deref confirmed" "confirmed"
+    (status "nullderef" nullderef Lifecycle.Null_deref)
+
+(* 1000 fuzz-generated programs (the generator deliberately emits unchecked
+   malloc derefs about half the time, so lifecycle findings are common):
+   every finding on every verifier-accepted program must be confirmed or
+   unexercised, never refuted. *)
+let prop_lifecycle_no_false_positive =
+  QCheck.Test.make ~count:1000 ~name:"lifecycle findings are never refuted"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let cfg = Oracle.default_config in
+      let items =
+        Gen.generate ~rng ~heap_size:cfg.Oracle.heap_size ~port:cfg.Oracle.port
+      in
+      match Gen.assemble items with
+      | exception _ -> true
+      | prog -> (
+          match Oracle.lifecycle_report cfg prog with
+          | Error _ -> true
+          | Ok statuses ->
+              List.for_all (fun (_, st) -> st <> Oracle.Refuted) statuses))
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -262,5 +356,10 @@ let () =
             t_chain_equiv_deterministic;
           Alcotest.test_case "corpus pair roundtrip" `Quick
             t_corpus_pair_roundtrip;
+          Alcotest.test_case "corpus lifecycle gate" `Quick
+            t_corpus_lifecycle_gate;
+          Alcotest.test_case "lifecycle oracle confirms" `Quick
+            t_lifecycle_confirms;
+          QCheck_alcotest.to_alcotest prop_lifecycle_no_false_positive;
         ] );
     ]

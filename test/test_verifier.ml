@@ -810,6 +810,82 @@ let t_lint_dead_store_conservative () =
   Alcotest.(check (list int)) "no dead stores" []
     (pcs_of Lint.Dead_store diags)
 
+let t_lint_dead_store_past_call () =
+  (* pkt_len's contract has no stack-pointer argument, so the call provably
+     cannot read slot fp-8 — the first store is dead across it *)
+  let diags =
+    lint
+      [
+        sti Insn.U64 R10 (-8) 1L;
+        call "pkt_len";
+        sti Insn.U64 R10 (-8) 2L;
+        ldx Insn.U64 R0 R10 (-8);
+        exit_;
+      ]
+  in
+  Alcotest.(check (list int)) "dead across the call" [ 0 ]
+    (pcs_of Lint.Dead_store diags)
+
+let t_lint_store_read_by_helper_live () =
+  (* bpf_map_lookup reads its key/value buffers via A_stack_ptr args: the
+     stores feeding them must stay live *)
+  let diags =
+    lint
+      [
+        sti Insn.U64 R10 (-8) 1L;
+        sti Insn.U64 R10 (-16) 0L;
+        movi R1 0L;
+        mov R2 R10;
+        alui Insn.Add R2 (-8L);
+        mov R3 R10;
+        alui Insn.Add R3 (-16L);
+        call "bpf_map_lookup";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  Alcotest.(check (list int)) "no dead stores" []
+    (pcs_of Lint.Dead_store diags)
+
+let t_lint_dead_store_cross_block () =
+  (* both branch arms overwrite the slot before any read — only whole-CFG
+     liveness sees this *)
+  let diags =
+    lint
+      [
+        sti Insn.U64 R10 (-8) 1L;
+        ldx Insn.U32 R2 R1 0;
+        jmpi Insn.Eq R2 0L "a";
+        sti Insn.U64 R10 (-8) 2L;
+        ja "b";
+        label "a";
+        sti Insn.U64 R10 (-8) 3L;
+        label "b";
+        ldx Insn.U64 R0 R10 (-8);
+        exit_;
+      ]
+  in
+  Alcotest.(check (list int)) "store before the branch is dead" [ 0 ]
+    (pcs_of Lint.Dead_store diags)
+
+let t_lint_ignored_result_cross_block () =
+  let diags =
+    lint
+      [
+        mov R6 R1;
+        call "bpf_ktime_get_ns";
+        ldx Insn.U32 R2 R6 0;
+        jmpi Insn.Eq R2 0L "a";
+        movi R0 0L;
+        exit_;
+        label "a";
+        movi R0 1L;
+        exit_;
+      ]
+  in
+  Alcotest.(check (list int)) "ignored on every arm" [ 1 ]
+    (pcs_of Lint.Ignored_result diags)
+
 let t_lint_redundant_guard () =
   let diags =
     lint
@@ -885,6 +961,402 @@ let t_lint_kinds_cover () =
     (List.mem Lint.Unreachable (kinds_of diags));
   let pcs = List.map (fun (d : Lint.diag) -> d.Lint.pc) diags in
   Alcotest.(check (list int)) "sorted by pc" (List.sort Int.compare pcs) pcs
+
+(* --- lifecycle analysis --------------------------------------------------- *)
+
+let lifecycle items = Lifecycle.run ~contracts (expect_ok items)
+
+let lc_kinds fs = List.map (fun (f : Lifecycle.finding) -> f.Lifecycle.kind) fs
+
+let check_lc name expected fs =
+  Alcotest.(check (list string))
+    name
+    (List.map Lifecycle.kind_name expected)
+    (List.map Lifecycle.kind_name (lc_kinds fs))
+
+let t_lc_conditional_leak () =
+  let fs =
+    lifecycle
+      [
+        mov R6 R1;
+        movi R1 16L;
+        call "kflex_malloc";
+        jmpi Insn.Eq R0 0L "out";
+        mov R7 R0;
+        ldx Insn.U32 R2 R6 0;
+        jmpi Insn.Eq R2 0L "skip";
+        mov R1 R7;
+        call "kflex_free";
+        label "skip";
+        label "out";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  check_lc "conditional leak" [ Lifecycle.Leak ] fs;
+  let f = List.hd fs in
+  Alcotest.(check int) "site = malloc pc" 2 f.Lifecycle.site;
+  Alcotest.(check int) "manifests at exit" 10 f.Lifecycle.pc;
+  (* the witness is the branch-skipping path, in execution order *)
+  Alcotest.(check (list int))
+    "path witness" [ 0; 1; 2; 3; 4; 5; 6; 9; 10 ] f.Lifecycle.witness
+
+let t_lc_leak_by_overwrite () =
+  let fs =
+    lifecycle
+      [
+        movi R1 8L;
+        call "kflex_malloc";
+        jmpi Insn.Eq R0 0L "out";
+        movi R0 0L;
+        label "out";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  check_lc "overwrite leak" [ Lifecycle.Leak ] fs;
+  let f = List.hd fs in
+  Alcotest.(check int) "site" 1 f.Lifecycle.site;
+  Alcotest.(check int) "pc = overwriting insn" 3 f.Lifecycle.pc;
+  Alcotest.(check (list int)) "witness" [ 0; 1; 2; 3 ] f.Lifecycle.witness
+
+let t_lc_double_free () =
+  let fs =
+    lifecycle
+      [
+        movi R1 16L;
+        call "kflex_malloc";
+        jmpi Insn.Eq R0 0L "out";
+        mov R7 R0;
+        mov R1 R7;
+        call "kflex_free";
+        mov R1 R7;
+        call "kflex_free";
+        label "out";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  check_lc "double free" [ Lifecycle.Double_release ] fs;
+  let f = List.hd fs in
+  Alcotest.(check int) "site" 1 f.Lifecycle.site;
+  Alcotest.(check int) "second free pc" 7 f.Lifecycle.pc
+
+let t_lc_use_after_free () =
+  let fs =
+    lifecycle
+      [
+        movi R1 8L;
+        call "kflex_malloc";
+        jmpi Insn.Eq R0 0L "out";
+        mov R7 R0;
+        mov R1 R7;
+        call "kflex_free";
+        ldx Insn.U64 R3 R7 0;
+        label "out";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  check_lc "use after free" [ Lifecycle.Use_after_release ] fs;
+  let f = List.hd fs in
+  Alcotest.(check int) "site" 1 f.Lifecycle.site;
+  Alcotest.(check int) "deref pc" 6 f.Lifecycle.pc
+
+let t_lc_null_deref () =
+  let fs =
+    lifecycle
+      [
+        movi R1 8L;
+        call "kflex_malloc";
+        sti Insn.U32 R0 0 5L;
+        mov R1 R0;
+        call "kflex_free";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  check_lc "null deref" [ Lifecycle.Null_deref ] fs;
+  let f = List.hd fs in
+  Alcotest.(check int) "site" 1 f.Lifecycle.site;
+  Alcotest.(check int) "deref pc" 2 f.Lifecycle.pc;
+  Alcotest.(check (list int)) "witness" [ 0; 1; 2 ] f.Lifecycle.witness
+
+let t_lc_clean_checked () =
+  check_lc "checked and freed: clean" []
+    (lifecycle
+       [
+         movi R1 8L;
+         call "kflex_malloc";
+         jmpi Insn.Eq R0 0L "out";
+         sti Insn.U32 R0 0 1L;
+         mov R1 R0;
+         call "kflex_free";
+         label "out";
+         movi R0 0L;
+         exit_;
+       ])
+
+let t_lc_spill_reload_clean () =
+  (* the binding survives a spill, a clobbering helper call the contract
+     registry knows cannot free the block, and a reload *)
+  check_lc "spill/reload: clean" []
+    (lifecycle
+       [
+         movi R1 8L;
+         call "kflex_malloc";
+         jmpi Insn.Eq R0 0L "out";
+         stx Insn.U64 R10 (-8) R0;
+         call "bpf_ktime_get_ns";
+         mov R6 R0;
+         ldx Insn.U64 R1 R10 (-8);
+         call "kflex_free";
+         label "out";
+         movi R0 0L;
+         exit_;
+       ])
+
+let t_lc_escape_untracks () =
+  (* pointer arithmetic and heap stores escape the block: never reported *)
+  check_lc "escaped block: silent" []
+    (lifecycle
+       [
+         movi R1 8L;
+         call "kflex_malloc";
+         jmpi Insn.Eq R0 0L "out";
+         alui Insn.Add R0 4L;
+         label "out";
+         movi R0 0L;
+         exit_;
+       ])
+
+let t_lc_lock_hazard () =
+  let fs =
+    lifecycle
+      ([
+         mov R6 R1;
+         call "kflex_heap_base";
+         mov R7 R0;
+         mov R1 R7;
+         call "kflex_spin_lock";
+         mov R8 R0;
+         sti Insn.U64 R10 (-16) 0L;
+         sti Insn.U64 R10 (-8) 0L;
+         mov R2 R10;
+         alui Insn.Add R2 (-16L);
+         movi R3 16L;
+         movi R4 0L;
+         movi R5 0L;
+         mov R1 R6;
+         call "bpf_sk_lookup_udp";
+       ]
+      @ [
+          jmpi Insn.Eq R0 0L "nosock";
+          mov R1 R0;
+          call "bpf_sk_release";
+          label "nosock";
+          mov R1 R8;
+          call "kflex_spin_unlock";
+          movi R0 0L;
+          exit_;
+        ])
+  in
+  check_lc "acquiring helper under spin lock" [ Lifecycle.Lock_hazard ] fs;
+  let f = List.hd fs in
+  Alcotest.(check int) "site = lock acquisition" 4 f.Lifecycle.site;
+  Alcotest.(check int) "hazard at the lookup call" 14 f.Lifecycle.pc
+
+let t_lc_lock_order_inversion () =
+  let fs =
+    lifecycle
+      [
+        call "kflex_heap_base";
+        mov R6 R0;
+        mov R1 R6;
+        alui Insn.Add R1 128L;
+        call "kflex_spin_lock";
+        mov R7 R0;
+        mov R1 R6;
+        alui Insn.Add R1 64L;
+        call "kflex_spin_lock";
+        mov R8 R0;
+        mov R1 R8;
+        call "kflex_spin_unlock";
+        mov R1 R7;
+        call "kflex_spin_unlock";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  check_lc "order inversion" [ Lifecycle.Lock_order ] fs;
+  let f = List.hd fs in
+  Alcotest.(check int) "site = outer lock" 4 f.Lifecycle.site;
+  Alcotest.(check int) "inversion at inner lock" 8 f.Lifecycle.pc
+
+let t_lc_lock_self_deadlock () =
+  let fs =
+    lifecycle
+      [
+        call "kflex_heap_base";
+        mov R6 R0;
+        mov R1 R6;
+        alui Insn.Add R1 64L;
+        call "kflex_spin_lock";
+        mov R7 R0;
+        mov R1 R6;
+        alui Insn.Add R1 64L;
+        call "kflex_spin_lock";
+        mov R8 R0;
+        mov R1 R8;
+        call "kflex_spin_unlock";
+        mov R1 R7;
+        call "kflex_spin_unlock";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  check_lc "self deadlock" [ Lifecycle.Lock_order ] fs;
+  Alcotest.(check int) "re-acquisition pc" 8 (List.hd fs).Lifecycle.pc
+
+let t_lc_locks_ordered_clean () =
+  check_lc "increasing order: clean" []
+    (lifecycle
+       [
+         call "kflex_heap_base";
+         mov R6 R0;
+         mov R1 R6;
+         call "kflex_spin_lock";
+         mov R7 R0;
+         mov R1 R6;
+         alui Insn.Add R1 64L;
+         call "kflex_spin_lock";
+         mov R8 R0;
+         mov R1 R8;
+         call "kflex_spin_unlock";
+         mov R1 R7;
+         call "kflex_spin_unlock";
+         movi R0 0L;
+         exit_;
+       ])
+
+let t_lc_lock_in_unbounded_loop () =
+  (* holding a spin lock across an unbounded-loop back edge stalls the
+     cancellation point Kie will place there *)
+  let fs =
+    lifecycle
+      [
+        call "kflex_heap_base";
+        mov R6 R0;
+        mov R1 R6;
+        call "kflex_spin_lock";
+        mov R7 R0;
+        ldx Insn.U64 R8 R6 8;
+        label "loop";
+        alui Insn.Add R8 1L;
+        jmpi Insn.Ne R8 0L "loop";
+        mov R1 R7;
+        call "kflex_spin_unlock";
+        movi R0 0L;
+        exit_;
+      ]
+  in
+  Alcotest.(check bool) "hazard reported" true
+    (List.mem Lifecycle.Lock_hazard (lc_kinds fs))
+
+let t_lc_chain_unreachable () =
+  let an items =
+    expect_ok items
+  in
+  let blocker =
+    an [ movi R0 1L; exit_ ] (* always XDP_DROP; never the pass verdict *)
+  in
+  let downstream =
+    an
+      [
+        movi R1 8L;
+        call "kflex_malloc";
+        jmpi Insn.Eq R0 0L "out";
+        mov R1 R0;
+        call "kflex_free";
+        label "out";
+        movi R0 2L;
+        exit_;
+      ]
+  in
+  let pass = Kflex_kernel.Hook.pass_verdict Kflex_kernel.Hook.Xdp in
+  let cfs = Lifecycle.run_chain ~contracts ~pass_verdict:pass [ blocker; downstream ] in
+  match cfs with
+  | [ { Lifecycle.index = 1; finding } ] ->
+      Alcotest.(check string)
+        "kind" "chain-unreachable"
+        (Lifecycle.kind_name finding.Lifecycle.kind);
+      Alcotest.(check (list int))
+        "witness = blocker exits" [ 1 ] finding.Lifecycle.witness
+  | fs ->
+      Alcotest.failf "expected exactly one chain finding, got %d" (List.length fs)
+
+let t_lc_chain_reachable_clean () =
+  let cond =
+    expect_ok
+      [
+        ldx Insn.U32 R2 R1 0;
+        jmpi Insn.Eq R2 0L "drop";
+        movi R0 2L;
+        exit_;
+        label "drop";
+        movi R0 1L;
+        exit_;
+      ]
+  in
+  let plain = expect_ok [ movi R0 2L; exit_ ] in
+  let pass = Kflex_kernel.Hook.pass_verdict Kflex_kernel.Hook.Xdp in
+  Alcotest.(check int) "no chain findings" 0
+    (List.length (Lifecycle.run_chain ~contracts ~pass_verdict:pass [ cond; plain ]))
+
+(* --- contract registry invariants ---------------------------------------- *)
+
+let t_contract_base_well_formed () =
+  Alcotest.(check (list string)) "no violations" []
+    (Contract.invariant_errors contracts)
+
+let t_contract_acquire_needs_destructor () =
+  let reg =
+    Contract.registry
+      [
+        Contract.make ~name:"acq" ~args:[] ~ret:(Contract.R_obj "x")
+          ~eff:Contract.E_acquire ();
+      ]
+  in
+  Alcotest.(check bool) "violation reported" true
+    (Contract.invariant_errors reg <> [])
+
+let t_contract_ordinal_mismatch () =
+  let reg =
+    Contract.registry
+      [
+        Contract.make ~name:"lk" ~args:[ Contract.A_heap_ptr ]
+          ~ret:(Contract.R_obj "l") ~eff:Contract.E_acquire ~destructor:"ulk"
+          ~lock_ordinal:0 ();
+        Contract.make ~name:"ulk" ~args:[ Contract.A_obj "l" ]
+          ~ret:Contract.R_unit ~eff:(Contract.E_release 0) ~lock_ordinal:1 ();
+      ]
+  in
+  Alcotest.(check bool) "ordinal disagreement reported" true
+    (List.exists
+       (fun m -> String.length m > 0 && String.index_opt m ':' <> None)
+       (Contract.invariant_errors reg)
+    && Contract.invariant_errors reg <> [])
+
+let t_contract_release_arg_shape () =
+  let reg =
+    Contract.registry
+      [
+        Contract.make ~name:"rel" ~args:[ Contract.A_scalar ]
+          ~ret:Contract.R_unit ~eff:(Contract.E_release 0) ();
+      ]
+  in
+  Alcotest.(check bool) "release arg must be A_obj" true
+    (Contract.invariant_errors reg <> [])
 
 (* Guard semantics: sanitisation is idempotent and lands in-heap. *)
 let prop_sanitize_idempotent =
@@ -1001,6 +1473,14 @@ let () =
             t_lint_dead_store_at_exit;
           Alcotest.test_case "dead store conservatism" `Quick
             t_lint_dead_store_conservative;
+          Alcotest.test_case "dead store past call" `Quick
+            t_lint_dead_store_past_call;
+          Alcotest.test_case "helper-read store live" `Quick
+            t_lint_store_read_by_helper_live;
+          Alcotest.test_case "dead store cross-block" `Quick
+            t_lint_dead_store_cross_block;
+          Alcotest.test_case "ignored result cross-block" `Quick
+            t_lint_ignored_result_cross_block;
           Alcotest.test_case "redundant guard" `Quick t_lint_redundant_guard;
           Alcotest.test_case "ignored helper result" `Quick
             t_lint_ignored_result;
@@ -1008,5 +1488,38 @@ let () =
             t_lint_result_used_not_flagged;
           Alcotest.test_case "kind coverage + ordering" `Quick
             t_lint_kinds_cover;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "conditional leak" `Quick t_lc_conditional_leak;
+          Alcotest.test_case "leak by overwrite" `Quick t_lc_leak_by_overwrite;
+          Alcotest.test_case "double free" `Quick t_lc_double_free;
+          Alcotest.test_case "use after free" `Quick t_lc_use_after_free;
+          Alcotest.test_case "null deref" `Quick t_lc_null_deref;
+          Alcotest.test_case "checked+freed clean" `Quick t_lc_clean_checked;
+          Alcotest.test_case "spill/reload clean" `Quick
+            t_lc_spill_reload_clean;
+          Alcotest.test_case "escape untracks" `Quick t_lc_escape_untracks;
+          Alcotest.test_case "lookup under lock" `Quick t_lc_lock_hazard;
+          Alcotest.test_case "lock order inversion" `Quick
+            t_lc_lock_order_inversion;
+          Alcotest.test_case "self deadlock" `Quick t_lc_lock_self_deadlock;
+          Alcotest.test_case "ordered locks clean" `Quick
+            t_lc_locks_ordered_clean;
+          Alcotest.test_case "lock across back edge" `Quick
+            t_lc_lock_in_unbounded_loop;
+          Alcotest.test_case "chain unreachable" `Quick t_lc_chain_unreachable;
+          Alcotest.test_case "chain reachable clean" `Quick
+            t_lc_chain_reachable_clean;
+        ] );
+      ( "contracts",
+        [
+          Alcotest.test_case "base registry well-formed" `Quick
+            t_contract_base_well_formed;
+          Alcotest.test_case "acquire needs destructor" `Quick
+            t_contract_acquire_needs_destructor;
+          Alcotest.test_case "ordinal mismatch" `Quick t_contract_ordinal_mismatch;
+          Alcotest.test_case "release arg shape" `Quick
+            t_contract_release_arg_shape;
         ] );
     ]
