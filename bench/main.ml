@@ -157,6 +157,7 @@ type jit_meas = {
   jm_secs : float;
   jm_compile_ms : float;
   jm_fused : int;
+  jm_mwords : float;  (* minor-heap words allocated inside the timed loop *)
 }
 
 let jit_variant kind ~opseq ~preload ~backend ~fuse =
@@ -184,6 +185,7 @@ let jit_variant kind ~opseq ~preload ~backend ~fuse =
   (* level the GC playing field: later variants otherwise inherit the
      earlier variants' heap and pay their major collections *)
   Gc.compact ();
+  let w0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   for i = 0 to Array.length pkts - 1 do
     match Kflex.run_packet loaded ~stats ~backend pkts.(i) with
@@ -196,6 +198,7 @@ let jit_variant kind ~opseq ~preload ~backend ~fuse =
     jm_secs = Unix.gettimeofday () -. t0;
     jm_compile_ms = compile_ms;
     jm_fused = fused;
+    jm_mwords = Gc.minor_words () -. w0;
   }
 
 (* Best-of-[reps] wall clock: the host's timing noise dwarfs the
@@ -215,13 +218,78 @@ let stats_tuple (s : Kflex_runtime.Vm.stats) =
    s.Kflex_runtime.Vm.checkpoints, s.Kflex_runtime.Vm.helper_calls,
    s.Kflex_runtime.Vm.helper_cost)
 
+(* Allocation gate: the compiled hook-free hot path must allocate zero
+   minor-heap words per retired instruction. A dedicated helper-free loop
+   (frame spill/reload, guarded heap store+load, ALU chain, conditional back
+   edge — every construct the compiler specializes) runs warmed at two
+   iteration counts; the per-instruction rate is the words delta over the
+   insns delta, which cancels the constant per-exec cost (outcome
+   constructor, the one heap-base helper call). *)
+let alloc_gate_words_per_insn () =
+  let open Kflex_bpf in
+  let items iters =
+    Asm.
+      [
+        call "kflex_heap_base";
+        mov Reg.R6 Reg.R0;
+        movi Reg.R7 (Int64.of_int iters);
+        label "loop";
+        stx Insn.U64 Reg.R10 (-8) Reg.R7;
+        ldx Insn.U64 Reg.R1 Reg.R10 (-8);
+        alui Insn.And Reg.R1 0xffL;
+        alui Insn.Mul Reg.R1 8L;
+        mov Reg.R2 Reg.R6;
+        alu Insn.Add Reg.R2 Reg.R1;
+        stx Insn.U64 Reg.R2 64 Reg.R7;
+        ldx Insn.U64 Reg.R3 Reg.R2 64;
+        alu Insn.Xor Reg.R3 Reg.R7;
+        alui Insn.Sub Reg.R7 1L;
+        jmpi Insn.Ne Reg.R7 0L "loop";
+        mov Reg.R0 Reg.R3;
+        exit_;
+      ]
+  in
+  let run iters =
+    let prog = Asm.assemble ~name:"alloc_gate" (items iters) in
+    let heap = Kflex_runtime.Heap.create ~size:65536L () in
+    Kflex_runtime.Heap.populate heap ~off:0L ~len:4096L;
+    let analysis =
+      match
+        Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex
+          ~contracts:Kflex.contracts ~ctx_size:64
+          ~heap_size:(Kflex_runtime.Heap.size heap) prog
+      with
+      | Ok a -> a
+      | Error e ->
+          Format.kasprintf failwith "alloc gate: verify: %a"
+            Kflex_verifier.Verify.pp_error e
+    in
+    let kie = Kflex_kie.Instrument.run analysis in
+    let ext = Kflex_runtime.Vm.create ~heap ~quantum:max_int ~helpers:[] kie in
+    let ctx = Bytes.make 64 '\000' in
+    let stats = Kflex_runtime.Vm.fresh_stats () in
+    let go () =
+      match Kflex_runtime.Vm.exec ext ~ctx ~stats ~backend:`Compiled () with
+      | Kflex_runtime.Vm.Finished _ -> ()
+      | Kflex_runtime.Vm.Cancelled _ -> failwith "alloc gate: cancelled"
+    in
+    go () (* first run compiles and warms the pooled state *);
+    let i0 = stats.Kflex_runtime.Vm.insns in
+    let w0 = Gc.minor_words () in
+    go ();
+    (Gc.minor_words () -. w0, stats.Kflex_runtime.Vm.insns - i0)
+  in
+  let w1, i1 = run 50_000 in
+  let w2, i2 = run 100_000 in
+  (w2 -. w1) /. float_of_int (i2 - i1)
+
 let jit_bench ~smoke =
   hr "VM backend: interpreter vs closure-compiled (insns/sec wall-clock)";
   let ops = if smoke then 1_500 else 20_000 in
   pf "  (%d ops per variant, 25%% update / 75%% lookup; identical stats \
       required)@." ops;
-  pf "  %-12s %12s %12s %12s %8s %8s %6s@." "structure" "interp/s" "compiled/s"
-    "fused/s" "spd" "spd+f" "fused#";
+  pf "  %-12s %12s %12s %12s %8s %8s %6s %8s@." "structure" "interp/s"
+    "compiled/s" "fused/s" "spd" "spd+f" "fused#" "w/insn";
   let rows = ref [] in
   let mismatches = ref 0 in
   List.iter
@@ -243,7 +311,7 @@ let jit_bench ~smoke =
             let op = if i land 3 = 0 then 0 else 1 (* 25% upd / 75% lkp *) in
             (op, Int64.of_int (Kflex_workload.Rng.int rng n)))
       in
-      let reps = if smoke then 2 else 5 in
+      let reps = if smoke then 2 else 15 in
       let v backend fuse = jit_best ~reps kind ~opseq ~preload ~backend ~fuse in
       let mi = v `Interp true in
       let mc = v `Compiled false in
@@ -264,9 +332,10 @@ let jit_bench ~smoke =
       let insns = float_of_int mi.jm_stats.Kflex_runtime.Vm.insns in
       let ips m = insns /. m.jm_secs in
       let spd_c = ips mc /. ips mi and spd_f = ips mf /. ips mi in
-      pf "  %-12s %12.3e %12.3e %12.3e %7.2fx %7.2fx %6d@."
+      pf "  %-12s %12.3e %12.3e %12.3e %7.2fx %7.2fx %6d %8.4f@."
         (Kflex_apps.Datastructs.name kind)
-        (ips mi) (ips mc) (ips mf) spd_c spd_f mf.jm_fused;
+        (ips mi) (ips mc) (ips mf) spd_c spd_f mf.jm_fused
+        (mf.jm_mwords /. insns);
       rows :=
         (kind, mi, mc, mf, same) :: !rows)
     Kflex_apps.Datastructs.all;
@@ -284,6 +353,11 @@ let jit_bench ~smoke =
   let minimum = List.fold_left min infinity speedups in
   pf "  fused speedup: min %.2fx, geomean %.2fx%s@." minimum geomean
     (if !mismatches = 0 then "" else "  (STATS MISMATCHES!)");
+  let gate_wpi = alloc_gate_words_per_insn () in
+  let gate_ok = gate_wpi = 0. in
+  pf "  alloc gate: %.6f minor words/insn on the hook-free compiled loop (%s)@."
+    gate_wpi
+    (if gate_ok then "PASS" else "FAIL — hot path allocates");
   (* machine-readable results *)
   let oc = open_out "BENCH_vm.json" in
   let p fmt = Printf.fprintf oc fmt in
@@ -303,20 +377,23 @@ let jit_bench ~smoke =
          %.0f, \"fused_insns_per_sec\": %.0f,\n"
         (ips mi) (ips mc) (ips mf);
       p "     \"speedup_compiled\": %.3f, \"speedup_fused\": %.3f, \
-         \"compile_ms\": %.3f, \"fused_pairs\": %d, \"stats_identical\": \
-         %b}%s\n"
+         \"compile_ms\": %.3f, \"fused_pairs\": %d, \
+         \"fused_minor_words_per_insn\": %.6f, \"stats_identical\": %b}%s\n"
         (ips mc /. ips mi)
         (ips mf /. ips mi)
-        mf.jm_compile_ms mf.jm_fused same
+        mf.jm_compile_ms mf.jm_fused
+        (mf.jm_mwords /. insns)
+        same
         (if i = List.length rows - 1 then "" else ",");
       ignore same)
     rows;
   p "  ],\n  \"summary\": {\"min_speedup_fused\": %.3f, \
-     \"geomean_speedup_fused\": %.3f, \"stats_identical\": %b}\n}\n"
-    minimum geomean (!mismatches = 0);
+     \"geomean_speedup_fused\": %.3f, \"stats_identical\": %b, \
+     \"alloc_gate_minor_words_per_insn\": %.6f, \"alloc_gate_passed\": %b}\n}\n"
+    minimum geomean (!mismatches = 0) gate_wpi gate_ok;
   close_out oc;
   pf "  wrote BENCH_vm.json@.";
-  if !mismatches > 0 then exit 1
+  if !mismatches > 0 || not gate_ok then exit 1
 
 (* ---- Engine: multi-tenant scaling curve (BENCH_engine.json) ------------ *)
 

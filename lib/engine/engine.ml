@@ -17,8 +17,8 @@ type handle = {
 
 type shard = {
   sid : int;
-  prandom : int64 ref; (* per-shard bpf_get_prandom_u32 stream *)
-  clock : int64 ref; (* per-shard bpf_ktime_get_ns virtual clock *)
+  prandom : Kflex_runtime.U64.cell; (* per-shard bpf_get_prandom_u32 stream *)
+  clock : Kflex_runtime.U64.cell; (* per-shard bpf_ktime_get_ns virtual clock *)
   stats : Vm.stats; (* per-shard; only this shard writes it *)
   mutable events : int;
   mutable cancelled : int;
@@ -58,8 +58,9 @@ let make_shard ~seed sid =
   {
     sid;
     prandom =
-      ref (Int64.logor (mix64 (Int64.add seed (Int64.of_int (sid + 1)))) 1L);
-    clock = ref 0L;
+      Kflex_runtime.U64.cell
+        (Int64.logor (mix64 (Int64.add seed (Int64.of_int (sid + 1)))) 1L);
+    clock = Kflex_runtime.U64.cell 0L;
     stats = Vm.fresh_stats ();
     events = 0;
     cancelled = 0;
@@ -252,8 +253,8 @@ let shard_helpers shard =
 
 let seed_shard t ~shard ?(vtime = 0L) prandom =
   let s = t.shards.(shard) in
-  s.prandom := Int64.logor prandom 1L;
-  s.clock := vtime
+  Kflex_runtime.U64.cell_set s.prandom (Int64.logor prandom 1L);
+  Kflex_runtime.U64.cell_set s.clock vtime
 
 (* Quiescence: an attach/detach/replace publishes generation [g]; an old
    snapshot can only be in use by a shard mid-event. Deterministic mode runs

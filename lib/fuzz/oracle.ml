@@ -471,6 +471,89 @@ let backend_equiv cfg kie =
         | Some p -> Some (fail "backend" "heap contents diverge at page %Ld" p)
         | None -> None)
 
+(* --- oracle 8: representation equivalence ------------------------------- *)
+
+(* Three-way differential over the unboxed-representation refactor: the
+   kept-boxed reference interpreter ({!Vm.Ref_interp} — [Stdlib.Int64]
+   arithmetic over a boxed [int64 array] register file and the generic
+   width-dispatched memory path, sharing no ALU/comparison/accessor code
+   with the production engines) against the unboxed interpreter and the
+   closure-compiled backend. Outcome, stats counters, packet payload and
+   heap pages must be bit-identical across all three. The reference and
+   interpreter runs are budget-bounded through [on_insn]; the compiled run
+   is bounded by the quantum (instrumentation puts a Checkpoint on every
+   loop back edge). *)
+let repr_equiv cfg kie =
+  let budget0 = (4 * cfg.quantum) + 1_000_000 in
+  let bounded () =
+    let budget = ref budget0 in
+    fun _ _ ->
+      decr budget;
+      if !budget <= 0 then raise Trace_stop
+  in
+  let env_r = build_env cfg kie in
+  let stats_r = Vm.fresh_stats () in
+  Vm.seed_prandom cfg.prandom;
+  match
+    Vm.Ref_interp.exec env_r.ext ~ctx:env_r.ctx ~stats:stats_r
+      ~on_insn:(bounded ()) ()
+  with
+  | exception Trace_stop ->
+      Some
+        (fail "harness" "execution exceeded the %d-insn safety budget" budget0)
+  | out_r -> (
+      let check tag (env : env) (stats : Vm.stats) out =
+        if out <> out_r then
+          Some
+            (fail "repr" "%s diverges from boxed reference: %a vs %a" tag
+               pp_outcome out pp_outcome out_r)
+        else if stats <> stats_r then
+          Some
+            (fail "repr"
+               "%s stats diverge from boxed reference: (i=%d g=%d c=%d hc=%d \
+                cost=%d) vs (i=%d g=%d c=%d hc=%d cost=%d)"
+               tag stats.Vm.insns stats.Vm.guards stats.Vm.checkpoints
+               stats.Vm.helper_calls stats.Vm.helper_cost stats_r.Vm.insns
+               stats_r.Vm.guards stats_r.Vm.checkpoints
+               stats_r.Vm.helper_calls stats_r.Vm.helper_cost)
+        else if
+          Bytes.to_string env.pkt.Packet.payload
+          <> Bytes.to_string env_r.pkt.Packet.payload
+        then Some (fail "repr" "%s packet payload diverges from boxed reference" tag)
+        else
+          match
+            first_diff_page (Heap.snapshot env_r.heap) (Heap.snapshot env.heap)
+          with
+          | Some p ->
+              Some
+                (fail "repr"
+                   "%s heap diverges from boxed reference at page %Ld" tag p)
+          | None -> None
+      in
+      let env_i = build_env cfg kie in
+      let stats_i = Vm.fresh_stats () in
+      Vm.seed_prandom cfg.prandom;
+      match
+        Vm.exec env_i.ext ~ctx:env_i.ctx ~stats:stats_i ~on_insn:(bounded ())
+          ()
+      with
+      | exception Trace_stop ->
+          Some
+            (fail "harness" "execution exceeded the %d-insn safety budget"
+               budget0)
+      | out_i -> (
+          match check "interpreter" env_i stats_i out_i with
+          | Some f -> Some f
+          | None ->
+              let env_c = build_env cfg kie in
+              let stats_c = Vm.fresh_stats () in
+              Vm.seed_prandom cfg.prandom;
+              let out_c =
+                Vm.exec env_c.ext ~ctx:env_c.ctx ~stats:stats_c
+                  ~backend:`Compiled ()
+              in
+              check "compiled" env_c stats_c out_c))
+
 (* --- oracle 7: lifecycle no-false-positive ------------------------------ *)
 
 module Lifecycle = Kflex_verifier.Lifecycle
@@ -518,6 +601,11 @@ let is_allocator name =
   | Some c -> c.Contract.ret = Contract.R_heap_ptr_or_null && c.Contract.destructor <> None
   | None -> false
 
+let destructor_of name =
+  match Contract.find contracts name with
+  | Some { Contract.destructor = Some d; _ } -> d
+  | _ -> ""
+
 let release_index name =
   match Contract.find contracts name with
   | Some { Contract.eff = Contract.E_release i; _ } -> Some i
@@ -545,7 +633,7 @@ let alloc_fail_shim impls =
   in
   List.filter (fun (n, _) -> not (List.mem n allocators)) impls
   @ List.map
-      (fun n -> (n, fun (_ : Vm.call_ctx) -> Vm.H_ret 0L))
+      (fun n -> (n, fun (_ : Vm.call_ctx) -> ()))
       allocators
 
 let lc_run ?helpers_shim cfg prog (findings : Lifecycle.finding list) kie_k =
@@ -568,11 +656,15 @@ let lc_run ?helpers_shim cfg prog (findings : Lifecycle.finding list) kie_k =
   let frees = Hashtbl.create 8 in
   let derefs = Hashtbl.create 8 in
   let locks = Hashtbl.create 8 in
-  (* our own mirror of the allocator's live set: address -> (site, size) *)
+  (* our own mirror of the allocator's live set: address -> (site, size,
+     declared destructor). A release call only evicts blocks whose declared
+     destructor is the helper being called — the generator can place a spin
+     lock word at an address the allocator also hands out, and unlocking it
+     must not count as freeing the colliding heap block. *)
   let live = Hashtbl.create 8 in
   let in_live b =
     Hashtbl.fold
-      (fun a (_, sz) acc ->
+      (fun a (_, sz, _) acc ->
         acc
         || Int64.unsigned_compare a b <= 0
            && Int64.unsigned_compare b (Int64.add a (max 1L sz)) < 0)
@@ -586,11 +678,11 @@ let lc_run ?helpers_shim cfg prog (findings : Lifecycle.finding list) kie_k =
     decr budget;
     if !budget <= 0 then raise Trace_stop;
     (match !pending with
-    | Some (site, size) ->
+    | Some (site, size, dtor) ->
         pending := None;
         let r0 = regs.(0) in
         if r0 <> 0L then begin
-          Hashtbl.replace live r0 (site, size);
+          Hashtbl.replace live r0 (site, size, dtor);
           Hashtbl.replace allocs site
             (r0 :: Option.value ~default:[] (Hashtbl.find_opt allocs site))
         end
@@ -614,13 +706,19 @@ let lc_run ?helpers_shim cfg prog (findings : Lifecycle.finding list) kie_k =
     (* the insn's own effect on the tracker (helper calls) *)
     match if pc < Prog.length prog then Prog.get prog pc else Insn.Exit with
     | Insn.Call name -> (
-        if is_allocator name then pending := Some (pc, regs.(1));
+        if is_allocator name then
+          pending := Some (pc, regs.(1), destructor_of name);
         (match release_index name with
         | Some i ->
             let addr = regs.(i + 1) in
+            let releases =
+              match Hashtbl.find_opt live addr with
+              | Some (_, _, dtor) -> dtor = name
+              | None -> false
+            in
             if s < cap && Iset.mem pc free_pcs then
-              Hashtbl.replace frees (pc, s) (addr, Hashtbl.mem live addr);
-            Hashtbl.remove live addr
+              Hashtbl.replace frees (pc, s) (addr, releases);
+            if releases then Hashtbl.remove live addr
         | None -> ());
         match is_lock_edge name with
         | Some `Acquire -> incr depth
@@ -646,7 +744,7 @@ let lc_run ?helpers_shim cfg prog (findings : Lifecycle.finding list) kie_k =
     locks;
     live_at_end =
       (let t = Hashtbl.create 8 in
-       Hashtbl.iter (fun a (site, _) -> Hashtbl.replace t a site) live;
+       Hashtbl.iter (fun a (site, _, _) -> Hashtbl.replace t a site) live;
        t);
   }
 
@@ -931,11 +1029,14 @@ let run_case_stats_exn ?(backend = `Interp) cfg prog =
                         with
                         | Some f -> (Fail f, flagged)
                         | None -> (
-                            match
-                              lifecycle_failure cfg prog findings kie_k
-                            with
+                            match repr_equiv cfg kie_a with
                             | Some f -> (Fail f, flagged)
-                            | None -> (Pass, flagged)))))))
+                            | None -> (
+                                match
+                                  lifecycle_failure cfg prog findings kie_k
+                                with
+                                | Some f -> (Fail f, flagged)
+                                | None -> (Pass, flagged))))))))
 
 let run_case_exn ?backend cfg prog = fst (run_case_stats_exn ?backend cfg prog)
 

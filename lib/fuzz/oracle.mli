@@ -118,4 +118,13 @@ val backend_equiv : config -> Kflex_kie.Instrument.t -> failure option
     heap pages and packet payload. [None] means they agree. Exposed for the
     qcheck differential suite in the runtime tests. *)
 
+val repr_equiv : config -> Kflex_kie.Instrument.t -> failure option
+(** The eighth oracle in isolation: three-way representation differential —
+    the kept-boxed reference interpreter ({!Kflex_runtime.Vm.Ref_interp})
+    against the unboxed interpreter and the compiled backend, in fresh
+    environments, comparing outcome, stats, heap pages and packet payload.
+    [None] means all three agree bit-for-bit. Runs on every fuzz case and
+    corpus replay via [run_case]; exposed for the qcheck representation
+    suite in the runtime tests. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -17,25 +17,25 @@ let packet t = t.pkt
 let sk_lookup t proto (c : Vm.call_ctx) =
   c.Vm.charge 50;
   (* the connection tuple sits on the extension stack: u16 port at offset 0 *)
-  let port = Int64.to_int (c.Vm.mem_read ~width:2 c.Vm.args.(1)) in
+  let port = Int64.to_int (c.Vm.mem_read ~width:2 (Vm.arg c 1)) in
   match Socket.lookup t.socks ~proto ~port with
   | Some handle ->
       Ledger.acquire c.Vm.ledger ~handle ~destructor:"bpf_sk_release";
-      Vm.H_ret handle
-  | None -> Vm.H_ret 0L
+      Vm.set_ret c handle
+  | None -> Vm.set_ret c 0L
 
 let sk_release t (c : Vm.call_ctx) =
   c.Vm.charge 30;
-  ignore (Socket.release t.socks c.Vm.args.(0));
-  ignore (Ledger.release c.Vm.ledger ~handle:c.Vm.args.(0));
-  Vm.H_ret 0L
+  ignore (Socket.release t.socks (Vm.arg c 0));
+  ignore (Ledger.release c.Vm.ledger ~handle:(Vm.arg c 0));
+  Vm.set_ret c 0L
 
-let with_pkt t f =
-  match t.pkt with None -> Vm.H_ret 0L | Some p -> f p
+(* the return slot is preset to 0L, so a missing packet needs no store *)
+let with_pkt t f = match t.pkt with None -> () | Some p -> f p
 
 let pkt_len t (c : Vm.call_ctx) =
   c.Vm.charge 2;
-  with_pkt t (fun p -> Vm.H_ret (Int64.of_int (Packet.len p)))
+  with_pkt t (fun p -> Vm.set_ret c (Int64.of_int (Packet.len p)))
 
 (* Offsets arrive as full 64-bit scalars; [Int64.to_int] silently wraps the
    high bits, which would alias huge offsets onto valid ones. Map anything
@@ -49,44 +49,43 @@ let pkt_off p v =
 let pkt_read t width (c : Vm.call_ctx) =
   c.Vm.charge 3;
   with_pkt t (fun p ->
-      Vm.H_ret (Packet.read p ~width (pkt_off p c.Vm.args.(1))))
+      Vm.set_ret c (Packet.read p ~width (pkt_off p (Vm.arg c 1))))
 
 let pkt_write t width (c : Vm.call_ctx) =
   c.Vm.charge 3;
   with_pkt t (fun p ->
-      Packet.write p ~width (pkt_off p c.Vm.args.(1)) c.Vm.args.(2);
-      Vm.H_ret 0L)
+      Packet.write p ~width (pkt_off p (Vm.arg c 1)) (Vm.arg c 2))
 
-let map_of t (c : Vm.call_ctx) = Map.find t.map_reg c.Vm.args.(0)
+let map_of t (c : Vm.call_ctx) = Map.find t.map_reg (Vm.arg c 0)
 
 let map_lookup t (c : Vm.call_ctx) =
   c.Vm.charge 45;
   match map_of t c with
-  | None -> Vm.H_ret 0L
+  | None -> ()
   | Some m -> (
-      let key = c.Vm.mem_read ~width:8 c.Vm.args.(1) in
+      let key = c.Vm.mem_read ~width:8 (Vm.arg c 1) in
       match Map.lookup m key with
       | Some v ->
-          c.Vm.mem_write ~width:8 c.Vm.args.(2) v;
-          Vm.H_ret 1L
-      | None -> Vm.H_ret 0L)
+          c.Vm.mem_write ~width:8 (Vm.arg c 2) v;
+          Vm.set_ret c 1L
+      | None -> ())
 
 let map_update t (c : Vm.call_ctx) =
   c.Vm.charge 55;
   match map_of t c with
-  | None -> Vm.H_ret 0L
+  | None -> ()
   | Some m ->
-      let key = c.Vm.mem_read ~width:8 c.Vm.args.(1) in
-      let v = c.Vm.mem_read ~width:8 c.Vm.args.(2) in
-      Vm.H_ret (if Map.update m key v then 1L else 0L)
+      let key = c.Vm.mem_read ~width:8 (Vm.arg c 1) in
+      let v = c.Vm.mem_read ~width:8 (Vm.arg c 2) in
+      Vm.set_ret c (if Map.update m key v then 1L else 0L)
 
 let map_delete t (c : Vm.call_ctx) =
   c.Vm.charge 50;
   match map_of t c with
-  | None -> Vm.H_ret 0L
+  | None -> ()
   | Some m ->
-      let key = c.Vm.mem_read ~width:8 c.Vm.args.(1) in
-      Vm.H_ret (if Map.delete m key then 1L else 0L)
+      let key = c.Vm.mem_read ~width:8 (Vm.arg c 1) in
+      Vm.set_ret c (if Map.delete m key then 1L else 0L)
 
 let implementations t =
   [

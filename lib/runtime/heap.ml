@@ -83,7 +83,7 @@ let kbase h = h.kbase
 let ubase h = if h.shared then Some ubase_const else None
 let is_shared h = h.shared
 
-let sanitize h addr = Int64.logor h.kbase (Int64.logand addr h.mask)
+let[@inline always] sanitize h addr = Int64.logor h.kbase (Int64.logand addr h.mask)
 
 let translate_user h addr =
   if not h.shared then invalid_arg "Heap.translate_user: heap is not shared"
@@ -101,9 +101,21 @@ let fault addr reason = raise (Fault { addr; reason })
 
 (* [idx] is trusted to be in [0, npages) on array-backed heaps (the callers
    below establish it from checked offsets). *)
-let get_page h idx =
+let[@inline always] get_page h idx =
   match h.backing with
   | Arr a -> Array.get a idx
+  | Tbl t -> Hashtbl.find_opt t idx
+
+(* Unchecked variant for the width-specialized accessors below: their page
+   index derives from an offset already checked against the heap limit
+   ([off <= lim] implies [off < size], so [off lsr page_shift < npages]),
+   making the array bounds check redundant. Every populated page is exactly
+   [page_size] bytes ([set_page] only ever stores [Bytes.make page_size]),
+   so their in-page byte offsets — checked against [page_size - width] —
+   may use {!U64}'s raw unaligned accessors too. *)
+let[@inline always] page_at h idx =
+  match h.backing with
+  | Arr a -> Array.unsafe_get a idx
   | Tbl t -> Hashtbl.find_opt t idx
 
 let set_page h idx p =
@@ -255,52 +267,52 @@ let read h ~width addr =
    page-straddling accesses — falls back to the generic checked path above,
    so fault reasons and their order are identical to the interpreter's. *)
 
-let read8 h addr =
+let[@inline always] read8 h addr =
   let off = Int64.sub addr h.kbase in
   if Int64.unsigned_compare off h.lim1 <= 0 then begin
     let o = Int64.to_int off in
-    match get_page h (o lsr page_shift) with
-    | Some p -> Int64.of_int (Char.code (Bytes.get p (o land (page_size - 1))))
+    match page_at h (o lsr page_shift) with
+    | Some p -> Int64.of_int (Char.code (U64.get8 p (o land (page_size - 1))))
     | None -> fault addr "unpopulated heap page"
   end
   else read h ~width:1 addr
 
-let read16 h addr =
+let[@inline always] read16 h addr =
   let off = Int64.sub addr h.kbase in
   if Int64.unsigned_compare off h.lim2 <= 0 then begin
     let o = Int64.to_int off in
     let inpage = o land (page_size - 1) in
     if inpage <= page_size - 2 then
-      match get_page h (o lsr page_shift) with
-      | Some p -> Int64.of_int (Bytes.get_uint16_le p inpage)
+      match page_at h (o lsr page_shift) with
+      | Some p -> Int64.of_int (U64.get16 p inpage)
       | None -> fault addr "unpopulated heap page"
     else read h ~width:2 addr
   end
   else read h ~width:2 addr
 
-let read32 h addr =
+let[@inline always] read32 h addr =
   let off = Int64.sub addr h.kbase in
   if Int64.unsigned_compare off h.lim4 <= 0 then begin
     let o = Int64.to_int off in
     let inpage = o land (page_size - 1) in
     if inpage <= page_size - 4 then
-      match get_page h (o lsr page_shift) with
+      match page_at h (o lsr page_shift) with
       | Some p ->
-          Int64.logand (Int64.of_int32 (Bytes.get_int32_le p inpage))
+          Int64.logand (Int64.of_int32 (U64.get32 p inpage))
             0xffff_ffffL
       | None -> fault addr "unpopulated heap page"
     else read h ~width:4 addr
   end
   else read h ~width:4 addr
 
-let read64 h addr =
+let[@inline always] read64 h addr =
   let off = Int64.sub addr h.kbase in
   if Int64.unsigned_compare off h.lim8 <= 0 then begin
     let o = Int64.to_int off in
     let inpage = o land (page_size - 1) in
     if inpage <= page_size - 8 then
-      match get_page h (o lsr page_shift) with
-      | Some p -> Bytes.get_int64_le p inpage
+      match page_at h (o lsr page_shift) with
+      | Some p -> U64.get64 p inpage
       | None -> fault addr "unpopulated heap page"
     else read h ~width:8 addr
   end
@@ -327,53 +339,53 @@ let write h ~width addr v =
     write_off h ~width off v
   end
 
-let write8 h addr v =
+let[@inline always] write8 h addr v =
   let off = Int64.sub addr h.kbase in
   if Int64.unsigned_compare off h.lim1 <= 0 then begin
     let o = Int64.to_int off in
-    match get_page h (o lsr page_shift) with
+    match page_at h (o lsr page_shift) with
     | Some p ->
-        Bytes.set p (o land (page_size - 1))
-          (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+        U64.set8 p (o land (page_size - 1))
+          (Char.unsafe_chr (Int64.to_int (Int64.logand v 0xffL)))
     | None -> fault addr "unpopulated heap page"
   end
   else write h ~width:1 addr v
 
-let write16 h addr v =
+let[@inline always] write16 h addr v =
   let off = Int64.sub addr h.kbase in
   if Int64.unsigned_compare off h.lim2 <= 0 then begin
     let o = Int64.to_int off in
     let inpage = o land (page_size - 1) in
     if inpage <= page_size - 2 then
-      match get_page h (o lsr page_shift) with
+      match page_at h (o lsr page_shift) with
       | Some p ->
-          Bytes.set_uint16_le p inpage (Int64.to_int (Int64.logand v 0xffffL))
+          U64.set16 p inpage (Int64.to_int (Int64.logand v 0xffffL))
       | None -> fault addr "unpopulated heap page"
     else write h ~width:2 addr v
   end
   else write h ~width:2 addr v
 
-let write32 h addr v =
+let[@inline always] write32 h addr v =
   let off = Int64.sub addr h.kbase in
   if Int64.unsigned_compare off h.lim4 <= 0 then begin
     let o = Int64.to_int off in
     let inpage = o land (page_size - 1) in
     if inpage <= page_size - 4 then
-      match get_page h (o lsr page_shift) with
-      | Some p -> Bytes.set_int32_le p inpage (Int64.to_int32 v)
+      match page_at h (o lsr page_shift) with
+      | Some p -> U64.set32 p inpage (Int64.to_int32 v)
       | None -> fault addr "unpopulated heap page"
     else write h ~width:4 addr v
   end
   else write h ~width:4 addr v
 
-let write64 h addr v =
+let[@inline always] write64 h addr v =
   let off = Int64.sub addr h.kbase in
   if Int64.unsigned_compare off h.lim8 <= 0 then begin
     let o = Int64.to_int off in
     let inpage = o land (page_size - 1) in
     if inpage <= page_size - 8 then
-      match get_page h (o lsr page_shift) with
-      | Some p -> Bytes.set_int64_le p inpage v
+      match page_at h (o lsr page_shift) with
+      | Some p -> U64.set64 p inpage v
       | None -> fault addr "unpopulated heap page"
     else write h ~width:8 addr v
   end

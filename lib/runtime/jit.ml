@@ -24,10 +24,15 @@
      accessors fall back to the generic checked path for anything unusual.
    - Regions: a maximal run of pure instructions (Mov/Alu/Neg, and frame
      accesses when r10 is provably constant — see below), optionally
-     terminated by a jump, becomes one closure that charges the whole
-     run's [insns] upfront and applies the precompiled effects in
-     sequence. Pure instructions cannot fault and contain no observation
-     points, so batching the charge is unobservable.
+     terminated by a jump, exit, or checkpoint, becomes one closure that
+     charges the whole run's [insns] upfront and applies the precompiled
+     effects in sequence. Pure instructions cannot fault and contain no
+     observation points, so batching the charge is unobservable.
+   - Terminators: the [Jcond]/[Ja]/[Exit]/[Checkpoint] ending a region is
+     folded into the region closure — and a jump directly following a
+     checkpoint (the shape instrumentation emits at every loop back edge)
+     folds in too, so one closure carries a loop iteration's tail from the
+     last pure effect through the quantum check to the branch target.
    - Frame accesses: when no instruction ever writes r10, the frame
      pointer keeps its entry value, so [Ldx]/[Stx]/[St] at [r10 + off]
      with the slot statically inside the frame resolve to constant-index
@@ -38,7 +43,9 @@
    Cost accounting is bit-identical to the interpreter: guards, checkpoints
    and helper counters bump in the interpreter's order, and fused closures
    that touch memory batch their charge only across fault-free prefixes,
-   so a fault observes the same counts. *)
+   so a fault observes the same counts. A jump folded in after a
+   checkpoint charges after the quantum comparison, exactly where the
+   interpreter would. *)
 
 open Kflex_bpf
 open Machine
@@ -63,13 +70,16 @@ let dummy : op = fun _ -> failwith "Jit: fell off the end of the program"
 let ri = Reg.to_int
 
 (* Register indices come from [Reg.to_int], which is always in [0, 10], and
-   [state.regs] has 11 slots — unsafe accesses are in bounds by construction.
-   The wrappers must stay eta-expanded with the array type pinned: binding the
-   primitive directly ([let ag = Array.unsafe_get]) leaves it at a weak type
-   and this toolchain then compiles the generic (float-dispatching) accessor,
-   which misreads boxed-[int64] elements. *)
-let[@inline] ag (a : int64 array) i = Array.unsafe_get a i
-let[@inline] au (a : int64 array) i (v : int64) = Array.unsafe_set a i v
+   [state.regs] is an 11-slot unboxed bank — unsafe accesses are in bounds
+   by construction. The accessors are monomorphic externals ({!U64}), so
+   there is no polymorphic-array dispatch left to miscompile: the weak-type
+   [Array.unsafe_get] trap that once made these wrappers necessary (the
+   generic float-dispatching accessor misreading boxed elements) cannot
+   arise on a Bigarray primitive. These must stay [external] declarations:
+   let-binding a primitive ([let rget = U64.get]) would demote it to an
+   ordinary function whose every call boxes its [int64] result. *)
+external rget : U64.bank -> int -> int64 = "%caml_ba_unsafe_ref_1"
+external rset : U64.bank -> int -> int64 -> unit = "%caml_ba_unsafe_set_1"
 
 (* The register-only effect of a pure instruction, with the operator
    resolved at compile time into a dedicated closure ([Int64] primitives
@@ -78,79 +88,79 @@ let eff_of insn : op option =
   match insn with
   | Insn.Mov (d, Insn.Imm i) ->
       let d = ri d in
-      Some (fun st -> au st.regs d i)
+      Some (fun st -> rset st.regs d i)
   | Insn.Mov (d, Insn.Reg r) ->
       let d = ri d and r = ri r in
-      Some (fun st -> au st.regs d (ag st.regs r))
+      Some (fun st -> rset st.regs d (rget st.regs r))
   | Insn.Neg d ->
       let d = ri d in
-      Some (fun st -> au st.regs d (Int64.neg (ag st.regs d)))
+      Some (fun st -> rset st.regs d (Int64.neg (rget st.regs d)))
   | Insn.Alu (op, d, Insn.Imm i) ->
       let d = ri d in
       Some
         (match op with
-        | Insn.Add -> fun st -> au st.regs d (Int64.add (ag st.regs d) i)
-        | Insn.Sub -> fun st -> au st.regs d (Int64.sub (ag st.regs d) i)
-        | Insn.Mul -> fun st -> au st.regs d (Int64.mul (ag st.regs d) i)
+        | Insn.Add -> fun st -> rset st.regs d (Int64.add (rget st.regs d) i)
+        | Insn.Sub -> fun st -> rset st.regs d (Int64.sub (rget st.regs d) i)
+        | Insn.Mul -> fun st -> rset st.regs d (Int64.mul (rget st.regs d) i)
         | Insn.Div ->
-            if i = 0L then fun st -> au st.regs d 0L
-            else fun st -> au st.regs d (Int64.unsigned_div (ag st.regs d) i)
+            if i = 0L then fun st -> rset st.regs d 0L
+            else fun st -> rset st.regs d (U64.udiv (rget st.regs d) i)
         | Insn.Mod ->
-            if i = 0L then fun st -> au st.regs d (ag st.regs d)
-            else fun st -> au st.regs d (Int64.unsigned_rem (ag st.regs d) i)
-        | Insn.And -> fun st -> au st.regs d (Int64.logand (ag st.regs d) i)
-        | Insn.Or -> fun st -> au st.regs d (Int64.logor (ag st.regs d) i)
-        | Insn.Xor -> fun st -> au st.regs d (Int64.logxor (ag st.regs d) i)
+            if i = 0L then fun st -> rset st.regs d (rget st.regs d)
+            else fun st -> rset st.regs d (U64.urem (rget st.regs d) i)
+        | Insn.And -> fun st -> rset st.regs d (Int64.logand (rget st.regs d) i)
+        | Insn.Or -> fun st -> rset st.regs d (Int64.logor (rget st.regs d) i)
+        | Insn.Xor -> fun st -> rset st.regs d (Int64.logxor (rget st.regs d) i)
         | Insn.Lsh ->
             let sh = Int64.to_int i land 63 in
-            fun st -> au st.regs d (Int64.shift_left (ag st.regs d) sh)
+            fun st -> rset st.regs d (Int64.shift_left (rget st.regs d) sh)
         | Insn.Rsh ->
             let sh = Int64.to_int i land 63 in
-            fun st -> au st.regs d (Int64.shift_right_logical (ag st.regs d) sh)
+            fun st -> rset st.regs d (Int64.shift_right_logical (rget st.regs d) sh)
         | Insn.Arsh ->
             let sh = Int64.to_int i land 63 in
-            fun st -> au st.regs d (Int64.shift_right (ag st.regs d) sh))
+            fun st -> rset st.regs d (Int64.shift_right (rget st.regs d) sh))
   | Insn.Alu (op, d, Insn.Reg r) ->
       let d = ri d and r = ri r in
       Some
         (match op with
         | Insn.Add ->
-            fun st -> au st.regs d (Int64.add (ag st.regs d) (ag st.regs r))
+            fun st -> rset st.regs d (Int64.add (rget st.regs d) (rget st.regs r))
         | Insn.Sub ->
-            fun st -> au st.regs d (Int64.sub (ag st.regs d) (ag st.regs r))
+            fun st -> rset st.regs d (Int64.sub (rget st.regs d) (rget st.regs r))
         | Insn.Mul ->
-            fun st -> au st.regs d (Int64.mul (ag st.regs d) (ag st.regs r))
+            fun st -> rset st.regs d (Int64.mul (rget st.regs d) (rget st.regs r))
         | Insn.Div ->
             fun st ->
-              let b = ag st.regs r in
-              au st.regs d
-                (if b = 0L then 0L else Int64.unsigned_div (ag st.regs d) b)
+              let b = rget st.regs r in
+              rset st.regs d
+                (if b = 0L then 0L else U64.udiv (rget st.regs d) b)
         | Insn.Mod ->
             fun st ->
-              let b = ag st.regs r in
+              let b = rget st.regs r in
               if b <> 0L then
-                au st.regs d (Int64.unsigned_rem (ag st.regs d) b)
+                rset st.regs d (U64.urem (rget st.regs d) b)
         | Insn.And ->
-            fun st -> au st.regs d (Int64.logand (ag st.regs d) (ag st.regs r))
+            fun st -> rset st.regs d (Int64.logand (rget st.regs d) (rget st.regs r))
         | Insn.Or ->
-            fun st -> au st.regs d (Int64.logor (ag st.regs d) (ag st.regs r))
+            fun st -> rset st.regs d (Int64.logor (rget st.regs d) (rget st.regs r))
         | Insn.Xor ->
-            fun st -> au st.regs d (Int64.logxor (ag st.regs d) (ag st.regs r))
+            fun st -> rset st.regs d (Int64.logxor (rget st.regs d) (rget st.regs r))
         | Insn.Lsh ->
             fun st ->
-              au st.regs d
-                (Int64.shift_left (ag st.regs d)
-                   (Int64.to_int (ag st.regs r) land 63))
+              rset st.regs d
+                (Int64.shift_left (rget st.regs d)
+                   (Int64.to_int (rget st.regs r) land 63))
         | Insn.Rsh ->
             fun st ->
-              au st.regs d
-                (Int64.shift_right_logical (ag st.regs d)
-                   (Int64.to_int (ag st.regs r) land 63))
+              rset st.regs d
+                (Int64.shift_right_logical (rget st.regs d)
+                   (Int64.to_int (rget st.regs r) land 63))
         | Insn.Arsh ->
             fun st ->
-              au st.regs d
-                (Int64.shift_right (ag st.regs d)
-                   (Int64.to_int (ag st.regs r) land 63)))
+              rset st.regs d
+                (Int64.shift_right (rget st.regs d)
+                   (Int64.to_int (rget st.regs r) land 63)))
   | _ -> None
 
 (* Whether an instruction can write the given register — used to prove the
@@ -177,7 +187,10 @@ let writes_reg r insn =
 (* The effect of a stack access at a compile-time-constant frame offset:
    valid only when r10 provably keeps its entry value (see [writes_reg]),
    the base register is r10, and the slot is statically inside the frame —
-   then the access cannot fault and is as pure as a register move. *)
+   then the access cannot fault and is as pure as a register move. The
+   closures use {!U64}'s raw (unchecked) byte accessors: the bounds
+   obligation is discharged here at compile time by [idx], which only
+   admits slots statically inside the frame. *)
 let eff_stack insn : op option =
   let idx off w =
     let i = Prog.stack_size + off in
@@ -191,26 +204,26 @@ let eff_stack insn : op option =
           Option.map
             (fun i ->
               fun st ->
-               au st.regs d (Int64.of_int (Char.code (Bytes.get st.stack i))))
+               rset st.regs d (Int64.of_int (Char.code (U64.get8 st.stack i))))
             (idx off 1)
       | Insn.U16 ->
           Option.map
             (fun i ->
               fun st ->
-               au st.regs d (Int64.of_int (Bytes.get_uint16_le st.stack i)))
+               rset st.regs d (Int64.of_int (U64.get16 st.stack i)))
             (idx off 2)
       | Insn.U32 ->
           Option.map
             (fun i ->
               fun st ->
-               au st.regs d
+               rset st.regs d
                  (Int64.logand
-                    (Int64.of_int32 (Bytes.get_int32_le st.stack i))
+                    (Int64.of_int32 (U64.get32 st.stack i))
                     0xffff_ffffL))
             (idx off 4)
       | Insn.U64 ->
           Option.map
-            (fun i -> fun st -> au st.regs d (Bytes.get_int64_le st.stack i))
+            (fun i -> fun st -> rset st.regs d (U64.get64 st.stack i))
             (idx off 8))
   | Insn.Stx (sz, d, off, s) when ri d = 10 -> (
       let s = ri s in
@@ -219,45 +232,45 @@ let eff_stack insn : op option =
           Option.map
             (fun i ->
               fun st ->
-               Bytes.set st.stack i
-                 (Char.chr (Int64.to_int (Int64.logand (ag st.regs s) 0xffL))))
+               U64.set8 st.stack i
+                 (Char.chr (Int64.to_int (Int64.logand (rget st.regs s) 0xffL))))
             (idx off 1)
       | Insn.U16 ->
           Option.map
             (fun i ->
               fun st ->
-               Bytes.set_uint16_le st.stack i
-                 (Int64.to_int (Int64.logand (ag st.regs s) 0xffffL)))
+               U64.set16 st.stack i
+                 (Int64.to_int (Int64.logand (rget st.regs s) 0xffffL)))
             (idx off 2)
       | Insn.U32 ->
           Option.map
             (fun i ->
               fun st ->
-               Bytes.set_int32_le st.stack i (Int64.to_int32 (ag st.regs s)))
+               U64.set32 st.stack i (Int64.to_int32 (rget st.regs s)))
             (idx off 4)
       | Insn.U64 ->
           Option.map
             (fun i ->
-              fun st -> Bytes.set_int64_le st.stack i (ag st.regs s))
+              fun st -> U64.set64 st.stack i (rget st.regs s))
             (idx off 8))
   | Insn.St (sz, d, off, imm) when ri d = 10 -> (
       match sz with
       | Insn.U8 ->
           let c = Char.chr (Int64.to_int (Int64.logand imm 0xffL)) in
-          Option.map (fun i -> fun st -> Bytes.set st.stack i c) (idx off 1)
+          Option.map (fun i -> fun st -> U64.set8 st.stack i c) (idx off 1)
       | Insn.U16 ->
           let v = Int64.to_int (Int64.logand imm 0xffffL) in
           Option.map
-            (fun i -> fun st -> Bytes.set_uint16_le st.stack i v)
+            (fun i -> fun st -> U64.set16 st.stack i v)
             (idx off 2)
       | Insn.U32 ->
           let v = Int64.to_int32 imm in
           Option.map
-            (fun i -> fun st -> Bytes.set_int32_le st.stack i v)
+            (fun i -> fun st -> U64.set32 st.stack i v)
             (idx off 4)
       | Insn.U64 ->
           Option.map
-            (fun i -> fun st -> Bytes.set_int64_le st.stack i imm)
+            (fun i -> fun st -> U64.set64 st.stack i imm)
             (idx off 8))
   | _ -> None
 
@@ -267,36 +280,155 @@ let cond_test c a s : state -> bool =
   match s with
   | Insn.Imm i -> (
       match c with
-      | Insn.Eq -> fun st -> Int64.equal (ag st.regs a) i
-      | Insn.Ne -> fun st -> not (Int64.equal (ag st.regs a) i)
-      | Insn.Lt -> fun st -> Int64.unsigned_compare (ag st.regs a) i < 0
-      | Insn.Le -> fun st -> Int64.unsigned_compare (ag st.regs a) i <= 0
-      | Insn.Gt -> fun st -> Int64.unsigned_compare (ag st.regs a) i > 0
-      | Insn.Ge -> fun st -> Int64.unsigned_compare (ag st.regs a) i >= 0
-      | Insn.Slt -> fun st -> Int64.compare (ag st.regs a) i < 0
-      | Insn.Sle -> fun st -> Int64.compare (ag st.regs a) i <= 0
-      | Insn.Sgt -> fun st -> Int64.compare (ag st.regs a) i > 0
-      | Insn.Sge -> fun st -> Int64.compare (ag st.regs a) i >= 0
-      | Insn.Set -> fun st -> Int64.logand (ag st.regs a) i <> 0L)
+      | Insn.Eq -> fun st -> Int64.equal (rget st.regs a) i
+      | Insn.Ne -> fun st -> not (Int64.equal (rget st.regs a) i)
+      | Insn.Lt -> fun st -> Int64.unsigned_compare (rget st.regs a) i < 0
+      | Insn.Le -> fun st -> Int64.unsigned_compare (rget st.regs a) i <= 0
+      | Insn.Gt -> fun st -> Int64.unsigned_compare (rget st.regs a) i > 0
+      | Insn.Ge -> fun st -> Int64.unsigned_compare (rget st.regs a) i >= 0
+      | Insn.Slt -> fun st -> Int64.compare (rget st.regs a) i < 0
+      | Insn.Sle -> fun st -> Int64.compare (rget st.regs a) i <= 0
+      | Insn.Sgt -> fun st -> Int64.compare (rget st.regs a) i > 0
+      | Insn.Sge -> fun st -> Int64.compare (rget st.regs a) i >= 0
+      | Insn.Set -> fun st -> Int64.logand (rget st.regs a) i <> 0L)
   | Insn.Reg r -> (
       let r = ri r in
       match c with
-      | Insn.Eq -> fun st -> Int64.equal (ag st.regs a) (ag st.regs r)
-      | Insn.Ne -> fun st -> not (Int64.equal (ag st.regs a) (ag st.regs r))
+      | Insn.Eq -> fun st -> Int64.equal (rget st.regs a) (rget st.regs r)
+      | Insn.Ne -> fun st -> not (Int64.equal (rget st.regs a) (rget st.regs r))
       | Insn.Lt ->
-          fun st -> Int64.unsigned_compare (ag st.regs a) (ag st.regs r) < 0
+          fun st -> Int64.unsigned_compare (rget st.regs a) (rget st.regs r) < 0
       | Insn.Le ->
-          fun st -> Int64.unsigned_compare (ag st.regs a) (ag st.regs r) <= 0
+          fun st -> Int64.unsigned_compare (rget st.regs a) (rget st.regs r) <= 0
       | Insn.Gt ->
-          fun st -> Int64.unsigned_compare (ag st.regs a) (ag st.regs r) > 0
+          fun st -> Int64.unsigned_compare (rget st.regs a) (rget st.regs r) > 0
       | Insn.Ge ->
-          fun st -> Int64.unsigned_compare (ag st.regs a) (ag st.regs r) >= 0
-      | Insn.Slt -> fun st -> Int64.compare (ag st.regs a) (ag st.regs r) < 0
-      | Insn.Sle -> fun st -> Int64.compare (ag st.regs a) (ag st.regs r) <= 0
-      | Insn.Sgt -> fun st -> Int64.compare (ag st.regs a) (ag st.regs r) > 0
-      | Insn.Sge -> fun st -> Int64.compare (ag st.regs a) (ag st.regs r) >= 0
+          fun st -> Int64.unsigned_compare (rget st.regs a) (rget st.regs r) >= 0
+      | Insn.Slt -> fun st -> Int64.compare (rget st.regs a) (rget st.regs r) < 0
+      | Insn.Sle -> fun st -> Int64.compare (rget st.regs a) (rget st.regs r) <= 0
+      | Insn.Sgt -> fun st -> Int64.compare (rget st.regs a) (rget st.regs r) > 0
+      | Insn.Sge -> fun st -> Int64.compare (rget st.regs a) (rget st.regs r) >= 0
       | Insn.Set ->
-          fun st -> Int64.logand (ag st.regs a) (ag st.regs r) <> 0L)
+          fun st -> Int64.logand (rget st.regs a) (rget st.regs r) <> 0L)
+
+(* A complete conditional-branch closure with the comparison inlined into
+   the branch body — one closure call fewer per taken branch than routing
+   through a {!cond_test} closure. Charges its own instruction. *)
+let jcond_op c a s (jt : op) (jf : op) : op =
+  let a = ri a in
+  match s with
+  | Insn.Imm i -> (
+      match c with
+      | Insn.Eq ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.equal (rget st.regs a) i then jt st else jf st
+      | Insn.Ne ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.equal (rget st.regs a) i then jf st else jt st
+      | Insn.Lt ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.unsigned_compare (rget st.regs a) i < 0 then jt st
+            else jf st
+      | Insn.Le ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.unsigned_compare (rget st.regs a) i <= 0 then jt st
+            else jf st
+      | Insn.Gt ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.unsigned_compare (rget st.regs a) i > 0 then jt st
+            else jf st
+      | Insn.Ge ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.unsigned_compare (rget st.regs a) i >= 0 then jt st
+            else jf st
+      | Insn.Slt ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.compare (rget st.regs a) i < 0 then jt st else jf st
+      | Insn.Sle ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.compare (rget st.regs a) i <= 0 then jt st else jf st
+      | Insn.Sgt ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.compare (rget st.regs a) i > 0 then jt st else jf st
+      | Insn.Sge ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.compare (rget st.regs a) i >= 0 then jt st else jf st
+      | Insn.Set ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.logand (rget st.regs a) i <> 0L then jt st else jf st)
+  | Insn.Reg r -> (
+      let r = ri r in
+      match c with
+      | Insn.Eq ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.equal (rget st.regs a) (rget st.regs r) then jt st
+            else jf st
+      | Insn.Ne ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.equal (rget st.regs a) (rget st.regs r) then jf st
+            else jt st
+      | Insn.Lt ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.unsigned_compare (rget st.regs a) (rget st.regs r) < 0
+            then jt st
+            else jf st
+      | Insn.Le ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.unsigned_compare (rget st.regs a) (rget st.regs r) <= 0
+            then jt st
+            else jf st
+      | Insn.Gt ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.unsigned_compare (rget st.regs a) (rget st.regs r) > 0
+            then jt st
+            else jf st
+      | Insn.Ge ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.unsigned_compare (rget st.regs a) (rget st.regs r) >= 0
+            then jt st
+            else jf st
+      | Insn.Slt ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.compare (rget st.regs a) (rget st.regs r) < 0 then jt st
+            else jf st
+      | Insn.Sle ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.compare (rget st.regs a) (rget st.regs r) <= 0 then jt st
+            else jf st
+      | Insn.Sgt ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.compare (rget st.regs a) (rget st.regs r) > 0 then jt st
+            else jf st
+      | Insn.Sge ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.compare (rget st.regs a) (rget st.regs r) >= 0 then jt st
+            else jf st
+      | Insn.Set ->
+          fun st ->
+            st.stats.insns <- st.stats.insns + 1;
+            if Int64.logand (rget st.regs a) (rget st.regs r) <> 0L then jt st
+            else jf st)
 
 (* One closure for a whole pure region: charge [k] insns upfront, apply the
    effects in order, finish with [fin] (a branch or the fall-through entry).
@@ -352,6 +484,56 @@ let region k (effs : op array) (fin : op) : op =
         e st;
         f st;
         fin st
+  | [| a; b; c; d; e; f; g |] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        a st;
+        b st;
+        c st;
+        d st;
+        e st;
+        f st;
+        g st;
+        fin st
+  | [| a; b; c; d; e; f; g; h |] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        a st;
+        b st;
+        c st;
+        d st;
+        e st;
+        f st;
+        g st;
+        h st;
+        fin st
+  | [| a; b; c; d; e; f; g; h; i |] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        a st;
+        b st;
+        c st;
+        d st;
+        e st;
+        f st;
+        g st;
+        h st;
+        i st;
+        fin st
+  | [| a; b; c; d; e; f; g; h; i; j |] ->
+      fun st ->
+        st.stats.insns <- st.stats.insns + k;
+        a st;
+        b st;
+        c st;
+        d st;
+        e st;
+        f st;
+        g st;
+        h st;
+        i st;
+        j st;
+        fin st
   | _ ->
       fun st ->
         st.stats.insns <- st.stats.insns + k;
@@ -387,7 +569,163 @@ let compile ?(fuse = true) prog =
     if target < 0 || target > n then
       invalid_arg "Jit.compile: jump outside the program";
     if target > pc then entries.(target) (* already compiled *)
-    else fun st -> entries.(target) st
+    else fun st -> (Array.unsafe_get entries target) st
+    (* in bounds: target was range-checked above, and [entries] has n+1
+       slots precisely so that a jump to the end resolves to [dummy] *)
+  in
+  (* Hand-fused effects for adjacent 64-bit frame accesses: one closure
+     retires two stack-resident instructions, halving the per-effect call
+     overhead in the spill/reload runs that dominate compiled extension
+     code. A store-forward pair (store then reload of the same slot) skips
+     the memory round-trip; distinct-slot pairs sequence both raw accesses
+     in one body, which preserves ordering for any overlap. Valid only
+     under [fp_const], same as {!eff_stack}. *)
+  let sidx off w =
+    let i = Prog.stack_size + off in
+    if i >= 0 && i + w <= Prog.stack_size then Some i else None
+  in
+  let eff2 i1 i2 : op option =
+    match (i1, i2) with
+    (* d <- x op y: a move feeding an ALU op on the same register — the
+       address-computation idiom compilers emit constantly. The second
+       operand must not be [Reg d] (it would read the moved value); both
+       operands are fetched inside one closure, and an all-immediate form
+       constant-folds at compile time. Only the wrap-safe operators get
+       arms; Div/Mod/shifts keep their standalone effects. *)
+    | Insn.Mov (d, m), Insn.Alu (op, d2, a) when ri d = ri d2 -> (
+        let d = ri d in
+        match (op, m, a) with
+        | _, _, Insn.Reg s when ri s = d -> None
+        | Insn.Add, Insn.Reg r, Insn.Imm i ->
+            let r = ri r in
+            Some (fun st -> rset st.regs d (Int64.add (rget st.regs r) i))
+        | Insn.Add, Insn.Reg r, Insn.Reg s ->
+            let r = ri r and s = ri s in
+            Some
+              (fun st ->
+                rset st.regs d (Int64.add (rget st.regs r) (rget st.regs s)))
+        | Insn.Add, Insn.Imm i, Insn.Reg s ->
+            let s = ri s in
+            Some (fun st -> rset st.regs d (Int64.add i (rget st.regs s)))
+        | Insn.Add, Insn.Imm i, Insn.Imm j ->
+            let v = Int64.add i j in
+            Some (fun st -> rset st.regs d v)
+        | Insn.Sub, Insn.Reg r, Insn.Imm i ->
+            let r = ri r in
+            Some (fun st -> rset st.regs d (Int64.sub (rget st.regs r) i))
+        | Insn.Sub, Insn.Reg r, Insn.Reg s ->
+            let r = ri r and s = ri s in
+            Some
+              (fun st ->
+                rset st.regs d (Int64.sub (rget st.regs r) (rget st.regs s)))
+        | Insn.Sub, Insn.Imm i, Insn.Reg s ->
+            let s = ri s in
+            Some (fun st -> rset st.regs d (Int64.sub i (rget st.regs s)))
+        | Insn.Sub, Insn.Imm i, Insn.Imm j ->
+            let v = Int64.sub i j in
+            Some (fun st -> rset st.regs d v)
+        | Insn.Mul, Insn.Reg r, Insn.Imm i ->
+            let r = ri r in
+            Some (fun st -> rset st.regs d (Int64.mul (rget st.regs r) i))
+        | Insn.Mul, Insn.Reg r, Insn.Reg s ->
+            let r = ri r and s = ri s in
+            Some
+              (fun st ->
+                rset st.regs d (Int64.mul (rget st.regs r) (rget st.regs s)))
+        | Insn.Mul, Insn.Imm i, Insn.Reg s ->
+            let s = ri s in
+            Some (fun st -> rset st.regs d (Int64.mul i (rget st.regs s)))
+        | Insn.Mul, Insn.Imm i, Insn.Imm j ->
+            let v = Int64.mul i j in
+            Some (fun st -> rset st.regs d v)
+        | Insn.And, Insn.Reg r, Insn.Imm i ->
+            let r = ri r in
+            Some (fun st -> rset st.regs d (Int64.logand (rget st.regs r) i))
+        | Insn.And, Insn.Reg r, Insn.Reg s ->
+            let r = ri r and s = ri s in
+            Some
+              (fun st ->
+                rset st.regs d
+                  (Int64.logand (rget st.regs r) (rget st.regs s)))
+        | Insn.And, Insn.Imm i, Insn.Reg s ->
+            let s = ri s in
+            Some (fun st -> rset st.regs d (Int64.logand i (rget st.regs s)))
+        | Insn.And, Insn.Imm i, Insn.Imm j ->
+            let v = Int64.logand i j in
+            Some (fun st -> rset st.regs d v)
+        | Insn.Or, Insn.Reg r, Insn.Imm i ->
+            let r = ri r in
+            Some (fun st -> rset st.regs d (Int64.logor (rget st.regs r) i))
+        | Insn.Or, Insn.Reg r, Insn.Reg s ->
+            let r = ri r and s = ri s in
+            Some
+              (fun st ->
+                rset st.regs d (Int64.logor (rget st.regs r) (rget st.regs s)))
+        | Insn.Or, Insn.Imm i, Insn.Reg s ->
+            let s = ri s in
+            Some (fun st -> rset st.regs d (Int64.logor i (rget st.regs s)))
+        | Insn.Or, Insn.Imm i, Insn.Imm j ->
+            let v = Int64.logor i j in
+            Some (fun st -> rset st.regs d v)
+        | Insn.Xor, Insn.Reg r, Insn.Imm i ->
+            let r = ri r in
+            Some (fun st -> rset st.regs d (Int64.logxor (rget st.regs r) i))
+        | Insn.Xor, Insn.Reg r, Insn.Reg s ->
+            let r = ri r and s = ri s in
+            Some
+              (fun st ->
+                rset st.regs d
+                  (Int64.logxor (rget st.regs r) (rget st.regs s)))
+        | Insn.Xor, Insn.Imm i, Insn.Reg s ->
+            let s = ri s in
+            Some (fun st -> rset st.regs d (Int64.logxor i (rget st.regs s)))
+        | Insn.Xor, Insn.Imm i, Insn.Imm j ->
+            let v = Int64.logxor i j in
+            Some (fun st -> rset st.regs d v)
+        | _ -> None)
+    | _ when not fp_const -> None
+    | _ -> (
+      match (i1, i2) with
+      | Insn.Stx (Insn.U64, d1, o1, s1), Insn.Ldx (Insn.U64, d2, s2, o2)
+        when ri d1 = 10 && ri s2 = 10 -> (
+          match (sidx o1 8, sidx o2 8) with
+          | Some i, Some j ->
+              let s1 = ri s1 and d2 = ri d2 in
+              if o1 = o2 then
+                Some
+                  (fun st ->
+                    let v = rget st.regs s1 in
+                    U64.set64 st.stack i v;
+                    rset st.regs d2 v)
+              else
+                Some
+                  (fun st ->
+                    U64.set64 st.stack i (rget st.regs s1);
+                    rset st.regs d2 (U64.get64 st.stack j))
+          | _ -> None)
+      | Insn.Ldx (Insn.U64, d1, s1, o1), Insn.Ldx (Insn.U64, d2, s2, o2)
+        when ri s1 = 10 && ri s2 = 10 -> (
+          match (sidx o1 8, sidx o2 8) with
+          | Some i, Some j ->
+              (* d1 <> r10 under [fp_const], so the second load's base is
+                 unaffected by the first load's write-back *)
+              let d1 = ri d1 and d2 = ri d2 in
+              Some
+                (fun st ->
+                  rset st.regs d1 (U64.get64 st.stack i);
+                  rset st.regs d2 (U64.get64 st.stack j))
+          | _ -> None)
+      | Insn.Stx (Insn.U64, d1, o1, s1), Insn.Stx (Insn.U64, d2, o2, s2)
+        when ri d1 = 10 && ri d2 = 10 -> (
+          match (sidx o1 8, sidx o2 8) with
+          | Some i, Some j ->
+              let s1 = ri s1 and s2 = ri s2 in
+              Some
+                (fun st ->
+                  U64.set64 st.stack i (rget st.regs s1);
+                  U64.set64 st.stack j (rget st.regs s2))
+          | _ -> None)
+      | _ -> None)
   in
   (* pure_run.(p): length of the maximal run of register-pure instructions
      starting at p — region-fusion candidates *)
@@ -414,25 +752,25 @@ let compile ?(fuse = true) prog =
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  au st.regs d (read8 st (Int64.add (ag st.regs s) off));
+                  rset st.regs d (read8 st (Int64.add (rget st.regs s) off));
                   next st
             | Insn.U16 ->
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  au st.regs d (read16 st (Int64.add (ag st.regs s) off));
+                  rset st.regs d (read16 st (Int64.add (rget st.regs s) off));
                   next st
             | Insn.U32 ->
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  au st.regs d (read32 st (Int64.add (ag st.regs s) off));
+                  rset st.regs d (read32 st (Int64.add (rget st.regs s) off));
                   next st
             | Insn.U64 ->
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  au st.regs d (read64 st (Int64.add (ag st.regs s) off));
+                  rset st.regs d (read64 st (Int64.add (rget st.regs s) off));
                   next st)
         | Insn.Stx (sz, d, off, s) -> (
             let d = ri d and s = ri s in
@@ -442,25 +780,25 @@ let compile ?(fuse = true) prog =
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  write8 st (Int64.add (ag st.regs d) off) (ag st.regs s);
+                  write8 st (Int64.add (rget st.regs d) off) (rget st.regs s);
                   next st
             | Insn.U16 ->
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  write16 st (Int64.add (ag st.regs d) off) (ag st.regs s);
+                  write16 st (Int64.add (rget st.regs d) off) (rget st.regs s);
                   next st
             | Insn.U32 ->
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  write32 st (Int64.add (ag st.regs d) off) (ag st.regs s);
+                  write32 st (Int64.add (rget st.regs d) off) (rget st.regs s);
                   next st
             | Insn.U64 ->
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  write64 st (Int64.add (ag st.regs d) off) (ag st.regs s);
+                  write64 st (Int64.add (rget st.regs d) off) (rget st.regs s);
                   next st)
         | Insn.St (sz, d, off, imm) -> (
             let d = ri d in
@@ -470,25 +808,25 @@ let compile ?(fuse = true) prog =
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  write8 st (Int64.add (ag st.regs d) off) imm;
+                  write8 st (Int64.add (rget st.regs d) off) imm;
                   next st
             | Insn.U16 ->
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  write16 st (Int64.add (ag st.regs d) off) imm;
+                  write16 st (Int64.add (rget st.regs d) off) imm;
                   next st
             | Insn.U32 ->
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  write32 st (Int64.add (ag st.regs d) off) imm;
+                  write32 st (Int64.add (rget st.regs d) off) imm;
                   next st
             | Insn.U64 ->
                 fun st ->
                   st.stats.insns <- st.stats.insns + 1;
                   st.fault_pc <- pc;
-                  write64 st (Int64.add (ag st.regs d) off) imm;
+                  write64 st (Int64.add (rget st.regs d) off) imm;
                   next st)
         | Insn.Xstore (sz, d, off, s) ->
             let w = Insn.size_bytes sz in
@@ -502,9 +840,9 @@ let compile ?(fuse = true) prog =
                 | Some h -> h
                 | None -> raise (Vm_fault Wild_access)
               in
-              let v = ag st.regs s in
+              let v = rget st.regs s in
               let v = if Heap.is_shared h then Heap.translate_user h v else v in
-              write st ~width:w (Int64.add (ag st.regs d) off) v;
+              write st ~width:w (Int64.add (rget st.regs d) off) v;
               next st
         | Insn.Guard (_, r) ->
             let r = ri r in
@@ -514,7 +852,7 @@ let compile ?(fuse = true) prog =
               (match st.heap with
               | Some h ->
                   st.stats.guards <- st.stats.guards + 1;
-                  au st.regs r (Heap.sanitize h (ag st.regs r))
+                  rset st.regs r (Heap.sanitize h (rget st.regs r))
               | None -> raise (Vm_fault Wild_access));
               next st
         | Insn.Checkpoint _ ->
@@ -536,9 +874,9 @@ let compile ?(fuse = true) prog =
             fun st ->
               st.stats.insns <- st.stats.insns + 1;
               st.fault_pc <- pc;
-              let addr = Int64.add st.regs.(d) off in
+              let addr = Int64.add (rget st.regs d) off in
               let old = read st ~width:w addr in
-              let sv = st.regs.(s) in
+              let sv = rget st.regs s in
               (match op with
               | Insn.Atomic_add -> write st ~width:w addr (Int64.add old sv)
               | Insn.Atomic_or -> write st ~width:w addr (Int64.logor old sv)
@@ -546,22 +884,22 @@ let compile ?(fuse = true) prog =
               | Insn.Atomic_xor -> write st ~width:w addr (Int64.logxor old sv)
               | Insn.Fetch_add ->
                   write st ~width:w addr (Int64.add old sv);
-                  st.regs.(s) <- old
+                  rset st.regs s old
               | Insn.Fetch_or ->
                   write st ~width:w addr (Int64.logor old sv);
-                  st.regs.(s) <- old
+                  rset st.regs s old
               | Insn.Fetch_and ->
                   write st ~width:w addr (Int64.logand old sv);
-                  st.regs.(s) <- old
+                  rset st.regs s old
               | Insn.Fetch_xor ->
                   write st ~width:w addr (Int64.logxor old sv);
-                  st.regs.(s) <- old
+                  rset st.regs s old
               | Insn.Xchg ->
                   write st ~width:w addr sv;
-                  st.regs.(s) <- old
+                  rset st.regs s old
               | Insn.Cmpxchg ->
-                  if old = st.regs.(0) then write st ~width:w addr sv;
-                  st.regs.(0) <- old);
+                  if old = rget st.regs 0 then write st ~width:w addr sv;
+                  rset st.regs 0 old);
               next st
         | Insn.Ja off ->
             let k = goto pc (pc + 1 + off) in
@@ -569,11 +907,7 @@ let compile ?(fuse = true) prog =
               st.stats.insns <- st.stats.insns + 1;
               k st
         | Insn.Jcond (c, a, s, off) ->
-            let test = cond_test c a s in
-            let jt = goto pc (pc + 1 + off) in
-            fun st ->
-              st.stats.insns <- st.stats.insns + 1;
-              if test st then jt st else next st
+            jcond_op c a s (goto pc (pc + 1 + off)) next
         | Insn.Call name ->
             let idx = Hashtbl.find hidx name in
             fun st ->
@@ -583,19 +917,22 @@ let compile ?(fuse = true) prog =
               st.fault_pc <- pc;
               let cc = st.call_ctx in
               let regs = st.regs in
-              for i = 0 to 4 do
-                cc.args.(i) <- regs.(i + 1)
-              done;
-              (match st.helpers.(idx) cc with
-              | H_ret v -> regs.(0) <- v
-              | H_stall ->
-                  st.cancel := true;
-                  raise (Vm_fault Lock_stall));
+              rset cc.args 0 (rget regs 1);
+              rset cc.args 1 (rget regs 2);
+              rset cc.args 2 (rget regs 3);
+              rset cc.args 3 (rget regs 4);
+              rset cc.args 4 (rget regs 5);
+              rset cc.args ret_slot 0L;
+              (try (Array.unsafe_get st.helpers idx) cc
+               with Helper_stall ->
+                 st.cancel := true;
+                 raise (Vm_fault Lock_stall));
+              rset regs 0 (rget cc.args ret_slot);
               next st
         | Insn.Exit ->
             fun st ->
               st.stats.insns <- st.stats.insns + 1;
-              st.ret <- st.regs.(0))
+              st.ret <- rget st.regs 0)
   in
   (* Guard+access superinstructions. The fused closure must leave state and
      stats exactly as the two standalone closures would at every observation
@@ -622,9 +959,9 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
-                    au st.regs d (Heap.read8 h (Int64.add a off))
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
+                    rset st.regs d (Heap.read8 h (Int64.add a off))
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
                     st.fault_pc <- pc;
@@ -638,9 +975,9 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
-                    au st.regs d (Heap.read16 h (Int64.add a off))
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
+                    rset st.regs d (Heap.read16 h (Int64.add a off))
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
                     st.fault_pc <- pc;
@@ -654,9 +991,9 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
-                    au st.regs d (Heap.read32 h (Int64.add a off))
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
+                    rset st.regs d (Heap.read32 h (Int64.add a off))
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
                     st.fault_pc <- pc;
@@ -670,9 +1007,9 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
-                    au st.regs d (Heap.read64 h (Int64.add a off))
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
+                    rset st.regs d (Heap.read64 h (Int64.add a off))
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
                     st.fault_pc <- pc;
@@ -694,9 +1031,9 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
-                    Heap.write8 h (Int64.add a off) (ag st.regs s)
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
+                    Heap.write8 h (Int64.add a off) (rget st.regs s)
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
                     st.fault_pc <- pc;
@@ -710,9 +1047,9 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
-                    Heap.write16 h (Int64.add a off) (ag st.regs s)
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
+                    Heap.write16 h (Int64.add a off) (rget st.regs s)
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
                     st.fault_pc <- pc;
@@ -726,9 +1063,9 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
-                    Heap.write32 h (Int64.add a off) (ag st.regs s)
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
+                    Heap.write32 h (Int64.add a off) (rget st.regs s)
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
                     st.fault_pc <- pc;
@@ -742,9 +1079,9 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
-                    Heap.write64 h (Int64.add a off) (ag st.regs s)
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
+                    Heap.write64 h (Int64.add a off) (rget st.regs s)
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
                     st.fault_pc <- pc;
@@ -764,8 +1101,8 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
                     Heap.write8 h (Int64.add a off) imm
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
@@ -780,8 +1117,8 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
                     Heap.write16 h (Int64.add a off) imm
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
@@ -796,8 +1133,8 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
                     Heap.write32 h (Int64.add a off) imm
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
@@ -812,8 +1149,8 @@ let compile ?(fuse = true) prog =
                     stats.insns <- stats.insns + 2;
                     stats.guards <- stats.guards + 1;
                     st.fault_pc <- pc + 1;
-                    let a = Heap.sanitize h (ag st.regs g) in
-                    au st.regs g a;
+                    let a = Heap.sanitize h (rget st.regs g) in
+                    rset st.regs g a;
                     Heap.write64 h (Int64.add a off) imm
                 | None ->
                     st.stats.insns <- st.stats.insns + 1;
@@ -822,8 +1159,76 @@ let compile ?(fuse = true) prog =
                 cont st)
     | _ -> None
   in
+  (* The terminator at [t] folded into a region closure rooted at [p]:
+     returns the closing op, the number of instructions it covers, and how
+     many of those may be charged upfront with the region's pure run.
+     [Ja]/[Exit] cannot fault and charge upfront; a [Jcond] terminator is a
+     self-charging {!jcond_op}. A [Checkpoint]
+     also charges upfront (only pure effects separate the batched charge
+     from the check, so the quantum comparison observes exactly the
+     interpreter's counters), but a jump folded in AFTER it must charge
+     inside the closure, after the quantum check — the interpreter would
+     not have retired that jump yet if the checkpoint cancels. *)
+  let term_fin p t : (op * int * int) option =
+    match insns.(t) with
+    | Insn.Jcond (c, a, s, off) ->
+        (* self-charging (upfront 0): the branch closure owns its +1 *)
+        Some (jcond_op c a s (goto p (t + 1 + off)) (goto p (t + 1)), 1, 0)
+    | Insn.Ja off -> Some (goto p (t + 1 + off), 1, 1)
+    | Insn.Exit -> Some ((fun st -> st.ret <- rget st.regs 0), 1, 1)
+    | Insn.Checkpoint _ ->
+        let check st =
+          let s = st.stats in
+          s.checkpoints <- s.checkpoints + 1;
+          st.fault_pc <- t;
+          if !(st.cancel) then raise (Vm_fault Ext_cancelled);
+          if total_cost s - st.start_cost > st.quantum then begin
+            st.cancel := true;
+            raise (Vm_fault Quantum_expired)
+          end
+        in
+        if t + 1 < n then
+          match insns.(t + 1) with
+          | Insn.Ja off ->
+              let k = goto p (t + 2 + off) in
+              Some
+                ( (fun st ->
+                    check st;
+                    st.stats.insns <- st.stats.insns + 1;
+                    k st),
+                  2,
+                  1 )
+          | Insn.Jcond (c, a, s, off) ->
+              let test = cond_test c a s in
+              let jt = goto p (t + 2 + off) in
+              let jf = goto p (t + 2) in
+              Some
+                ( (fun st ->
+                    check st;
+                    st.stats.insns <- st.stats.insns + 1;
+                    if test st then jt st else jf st),
+                  2,
+                  1 )
+          | _ ->
+              let k = goto p (t + 1) in
+              Some
+                ( (fun st ->
+                    check st;
+                    k st),
+                  1,
+                  1 )
+        else
+          let k = goto p (t + 1) in
+          Some
+            ( (fun st ->
+                check st;
+                k st),
+              1,
+              1 )
+    | _ -> None
+  in
   (* Region fusion: the run of pure instructions at [p] (length from
-     [pure_run]), plus a terminating jump when one follows. Returns the
+     [pure_run]), plus a folded terminator when one follows. Returns the
      closure and the number of instructions covered, or None when a region
      would not beat the standalone closure. *)
   let fuse_region p : (op * int) option =
@@ -831,27 +1236,46 @@ let compile ?(fuse = true) prog =
     if m = 0 then None
     else begin
       let t = p + m in
+      (* pack the run's effects, greedily pairing adjacent frame accesses
+         into two-instruction closures (see [eff2]); the charge stays [m] *)
       let effs =
-        Array.init m (fun i ->
-            match eff_any insns.(p + i) with
-            | Some e -> e
-            | None -> assert false)
+        let acc = ref [] in
+        let i = ref p in
+        while !i < t do
+          match
+            if !i + 1 < t then eff2 insns.(!i) insns.(!i + 1) else None
+          with
+          | Some e ->
+              acc := e :: !acc;
+              i := !i + 2
+          | None ->
+              (match eff_any insns.(!i) with
+              | Some e -> acc := e :: !acc
+              | None -> assert false);
+              incr i
+        done;
+        Array.of_list (List.rev !acc)
       in
       if t < n then
-        match insns.(t) with
-        | Insn.Jcond (c, a, s, off) ->
-            let test = cond_test c a s in
-            let jt = goto p (t + 1 + off) in
-            let jf = goto p (t + 1) in
-            let fin st = if test st then jt st else jf st in
-            Some (region (m + 1) effs fin, m + 1)
-        | Insn.Ja off ->
-            Some (region (m + 1) effs (goto p (t + 1 + off)), m + 1)
-        | _ ->
+        match term_fin p t with
+        | Some (fin, covered, upfront) ->
+            Some (region (m + upfront) effs fin, m + covered)
+        | None ->
             if m >= 2 then Some (region m effs (goto p t), m) else None
       else if m >= 2 then Some (region m effs (goto p t), m)
       else None
     end
+  in
+  (* A checkpoint with a jump right behind it (every loop back edge after
+     instrumentation) fuses even with no pure run in front. *)
+  let fuse_cp p : (op * int) option =
+    match insns.(p) with
+    | Insn.Checkpoint _ -> (
+        match term_fin p p with
+        | Some (fin, covered, upfront) when covered >= 2 ->
+            Some (region upfront [||] fin, covered)
+        | _ -> None)
+    | _ -> None
   in
   let fused = ref 0 in
   for p = n - 1 downto 0 do
@@ -869,7 +1293,12 @@ let compile ?(fuse = true) prog =
             | Some (op, covered) ->
                 fused := !fused + (covered - 1);
                 op
-            | None -> compile_one p insns.(p) entries.(p + 1))
+            | None -> (
+                match fuse_cp p with
+                | Some (op, covered) ->
+                    fused := !fused + (covered - 1);
+                    op
+                | None -> compile_one p insns.(p) entries.(p + 1)))
     in
     entries.(p) <- body
   done;

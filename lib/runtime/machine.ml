@@ -31,10 +31,15 @@ type outcome =
       ledger_leaked : int;
     }
 
-type helper_outcome = H_ret of int64 | H_stall
-
+(* Helper ABI: arguments r1–r5 and the return value travel through an
+   unboxed bank ([args] slots 0–4, return in slot 5) instead of a boxed
+   [int64 array] and an [H_ret of int64] sum — either of which allocates on
+   every call. A helper writes its result with [set_ret] (the dispatcher
+   pre-clears the slot to 0); a helper that cannot make progress (contended
+   lock) raises the constant [Helper_stall], which cancels the extension at
+   the call site exactly as the old [H_stall] arm did. *)
 type call_ctx = {
-  args : int64 array;
+  args : U64.bank;  (* slots 0-4: r1-r5; slot 5: the return value *)
   mutable cpu : int;
   heap : Heap.t option;
   alloc : Alloc.t option;
@@ -44,7 +49,15 @@ type call_ctx = {
   charge : int -> unit;
 }
 
-type helper = call_ctx -> helper_outcome
+type helper = call_ctx -> unit
+
+exception Helper_stall
+
+let ret_slot = 5
+
+let[@inline always] arg c i = U64.get c.args i
+let[@inline always] set_ret c v = U64.set c.args ret_slot v
+let[@inline always] get_ret c = U64.get c.args ret_slot
 
 exception Vm_fault of fault_reason
 
@@ -54,9 +67,14 @@ let ctx_base = 0x1000_0000_0000L
 (* The reusable execution context: registers, stack, ledger and the helper
    call environment are allocated once per extension and recycled across
    invocations (reset below), instead of re-allocated per [Vm.exec]. Both
-   the interpreter and the compiled backend run against this record. *)
+   the interpreter and the compiled backend run against this record. The
+   register file is an unboxed [U64.bank]: register reads and writes are
+   single machine loads/stores, never a heap box. *)
 type state = {
-  regs : int64 array;  (* r0-r10 *)
+  regs : U64.bank;  (* r0-r10 *)
+  reg_snap : int64 array;
+      (* boxed per-insn snapshot handed to [on_insn] observers (hooked
+         interpreter only; the hot paths never touch it) *)
   stack : Bytes.t;  (* Prog.stack_size bytes, zeroed per invocation *)
   mutable ctx : Bytes.t;
   mutable ctx_size : int;
@@ -77,10 +95,9 @@ type state = {
 (* Window tests compare offsets, not [addr + width]: adding the width to an
    address near [Int64.max_int] wraps negative and would misclassify a wild
    access as an in-window one. *)
-let in_window base size addr width =
+let[@inline always] in_window base size addr width =
   let off = Int64.sub addr base in
-  Int64.compare off 0L >= 0
-  && Int64.compare off (Int64.of_int (size - width)) <= 0
+  (off : int64) >= 0L && off <= Int64.of_int (size - width)
 
 let read st ~width addr =
   if in_window stack_base Prog.stack_size addr width then begin
@@ -130,68 +147,71 @@ let write st ~width addr v =
 (* Width-specialized memory paths for the compiled backend: the width is
    known at compile time, so the per-access width dispatch disappears and
    heap accesses use {!Heap}'s specialized entry points. Semantics are those
-   of [read]/[write] above, width pinned. *)
+   of [read]/[write] above, width pinned. Every function here is forced
+   inline into its (compiled-closure) call sites, so the window tests and
+   byte accesses run on unboxed values with no call or box in between —
+   the in-window loads use {!U64}'s raw accessors, their bounds discharged
+   by the window test. *)
 
-let read8 st addr =
+let[@inline always] read8 st addr =
   if in_window stack_base Prog.stack_size addr 1 then
     Int64.of_int
-      (Char.code (Bytes.get st.stack (Int64.to_int (Int64.sub addr stack_base))))
+      (Char.code (U64.get8 st.stack (Int64.to_int (Int64.sub addr stack_base))))
   else if in_window ctx_base st.ctx_size addr 1 then
     Int64.of_int
-      (Char.code (Bytes.get st.ctx (Int64.to_int (Int64.sub addr ctx_base))))
+      (Char.code (U64.get8 st.ctx (Int64.to_int (Int64.sub addr ctx_base))))
   else
     match st.heap with
     | Some h -> Heap.read8 h addr
     | None -> raise (Vm_fault Wild_access)
 
-let read16 st addr =
+let[@inline always] read16 st addr =
   if in_window stack_base Prog.stack_size addr 2 then
     Int64.of_int
-      (Bytes.get_uint16_le st.stack (Int64.to_int (Int64.sub addr stack_base)))
+      (U64.get16 st.stack (Int64.to_int (Int64.sub addr stack_base)))
   else if in_window ctx_base st.ctx_size addr 2 then
-    Int64.of_int
-      (Bytes.get_uint16_le st.ctx (Int64.to_int (Int64.sub addr ctx_base)))
+    Int64.of_int (U64.get16 st.ctx (Int64.to_int (Int64.sub addr ctx_base)))
   else
     match st.heap with
     | Some h -> Heap.read16 h addr
     | None -> raise (Vm_fault Wild_access)
 
-let read32 st addr =
+let[@inline always] read32 st addr =
   if in_window stack_base Prog.stack_size addr 4 then
     Int64.logand
       (Int64.of_int32
-         (Bytes.get_int32_le st.stack (Int64.to_int (Int64.sub addr stack_base))))
+         (U64.get32 st.stack (Int64.to_int (Int64.sub addr stack_base))))
       0xffff_ffffL
   else if in_window ctx_base st.ctx_size addr 4 then
     Int64.logand
       (Int64.of_int32
-         (Bytes.get_int32_le st.ctx (Int64.to_int (Int64.sub addr ctx_base))))
+         (U64.get32 st.ctx (Int64.to_int (Int64.sub addr ctx_base))))
       0xffff_ffffL
   else
     match st.heap with
     | Some h -> Heap.read32 h addr
     | None -> raise (Vm_fault Wild_access)
 
-let read64 st addr =
+let[@inline always] read64 st addr =
   if in_window stack_base Prog.stack_size addr 8 then
-    Bytes.get_int64_le st.stack (Int64.to_int (Int64.sub addr stack_base))
+    U64.get64 st.stack (Int64.to_int (Int64.sub addr stack_base))
   else if in_window ctx_base st.ctx_size addr 8 then
-    Bytes.get_int64_le st.ctx (Int64.to_int (Int64.sub addr ctx_base))
+    U64.get64 st.ctx (Int64.to_int (Int64.sub addr ctx_base))
   else
     match st.heap with
     | Some h -> Heap.read64 h addr
     | None -> raise (Vm_fault Wild_access)
 
-let heap_or_fault st =
+let[@inline always] heap_or_fault st =
   match st.heap with Some h -> h | None -> raise (Vm_fault Wild_access)
 
-let ctx_write_check st addr =
+let[@inline always] ctx_write_check st addr =
   if addr >= ctx_base && addr < Int64.add ctx_base (Int64.of_int st.ctx_size)
   then raise (Vm_fault Wild_access)
 
-let write8 st addr v =
+let[@inline always] write8 st addr v =
   if in_window stack_base Prog.stack_size addr 1 then
-    Bytes.set st.stack
+    U64.set8 st.stack
       (Int64.to_int (Int64.sub addr stack_base))
       (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
   else begin
@@ -199,9 +219,9 @@ let write8 st addr v =
     Heap.write8 (heap_or_fault st) addr v
   end
 
-let write16 st addr v =
+let[@inline always] write16 st addr v =
   if in_window stack_base Prog.stack_size addr 2 then
-    Bytes.set_uint16_le st.stack
+    U64.set16 st.stack
       (Int64.to_int (Int64.sub addr stack_base))
       (Int64.to_int (Int64.logand v 0xffffL))
   else begin
@@ -209,9 +229,9 @@ let write16 st addr v =
     Heap.write16 (heap_or_fault st) addr v
   end
 
-let write32 st addr v =
+let[@inline always] write32 st addr v =
   if in_window stack_base Prog.stack_size addr 4 then
-    Bytes.set_int32_le st.stack
+    U64.set32 st.stack
       (Int64.to_int (Int64.sub addr stack_base))
       (Int64.to_int32 v)
   else begin
@@ -219,9 +239,9 @@ let write32 st addr v =
     Heap.write32 (heap_or_fault st) addr v
   end
 
-let write64 st addr v =
+let[@inline always] write64 st addr v =
   if in_window stack_base Prog.stack_size addr 8 then
-    Bytes.set_int64_le st.stack (Int64.to_int (Int64.sub addr stack_base)) v
+    U64.set64 st.stack (Int64.to_int (Int64.sub addr stack_base)) v
   else begin
     ctx_write_check st addr;
     Heap.write64 (heap_or_fault st) addr v
@@ -235,7 +255,7 @@ let create_state ?heap ?alloc ~quantum ~cancel () =
   let get () = match !self with Some s -> s | None -> assert false in
   let call_ctx =
     {
-      args = Array.make 5 0L;
+      args = U64.create 6;
       cpu = 0;
       heap;
       alloc;
@@ -250,7 +270,8 @@ let create_state ?heap ?alloc ~quantum ~cancel () =
   in
   let st =
     {
-      regs = Array.make 11 0L;
+      regs = U64.create 11;
+      reg_snap = Array.make 11 0L;
       stack = Bytes.make Prog.stack_size '\000';
       ctx = Bytes.empty;
       ctx_size = 0;
@@ -272,7 +293,7 @@ let create_state ?heap ?alloc ~quantum ~cancel () =
   st
 
 let reset_state st ~ctx ~cpu ~stats =
-  Array.fill st.regs 0 11 0L;
+  U64.fill st.regs 0L;
   Bytes.fill st.stack 0 (Bytes.length st.stack) '\000';
   Ledger.clear st.ledger;
   st.ctx <- ctx;
@@ -282,64 +303,39 @@ let reset_state st ~ctx ~cpu ~stats =
   st.fault_pc <- 0;
   st.ret <- 0L;
   st.call_ctx.cpu <- cpu;
-  st.regs.(1) <- ctx_base;
-  st.regs.(10) <- Int64.add stack_base (Int64.of_int Prog.stack_size)
+  U64.set st.regs 1 ctx_base;
+  U64.set st.regs 10 (Int64.add stack_base (Int64.of_int Prog.stack_size))
 
-let u64_lt a b = Int64.unsigned_compare a b < 0
-let u64_le a b = Int64.unsigned_compare a b <= 0
+(* Fill the boxed observer snapshot from the live bank. *)
+let sync_snap st =
+  for i = 0 to 10 do
+    st.reg_snap.(i) <- U64.get st.regs i
+  done
 
-let eval_cond c a b =
+let[@inline always] eval_cond c (a : int64) (b : int64) =
   match c with
-  | Insn.Eq -> Int64.equal a b
-  | Insn.Ne -> not (Int64.equal a b)
-  | Insn.Lt -> u64_lt a b
-  | Insn.Le -> u64_le a b
-  | Insn.Gt -> u64_lt b a
-  | Insn.Ge -> u64_le b a
-  | Insn.Slt -> Int64.compare a b < 0
-  | Insn.Sle -> Int64.compare a b <= 0
-  | Insn.Sgt -> Int64.compare a b > 0
-  | Insn.Sge -> Int64.compare a b >= 0
+  | Insn.Eq -> (a : int64) = b
+  | Insn.Ne -> (a : int64) <> b
+  | Insn.Lt -> U64.ult a b
+  | Insn.Le -> U64.ule a b
+  | Insn.Gt -> U64.ult b a
+  | Insn.Ge -> U64.ule b a
+  | Insn.Slt -> (a : int64) < b
+  | Insn.Sle -> (a : int64) <= b
+  | Insn.Sgt -> (a : int64) > b
+  | Insn.Sge -> (a : int64) >= b
   | Insn.Set -> Int64.logand a b <> 0L
 
-let eval_alu op a b =
+let[@inline always] eval_alu op (a : int64) (b : int64) =
   match op with
   | Insn.Add -> Int64.add a b
   | Insn.Sub -> Int64.sub a b
   | Insn.Mul -> Int64.mul a b
-  | Insn.Div -> if b = 0L then 0L else Int64.unsigned_div a b
-  | Insn.Mod -> if b = 0L then a else Int64.unsigned_rem a b
+  | Insn.Div -> if b = 0L then 0L else U64.udiv a b
+  | Insn.Mod -> if b = 0L then a else U64.urem a b
   | Insn.And -> Int64.logand a b
   | Insn.Or -> Int64.logor a b
   | Insn.Xor -> Int64.logxor a b
   | Insn.Lsh -> Int64.shift_left a (Int64.to_int b land 63)
   | Insn.Rsh -> Int64.shift_right_logical a (Int64.to_int b land 63)
   | Insn.Arsh -> Int64.shift_right a (Int64.to_int b land 63)
-
-(* Closure-returning variants for the compiler: the operator is resolved
-   once at compile time, not matched per executed instruction. *)
-let alu_fn = function
-  | Insn.Add -> Int64.add
-  | Insn.Sub -> Int64.sub
-  | Insn.Mul -> Int64.mul
-  | Insn.Div -> fun a b -> if b = 0L then 0L else Int64.unsigned_div a b
-  | Insn.Mod -> fun a b -> if b = 0L then a else Int64.unsigned_rem a b
-  | Insn.And -> Int64.logand
-  | Insn.Or -> Int64.logor
-  | Insn.Xor -> Int64.logxor
-  | Insn.Lsh -> fun a b -> Int64.shift_left a (Int64.to_int b land 63)
-  | Insn.Rsh -> fun a b -> Int64.shift_right_logical a (Int64.to_int b land 63)
-  | Insn.Arsh -> fun a b -> Int64.shift_right a (Int64.to_int b land 63)
-
-let cond_fn = function
-  | Insn.Eq -> Int64.equal
-  | Insn.Ne -> fun a b -> not (Int64.equal a b)
-  | Insn.Lt -> u64_lt
-  | Insn.Le -> u64_le
-  | Insn.Gt -> fun a b -> u64_lt b a
-  | Insn.Ge -> fun a b -> u64_le b a
-  | Insn.Slt -> fun a b -> Int64.compare a b < 0
-  | Insn.Sle -> fun a b -> Int64.compare a b <= 0
-  | Insn.Sgt -> fun a b -> Int64.compare a b > 0
-  | Insn.Sge -> fun a b -> Int64.compare a b >= 0
-  | Insn.Set -> fun a b -> Int64.logand a b <> 0L

@@ -34,10 +34,8 @@ type outcome = Machine.outcome =
       ledger_leaked : int;
     }
 
-type helper_outcome = Machine.helper_outcome = H_ret of int64 | H_stall
-
 type call_ctx = Machine.call_ctx = {
-  args : int64 array;
+  args : U64.bank;
   mutable cpu : int;
   heap : Heap.t option;
   alloc : Alloc.t option;
@@ -48,6 +46,11 @@ type call_ctx = Machine.call_ctx = {
 }
 
 type helper = Machine.helper
+
+exception Helper_stall = Machine.Helper_stall
+
+let arg = Machine.arg
+let set_ret = Machine.set_ret
 
 exception Vm_fault = Machine.Vm_fault
 
@@ -62,20 +65,20 @@ let get_alloc c = match c.alloc with Some a -> a | None -> raise (Vm_fault Wild_
 let h_malloc c =
   let a = get_alloc c in
   c.charge 20;
-  match Alloc.alloc a ~cpu:c.cpu c.args.(0) with
-  | Some off -> H_ret (Int64.add (Heap.kbase (get_heap c)) off)
-  | None -> H_ret 0L
+  match Alloc.alloc a ~cpu:c.cpu (arg c 0) with
+  | Some off -> set_ret c (Int64.add (Heap.kbase (get_heap c)) off)
+  | None -> set_ret c 0L
 
 let h_free c =
-  if c.args.(0) = 0L then H_ret 0L
+  if arg c 0 = 0L then set_ret c 0L
   else begin
     let a = get_alloc c in
     let h = get_heap c in
     c.charge 15;
-    let addr = Heap.sanitize h c.args.(0) in
+    let addr = Heap.sanitize h (arg c 0) in
     let off = Int64.sub addr (Heap.kbase h) in
     ignore (Alloc.free a ~cpu:c.cpu off);
-    H_ret 0L
+    set_ret c 0L
   end
 
 (* Spin locks live in heap words: 0 = free, owner-tag otherwise. In the
@@ -84,56 +87,60 @@ let h_free c =
    extension eventually cancels. *)
 let h_spin_lock c =
   let h = get_heap c in
-  let addr = Heap.sanitize h c.args.(0) in
+  let addr = Heap.sanitize h (arg c 0) in
   c.charge 4;
   let v = Heap.read h ~width:8 addr in
   if v = 0L then begin
     Heap.write h ~width:8 addr (Int64.of_int (c.cpu + 1));
     Ledger.acquire c.ledger ~handle:addr ~destructor:"kflex_spin_unlock";
-    H_ret addr
+    set_ret c addr
   end
-  else H_stall
+  else raise Helper_stall
 
 let h_spin_unlock c =
   let h = get_heap c in
-  let addr = Heap.sanitize h c.args.(0) in
+  let addr = Heap.sanitize h (arg c 0) in
   c.charge 4;
   Heap.write h ~width:8 addr 0L;
   ignore (Ledger.release c.ledger ~handle:addr);
-  H_ret 0L
+  set_ret c 0L
 
-let h_heap_base c = H_ret (Heap.kbase (get_heap c))
+let h_heap_base c = set_ret c (Heap.kbase (get_heap c))
 
 (* The PRNG and virtual clock behind [bpf_get_prandom_u32] /
    [bpf_ktime_get_ns] are exposed both as process-global helpers (the
    facade's single-CPU world) and as constructors over caller-owned state:
    the engine gives every shard its own stream so shards stay deterministic
-   and race-free regardless of how events interleave across domains. *)
+   and race-free regardless of how events interleave across domains. The
+   state is a {!U64.cell}, not an [int64 ref] — updating a ref boxes the
+   new value on every call, which would be the last allocation left on the
+   helper-bearing hot paths. *)
 
-let prandom_helper state : helper =
- fun _ ->
+let prandom_helper (state : U64.cell) : helper =
+ fun c ->
   (* xorshift64*; deterministic for reproducible runs *)
-  let x = !state in
+  let x = U64.cell_get state in
   let x = Int64.logxor x (Int64.shift_left x 13) in
   let x = Int64.logxor x (Int64.shift_right_logical x 7) in
   let x = Int64.logxor x (Int64.shift_left x 17) in
-  state := x;
-  H_ret (Int64.logand x 0xffff_ffffL)
+  U64.cell_set state x;
+  set_ret c (Int64.logand x 0xffff_ffffL)
 
-let prandom_state = ref 0x853c49e6748fea9bL
-let seed_prandom seed = prandom_state := Int64.logor seed 1L
+let prandom_state = U64.cell 0x853c49e6748fea9bL
+let seed_prandom seed = U64.cell_set prandom_state (Int64.logor seed 1L)
 let h_prandom = prandom_helper prandom_state
 
-let ktime_helper clock : helper =
- fun _ ->
-  clock := Int64.add !clock 1L;
-  H_ret !clock
+let ktime_helper (clock : U64.cell) : helper =
+ fun c ->
+  let t = Int64.add (U64.cell_get clock) 1L in
+  U64.cell_set clock t;
+  set_ret c t
 
-let vtime = ref 0L
-let set_vtime v = vtime := v
+let vtime = U64.cell 0L
+let set_vtime v = U64.cell_set vtime v
 let h_ktime = ktime_helper vtime
 
-let h_cpu c = H_ret (Int64.of_int c.cpu)
+let h_cpu c = set_ret c (Int64.of_int c.cpu)
 
 let builtin_helpers =
   [
@@ -189,9 +196,6 @@ let cancelled e = !(e.cancel_flag)
 let reset_cancel e = e.cancel_flag := false
 let kie e = e.kie
 
-let eval_cond = Machine.eval_cond
-let eval_alu = Machine.eval_alu
-
 (* --- compiled backend plumbing ---------------------------------------- *)
 
 let link_helpers e names =
@@ -238,17 +242,45 @@ let acquire_state e =
       e.exec_state <- Some st;
       st
 
+(* --- helper dispatch --------------------------------------------------- *)
+
+(* Marshal r1-r5 into the unboxed argument bank, pre-clear the return slot,
+   run the helper, and hand its return slot back to r0. A [Helper_stall]
+   cancels the extension at the call site (§3.4). *)
+let[@inline always] call_helper e (st : Machine.state) h =
+  let call_ctx = st.Machine.call_ctx in
+  let regs = st.Machine.regs in
+  U64.set call_ctx.args 0 (U64.get regs 1);
+  U64.set call_ctx.args 1 (U64.get regs 2);
+  U64.set call_ctx.args 2 (U64.get regs 3);
+  U64.set call_ctx.args 3 (U64.get regs 4);
+  U64.set call_ctx.args 4 (U64.get regs 5);
+  U64.set call_ctx.args Machine.ret_slot 0L;
+  (try h call_ctx
+   with Helper_stall ->
+     e.cancel_flag := true;
+     raise (Vm_fault Lock_stall));
+  U64.set regs 0 (U64.get call_ctx.args Machine.ret_slot)
+
+let find_helper e name =
+  match Hashtbl.find_opt e.helpers name with
+  | Some h -> h
+  | None -> failwith ("Vm.exec: unknown helper " ^ name)
+
 (* --- the interpreter -------------------------------------------------- *)
 
 (* Hot loop with the hook checks hoisted out entirely: this variant runs
-   when neither [on_insn] nor [on_site] is supplied. *)
+   when neither [on_insn] nor [on_site] is supplied. Registers live in the
+   unboxed bank; all arithmetic goes through [Machine.eval_*], which inline
+   here and keep the values out of the heap. *)
 let interp_fast e (st : Machine.state) =
   let insns = Prog.insns e.kie.Kflex_kie.Instrument.prog in
   let regs = st.Machine.regs in
   let stats = st.Machine.stats in
   let start_cost = st.Machine.start_cost in
-  let call_ctx = st.Machine.call_ctx in
-  let src_val = function Insn.Reg r -> regs.(Reg.to_int r) | Insn.Imm i -> i in
+  let src_val s =
+    match s with Insn.Reg r -> U64.get regs (Reg.to_int r) | Insn.Imm i -> i
+  in
   let pc = ref 0 in
   let running = ref true in
   let ret = ref 0L in
@@ -258,26 +290,34 @@ let interp_fast e (st : Machine.state) =
        stats.insns <- stats.insns + 1;
        match insn with
        | Insn.Mov (d, s) ->
-           regs.(Reg.to_int d) <- src_val s;
+           U64.set regs (Reg.to_int d) (src_val s);
            incr pc
        | Insn.Neg d ->
-           regs.(Reg.to_int d) <- Int64.neg regs.(Reg.to_int d);
+           let d = Reg.to_int d in
+           U64.set regs d (Int64.neg (U64.get regs d));
            incr pc
        | Insn.Alu (op, d, s) ->
-           regs.(Reg.to_int d) <- eval_alu op regs.(Reg.to_int d) (src_val s);
+           let d = Reg.to_int d in
+           U64.set regs d (Machine.eval_alu op (U64.get regs d) (src_val s));
            incr pc
        | Insn.Ldx (sz, d, s, off) ->
-           let addr = Int64.add regs.(Reg.to_int s) (Int64.of_int off) in
-           regs.(Reg.to_int d) <-
-             Machine.read st ~width:(Insn.size_bytes sz) addr;
+           let addr =
+             Int64.add (U64.get regs (Reg.to_int s)) (Int64.of_int off)
+           in
+           U64.set regs (Reg.to_int d)
+             (Machine.read st ~width:(Insn.size_bytes sz) addr);
            incr pc
        | Insn.Stx (sz, d, off, s) ->
-           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           let addr =
+             Int64.add (U64.get regs (Reg.to_int d)) (Int64.of_int off)
+           in
            Machine.write st ~width:(Insn.size_bytes sz) addr
-             regs.(Reg.to_int s);
+             (U64.get regs (Reg.to_int s));
            incr pc
        | Insn.St (sz, d, off, imm) ->
-           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           let addr =
+             Int64.add (U64.get regs (Reg.to_int d)) (Int64.of_int off)
+           in
            Machine.write st ~width:(Insn.size_bytes sz) addr imm;
            incr pc
        | Insn.Xstore (sz, d, off, s) ->
@@ -286,8 +326,10 @@ let interp_fast e (st : Machine.state) =
              | Some h -> h
              | None -> raise (Vm_fault Wild_access)
            in
-           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
-           let v = regs.(Reg.to_int s) in
+           let addr =
+             Int64.add (U64.get regs (Reg.to_int d)) (Int64.of_int off)
+           in
+           let v = U64.get regs (Reg.to_int s) in
            let v = if Heap.is_shared h then Heap.translate_user h v else v in
            Machine.write st ~width:(Insn.size_bytes sz) addr v;
            incr pc
@@ -298,7 +340,8 @@ let interp_fast e (st : Machine.state) =
              | None -> raise (Vm_fault Wild_access)
            in
            stats.guards <- stats.guards + 1;
-           regs.(Reg.to_int r) <- Heap.sanitize h regs.(Reg.to_int r);
+           let r = Reg.to_int r in
+           U64.set regs r (Heap.sanitize h (U64.get regs r));
            incr pc
        | Insn.Checkpoint _ ->
            (* the [*terminate] load: one unit of cost; the watchdog *)
@@ -311,9 +354,12 @@ let interp_fast e (st : Machine.state) =
            incr pc
        | Insn.Atomic (op, sz, d, off, s) ->
            let width = Insn.size_bytes sz in
-           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           let addr =
+             Int64.add (U64.get regs (Reg.to_int d)) (Int64.of_int off)
+           in
            let old = Machine.read st ~width addr in
-           let sv = regs.(Reg.to_int s) in
+           let s = Reg.to_int s in
+           let sv = U64.get regs s in
            (match op with
            | Insn.Atomic_add -> Machine.write st ~width addr (Int64.add old sv)
            | Insn.Atomic_or -> Machine.write st ~width addr (Int64.logor old sv)
@@ -323,47 +369,34 @@ let interp_fast e (st : Machine.state) =
                Machine.write st ~width addr (Int64.logxor old sv)
            | Insn.Fetch_add ->
                Machine.write st ~width addr (Int64.add old sv);
-               regs.(Reg.to_int s) <- old
+               U64.set regs s old
            | Insn.Fetch_or ->
                Machine.write st ~width addr (Int64.logor old sv);
-               regs.(Reg.to_int s) <- old
+               U64.set regs s old
            | Insn.Fetch_and ->
                Machine.write st ~width addr (Int64.logand old sv);
-               regs.(Reg.to_int s) <- old
+               U64.set regs s old
            | Insn.Fetch_xor ->
                Machine.write st ~width addr (Int64.logxor old sv);
-               regs.(Reg.to_int s) <- old
+               U64.set regs s old
            | Insn.Xchg ->
                Machine.write st ~width addr sv;
-               regs.(Reg.to_int s) <- old
+               U64.set regs s old
            | Insn.Cmpxchg ->
-               if old = regs.(0) then Machine.write st ~width addr sv;
-               regs.(0) <- old);
+               if old = U64.get regs 0 then Machine.write st ~width addr sv;
+               U64.set regs 0 old);
            incr pc
        | Insn.Ja off -> pc := !pc + 1 + off
        | Insn.Jcond (c, a, s, off) ->
-           if eval_cond c regs.(Reg.to_int a) (src_val s) then
-             pc := !pc + 1 + off
+           if Machine.eval_cond c (U64.get regs (Reg.to_int a)) (src_val s)
+           then pc := !pc + 1 + off
            else incr pc
-       | Insn.Call name -> (
+       | Insn.Call name ->
            stats.helper_calls <- stats.helper_calls + 1;
-           let h =
-             match Hashtbl.find_opt e.helpers name with
-             | Some h -> h
-             | None -> failwith ("Vm.exec: unknown helper " ^ name)
-           in
-           for i = 0 to 4 do
-             call_ctx.args.(i) <- regs.(i + 1)
-           done;
-           match h call_ctx with
-           | H_ret v ->
-               regs.(0) <- v;
-               incr pc
-           | H_stall ->
-               e.cancel_flag := true;
-               raise (Vm_fault Lock_stall))
+           call_helper e st (find_helper e name);
+           incr pc
        | Insn.Exit ->
-           ret := regs.(0);
+           ret := U64.get regs 0;
            running := false
      done
    with exn ->
@@ -373,22 +406,28 @@ let interp_fast e (st : Machine.state) =
 
 (* Instrumented loop: identical semantics plus the [on_insn] / [on_site]
    observation points. Lives separately so the fast loop never tests for
-   hook presence. *)
+   hook presence. [on_insn] observers receive the state's boxed snapshot
+   array, refreshed from the live bank before every instruction. *)
 let interp_hooked e (st : Machine.state) ~on_insn ~on_site =
   let insns = Prog.insns e.kie.Kflex_kie.Instrument.prog in
   let regs = st.Machine.regs in
   let stats = st.Machine.stats in
   let start_cost = st.Machine.start_cost in
-  let call_ctx = st.Machine.call_ctx in
   let ctx_size = st.Machine.ctx_size in
-  let src_val = function Insn.Reg r -> regs.(Reg.to_int r) | Insn.Imm i -> i in
+  let src_val s =
+    match s with Insn.Reg r -> U64.get regs (Reg.to_int r) | Insn.Imm i -> i
+  in
   let pc = ref 0 in
   let running = ref true in
   let ret = ref 0L in
   (try
      while !running do
        let insn = insns.(!pc) in
-       (match on_insn with Some f -> f !pc regs | None -> ());
+       (match on_insn with
+       | Some f ->
+           Machine.sync_snap st;
+           f !pc st.Machine.reg_snap
+       | None -> ());
        stats.insns <- stats.insns + 1;
        (* The watchdog: quantum measured in cost units per invocation. *)
        (match insn with
@@ -417,40 +456,48 @@ let interp_hooked e (st : Machine.state) ~on_insn ~on_site =
              | Insn.Checkpoint _ -> true
              | Insn.Ldx (sz, _, s, off) ->
                  outside
-                   (Int64.add regs.(Reg.to_int s) (Int64.of_int off))
+                   (Int64.add (U64.get regs (Reg.to_int s)) (Int64.of_int off))
                    (Insn.size_bytes sz)
              | Insn.Stx (sz, d, off, _)
              | Insn.St (sz, d, off, _)
              | Insn.Xstore (sz, d, off, _)
              | Insn.Atomic (_, sz, d, off, _) ->
                  outside
-                   (Int64.add regs.(Reg.to_int d) (Int64.of_int off))
+                   (Int64.add (U64.get regs (Reg.to_int d)) (Int64.of_int off))
                    (Insn.size_bytes sz)
              | _ -> false
            in
            if is_site && f () then raise (Vm_fault Ext_cancelled));
        match insn with
        | Insn.Mov (d, s) ->
-           regs.(Reg.to_int d) <- src_val s;
+           U64.set regs (Reg.to_int d) (src_val s);
            incr pc
        | Insn.Neg d ->
-           regs.(Reg.to_int d) <- Int64.neg regs.(Reg.to_int d);
+           let d = Reg.to_int d in
+           U64.set regs d (Int64.neg (U64.get regs d));
            incr pc
        | Insn.Alu (op, d, s) ->
-           regs.(Reg.to_int d) <- eval_alu op regs.(Reg.to_int d) (src_val s);
+           let d = Reg.to_int d in
+           U64.set regs d (Machine.eval_alu op (U64.get regs d) (src_val s));
            incr pc
        | Insn.Ldx (sz, d, s, off) ->
-           let addr = Int64.add regs.(Reg.to_int s) (Int64.of_int off) in
-           regs.(Reg.to_int d) <-
-             Machine.read st ~width:(Insn.size_bytes sz) addr;
+           let addr =
+             Int64.add (U64.get regs (Reg.to_int s)) (Int64.of_int off)
+           in
+           U64.set regs (Reg.to_int d)
+             (Machine.read st ~width:(Insn.size_bytes sz) addr);
            incr pc
        | Insn.Stx (sz, d, off, s) ->
-           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           let addr =
+             Int64.add (U64.get regs (Reg.to_int d)) (Int64.of_int off)
+           in
            Machine.write st ~width:(Insn.size_bytes sz) addr
-             regs.(Reg.to_int s);
+             (U64.get regs (Reg.to_int s));
            incr pc
        | Insn.St (sz, d, off, imm) ->
-           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           let addr =
+             Int64.add (U64.get regs (Reg.to_int d)) (Int64.of_int off)
+           in
            Machine.write st ~width:(Insn.size_bytes sz) addr imm;
            incr pc
        | Insn.Xstore (sz, d, off, s) ->
@@ -459,8 +506,10 @@ let interp_hooked e (st : Machine.state) ~on_insn ~on_site =
              | Some h -> h
              | None -> raise (Vm_fault Wild_access)
            in
-           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
-           let v = regs.(Reg.to_int s) in
+           let addr =
+             Int64.add (U64.get regs (Reg.to_int d)) (Int64.of_int off)
+           in
+           let v = U64.get regs (Reg.to_int s) in
            let v = if Heap.is_shared h then Heap.translate_user h v else v in
            Machine.write st ~width:(Insn.size_bytes sz) addr v;
            incr pc
@@ -471,16 +520,20 @@ let interp_hooked e (st : Machine.state) ~on_insn ~on_site =
              | None -> raise (Vm_fault Wild_access)
            in
            stats.guards <- stats.guards + 1;
-           regs.(Reg.to_int r) <- Heap.sanitize h regs.(Reg.to_int r);
+           let r = Reg.to_int r in
+           U64.set regs r (Heap.sanitize h (U64.get regs r));
            incr pc
        | Insn.Checkpoint _ ->
            (* cost and watchdog handled above *)
            incr pc
        | Insn.Atomic (op, sz, d, off, s) ->
            let width = Insn.size_bytes sz in
-           let addr = Int64.add regs.(Reg.to_int d) (Int64.of_int off) in
+           let addr =
+             Int64.add (U64.get regs (Reg.to_int d)) (Int64.of_int off)
+           in
            let old = Machine.read st ~width addr in
-           let sv = regs.(Reg.to_int s) in
+           let s = Reg.to_int s in
+           let sv = U64.get regs s in
            (match op with
            | Insn.Atomic_add -> Machine.write st ~width addr (Int64.add old sv)
            | Insn.Atomic_or -> Machine.write st ~width addr (Int64.logor old sv)
@@ -490,47 +543,34 @@ let interp_hooked e (st : Machine.state) ~on_insn ~on_site =
                Machine.write st ~width addr (Int64.logxor old sv)
            | Insn.Fetch_add ->
                Machine.write st ~width addr (Int64.add old sv);
-               regs.(Reg.to_int s) <- old
+               U64.set regs s old
            | Insn.Fetch_or ->
                Machine.write st ~width addr (Int64.logor old sv);
-               regs.(Reg.to_int s) <- old
+               U64.set regs s old
            | Insn.Fetch_and ->
                Machine.write st ~width addr (Int64.logand old sv);
-               regs.(Reg.to_int s) <- old
+               U64.set regs s old
            | Insn.Fetch_xor ->
                Machine.write st ~width addr (Int64.logxor old sv);
-               regs.(Reg.to_int s) <- old
+               U64.set regs s old
            | Insn.Xchg ->
                Machine.write st ~width addr sv;
-               regs.(Reg.to_int s) <- old
+               U64.set regs s old
            | Insn.Cmpxchg ->
-               if old = regs.(0) then Machine.write st ~width addr sv;
-               regs.(0) <- old);
+               if old = U64.get regs 0 then Machine.write st ~width addr sv;
+               U64.set regs 0 old);
            incr pc
        | Insn.Ja off -> pc := !pc + 1 + off
        | Insn.Jcond (c, a, s, off) ->
-           if eval_cond c regs.(Reg.to_int a) (src_val s) then
-             pc := !pc + 1 + off
+           if Machine.eval_cond c (U64.get regs (Reg.to_int a)) (src_val s)
+           then pc := !pc + 1 + off
            else incr pc
-       | Insn.Call name -> (
+       | Insn.Call name ->
            stats.helper_calls <- stats.helper_calls + 1;
-           let h =
-             match Hashtbl.find_opt e.helpers name with
-             | Some h -> h
-             | None -> failwith ("Vm.exec: unknown helper " ^ name)
-           in
-           for i = 0 to 4 do
-             call_ctx.args.(i) <- regs.(i + 1)
-           done;
-           match h call_ctx with
-           | H_ret v ->
-               regs.(0) <- v;
-               incr pc
-           | H_stall ->
-               e.cancel_flag := true;
-               raise (Vm_fault Lock_stall))
+           call_helper e st (find_helper e name);
+           incr pc
        | Insn.Exit ->
-           ret := regs.(0);
+           ret := U64.get regs 0;
            running := false
      done
    with exn ->
@@ -560,19 +600,22 @@ let unwind e (st : Machine.state) exn =
     (fun (entry : Kflex_kie.Instrument.obj_entry) ->
       let v =
         match entry.Kflex_kie.Instrument.loc with
-        | Kflex_verifier.State.L_reg r -> regs.(Reg.to_int r)
+        | Kflex_verifier.State.L_reg r -> U64.get regs (Reg.to_int r)
         | Kflex_verifier.State.L_slot i -> Bytes.get_int64_le stack (i * 8)
       in
       if v <> 0L then begin
         (match
            Hashtbl.find_opt e.helpers entry.Kflex_kie.Instrument.destructor
          with
-        | Some d ->
+        | Some d -> (
             for i = 0 to 4 do
-              call_ctx.args.(i) <- 0L
+              U64.set call_ctx.args i 0L
             done;
-            call_ctx.args.(0) <- v;
-            ignore (d call_ctx)
+            U64.set call_ctx.args 0 v;
+            U64.set call_ctx.args Machine.ret_slot 0L;
+            (* a stalling destructor cannot stall the unwind: the old ABI's
+               [H_stall] result was ignored here, so the exception is too *)
+            try d call_ctx with Helper_stall -> ())
         | None -> ());
         released :=
           (entry.Kflex_kie.Instrument.klass, entry.Kflex_kie.Instrument.destructor)
@@ -590,6 +633,216 @@ let unwind e (st : Machine.state) exn =
       ret;
       ledger_leaked = Ledger.count st.Machine.ledger;
     }
+
+(* --- the boxed reference interpreter ----------------------------------- *)
+
+(* The pre-refactor representation, kept alive as the differential oracle's
+   ground truth: a boxed [int64 array] register file and [Stdlib.Int64]
+   arithmetic everywhere — including the stdlib's unsigned division — with
+   the width-dispatched generic memory path for every access. Deliberately
+   shares no ALU/comparison code with [Machine]: the whole point is that an
+   unboxing bug in the new representation (wrap-around, sign extension,
+   shift masking, division edge cases) cannot also be present here.
+
+   Heap, ledger, helpers, stack bytes and outcome plumbing are shared with
+   the live state — the reference covers the VM's value representation, not
+   the world around it — so outcomes, stats, payloads and heap snapshots
+   must come out bit-identical to both unboxed backends. *)
+module Ref_interp = struct
+  let u_lt a b = Int64.unsigned_compare a b < 0
+  let u_le a b = Int64.unsigned_compare a b <= 0
+
+  let eval_cond c a b =
+    match c with
+    | Insn.Eq -> Int64.equal a b
+    | Insn.Ne -> not (Int64.equal a b)
+    | Insn.Lt -> u_lt a b
+    | Insn.Le -> u_le a b
+    | Insn.Gt -> u_lt b a
+    | Insn.Ge -> u_le b a
+    | Insn.Slt -> Int64.compare a b < 0
+    | Insn.Sle -> Int64.compare a b <= 0
+    | Insn.Sgt -> Int64.compare a b > 0
+    | Insn.Sge -> Int64.compare a b >= 0
+    | Insn.Set -> Int64.logand a b <> 0L
+
+  let eval_alu op a b =
+    match op with
+    | Insn.Add -> Int64.add a b
+    | Insn.Sub -> Int64.sub a b
+    | Insn.Mul -> Int64.mul a b
+    | Insn.Div -> if b = 0L then 0L else Int64.unsigned_div a b
+    | Insn.Mod -> if b = 0L then a else Int64.unsigned_rem a b
+    | Insn.And -> Int64.logand a b
+    | Insn.Or -> Int64.logor a b
+    | Insn.Xor -> Int64.logxor a b
+    | Insn.Lsh -> Int64.shift_left a (Int64.to_int b land 63)
+    | Insn.Rsh -> Int64.shift_right_logical a (Int64.to_int b land 63)
+    | Insn.Arsh -> Int64.shift_right a (Int64.to_int b land 63)
+
+  let exec e ~ctx ?(cpu = 0) ?stats ?on_insn () =
+    let stats = match stats with Some s -> s | None -> fresh_stats () in
+    let st = acquire_state e in
+    Fun.protect
+      ~finally:(fun () -> st.Machine.in_use <- false)
+      (fun () ->
+        Machine.reset_state st ~ctx ~cpu ~stats;
+        let insns = Prog.insns e.kie.Kflex_kie.Instrument.prog in
+        let regs = Array.make 11 0L in
+        regs.(1) <- ctx_base;
+        regs.(10) <- Int64.add stack_base (Int64.of_int Prog.stack_size);
+        let call_ctx = st.Machine.call_ctx in
+        let start_cost = st.Machine.start_cost in
+        (* unwind and helpers read registers from the live bank *)
+        let sync_regs () =
+          for i = 0 to 10 do
+            U64.set st.Machine.regs i regs.(i)
+          done
+        in
+        let src_val = function
+          | Insn.Reg r -> regs.(Reg.to_int r)
+          | Insn.Imm i -> i
+        in
+        let pc = ref 0 in
+        let running = ref true in
+        let ret = ref 0L in
+        try
+          (try
+             while !running do
+               let insn = insns.(!pc) in
+               (match on_insn with Some f -> f !pc regs | None -> ());
+               stats.insns <- stats.insns + 1;
+               match insn with
+               | Insn.Mov (d, s) ->
+                   regs.(Reg.to_int d) <- src_val s;
+                   incr pc
+               | Insn.Neg d ->
+                   regs.(Reg.to_int d) <- Int64.neg regs.(Reg.to_int d);
+                   incr pc
+               | Insn.Alu (op, d, s) ->
+                   regs.(Reg.to_int d) <-
+                     eval_alu op regs.(Reg.to_int d) (src_val s);
+                   incr pc
+               | Insn.Ldx (sz, d, s, off) ->
+                   let addr =
+                     Int64.add regs.(Reg.to_int s) (Int64.of_int off)
+                   in
+                   regs.(Reg.to_int d) <-
+                     Machine.read st ~width:(Insn.size_bytes sz) addr;
+                   incr pc
+               | Insn.Stx (sz, d, off, s) ->
+                   let addr =
+                     Int64.add regs.(Reg.to_int d) (Int64.of_int off)
+                   in
+                   Machine.write st ~width:(Insn.size_bytes sz) addr
+                     regs.(Reg.to_int s);
+                   incr pc
+               | Insn.St (sz, d, off, imm) ->
+                   let addr =
+                     Int64.add regs.(Reg.to_int d) (Int64.of_int off)
+                   in
+                   Machine.write st ~width:(Insn.size_bytes sz) addr imm;
+                   incr pc
+               | Insn.Xstore (sz, d, off, s) ->
+                   let h =
+                     match st.Machine.heap with
+                     | Some h -> h
+                     | None -> raise (Vm_fault Wild_access)
+                   in
+                   let addr =
+                     Int64.add regs.(Reg.to_int d) (Int64.of_int off)
+                   in
+                   let v = regs.(Reg.to_int s) in
+                   let v =
+                     if Heap.is_shared h then Heap.translate_user h v else v
+                   in
+                   Machine.write st ~width:(Insn.size_bytes sz) addr v;
+                   incr pc
+               | Insn.Guard (_, r) ->
+                   let h =
+                     match st.Machine.heap with
+                     | Some h -> h
+                     | None -> raise (Vm_fault Wild_access)
+                   in
+                   stats.guards <- stats.guards + 1;
+                   regs.(Reg.to_int r) <-
+                     Int64.logor (Heap.kbase h)
+                       (Int64.logand regs.(Reg.to_int r) (Heap.mask h));
+                   incr pc
+               | Insn.Checkpoint _ ->
+                   stats.checkpoints <- stats.checkpoints + 1;
+                   if !(e.cancel_flag) then raise (Vm_fault Ext_cancelled);
+                   if total_cost stats - start_cost > e.quantum then begin
+                     e.cancel_flag := true;
+                     raise (Vm_fault Quantum_expired)
+                   end;
+                   incr pc
+               | Insn.Atomic (op, sz, d, off, s) ->
+                   let width = Insn.size_bytes sz in
+                   let addr =
+                     Int64.add regs.(Reg.to_int d) (Int64.of_int off)
+                   in
+                   let old = Machine.read st ~width addr in
+                   let sv = regs.(Reg.to_int s) in
+                   (match op with
+                   | Insn.Atomic_add ->
+                       Machine.write st ~width addr (Int64.add old sv)
+                   | Insn.Atomic_or ->
+                       Machine.write st ~width addr (Int64.logor old sv)
+                   | Insn.Atomic_and ->
+                       Machine.write st ~width addr (Int64.logand old sv)
+                   | Insn.Atomic_xor ->
+                       Machine.write st ~width addr (Int64.logxor old sv)
+                   | Insn.Fetch_add ->
+                       Machine.write st ~width addr (Int64.add old sv);
+                       regs.(Reg.to_int s) <- old
+                   | Insn.Fetch_or ->
+                       Machine.write st ~width addr (Int64.logor old sv);
+                       regs.(Reg.to_int s) <- old
+                   | Insn.Fetch_and ->
+                       Machine.write st ~width addr (Int64.logand old sv);
+                       regs.(Reg.to_int s) <- old
+                   | Insn.Fetch_xor ->
+                       Machine.write st ~width addr (Int64.logxor old sv);
+                       regs.(Reg.to_int s) <- old
+                   | Insn.Xchg ->
+                       Machine.write st ~width addr sv;
+                       regs.(Reg.to_int s) <- old
+                   | Insn.Cmpxchg ->
+                       if old = regs.(0) then Machine.write st ~width addr sv;
+                       regs.(0) <- old);
+                   incr pc
+               | Insn.Ja off -> pc := !pc + 1 + off
+               | Insn.Jcond (c, a, s, off) ->
+                   if eval_cond c regs.(Reg.to_int a) (src_val s) then
+                     pc := !pc + 1 + off
+                   else incr pc
+               | Insn.Call name ->
+                   stats.helper_calls <- stats.helper_calls + 1;
+                   let h = find_helper e name in
+                   for i = 0 to 4 do
+                     U64.set call_ctx.args i regs.(i + 1)
+                   done;
+                   U64.set call_ctx.args Machine.ret_slot 0L;
+                   (try h call_ctx
+                    with Helper_stall ->
+                      e.cancel_flag := true;
+                      raise (Vm_fault Lock_stall));
+                   regs.(0) <- U64.get call_ctx.args Machine.ret_slot;
+                   incr pc
+               | Insn.Exit ->
+                   ret := regs.(0);
+                   running := false
+             done
+           with exn ->
+             st.Machine.fault_pc <- !pc;
+             raise exn);
+          Finished !ret
+        with
+        | (Vm_fault _ | Heap.Fault _) as exn ->
+            sync_regs ();
+            unwind e st exn)
+end
 
 let exec e ~ctx ?(cpu = 0) ?stats ?on_insn ?on_site ?(backend = `Interp) () =
   let stats = match stats with Some s -> s | None -> fresh_stats () in

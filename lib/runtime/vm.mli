@@ -50,15 +50,11 @@ type outcome =
           always 0; tests assert this invariant *)
     }
 
-(** Outcome of a helper call. *)
-type helper_outcome =
-  | H_ret of int64
-  | H_stall  (** cannot make progress (e.g. contended lock): cancel at the
-          call site *)
-
 (** Environment a helper executes in. *)
 type call_ctx = Machine.call_ctx = {
-  args : int64 array;  (** r1–r5 *)
+  args : U64.bank;
+      (** six unboxed slots: 0–4 carry r1–r5, slot 5 is the return value —
+          read them through {!arg} and write results through {!set_ret} *)
   mutable cpu : int;
   heap : Heap.t option;
   alloc : Alloc.t option;
@@ -68,7 +64,21 @@ type call_ctx = Machine.call_ctx = {
   charge : int -> unit;  (** add helper cost units *)
 }
 
-type helper = call_ctx -> helper_outcome
+type helper = call_ctx -> unit
+(** Helpers return through the context's unboxed return slot (preset to 0L
+    before every call) instead of a boxed sum — the old
+    [H_ret of int64 | H_stall] result allocated on every call. *)
+
+exception Helper_stall
+(** Raised by a helper that cannot make progress (e.g. contended lock): the
+    VM cancels the extension at the call site, exactly as the old [H_stall]
+    arm did. *)
+
+val arg : call_ctx -> int -> int64
+(** [arg c i] reads argument register [r(i+1)], for [i] in 0–4. *)
+
+val set_ret : call_ctx -> int64 -> unit
+(** Store the helper's return value (lands in [r0]). *)
 
 val stack_base : int64
 (** Virtual base of the 512-byte extension stack window ([r10] starts at
@@ -87,14 +97,15 @@ val set_vtime : int64 -> unit
     by one tick). Differential tests aligning the facade against the
     engine's per-shard clocks reset both to the same origin. *)
 
-val prandom_helper : int64 ref -> helper
+val prandom_helper : U64.cell -> helper
 (** A [bpf_get_prandom_u32] implementation over caller-owned state, using
-    the exact global algorithm (xorshift64-star). Seed the ref with
+    the exact global algorithm (xorshift64-star). Seed the cell with
     [Int64.logor seed 1L] to match {!seed_prandom}. The engine shadows the
     builtin with one of these per shard, so streams are per-CPU like the
-    kernel's and never race across domains. *)
+    kernel's and never race across domains. The state lives in a {!U64.cell}
+    rather than an [int64 ref] so advancing it never allocates. *)
 
-val ktime_helper : int64 ref -> helper
+val ktime_helper : U64.cell -> helper
 (** Same for [bpf_ktime_get_ns]: a one-tick-per-call virtual clock over
     caller-owned state. *)
 
@@ -179,3 +190,23 @@ val exec :
     [backend] selects the engine (default [`Interp]). Supplying either hook
     forces the interpreter regardless of [backend]: observation points only
     exist there. *)
+
+(** The pre-refactor boxed reference semantics, kept as the ground truth for
+    the [repr_equiv] differential oracle: a boxed [int64 array] register
+    file with [Stdlib.Int64] arithmetic everywhere (including the stdlib's
+    unsigned division) and the width-dispatched generic memory path. Shares
+    no ALU/comparison/accessor code with the unboxed backends, so a
+    representation bug there cannot also hide here. Slow by design; never
+    use it outside differential testing. *)
+module Ref_interp : sig
+  val exec :
+    ext ->
+    ctx:Bytes.t ->
+    ?cpu:int ->
+    ?stats:stats ->
+    ?on_insn:(int -> int64 array -> unit) ->
+    unit ->
+    outcome
+  (** Same contract as {!exec} restricted to the interpreter: [on_insn]
+      observes the (boxed) register file before each instruction. *)
+end

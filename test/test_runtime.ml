@@ -636,6 +636,223 @@ let prop_jit_differential =
               QCheck.Test.fail_reportf "[%s] %s" f.Kflex_fuzz.Oracle.oracle
                 f.Kflex_fuzz.Oracle.detail))
 
+(* --- representation edge cases ------------------------------------------- *)
+
+(* An independent Stdlib.Int64 reference for one ALU step — deliberately not
+   shared with any engine, so a wraparound or unsigned-division bug in the
+   unboxed representation cannot cancel out. *)
+let alu_ref op a b =
+  match op with
+  | Insn.Add -> Int64.add a b
+  | Insn.Sub -> Int64.sub a b
+  | Insn.Mul -> Int64.mul a b
+  | Insn.Div -> if b = 0L then 0L else Int64.unsigned_div a b
+  | Insn.Mod -> if b = 0L then a else Int64.unsigned_rem a b
+  | Insn.And -> Int64.logand a b
+  | Insn.Or -> Int64.logor a b
+  | Insn.Xor -> Int64.logxor a b
+  | Insn.Lsh -> Int64.shift_left a (Int64.to_int b land 63)
+  | Insn.Rsh -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Insn.Arsh -> Int64.shift_right a (Int64.to_int b land 63)
+
+(* Corner-heavy 64-bit scalars: the wraparound boundaries, the sign bit,
+   bit patterns that are float NaNs/infinities when misread, plus noise. *)
+let corner_i64 =
+  QCheck.make ~print:(Printf.sprintf "0x%Lx")
+    QCheck.Gen.(
+      oneof
+        [
+          oneofl
+            [
+              0L; 1L; -1L; 2L; Int64.min_int; Int64.max_int;
+              0x8000_0000L; 0xffff_ffffL; 0x1_0000_0000L;
+              0x7ff0_0000_0000_0001L; 0xfff8_0000_0000_0000L;
+              0x0102_0304_0506_0708L; 0x8070_6050_4030_2010L;
+            ];
+          map Int64.of_int int;
+        ])
+
+let both_ret items =
+  let go backend =
+    let _, ext = with_heap items in
+    match Vm.exec ext ~ctx:(Bytes.make 64 '\000') ~backend () with
+    | Vm.Finished v -> v
+    | Vm.Cancelled _ -> QCheck.Test.fail_report "unexpected cancellation"
+  in
+  let i = go `Interp and c = go `Compiled in
+  if i <> c then
+    QCheck.Test.fail_reportf "backends diverge: 0x%Lx interp vs 0x%Lx compiled"
+      i c;
+  i
+
+let check_alu op a b =
+  let expect = alu_ref op a b in
+  let reg =
+    both_ret [ movi R1 a; movi R2 b; alu op R1 R2; mov R0 R1; exit_ ]
+  in
+  if reg <> expect then
+    QCheck.Test.fail_reportf "%s(reg) 0x%Lx 0x%Lx = 0x%Lx, want 0x%Lx"
+      (Format.asprintf "%a" Insn.pp_alu_op op) a b reg expect;
+  let imm = both_ret [ movi R1 a; alui op R1 b; mov R0 R1; exit_ ] in
+  if imm <> expect then
+    QCheck.Test.fail_reportf "%s(imm) 0x%Lx 0x%Lx = 0x%Lx, want 0x%Lx"
+      (Format.asprintf "%a" Insn.pp_alu_op op) a b imm expect;
+  true
+
+let prop_repr_wraparound =
+  QCheck.Test.make ~name:"repr: add/sub/mul wrap at 64 bits" ~count:40
+    QCheck.(pair corner_i64 corner_i64)
+    (fun (a, b) ->
+      List.for_all (fun op -> check_alu op a b) [ Insn.Add; Insn.Sub; Insn.Mul ])
+
+let prop_repr_divmod =
+  QCheck.Test.make ~name:"repr: unsigned div/mod incl. min_int and zero"
+    ~count:40
+    QCheck.(pair corner_i64 corner_i64)
+    (fun (a, b) ->
+      List.for_all (fun op -> check_alu op a b) [ Insn.Div; Insn.Mod ])
+
+let prop_repr_shifts =
+  QCheck.Test.make ~name:"repr: lsh/rsh/arsh mask shift counts to 6 bits"
+    ~count:40
+    QCheck.(pair corner_i64 (int_bound 130))
+    (fun (a, s) ->
+      let b = Int64.of_int s in
+      List.for_all
+        (fun op -> check_alu op a b)
+        [ Insn.Lsh; Insn.Rsh; Insn.Arsh ])
+
+(* Sub-word stores truncate and sub-word loads zero-extend: store the value
+   at a frame slot pre-filled with all-ones, reload the full word, and check
+   exactly the low bytes changed (little-endian); then reload at the narrow
+   width and check zero-extension. *)
+let prop_repr_subword =
+  let widths =
+    [ (Insn.U8, 0xffL); (Insn.U16, 0xffffL); (Insn.U32, 0xffff_ffffL);
+      (Insn.U64, -1L) ]
+  in
+  QCheck.Test.make ~name:"repr: sub-word store truncation / load extension"
+    ~count:30 corner_i64
+    (fun v ->
+      List.for_all
+        (fun (w, mask) ->
+          let stored =
+            both_ret
+              [
+                movi R1 (-1L);
+                stx Insn.U64 R10 (-16) R1;
+                movi R2 v;
+                stx w R10 (-16) R2;
+                ldx Insn.U64 R0 R10 (-16);
+                exit_;
+              ]
+          in
+          let expect_stored =
+            Int64.logor (Int64.logand v mask) (Int64.logand (-1L) (Int64.lognot mask))
+          in
+          if stored <> expect_stored then
+            QCheck.Test.fail_reportf
+              "store %Ld-mask: got 0x%Lx, want 0x%Lx" mask stored expect_stored;
+          let loaded =
+            both_ret
+              [
+                movi R1 v;
+                stx Insn.U64 R10 (-8) R1;
+                ldx w R0 R10 (-8);
+                exit_;
+              ]
+          in
+          let expect_loaded = Int64.logand v mask in
+          if loaded <> expect_loaded then
+            QCheck.Test.fail_reportf "load %Ld-mask: got 0x%Lx, want 0x%Lx"
+              mask loaded expect_loaded;
+          true)
+        widths)
+
+(* Regression for the polymorphic-array miscompile the Bigarray register
+   bank replaced: a generic [Array.unsafe_get] on a weakly-typed register
+   file can be compiled through the float-dispatching accessor, which would
+   launder values through a float load/store and corrupt NaN bit patterns.
+   Round-trip signalling-NaN and quiet-NaN patterns through moves, frame
+   spills and identity ALU ops on both backends — bits must survive
+   exactly. *)
+let t_nan_bit_roundtrip () =
+  List.iter
+    (fun v ->
+      let out =
+        both_ret
+          [
+            movi R1 v;
+            mov R2 R1;
+            stx Insn.U64 R10 (-8) R2;
+            ldx Insn.U64 R3 R10 (-8);
+            alui Insn.Xor R3 0L;
+            alui Insn.Or R3 0L;
+            mov R0 R3;
+            exit_;
+          ]
+      in
+      Alcotest.(check int64) "bits survive" v out)
+    [
+      0x7ff0_0000_0000_0001L; (* signalling NaN *)
+      0x7ff8_0000_0000_0000L; (* quiet NaN *)
+      0xfff0_0000_0000_0000L; (* -inf *)
+      0x7ff0_0000_0000_0000L; (* +inf *)
+      0x8000_0000_0000_0000L; (* -0.0 *)
+    ]
+
+(* --- allocation regression (unboxed hot path) ----------------------------- *)
+
+(* The compiled hook-free hot path must allocate nothing per retired
+   instruction: registers live in a Bigarray bank, ALU results stay in
+   native registers, and stack/heap accesses go through monomorphic byte
+   externals. A regression — a boxed intermediate, a run-time closure, a
+   polymorphic compare — makes minor-heap words scale with iteration count.
+   The differential form (words at 2N minus words at N) cancels the
+   constant per-exec cost (outcome constructor, pooled-state lookup) and
+   must come out exactly zero. *)
+let minor_words_once iters =
+  let items =
+    [
+      call "kflex_heap_base";
+      mov R6 R0;
+      movi R7 (Int64.of_int iters);
+      label "loop";
+      stx Insn.U64 R10 (-8) R7;
+      ldx Insn.U64 R1 R10 (-8);
+      alui Insn.And R1 0xffL;
+      alui Insn.Mul R1 8L;
+      mov R2 R6;
+      alu Insn.Add R2 R1;
+      stx Insn.U64 R2 64 R7;
+      ldx Insn.U64 R3 R2 64;
+      alu Insn.Xor R3 R7;
+      alui Insn.Sub R7 1L;
+      jmpi Insn.Ne R7 0L "loop";
+      mov R0 R3;
+      exit_;
+    ]
+  in
+  let _, ext = with_heap ~quantum:max_int items in
+  let ctx = Bytes.make 64 '\000' in
+  let go () =
+    match Vm.exec ext ~ctx ~backend:`Compiled () with
+    | Vm.Finished _ -> ()
+    | Vm.Cancelled _ -> Alcotest.fail "unexpected cancellation"
+  in
+  (* first run compiles the program and warms the pooled state *)
+  go ();
+  let w0 = Gc.minor_words () in
+  go ();
+  Gc.minor_words () -. w0
+
+let t_hot_path_allocation_free () =
+  let n = 20_000 in
+  let at_n = minor_words_once n in
+  let at_2n = minor_words_once (2 * n) in
+  Alcotest.(check (float 0.))
+    "per-iteration minor words" 0. (at_2n -. at_n)
+
 let () =
   Alcotest.run "runtime"
     [
@@ -689,5 +906,15 @@ let () =
             t_jit_fused_fault_parity;
           Alcotest.test_case "state reuse" `Quick t_jit_state_reuse;
           QCheck_alcotest.to_alcotest prop_jit_differential;
+        ] );
+      ( "repr",
+        [
+          QCheck_alcotest.to_alcotest prop_repr_wraparound;
+          QCheck_alcotest.to_alcotest prop_repr_divmod;
+          QCheck_alcotest.to_alcotest prop_repr_shifts;
+          QCheck_alcotest.to_alcotest prop_repr_subword;
+          Alcotest.test_case "nan bit round-trip" `Quick t_nan_bit_roundtrip;
+          Alcotest.test_case "hot path allocation-free" `Quick
+            t_hot_path_allocation_free;
         ] );
     ]
