@@ -592,6 +592,153 @@ let engine_bench ~smoke =
   pf "  wrote BENCH_engine.json@.";
   if min_speedup <= 1.8 || corpus_bad > 0 || leaks > 0 then exit 1
 
+(* ---- Serve: open-loop wall-clock front end (BENCH_serve.json) ---------- *)
+
+(* The §5 serving shape end to end: wire-protocol ingest through the
+   per-connection rings, Zipfian keys, open-loop arrivals, the burner
+   tenant putting reaper cancellations into the tail. Three measurements:
+
+   - the offered-load/latency curve runs THREADED on the WALL CLOCK,
+     calibrated against the host's measured capacity so the sweep crosses
+     into genuine overload;
+   - shard scaling runs DETERMINISTIC in VIRTUAL time (the container is
+     single-core, so wall-clock 4-shard scaling measures the host's one
+     CPU, not the shard model — same convention as BENCH_engine.json);
+   - the determinism gate runs the same seeded schedule twice and demands
+     bit-equal verdict-stream digests with zero leaks. *)
+
+module OL = Kflex_serve.Open_loop
+
+type serve_row = { sr_ratio : float; sr_o : OL.outcome }
+
+let serve_bench ~smoke =
+  hr "Serve: open-loop front end (wall-clock latency, virtual-time scaling)";
+  let point_requests = if smoke then 3_000 else 100_000 in
+  let base = { OL.default with OL.requests = point_requests } in
+  (* 1. determinism gate: the ninth check, end to end through the wire *)
+  let det_cfg =
+    { base with OL.requests = (if smoke then 2_000 else 20_000) }
+  in
+  let det_ok, d1, d2 = OL.determinism_check ~shards:2 det_cfg in
+  pf "  determinism: run1 %Lx run2 %Lx -> %s@." d1 d2
+    (if det_ok then "bit-identical" else "DIVERGENT");
+  (* 2. wall capacity: deep overload, achieved throughput = capacity *)
+  let cal_cfg =
+    {
+      base with
+      OL.requests = (if smoke then 2_000 else 30_000);
+      rate = 50_000_000.0;
+    }
+  in
+  let cal = OL.run_threaded ~shards:2 cal_cfg in
+  let capacity = cal.OL.achieved_rps in
+  pf "  wall capacity (2 shards, deep overload): %.0f req/s@." capacity;
+  (* 3. the offered-load curve, crossing overload *)
+  let ratios = [ 0.3; 0.6; 0.85; 1.0; 1.3; 1.8 ] in
+  pf "  %-8s %12s %12s %9s %9s %9s %7s %5s@." "offered" "req/s" "achieved"
+    "p50(us)" "p99(us)" "p999(us)" "cancel" "leak";
+  let curve =
+    List.map
+      (fun ratio ->
+        let o =
+          OL.run_threaded ~shards:2
+            { base with OL.rate = ratio *. capacity }
+        in
+        pf "  %-8s %12.0f %12.0f %9.1f %9.1f %9.1f %7d %5d@."
+          (Printf.sprintf "%.2fx" ratio)
+          o.OL.offered_rps o.OL.achieved_rps o.OL.p50_us o.OL.p99_us
+          o.OL.p999_us o.OL.cancelled o.OL.leaked;
+        { sr_ratio = ratio; sr_o = o })
+      ratios
+  in
+  (* 4. shard scaling in virtual time, deep overload (throughput = the
+     shard model's capacity, as in BENCH_engine.json) *)
+  let scale_cfg =
+    { base with OL.rate = 20_000_000.0; requests = point_requests }
+  in
+  let scaling =
+    List.map
+      (fun shards ->
+        let o = OL.run_deterministic ~shards scale_cfg in
+        pf "  %d shard(s): %12.0f req/s (virtual), %d cancelled, %d leaked@."
+          shards o.OL.achieved_rps o.OL.cancelled o.OL.leaked;
+        (shards, o))
+      [ 1; 2; 4 ]
+  in
+  let ach sh = (List.assoc sh scaling).OL.achieved_rps in
+  let speedup4 = ach 4 /. ach 1 in
+  pf "  4-shard vs 1-shard (virtual time): %.2fx (gate: >= 2.5x)@." speedup4;
+  (* gates *)
+  let leaks =
+    List.fold_left (fun a r -> a + r.sr_o.OL.leaked) cal.OL.leaked curve
+    + List.fold_left (fun a (_, o) -> a + o.OL.leaked) 0 scaling
+  in
+  let overload_cancelled =
+    List.fold_left
+      (fun a r -> if r.sr_ratio >= 1.0 then a + r.sr_o.OL.cancelled else a)
+      0 curve
+    + List.fold_left (fun a (_, o) -> a + o.OL.cancelled) 0 scaling
+  in
+  let tails_finite =
+    List.for_all
+      (fun r -> Float.is_finite r.sr_o.OL.p999_us && r.sr_o.OL.p999_us > 0.0)
+      curve
+  in
+  let complete =
+    List.for_all (fun r -> r.sr_o.OL.completed = base.OL.requests) curve
+  in
+  let gate =
+    det_ok && leaks = 0 && tails_finite && complete && overload_cancelled > 0
+    && speedup4 >= 2.5
+  in
+  let oc = open_out "BENCH_serve.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"smoke\": %b,\n  \"proto\": \"memcached\",\n" smoke;
+  p "  \"requests_per_point\": %d,\n  \"conns\": %d,\n" base.OL.requests
+    base.OL.conns;
+  p "  \"zipf_s\": %.2f,\n  \"set_frac\": %.2f,\n  \"deadline_us\": %.1f,\n"
+    base.OL.zipf_s base.OL.set_frac base.OL.deadline_us;
+  p "  \"determinism\": {\"digest_run1\": \"%Lx\", \"digest_run2\": \"%Lx\", \
+     \"bit_identical\": %b},\n"
+    d1 d2 det_ok;
+  p "  \"wall_capacity_rps\": %.0f,\n" capacity;
+  p "  \"curve\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    {\"mode\": \"wall_clock\", \"shards\": 2, \"offered_ratio\": \
+         %.2f, \"offered_rps\": %.0f, \"achieved_rps\": %.0f, \"p50_us\": \
+         %.2f, \"p99_us\": %.2f, \"p999_us\": %.2f, \"mean_us\": %.2f, \
+         \"completed\": %d, \"cancelled\": %d, \"leaked\": %d}%s\n"
+        r.sr_ratio r.sr_o.OL.offered_rps r.sr_o.OL.achieved_rps
+        r.sr_o.OL.p50_us r.sr_o.OL.p99_us r.sr_o.OL.p999_us r.sr_o.OL.mean_us
+        r.sr_o.OL.completed r.sr_o.OL.cancelled r.sr_o.OL.leaked
+        (if i = List.length curve - 1 then "" else ","))
+    curve;
+  p "  ],\n  \"shard_scaling\": {\"mode\": \"virtual_time\", \"note\": \
+     \"deterministic open loop in deep overload; single-core container, \
+     same convention as BENCH_engine.json\", \"rows\": [\n";
+  List.iteri
+    (fun i (sh, o) ->
+      p "    {\"shards\": %d, \"achieved_rps\": %.0f, \"p999_us\": %.2f, \
+         \"cancelled\": %d, \"leaked\": %d}%s\n"
+        sh o.OL.achieved_rps o.OL.p999_us o.OL.cancelled o.OL.leaked
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
+  p "  ], \"speedup_4shard_vs_1\": %.3f},\n" speedup4;
+  p "  \"summary\": {\"determinism_ok\": %b, \"leaked\": %d, \
+     \"overload_cancelled\": %d, \"tails_finite\": %b, \"speedup_4shard\": \
+     %.3f, \"gate_passed\": %b}\n}\n"
+    det_ok leaks overload_cancelled tails_finite speedup4 gate;
+  close_out oc;
+  pf "  wrote BENCH_serve.json@.";
+  if not gate then begin
+    pf
+      "  serve gate FAILED (determinism %b, leaks %d, cancelled-in-overload \
+       %d, tails finite %b, speedup %.2fx)@."
+      det_ok leaks overload_cancelled tails_finite speedup4;
+    exit 1
+  end
+
 (* ---- Table 3: guard elision ------------------------------------------- *)
 
 let verify_ds prog =
@@ -831,10 +978,13 @@ let () =
   | "engine" ->
       engine_bench
         ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke")
+  | "serve" ->
+      serve_bench
+        ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke")
   | "all" -> all ()
   | other ->
       pf
         "unknown experiment %s (use \
-         table1|fig2|fig3|fig4|fig5|fig6|fig7|table3|ablation|bechamel|jit|engine|all)@."
+         table1|fig2|fig3|fig4|fig5|fig6|fig7|table3|ablation|bechamel|jit|engine|serve|all)@."
         other;
       exit 1

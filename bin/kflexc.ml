@@ -537,8 +537,97 @@ let serve_cmd =
                  aggregate verdict histogram matches a 1-shard run, with \
                  zero leaked resources")
   in
-  let run attach shards events seed threaded quantum selftest heap_bits =
+  let open_loop =
+    Arg.(value & flag & info [ "open-loop" ]
+           ~doc:"Open-loop serving mode: Zipfian requests on an arrival \
+                 schedule, encoded to real wire-protocol bytes, parsed off \
+                 per-connection rings and multiplexed onto the shards. \
+                 Latency runs from each request's scheduled generation time \
+                 (no coordinated omission).")
+  in
+  let rate =
+    Arg.(value & opt float 150_000.0 & info [ "rate" ] ~docv:"RPS"
+           ~doc:"Offered load in requests/second (open-loop mode)")
+  in
+  let conns =
+    Arg.(value & opt int 512 & info [ "conns" ] ~docv:"N"
+           ~doc:"Simulated connections, each with its own byte ring and \
+                 protocol decoder (open-loop mode)")
+  in
+  let dist =
+    Arg.(value & opt (enum [ ("poisson", `Poisson); ("bursty", `Bursty) ])
+           `Poisson
+         & info [ "dist" ] ~docv:"DIST"
+             ~doc:"Arrival process: $(b,poisson) or $(b,bursty) \
+                   (Pareto on-off, heavy-tailed)")
+  in
+  let duration =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Schedule length; requests = rate x duration (open-loop \
+                 mode)")
+  in
+  let proto =
+    Arg.(value
+         & opt (enum [ ("memcached", `Memcached); ("redis", `Redis) ])
+             `Memcached
+         & info [ "proto" ] ~docv:"PROTO"
+             ~doc:"Wire protocol: $(b,memcached) (binary, XDP) or \
+                   $(b,redis) (RESP, sk_skb)")
+  in
+  let run_open_loop ~shards ~seed ~threaded ~rate ~conns ~dist ~duration
+      ~proto =
+    let module OL = Kflex_serve.Open_loop in
+    let requests = int_of_float (rate *. duration) in
+    if requests <= 0 then begin
+      Format.eprintf "serve: rate x duration yields no requests@.";
+      exit 2
+    end;
+    let cfg =
+      {
+        OL.default with
+        OL.proto =
+          (match proto with
+          | `Memcached -> Kflex_serve.Wire.Memcached
+          | `Redis -> Kflex_serve.Wire.Redis);
+        rate;
+        conns;
+        requests;
+        seed;
+        arrival =
+          (match dist with
+          | `Poisson -> Kflex_workload.Arrivals.Poisson
+          | `Bursty -> Kflex_workload.Arrivals.default_bursty);
+      }
+    in
+    Format.printf
+      "open loop: %s over %d conns, %.0f req/s %s for %.2fs (%d requests), \
+       %d shard(s), %s@."
+      (match proto with `Memcached -> "memcached" | `Redis -> "redis")
+      conns rate
+      (match dist with `Poisson -> "poisson" | `Bursty -> "bursty")
+      duration requests shards
+      (if threaded then "threaded wall clock" else "deterministic virtual time");
+    let o =
+      if threaded then OL.run_threaded ~shards cfg
+      else OL.run_deterministic ~shards cfg
+    in
+    Format.printf "  achieved %.0f req/s (offered %.0f) over %.2fs@."
+      o.OL.achieved_rps o.OL.offered_rps o.OL.span_s;
+    Format.printf "  latency us: mean %.1f  p50 %.1f  p99 %.1f  p999 %.1f@."
+      o.OL.mean_us o.OL.p50_us o.OL.p99_us o.OL.p999_us;
+    Format.printf "  completed %d, cancelled %d, leaked %d%s@." o.OL.completed
+      o.OL.cancelled o.OL.leaked
+      (if threaded then ""
+       else Printf.sprintf ", verdict digest %Lx" o.OL.digest);
+    if o.OL.leaked <> 0 then exit 1
+  in
+  let run attach shards events seed threaded quantum selftest open_loop rate
+      conns dist duration proto heap_bits =
     handle_errors (fun () ->
+        if open_loop then
+          run_open_loop ~shards ~seed ~threaded ~rate ~conns ~dist ~duration
+            ~proto
+        else begin
         let mode = if threaded then `Threaded else `Deterministic in
         let pkts = selftest_packets ~seed ~events in
         let drive eng =
@@ -596,6 +685,7 @@ let serve_cmd =
             (String.concat "; "
                (List.init shards (fun s ->
                     string_of_int (Engine.shard_events eng s))))
+        end
         end)
   in
   Cmd.v
@@ -604,9 +694,12 @@ let serve_cmd =
          "Drive a multi-tenant engine: N per-CPU shards, an XDP hook chain \
           of attached extensions, flow-hashed event placement and a \
           deterministic synthetic event stream. $(b,--selftest) checks \
-          shard-count invariance of the built-in 3-tenant chain.")
+          shard-count invariance of the built-in 3-tenant chain; \
+          $(b,--open-loop) serves Zipfian wire-protocol traffic from an \
+          open-loop generator and reports generation-to-verdict latency.")
     Term.(const run $ attach $ shards $ events $ seed $ threaded $ quantum
-          $ selftest $ heap_size_arg)
+          $ selftest $ open_loop $ rate $ conns $ dist $ duration $ proto
+          $ heap_size_arg)
 
 let chain_cmd =
   let files =

@@ -15,6 +15,14 @@ type handle = {
   instances : Kflex.loaded array; (* one per shard *)
 }
 
+type run_result = {
+  verdict : int64;
+  executed : int;
+  cancelled : int;
+  cost : int;
+  outcomes : Vm.outcome list;
+}
+
 type shard = {
   sid : int;
   prandom : Kflex_runtime.U64.cell; (* per-shard bpf_get_prandom_u32 stream *)
@@ -27,7 +35,7 @@ type shard = {
   mutable vclock_ns : float; (* cost-derived timeline for the reaper *)
   seen_gen : int Atomic.t; (* last registry generation this shard observed *)
   (* threaded mode *)
-  queue : (Hook.kind * Packet.t) Queue.t;
+  queue : (Hook.kind * Packet.t * (run_result -> unit) option) Queue.t;
   m : Mutex.t;
   cv : Condition.t;
   mutable busy : bool;
@@ -80,14 +88,6 @@ let make_shard ~seed sid =
 let record_verdict shard v =
   let n = try Hashtbl.find shard.verdicts v with Not_found -> 0 in
   Hashtbl.replace shard.verdicts v (n + 1)
-
-type run_result = {
-  verdict : int64;
-  executed : int;
-  cancelled : int;
-  cost : int;
-  outcomes : Vm.outcome list;
-}
 
 (* Run one chain entry on a shard, under whichever watchdog regime the
    engine was built with. Deterministic + deadline: the shard itself polls
@@ -190,12 +190,13 @@ let worker t shard =
     | None ->
         (* shutting down with an empty queue *)
         Mutex.unlock shard.m
-    | Some (hook, pkt) ->
+    | Some (hook, pkt, on_done) ->
         shard.busy <- true;
         Mutex.unlock shard.m;
         let snap = Atomic.get t.snapshot in
         Atomic.set shard.seen_gen (Chain.generation snap);
-        ignore (exec_event t shard snap ~hook pkt : run_result);
+        let r = exec_event t shard snap ~hook pkt in
+        (match on_done with Some f -> f r | None -> ());
         Mutex.lock shard.m;
         shard.busy <- false;
         Mutex.unlock shard.m;
@@ -390,12 +391,12 @@ let run_on t ~shard ?(hook = Hook.Xdp) pkt =
 
 let run_packet t ?hook pkt = run_on t ~shard:(shard_of t pkt) ?hook pkt
 
-let submit t ?(hook = Hook.Xdp) pkt =
+let submit t ?(hook = Hook.Xdp) ?on_done pkt =
   if t.mode <> `Threaded then
     invalid_arg "Engine.submit: threaded mode only (use run_packet)";
   let s = t.shards.(shard_of t pkt) in
   Mutex.protect s.m (fun () ->
-      Queue.push (hook, pkt) s.queue;
+      Queue.push (hook, pkt, on_done) s.queue;
       Condition.signal s.cv)
 
 let drain t =

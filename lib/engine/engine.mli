@@ -115,8 +115,16 @@ val run_on :
 (** Like {!run_packet} on an explicit shard — the DES closed loop routes
     placement itself. Deterministic mode only. *)
 
-val submit : t -> ?hook:Kflex_kernel.Hook.kind -> Kflex_kernel.Packet.t -> unit
-(** Threaded mode: enqueue an event on its flow shard. *)
+val submit :
+  t ->
+  ?hook:Kflex_kernel.Hook.kind ->
+  ?on_done:(run_result -> unit) ->
+  Kflex_kernel.Packet.t ->
+  unit
+(** Threaded mode: enqueue an event on its flow shard. [on_done] runs on
+    the shard's domain immediately after the chain executes — the
+    open-loop server records per-request completion timestamps with it
+    (shard-local, so callbacks for one shard never race each other). *)
 
 val drain : t -> unit
 (** Block until every shard queue is empty and no event is executing. *)

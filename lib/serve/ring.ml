@@ -1,0 +1,64 @@
+(* A multi-producer single-consumer byte ring — the in-process stand-in
+   for a connection's socket buffer.
+
+   Positions are monotonically increasing ints (head = consumer, tail =
+   producer); the physical index is [pos land mask], so fullness is just
+   [tail - head] and the empty/full ambiguity of wrapped indices never
+   arises. Producers serialize on a mutex (the generator's connection
+   multiplexer may write from several domains); the single consumer reads
+   lock-free against the atomically published tail. *)
+
+type t = {
+  buf : Bytes.t;
+  mask : int;
+  head : int Atomic.t; (* consumer position, monotonic *)
+  tail : int Atomic.t; (* producer position, monotonic *)
+  m : Mutex.t; (* serializes producers *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap lsl 1
+  done;
+  {
+    buf = Bytes.create !cap;
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    m = Mutex.create ();
+  }
+
+let capacity t = Bytes.length t.buf
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let write t src pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    invalid_arg "Ring.write";
+  Mutex.protect t.m (fun () ->
+      let tail = Atomic.get t.tail in
+      let used = tail - Atomic.get t.head in
+      if capacity t - used < len then false
+      else begin
+        for i = 0 to len - 1 do
+          Bytes.unsafe_set t.buf
+            ((tail + i) land t.mask)
+            (Bytes.unsafe_get src (pos + i))
+        done;
+        Atomic.set t.tail (tail + len);
+        true
+      end)
+
+let read t dst pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length dst then
+    invalid_arg "Ring.read";
+  let head = Atomic.get t.head in
+  let avail = Atomic.get t.tail - head in
+  let n = Stdlib.min len avail in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set dst (pos + i)
+      (Bytes.unsafe_get t.buf ((head + i) land t.mask))
+  done;
+  Atomic.set t.head (head + n);
+  n

@@ -1,0 +1,23 @@
+(** MPSC byte ring: the in-process model of a connection's socket buffer.
+
+    Multiple producers (mutex-serialized) append byte runs; one consumer
+    drains them in order. Capacity rounds up to a power of two. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] — rounded up to the next power of two. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Bytes currently buffered. *)
+
+val write : t -> Bytes.t -> int -> int -> bool
+(** [write t src pos len] appends [len] bytes; [false] (and nothing
+    written) if the ring lacks space for the whole run — frames are never
+    half-committed. *)
+
+val read : t -> Bytes.t -> int -> int -> int
+(** [read t dst pos len] drains up to [len] buffered bytes into [dst];
+    returns the count actually read (0 when empty). Single consumer. *)

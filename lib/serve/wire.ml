@@ -1,0 +1,295 @@
+(* Wire protocols: real request bytes in, app-model packets out.
+
+   The serving front end does not hand the engine pre-parsed operations —
+   it speaks the protocols the paper's workloads speak on the wire and
+   parses them incrementally off each connection's byte ring:
+
+   - Memcached binary protocol: 24-byte request header
+       magic 0x80 @0, opcode @1 (0x00 GET / 0x01 SET), key length BE16 @2,
+       extras length u8 @4, data type @5, vbucket BE16 @6, total body
+       BE32 @8, opaque BE32 @12, cas u64 @16
+     followed by [extras ++ key ++ value]. SETs carry the standard 8-byte
+     flags/expiry extras block.
+   - Redis RESP: an array of bulk strings,
+       *N\r\n ($len\r\n bytes \r\n){N}
+     for GET key / SET key value / ZADD key score member. Keys and values
+     are raw 32-byte binary (they may contain \r\n — bulk strings are
+     length-prefixed precisely so that framing survives binary payloads).
+
+   Parsers are incremental: bytes arrive in arbitrary fragments (a frame
+   may be torn at any byte, or several frames may share one fragment) and
+   a frame is only consumed once every byte of it is buffered. Malformed
+   input raises {!Protocol_error}; a frame that merely hasn't fully
+   arrived yet is not an error.
+
+   A parsed operation maps 1:1 onto the §5.1 app-model payload
+   ({!Kflex_apps.Memcached}, {!Kflex_apps.Redis}): u8 op @0, 32-byte key
+   @1, 32-byte value @33 (score @33 / member @41 for ZADD), hit flag @65. *)
+
+open Kflex_kernel
+
+exception Protocol_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
+
+type proto = Memcached | Redis
+
+type cmd = Get | Set | Zadd of int64 * int64
+
+type op = {
+  cmd : cmd;
+  key : string;  (* exactly 32 bytes *)
+  value : string;  (* exactly 32 bytes; all-zero when the op carries none *)
+  opaque : int32;  (* Memcached binary opaque; 0 over RESP *)
+}
+
+let key_len = 32
+let zero_value = String.make key_len '\000'
+
+(* --- key/value material (shared with the app models) -------------------- *)
+
+let key_of_rank = Kflex_apps.Memcached.User.key_of_rank
+
+let value_of_rank rank =
+  let b = Bytes.create key_len in
+  Array.iteri
+    (fun i w -> Bytes.set_int64_le b (8 * i) w)
+    (Kflex_apps.Memcached.value_words rank);
+  Bytes.to_string b
+
+let op_of_rank ~cmd ~rank ~opaque =
+  let value = match cmd with Set -> value_of_rank rank | _ -> zero_value in
+  { cmd; key = key_of_rank rank; value; opaque }
+
+(* --- encoding ------------------------------------------------------------ *)
+
+let mc_header_len = 24
+let mc_extras_len = 8 (* flags u32 + expiry u32, the standard SET extras *)
+
+let encode_memcached op =
+  let opcode, extras, vlen =
+    match op.cmd with
+    | Get -> (0x00, 0, 0)
+    | Set -> (0x01, mc_extras_len, key_len)
+    | Zadd _ -> invalid_arg "Wire.encode: ZADD is not a Memcached op"
+  in
+  let body = extras + key_len + vlen in
+  let b = Bytes.make (mc_header_len + body) '\000' in
+  Bytes.set_uint8 b 0 0x80;
+  Bytes.set_uint8 b 1 opcode;
+  Bytes.set_uint16_be b 2 key_len;
+  Bytes.set_uint8 b 4 extras;
+  Bytes.set_int32_be b 8 (Int32.of_int body);
+  Bytes.set_int32_be b 12 op.opaque;
+  Bytes.blit_string op.key 0 b (mc_header_len + extras) key_len;
+  if vlen > 0 then
+    Bytes.blit_string op.value 0 b (mc_header_len + extras + key_len) vlen;
+  b
+
+let encode_resp op =
+  let buf = Buffer.create 96 in
+  let bulk s =
+    Buffer.add_char buf '$';
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_string buf "\r\n";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "\r\n"
+  in
+  (match op.cmd with
+  | Get ->
+      Buffer.add_string buf "*2\r\n";
+      bulk "GET";
+      bulk op.key
+  | Set ->
+      Buffer.add_string buf "*3\r\n";
+      bulk "SET";
+      bulk op.key;
+      bulk op.value
+  | Zadd (score, member) ->
+      Buffer.add_string buf "*4\r\n";
+      bulk "ZADD";
+      bulk op.key;
+      bulk (Printf.sprintf "%Ld" score);
+      bulk (Printf.sprintf "%Ld" member));
+  Buffer.to_bytes buf
+
+let encode proto op =
+  match proto with Memcached -> encode_memcached op | Redis -> encode_resp op
+
+(* --- incremental decoding ------------------------------------------------ *)
+
+exception Incomplete
+
+(* Memcached binary: returns (op, next absolute position). *)
+let parse_memcached buf start limit =
+  if limit - start < mc_header_len then raise Incomplete;
+  if Bytes.get_uint8 buf start <> 0x80 then
+    err "memcached: bad magic 0x%02x" (Bytes.get_uint8 buf start);
+  let opcode = Bytes.get_uint8 buf (start + 1) in
+  let klen = Bytes.get_uint16_be buf (start + 2) in
+  let extras = Bytes.get_uint8 buf (start + 4) in
+  let body = Int32.to_int (Bytes.get_int32_be buf (start + 8)) in
+  let opaque = Bytes.get_int32_be buf (start + 12) in
+  if body < 0 || body > 1 lsl 20 then err "memcached: body length %d" body;
+  if limit - start < mc_header_len + body then raise Incomplete;
+  if klen <> key_len then err "memcached: key length %d" klen;
+  if extras + klen > body then err "memcached: extras %d overflow body" extras;
+  let key =
+    Bytes.sub_string buf (start + mc_header_len + extras) key_len
+  in
+  let vlen = body - extras - klen in
+  let cmd, value =
+    match opcode with
+    | 0x00 ->
+        if vlen <> 0 then err "memcached: GET with %d value bytes" vlen;
+        (Get, zero_value)
+    | 0x01 ->
+        if vlen <> key_len then err "memcached: SET value length %d" vlen;
+        ( Set,
+          Bytes.sub_string buf (start + mc_header_len + extras + key_len) vlen
+        )
+    | o -> err "memcached: opcode 0x%02x" o
+  in
+  ({ cmd; key; value; opaque }, start + mc_header_len + body)
+
+(* One RESP line "<tag><payload>\r\n" from [pos]; returns (payload, next). *)
+let resp_line buf pos limit ~tag =
+  if pos >= limit then raise Incomplete;
+  let c = Bytes.get buf pos in
+  if c <> tag then err "resp: expected %c, got %c" tag c;
+  let j = ref (pos + 1) in
+  while !j < limit && Bytes.get buf !j <> '\r' do
+    incr j
+  done;
+  if !j + 1 >= limit then raise Incomplete;
+  if Bytes.get buf (!j + 1) <> '\n' then err "resp: bare CR in line";
+  (Bytes.sub_string buf (pos + 1) (!j - pos - 1), !j + 2)
+
+let resp_int s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> err "resp: bad integer %S" s
+
+(* One bulk string "$len\r\n<bytes>\r\n"; returns (bytes, next). *)
+let resp_bulk buf pos limit =
+  let lens, p = resp_line buf pos limit ~tag:'$' in
+  let len = resp_int lens in
+  if len < 0 || len > 1 lsl 20 then err "resp: bulk length %d" len;
+  if limit - p < len + 2 then raise Incomplete;
+  if Bytes.get buf (p + len) <> '\r' || Bytes.get buf (p + len + 1) <> '\n'
+  then err "resp: bulk missing terminator";
+  (Bytes.sub_string buf p len, p + len + 2)
+
+let resp_i64 s =
+  match Int64.of_string_opt s with
+  | Some v -> v
+  | None -> err "resp: bad int64 %S" s
+
+let check_key k =
+  if String.length k <> key_len then
+    err "resp: key length %d" (String.length k);
+  k
+
+let parse_resp buf start limit =
+  let ns, p = resp_line buf start limit ~tag:'*' in
+  let n = resp_int ns in
+  if n < 1 || n > 4 then err "resp: array of %d" n;
+  let args = Array.make n "" in
+  let p = ref p in
+  for i = 0 to n - 1 do
+    let a, p' = resp_bulk buf !p limit in
+    args.(i) <- a;
+    p := p'
+  done;
+  let op =
+    match (args.(0), n) with
+    | "GET", 2 ->
+        { cmd = Get; key = check_key args.(1); value = zero_value; opaque = 0l }
+    | "SET", 3 ->
+        if String.length args.(2) <> key_len then
+          err "resp: value length %d" (String.length args.(2));
+        { cmd = Set; key = check_key args.(1); value = args.(2); opaque = 0l }
+    | "ZADD", 4 ->
+        {
+          cmd = Zadd (resp_i64 args.(2), resp_i64 args.(3));
+          key = check_key args.(1);
+          value = zero_value;
+          opaque = 0l;
+        }
+    | (c, _) -> err "resp: unknown command %S/%d" c n
+  in
+  (op, !p)
+
+(* --- streaming decoder --------------------------------------------------- *)
+
+type decoder = {
+  dproto : proto;
+  mutable buf : Bytes.t;
+  mutable start : int;
+  mutable fill : int;
+}
+
+let decoder proto =
+  { dproto = proto; buf = Bytes.create 256; start = 0; fill = 0 }
+
+let pending d = d.fill - d.start
+
+let feed d src pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    invalid_arg "Wire.feed";
+  if d.fill + len > Bytes.length d.buf then begin
+    let live = d.fill - d.start in
+    if live + len <= Bytes.length d.buf then
+      Bytes.blit d.buf d.start d.buf 0 live
+    else begin
+      let cap = ref (Bytes.length d.buf) in
+      while live + len > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit d.buf d.start nb 0 live;
+      d.buf <- nb
+    end;
+    d.start <- 0;
+    d.fill <- live
+  end;
+  Bytes.blit src pos d.buf d.fill len;
+  d.fill <- d.fill + len
+
+let next d =
+  let parse =
+    match d.dproto with Memcached -> parse_memcached | Redis -> parse_resp
+  in
+  match parse d.buf d.start d.fill with
+  | op, pos ->
+      d.start <- pos;
+      if d.start = d.fill then begin
+        d.start <- 0;
+        d.fill <- 0
+      end;
+      Some op
+  | exception Incomplete -> None
+
+(* --- bridging to the app models ------------------------------------------ *)
+
+let hook_of = function Memcached -> Hook.Xdp | Redis -> Hook.Sk_skb
+
+let packet_of_op ?(src_port = 40000) proto op =
+  let b = Bytes.make 66 '\000' in
+  Bytes.blit_string op.key 0 b 1 key_len;
+  (match op.cmd with
+  | Get -> Bytes.set b 0 '\000'
+  | Set ->
+      Bytes.set b 0 '\001';
+      Bytes.blit_string op.value 0 b 33 key_len
+  | Zadd (score, member) ->
+      if proto = Memcached then
+        invalid_arg "Wire.packet_of_op: ZADD is not a Memcached op";
+      Bytes.set b 0 '\002';
+      Bytes.set_int64_le b 33 score;
+      Bytes.set_int64_le b 41 member);
+  match proto with
+  | Memcached ->
+      let tproto = match op.cmd with Get -> Packet.Udp | _ -> Packet.Tcp in
+      Packet.make ~proto:tproto ~src_port ~dst_port:11211 b
+  | Redis -> Packet.make ~proto:Packet.Tcp ~src_port ~dst_port:6379 b

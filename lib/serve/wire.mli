@@ -1,0 +1,60 @@
+(** Wire-protocol framing: Memcached binary and Redis RESP.
+
+    Incremental parsers turn arbitrarily fragmented byte streams (off a
+    connection's {!Ring}) into operations; a frame is consumed only once
+    every byte of it has arrived, so torn and pipelined frames both
+    round-trip exactly. Parsed operations map 1:1 onto the §5.1 app-model
+    packet payloads ({!Kflex_apps.Memcached} / {!Kflex_apps.Redis}). *)
+
+exception Protocol_error of string
+(** Malformed bytes (bad magic, unknown opcode/command, length lies).
+    Incomplete frames are {e not} errors — {!next} just returns [None]. *)
+
+type proto = Memcached | Redis
+
+type cmd = Get | Set | Zadd of int64 * int64  (** (score, member) *)
+
+type op = {
+  cmd : cmd;
+  key : string;  (** exactly 32 bytes, raw binary *)
+  value : string;  (** exactly 32 bytes; all-zero when the op carries none *)
+  opaque : int32;  (** Memcached binary opaque; 0 over RESP *)
+}
+
+val key_len : int
+val zero_value : string
+
+val key_of_rank : int -> string
+(** The app models' deterministic 32-byte key for a popularity rank. *)
+
+val value_of_rank : int -> string
+val op_of_rank : cmd:cmd -> rank:int -> opaque:int32 -> op
+
+val encode : proto -> op -> Bytes.t
+(** One complete request frame. Memcached: 24-byte binary header +
+    [extras ++ key ++ value]. Redis: RESP array of bulk strings. *)
+
+(** {2 Streaming decoder} *)
+
+type decoder
+
+val decoder : proto -> decoder
+
+val feed : decoder -> Bytes.t -> int -> int -> unit
+(** Append [len] bytes at [pos] — any fragmentation is fine. *)
+
+val next : decoder -> op option
+(** Parse one complete frame if buffered; [None] until the torn tail
+    arrives. @raise Protocol_error on malformed input. *)
+
+val pending : decoder -> int
+(** Bytes buffered but not yet consumed by a complete frame. *)
+
+(** {2 Bridging to the app models} *)
+
+val hook_of : proto -> Kflex_kernel.Hook.kind
+(** [Xdp] for Memcached (§5.1), [Sk_skb] for Redis. *)
+
+val packet_of_op : ?src_port:int -> proto -> op -> Kflex_kernel.Packet.t
+(** The 66-byte app-model payload packet for a parsed op; [src_port]
+    carries the connection identity into the engine's flow hash. *)

@@ -1,0 +1,44 @@
+(** Open-loop engine runner in virtual time.
+
+    Unlike {!Closed_loop}, arrivals follow a pre-drawn schedule that never
+    waits for completions, so offered load is a free parameter and
+    overload (offered > capacity) is reachable. Shards are independent
+    FIFO lanes: each event starts at [max arrival lane_free] and occupies
+    the lane for [ns_of_cost cost] with the chain's real executed cost.
+
+    Latency is measured from the {e scheduled} arrival time — including
+    queueing delay — which avoids the coordinated-omission bug of
+    measuring from dequeue. *)
+
+type event = {
+  at_ns : float;  (** scheduled arrival (generation) time *)
+  hook : Kflex_kernel.Hook.kind;
+  pkt : Kflex_kernel.Packet.t;
+}
+
+type result = {
+  throughput_mops : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  completed : int;
+  cancelled : int;  (** chain entries cancelled by the reaper *)
+  span_ns : float;  (** first arrival to last completion, virtual ns *)
+  digest : int64;
+      (** order-sensitive fold of every (index, verdict, cancelled) —
+          bit-equal across deterministic same-seed runs *)
+}
+
+val mix : int64 -> int64 -> int64
+(** The digest step (splitmix64 finalizer over [h xor x]); exposed so
+    wall-clock harnesses fold the same stream. *)
+
+val run_engine :
+  ns_of_cost:(int -> float) ->
+  Kflex_engine.Engine.t ->
+  event array ->
+  result
+(** One pass over [events] (must be sorted by [at_ns]; raises
+    [Invalid_argument] otherwise) against a [`Deterministic] engine.
+    Placement uses the engine's flow hash. *)

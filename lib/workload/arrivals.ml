@@ -1,0 +1,59 @@
+(* Open-loop arrival processes.
+
+   The generator schedules request i at an absolute time drawn from the
+   process regardless of completions — queueing delay is real and offered
+   load above capacity is representable (the closed loop can never
+   overload: each client waits for its reply).
+
+   - Poisson: memoryless, exponential inter-arrivals at [rate].
+   - Pareto on-off: bursts whose length (in requests) is Pareto-distributed
+     (heavy-tailed, alpha < 2 gives the wild burst sizes measured in
+     production request streams); within a burst arrivals are Poisson at
+     [burst] times the nominal rate, and bursts are separated by idle gaps
+     sized so the long-run average rate is still [rate]. *)
+
+type kind =
+  | Poisson
+  | Pareto_on_off of { alpha : float; min_burst : float; burst : float }
+
+let default_bursty = Pareto_on_off { alpha = 1.5; min_burst = 8.0; burst = 5.0 }
+
+type t = {
+  kind : kind;
+  rate : float; (* requests per second *)
+  rng : Rng.t;
+  mutable now_ns : float;
+  mutable burst_left : int; (* Pareto on-off: requests left in the burst *)
+}
+
+let create ?(kind = Poisson) ~rate rng =
+  if rate <= 0.0 then invalid_arg "Arrivals.create: rate";
+  { kind; rate; rng; now_ns = 0.0; burst_left = 0 }
+
+let exp_sample rng ~mean = -.log (1.0 -. Rng.float rng) *. mean
+
+let pareto_sample rng ~alpha ~xm =
+  xm /. Float.pow (1.0 -. Rng.float rng) (1.0 /. alpha)
+
+(* Absolute time (ns) of the next arrival. *)
+let next t =
+  (match t.kind with
+  | Poisson -> t.now_ns <- t.now_ns +. exp_sample t.rng ~mean:(1e9 /. t.rate)
+  | Pareto_on_off { alpha; min_burst; burst } ->
+      if t.burst_left = 0 then begin
+        (* draw a new burst; insert the off gap that restores the average
+           rate: a burst of b requests takes b/(burst*rate) seconds on, so
+           the cycle must last b/rate seconds in total *)
+        let b =
+          Stdlib.max 1 (int_of_float (pareto_sample t.rng ~alpha ~xm:min_burst))
+        in
+        t.burst_left <- b;
+        let on_s = float_of_int b /. (burst *. t.rate) in
+        let cycle_s = float_of_int b /. t.rate in
+        let gap_mean = Stdlib.max 0.0 (cycle_s -. on_s) in
+        t.now_ns <- t.now_ns +. exp_sample t.rng ~mean:(gap_mean *. 1e9)
+      end;
+      t.burst_left <- t.burst_left - 1;
+      t.now_ns <-
+        t.now_ns +. exp_sample t.rng ~mean:(1e9 /. (burst *. t.rate)));
+  t.now_ns

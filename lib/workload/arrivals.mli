@@ -1,0 +1,25 @@
+(** Open-loop arrival schedules: Poisson and bursty/heavy-tailed.
+
+    Arrival times are drawn independently of completions, so offered load
+    is a free parameter and overload (offered > capacity) is reachable —
+    the property the closed loop structurally lacks. *)
+
+type kind =
+  | Poisson  (** exponential inter-arrivals at the nominal rate *)
+  | Pareto_on_off of { alpha : float; min_burst : float; burst : float }
+      (** Pareto-length request bursts (heavy tail, [alpha] < 2) at
+          [burst]× the nominal rate, separated by idle gaps that restore
+          the long-run average. *)
+
+val default_bursty : kind
+(** alpha 1.5, minimum burst 8 requests, 5× in-burst rate. *)
+
+type t
+
+val create : ?kind:kind -> rate:float -> Rng.t -> t
+(** [rate] is the long-run average in requests/second. Deterministic in
+    the RNG stream. *)
+
+val next : t -> float
+(** Absolute time (ns since the schedule origin) of the next arrival;
+    strictly increasing across calls. *)

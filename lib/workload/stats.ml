@@ -1,32 +1,101 @@
+(* Latency recording with two regimes:
+
+   - Exact: up to [exact_cap] samples live in a plain array and every
+     observable (percentiles included) is computed on the sorted samples,
+     exactly as the seed implementation did. Small benchmark runs and the
+     existing unit tests see bit-identical behaviour.
+   - Bucketed: past [exact_cap] the recorder spills into a log-spaced
+     histogram — O(1) [add], constant memory in the sample count — so
+     million-request open-loop runs never hold every sample. Buckets are
+     geometric with ratio [bucket_ratio]; a percentile answers with the
+     geometric midpoint of its bucket, so the relative error is bounded by
+     sqrt(bucket_ratio) - 1 (< 1% at ratio 1.02).
+
+   [merge] stays a pure function of the two sample multisets: the result is
+   exact iff the combined count fits the exact regime, else both sides are
+   bucketed and bucket counts added. Since the regime depends only on the
+   total count and bucket tables are multiset-determined, merging remains
+   commutative and associative in every observable. *)
+
+let exact_cap = 1024
+let bucket_ratio = 1.02
+let log_ratio = log bucket_ratio
+
 type t = {
-  mutable data : float array;
-  mutable n : int;
+  mutable data : float array; (* exact regime only *)
+  mutable n : int; (* total samples *)
   mutable sorted : bool;
+  mutable buckets : (int, int) Hashtbl.t option; (* Some = bucketed regime *)
+  mutable nonpos : int; (* bucketed samples <= 0 (no log bucket) *)
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
 }
 
-let create () = { data = Array.make 1024 0.0; n = 0; sorted = true }
-
-let add t v =
-  if t.n = Array.length t.data then begin
-    let bigger = Array.make (2 * t.n) 0.0 in
-    Array.blit t.data 0 bigger 0 t.n;
-    t.data <- bigger
-  end;
-  t.data.(t.n) <- v;
-  t.n <- t.n + 1;
-  t.sorted <- false
+let create () =
+  {
+    data = Array.make 64 0.0;
+    n = 0;
+    sorted = true;
+    buckets = None;
+    nonpos = 0;
+    sum = 0.0;
+    minv = infinity;
+    maxv = neg_infinity;
+  }
 
 let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+let min t = if t.n = 0 then 0.0 else t.minv
+let max t = if t.n = 0 then 0.0 else t.maxv
 
-let mean t =
-  if t.n = 0 then 0.0
-  else begin
-    let s = ref 0.0 in
-    for i = 0 to t.n - 1 do
-      s := !s +. t.data.(i)
-    done;
-    !s /. float_of_int t.n
-  end
+let bucket_of v = int_of_float (Float.floor (log v /. log_ratio))
+let bucket_rep k = exp ((float_of_int k +. 0.5) *. log_ratio)
+
+let bump h k d =
+  let c = try Hashtbl.find h k with Not_found -> 0 in
+  Hashtbl.replace h k (c + d)
+
+let add_bucket t v =
+  match t.buckets with
+  | None -> assert false
+  | Some h -> if v <= 0.0 then t.nonpos <- t.nonpos + 1 else bump h (bucket_of v) 1
+
+(* Exact -> bucketed transition: reinsert the retained samples, drop the
+   array. One-way; the recorder never returns to the exact regime. *)
+let spill t =
+  let h = Hashtbl.create 256 in
+  t.buckets <- Some h;
+  for i = 0 to t.n - 1 do
+    let v = t.data.(i) in
+    if v <= 0.0 then t.nonpos <- t.nonpos + 1 else bump h (bucket_of v) 1
+  done;
+  t.data <- [||]
+
+let add t v =
+  t.sum <- t.sum +. v;
+  if v < t.minv then t.minv <- v;
+  if v > t.maxv then t.maxv <- v;
+  (match t.buckets with
+  | Some _ ->
+      t.n <- t.n + 1;
+      add_bucket t v
+  | None ->
+      if t.n = exact_cap then begin
+        spill t;
+        t.n <- t.n + 1;
+        add_bucket t v
+      end
+      else begin
+        if t.n = Array.length t.data then begin
+          let bigger = Array.make (Stdlib.max 64 (2 * t.n)) 0.0 in
+          Array.blit t.data 0 bigger 0 t.n;
+          t.data <- bigger
+        end;
+        t.data.(t.n) <- v;
+        t.n <- t.n + 1;
+        t.sorted <- false
+      end)
 
 let ensure_sorted t =
   if not t.sorted then begin
@@ -36,23 +105,75 @@ let ensure_sorted t =
     t.sorted <- true
   end
 
+let rank_of p n =
+  Stdlib.max 1 (Stdlib.min n (int_of_float (ceil (p *. float_of_int n))))
+
 let percentile t p =
   if t.n = 0 then 0.0
-  else begin
-    ensure_sorted t;
-    let idx = int_of_float (ceil (p *. float_of_int t.n)) - 1 in
-    t.data.(Stdlib.max 0 (Stdlib.min (t.n - 1) idx))
-  end
-
-let min t = if t.n = 0 then 0.0 else (ensure_sorted t; t.data.(0))
-let max t = if t.n = 0 then 0.0 else (ensure_sorted t; t.data.(t.n - 1))
+  else
+    match t.buckets with
+    | None ->
+        ensure_sorted t;
+        t.data.(rank_of p t.n - 1)
+    | Some h ->
+        let r = rank_of p t.n in
+        if r <= t.nonpos then t.minv
+        else begin
+          let keys =
+            Hashtbl.fold (fun k _ acc -> k :: acc) h []
+            |> List.sort Stdlib.compare
+          in
+          let cum = ref t.nonpos in
+          let ans = ref t.maxv in
+          (try
+             List.iter
+               (fun k ->
+                 cum := !cum + Hashtbl.find h k;
+                 if !cum >= r then begin
+                   ans := Stdlib.min t.maxv (Stdlib.max t.minv (bucket_rep k));
+                   raise Exit
+                 end)
+               keys
+           with Exit -> ());
+          !ans
+        end
 
 (* Per-shard recorders are merged after a run; the result is a fresh
-   recorder over the multiset union of the samples, so [merge] commutes and
-   associates up to sample order (which [percentile] normalises away by
-   sorting). *)
+   recorder over the multiset union of the samples (neither argument is
+   mutated), so [merge] commutes and associates in every observable — the
+   regime is a function of the combined count alone, and bucket tables are
+   determined by the sample multiset. *)
 let merge a b =
-  let t = { data = Array.make (Stdlib.max 1 (a.n + b.n)) 0.0; n = a.n + b.n; sorted = false } in
-  Array.blit a.data 0 t.data 0 a.n;
-  Array.blit b.data 0 t.data a.n b.n;
+  let t = create () in
+  t.n <- a.n + b.n;
+  t.sum <- a.sum +. b.sum;
+  t.minv <- Stdlib.min a.minv b.minv;
+  t.maxv <- Stdlib.max a.maxv b.maxv;
+  let exact_side s = s.buckets = None in
+  if exact_side a && exact_side b && t.n <= exact_cap then begin
+    t.data <- Array.make (Stdlib.max 1 t.n) 0.0;
+    Array.blit a.data 0 t.data 0 a.n;
+    Array.blit b.data 0 t.data a.n b.n;
+    t.sorted <- false
+  end
+  else begin
+    let h = Hashtbl.create 256 in
+    t.buckets <- Some h;
+    let pour s =
+      match s.buckets with
+      | Some hs ->
+          t.nonpos <- t.nonpos + s.nonpos;
+          Hashtbl.iter (fun k c -> bump h k c) hs
+      | None ->
+          for i = 0 to s.n - 1 do
+            let v = s.data.(i) in
+            if v <= 0.0 then t.nonpos <- t.nonpos + 1 else bump h (bucket_of v) 1
+          done
+    in
+    pour a;
+    pour b
+  end;
   t
+
+let is_bucketed t = t.buckets <> None
+let relative_error = sqrt bucket_ratio -. 1.0

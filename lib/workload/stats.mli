@@ -1,4 +1,12 @@
-(** Latency/throughput recording for benchmarks. *)
+(** Latency/throughput recording for benchmarks.
+
+    Small sample sets (≤ 1024) are kept exactly and percentiles answer on
+    the sorted samples. Past that the recorder spills into a log-bucketed
+    histogram — O(1) {!add}, memory constant in the sample count — so
+    million-request open-loop runs never retain every sample. Bucketed
+    percentiles answer with the geometric midpoint of a 2%-wide bucket,
+    bounding the relative error below 1% ({!relative_error}). [mean],
+    [min], [max] and [count] stay exact in both regimes. *)
 
 type t
 
@@ -6,15 +14,25 @@ val create : unit -> t
 val add : t -> float -> unit
 val count : t -> int
 val mean : t -> float
+
 val percentile : t -> float -> float
-(** [percentile t 0.99] — nearest-rank on the sorted samples. 0 when
-    empty. *)
+(** [percentile t 0.99] — nearest-rank on the sorted samples (exact
+    regime) or the containing bucket's geometric midpoint clamped to
+    [[min, max]] (bucketed regime). 0 when empty. *)
 
 val min : t -> float
 val max : t -> float
 
 val merge : t -> t -> t
 (** A fresh recorder over the multiset union of both sample sets (neither
-    argument is mutated). Commutative and associative in every observable
-    ([count], [percentile], [min], [max]); the engine's per-shard latency
-    recorders are folded with this after a run. *)
+    argument is mutated). Commutative and associative in every observable —
+    the regime depends only on the combined count and bucket tables are
+    multiset-determined; the engine's per-shard latency recorders are
+    folded with this after a run. *)
+
+val is_bucketed : t -> bool
+(** Whether the recorder has spilled into the histogram regime (tests). *)
+
+val relative_error : float
+(** Worst-case relative error of a bucketed {!percentile}:
+    sqrt(bucket ratio) - 1 < 0.01. *)

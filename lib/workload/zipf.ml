@@ -1,7 +1,6 @@
 type t = { cdf : float array; pmf : float array }
 
-let create ?(s = 0.99) ~n () =
-  if n <= 0 then invalid_arg "Zipf.create";
+let build ~s ~n =
   let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
   let total = Array.fold_left ( +. ) 0.0 w in
   let pmf = Array.map (fun x -> x /. total) w in
@@ -14,6 +13,31 @@ let create ?(s = 0.99) ~n () =
     pmf;
   cdf.(n - 1) <- 1.0;
   { cdf; pmf }
+
+(* Construction is O(n) (harmonic weights + prefix sums), and open-loop
+   generators create a distribution per connection batch — memoize the
+   result per (n, s). The tables are immutable after construction, so one
+   shared instance serves any number of threads; the cache itself is the
+   only mutable state and sits behind a mutex. Bounded so adversarial
+   parameter churn cannot grow it without limit. *)
+let cache : (int * float, t) Hashtbl.t = Hashtbl.create 8
+let cache_m = Mutex.create ()
+let builds_count = ref 0
+let cache_cap = 64
+
+let create ?(s = 0.99) ~n () =
+  if n <= 0 then invalid_arg "Zipf.create";
+  Mutex.protect cache_m (fun () ->
+      match Hashtbl.find_opt cache (n, s) with
+      | Some t -> t
+      | None ->
+          let t = build ~s ~n in
+          incr builds_count;
+          if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
+          Hashtbl.add cache (n, s) t;
+          t)
+
+let builds () = Mutex.protect cache_m (fun () -> !builds_count)
 
 let sample t rng =
   let u = Rng.float rng in

@@ -2,15 +2,25 @@
 
     The paper's clients generate requests with a Zipfian access pattern at
     s = 0.99 (§5, Testbed) — the standard YCSB skew. Sampling uses a
-    precomputed CDF with binary search. *)
+    precomputed CDF with binary search.
+
+    Construction is O(n), so the precomputed tables are memoized per
+    (n, s): repeated {!create} calls with the same parameters (one per
+    connection batch in the open-loop generator) return the same shared,
+    immutable distribution. *)
 
 type t
 
 val create : ?s:float -> n:int -> unit -> t
-(** Distribution over ranks [0, n). [s] defaults to 0.99. *)
+(** Distribution over ranks [0, n). [s] defaults to 0.99. Thread-safe;
+    returns a cached instance when one exists for (n, s). *)
 
 val sample : t -> Rng.t -> int
 (** A rank in [0, n); rank 0 is the most popular. *)
 
 val pmf : t -> int -> float
 (** Probability of a rank (tests). *)
+
+val builds : unit -> int
+(** Number of O(n) table constructions performed so far — a cache-hit
+    returns without incrementing it (tests assert memoization). *)

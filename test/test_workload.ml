@@ -103,6 +103,131 @@ let prop_merge_assoc_comm =
       && obs (Stats.merge a b) = obs (mk (xs @ ys))
       && Stats.count (Stats.merge a b) = Stats.count a + Stats.count b)
 
+let t_zipf_memoized () =
+  let b0 = Zipf.builds () in
+  let z1 = Zipf.create ~s:0.95 ~n:777 () in
+  let b1 = Zipf.builds () in
+  Alcotest.(check int) "first create builds" (b0 + 1) b1;
+  let z2 = Zipf.create ~s:0.95 ~n:777 () in
+  Alcotest.(check int) "second create is a cache hit" b1 (Zipf.builds ());
+  (* cached instance behaves identically *)
+  let seq z seed =
+    let r = Rng.create ~seed in
+    List.init 200 (fun _ -> Zipf.sample z r)
+  in
+  Alcotest.(check bool) "same distribution" true (seq z1 3L = seq z2 3L);
+  (* a different (n, s) is a different table *)
+  let _ = Zipf.create ~s:0.95 ~n:778 () in
+  Alcotest.(check int) "new params build" (b1 + 1) (Zipf.builds ())
+
+(* nearest-rank percentile over an explicit sorted list — the reference
+   the bucketed histogram must stay within 1% of *)
+let exact_percentile l p =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else
+    let rank =
+      Stdlib.max 1 (Stdlib.min n (int_of_float (ceil (p *. float_of_int n))))
+    in
+    a.(rank - 1)
+
+let t_stats_spill () =
+  let s = Stats.create () in
+  for i = 1 to 1024 do
+    Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check bool) "exact while small" false (Stats.is_bucketed s);
+  Alcotest.(check (float 1e-9)) "exact p50" 512.0 (Stats.percentile s 0.5);
+  Stats.add s 1025.0;
+  Alcotest.(check bool) "spills past the cap" true (Stats.is_bucketed s);
+  Alcotest.(check int) "count preserved" 1025 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "exact min survives" 1.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "exact max survives" 1025.0 (Stats.max s);
+  let p50 = Stats.percentile s 0.5 in
+  Alcotest.(check bool) "bucketed p50 within 1%" true
+    (abs_float (p50 -. 513.0) /. 513.0 <= Stats.relative_error +. 1e-9);
+  (* non-positive samples: counted, reported at the recorded minimum *)
+  let s = Stats.create () in
+  for _ = 1 to 2000 do
+    Stats.add s 5.0
+  done;
+  Stats.add s 0.0;
+  Alcotest.(check int) "nonpos counted" 2001 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "nonpos is the min" 0.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "p0 answers min" 0.0 (Stats.percentile s 0.0)
+
+(* Histogram-vs-exact parity: past the exact cap the log-bucketed
+   histogram must answer every percentile within its advertised relative
+   error, across magnitudes. *)
+let prop_hist_parity =
+  QCheck.Test.make ~count:100 ~name:"bucketed percentiles within 1% of exact"
+    QCheck.(
+      list_of_size
+        Gen.(1100 -- 2500)
+        (map (fun (m, e) -> (0.5 +. m) *. (10.0 ** float_of_int e))
+           (pair (float_bound_exclusive 1.0) (int_range (-3) 6))))
+    (fun l ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) l;
+      QCheck.assume (Stats.is_bucketed s);
+      List.for_all
+        (fun p ->
+          let ex = exact_percentile l p in
+          let got = Stats.percentile s p in
+          abs_float (got -. ex) /. ex <= Stats.relative_error +. 1e-9)
+        [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1.0 ])
+
+(* merging must preserve the exact regime only when the union still fits
+   the cap, and bucket-sum merging must not drift the percentiles *)
+let t_stats_merge_regimes () =
+  let mk n base =
+    let s = Stats.create () in
+    for i = 1 to n do
+      Stats.add s (base +. float_of_int i)
+    done;
+    s
+  in
+  let m = Stats.merge (mk 400 0.0) (mk 400 400.0) in
+  Alcotest.(check bool) "small union stays exact" false (Stats.is_bucketed m);
+  Alcotest.(check (float 1e-9)) "exact merged p50" 400.0
+    (Stats.percentile m 0.5);
+  let big = Stats.merge (mk 900 0.0) (mk 900 900.0) in
+  Alcotest.(check bool) "large union buckets" true (Stats.is_bucketed big);
+  Alcotest.(check int) "merged count" 1800 (Stats.count big);
+  let p50 = Stats.percentile big 0.5 in
+  Alcotest.(check bool) "merged p50 within 1%" true
+    (abs_float (p50 -. 900.0) /. 900.0 <= Stats.relative_error +. 1e-9)
+
+let t_arrivals () =
+  let open Arrivals in
+  let mean_rate kind =
+    let rng = Rng.create ~seed:11L in
+    let a = create ~kind ~rate:50_000.0 rng in
+    let n = 200_000 in
+    let last = ref 0.0 in
+    let mono = ref true in
+    for _ = 1 to n do
+      let t = next a in
+      if t <= !last then mono := false;
+      last := t
+    done;
+    Alcotest.(check bool) "strictly increasing" true !mono;
+    float_of_int n /. (!last /. 1e9)
+  in
+  let r_poisson = mean_rate Poisson in
+  Alcotest.(check bool)
+    (Printf.sprintf "poisson long-run rate %.0f" r_poisson)
+    true
+    (abs_float (r_poisson -. 50_000.0) /. 50_000.0 < 0.05);
+  let r_bursty = mean_rate default_bursty in
+  (* heavy-tailed burst lengths converge slowly; accept a loose band *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bursty long-run rate %.0f" r_bursty)
+    true
+    (r_bursty > 25_000.0 && r_bursty < 100_000.0)
+
 let t_rng_split () =
   (* splitting is deterministic in the parent's state *)
   let child seed = Rng.split (Rng.create ~seed) in
@@ -166,7 +291,13 @@ let () =
           Alcotest.test_case "rng derived draws" `Quick t_rng_derived_draws;
           Alcotest.test_case "zipf pmf" `Quick t_zipf_pmf;
           Alcotest.test_case "zipf sampling" `Quick t_zipf_sampling;
+          Alcotest.test_case "zipf memoized" `Quick t_zipf_memoized;
           Alcotest.test_case "stats" `Quick t_stats;
+          Alcotest.test_case "stats spill" `Quick t_stats_spill;
+          Alcotest.test_case "stats merge regimes" `Quick
+            t_stats_merge_regimes;
+          Alcotest.test_case "arrivals" `Quick t_arrivals;
           QCheck_alcotest.to_alcotest prop_merge_assoc_comm;
+          QCheck_alcotest.to_alcotest prop_hist_parity;
         ] );
     ]
