@@ -560,6 +560,147 @@ let engine_bench ~smoke =
   pf "  corpus identity: %d identical, %d skipped, %d divergent@." corpus_ok
     corpus_skip corpus_bad;
   pf "  min 4-shard speedup %.2fx (gate: > 1.8x)@." min_speedup;
+  (* --- shared-map configs ---------------------------------------------- *)
+  (* Cross-shard state through engine-shared maps, same DES closed loop.
+     percpu_counter: every event bumps a per-key counter in a shared Percpu
+     map — banks are shard-local, so scaling must survive the shared map.
+     rcu_read_mostly: <=1% writes against the shared RCU map, compared to
+     the same program over a tenant-private Hash map — wait-free snapshot
+     reads must stay within 20% of the uncontended private baseline. *)
+  let shared_pkts ~write_every =
+    let rng = Kflex_workload.Rng.create ~seed:13L in
+    Array.init events (fun i ->
+        let b = Bytes.make 17 '\000' in
+        if i mod write_every = 0 then Bytes.set b 0 '\001';
+        Bytes.set_int64_le b 1
+          (Int64.of_int (Kflex_workload.Rng.int rng keyspace));
+        Kflex_kernel.Packet.make ~proto:Kflex_kernel.Packet.Udp
+          ~src_port:(1024 + Kflex_workload.Rng.int rng 60000)
+          ~dst_port:9 b)
+  in
+  let counter_src = {|
+fn prog(c: ctx) -> u64 {
+  var kbuf: bytes[8];
+  var vbuf: bytes[8];
+  st64(&kbuf, 0, pkt_read_u64(c, 1) & 1023);
+  var n: u64 = 0;
+  if (bpf_map_lookup(3, &kbuf, &vbuf) == 1) { n = ld64(&vbuf, 0); }
+  st64(&vbuf, 0, n + 1);
+  bpf_map_update(3, &kbuf, &vbuf);
+  return 2;
+}
+|}
+  in
+  let read_mostly_src = {|
+fn prog(c: ctx) -> u64 {
+  var kbuf: bytes[8];
+  var vbuf: bytes[8];
+  st64(&kbuf, 0, pkt_read_u64(c, 1) & 1023);
+  if (pkt_read_u8(c, 0) == 1) {
+    var n: u64 = 0;
+    if (bpf_map_lookup(3, &kbuf, &vbuf) == 1) { n = ld64(&vbuf, 0); }
+    st64(&vbuf, 0, n + 1);
+    bpf_map_update(3, &kbuf, &vbuf);
+    return 2;
+  }
+  if (bpf_map_lookup(3, &kbuf, &vbuf) == 1) { return 2; }
+  return 1;
+}
+|}
+  in
+  let run_shared ~name ~src ~pkts ~fd3 ~shards =
+    let compiled =
+      Kflex_eclang.Compile.compile_string ~name ~use_heap:false src
+    in
+    let eng = Kflex_engine.Engine.create ~shards () in
+    let configure =
+      match fd3 with
+      | `Shared make ->
+          ignore (Kflex_engine.Engine.share_map eng (make ~shards));
+          None
+      | `Private make ->
+          Some
+            (fun ~shard:_ kernel _heap ->
+              ignore
+                (Kflex_kernel.Map.register
+                   (Kflex_kernel.Helpers.maps kernel)
+                   (make ~shards)))
+    in
+    (match
+       Kflex_engine.Engine.attach eng ~name ?configure
+         ~hook:Kflex_kernel.Hook.Xdp compiled.Kflex_eclang.Compile.prog
+     with
+    | Ok _ -> ()
+    | Error e ->
+        Format.kasprintf failwith "engine bench (%s): rejected: %a" name
+          Kflex_verifier.Verify.pp_error e);
+    let res =
+      Kflex_sim.Closed_loop.run_engine ~clients:32 ~rtt_ns:2_000.
+        ~requests:events
+        ~gen:(fun i -> pkts.(i))
+        ~ns_of_cost:(fun c ->
+          Kflex_kernel.Cost.xdp_service_ns
+            ~compute_ns:(float_of_int c *. Kflex_kernel.Cost.insn_ns)
+            ~reply:false)
+        eng
+    in
+    let tot = Kflex_engine.Engine.totals eng in
+    Kflex_engine.Engine.shutdown eng;
+    (res, tot)
+  in
+  let percpu_map ~shards =
+    Kflex_kernel.Map.create ~kind:Kflex_kernel.Map.Percpu ~cpus:shards
+      ~max_entries:1024 ()
+  in
+  let rcu_map ~shards =
+    Kflex_kernel.Map.create ~kind:Kflex_kernel.Map.Rcu_shared ~cpus:shards
+      ~max_entries:1024 ()
+  in
+  let hash_map ~shards:_ =
+    Kflex_kernel.Map.create ~kind:Kflex_kernel.Map.Hash ~max_entries:1024 ()
+  in
+  let counter_pkts = shared_pkts ~write_every:1 in
+  let rm_pkts = shared_pkts ~write_every:128 in
+  pf "  %-18s %5s %12s %8s %6s@." "shared config" "shard" "MOps/s" "cancel"
+    "leak";
+  let shared_rows = ref [] in
+  let record name shards (res, (tot : Kflex_engine.Engine.totals)) =
+    pf "  %-18s %5d %12.3f %8d %6d@." name shards
+      res.Kflex_sim.Closed_loop.throughput_mops tot.Kflex_engine.Engine.cancelled
+      tot.Kflex_engine.Engine.leaked;
+    shared_rows := (name, shards, res, tot) :: !shared_rows;
+    res.Kflex_sim.Closed_loop.throughput_mops
+  in
+  let pc1 =
+    record "percpu_counter" 1
+      (run_shared ~name:"percpu_counter" ~src:counter_src ~pkts:counter_pkts
+         ~fd3:(`Shared percpu_map) ~shards:1)
+  in
+  let pc4 =
+    record "percpu_counter" 4
+      (run_shared ~name:"percpu_counter" ~src:counter_src ~pkts:counter_pkts
+         ~fd3:(`Shared percpu_map) ~shards:4)
+  in
+  let rcu4 =
+    record "rcu_read_mostly" 4
+      (run_shared ~name:"rcu_read_mostly" ~src:read_mostly_src ~pkts:rm_pkts
+         ~fd3:(`Shared rcu_map) ~shards:4)
+  in
+  let hash4 =
+    record "private_hash" 4
+      (run_shared ~name:"private_hash" ~src:read_mostly_src ~pkts:rm_pkts
+         ~fd3:(`Private hash_map) ~shards:4)
+  in
+  let shared_rows = List.rev !shared_rows in
+  let percpu_speedup = pc4 /. pc1 in
+  let rcu_ratio = rcu4 /. hash4 in
+  let shared_leaks =
+    List.fold_left
+      (fun a (_, _, _, t) -> a + t.Kflex_engine.Engine.leaked)
+      0 shared_rows
+  in
+  pf "  percpu 4-shard speedup %.2fx (gate: >= 2.5x)@." percpu_speedup;
+  pf "  rcu read-mostly vs private hash %.2fx (gate: >= 0.8x)@." rcu_ratio;
   let leaks = List.fold_left (fun a r -> a + r.er_tot.Kflex_engine.Engine.leaked) 0 rows in
   let oc = open_out "BENCH_engine.json" in
   let p fmt = Printf.fprintf oc fmt in
@@ -583,14 +724,31 @@ let engine_bench ~smoke =
         c s
         (if i = List.length speedups - 1 then "" else ","))
     speedups;
+  p "  ],\n  \"shared_configs\": [\n";
+  List.iteri
+    (fun i (name, shards, res, (tot : Kflex_engine.Engine.totals)) ->
+      p "    {\"config\": %S, \"shards\": %d, \"throughput_mops\": %.4f, \
+         \"p99_us\": %.2f, \"events\": %d, \"cancelled\": %d, \"leaked\": \
+         %d}%s\n"
+        name shards res.Kflex_sim.Closed_loop.throughput_mops
+        res.Kflex_sim.Closed_loop.p99_us tot.Kflex_engine.Engine.events
+        tot.Kflex_engine.Engine.cancelled tot.Kflex_engine.Engine.leaked
+        (if i = List.length shared_rows - 1 then "" else ","))
+    shared_rows;
+  let shared_ok =
+    percpu_speedup >= 2.5 && rcu_ratio >= 0.8 && shared_leaks = 0
+  in
   p "  ],\n  \"summary\": {\"min_speedup_4shard\": %.3f, \"leaked\": %d, \
      \"corpus_identical\": %d, \"corpus_skipped\": %d, \"corpus_divergent\": \
-     %d, \"gate_passed\": %b}\n}\n"
-    min_speedup leaks corpus_ok corpus_skip corpus_bad
-    (min_speedup > 1.8 && corpus_bad = 0 && leaks = 0);
+     %d, \"percpu_speedup_4shard\": %.3f, \"rcu_vs_private_hash\": %.3f, \
+     \"shared_leaked\": %d, \"gate_passed\": %b}\n}\n"
+    min_speedup leaks corpus_ok corpus_skip corpus_bad percpu_speedup
+    rcu_ratio shared_leaks
+    (min_speedup > 1.8 && corpus_bad = 0 && leaks = 0 && shared_ok);
   close_out oc;
   pf "  wrote BENCH_engine.json@.";
-  if min_speedup <= 1.8 || corpus_bad > 0 || leaks > 0 then exit 1
+  if min_speedup <= 1.8 || corpus_bad > 0 || leaks > 0 || not shared_ok then
+    exit 1
 
 (* ---- Serve: open-loop wall-clock front end (BENCH_serve.json) ---------- *)
 

@@ -148,8 +148,12 @@ let lint_cmd =
                    Int64.shift_left 1L heap_bits) ])
             files
         in
+        (* A rejected program is itself a lint result (the buggy variants
+           in examples/ exist to demonstrate it): report it — structured
+           under --json — and keep linting the remaining files. *)
+        let rejected = ref [] in
         let analyses =
-          List.map
+          List.filter_map
             (fun (name, prog, heap_size) ->
               match
                 Kflex_verifier.Verify.run ~mode:Kflex_verifier.Verify.Kflex
@@ -157,12 +161,12 @@ let lint_cmd =
                   ~ctx_size:Kflex_kernel.Hook.ctx_size ~heap_size prog
               with
               | Error e ->
-                  Format.eprintf "%s: REJECTED: %a@." name
-                    Kflex_verifier.Verify.pp_error e;
-                  exit 2
-              | Ok a -> (name, a))
+                  rejected := (name, e) :: !rejected;
+                  None
+              | Ok a -> Some (name, a))
             units
         in
+        let rejected = List.rev !rejected in
         let per =
           List.map
             (fun (name, a) ->
@@ -171,9 +175,10 @@ let lint_cmd =
                 Kflex_verifier.Lifecycle.run ~contracts:Kflex.contracts a ))
             analyses
         in
-        let multi = List.length analyses > 1 in
+        let multi = List.length units > 1 in
+        (* the chain view needs every member admitted *)
         let chain =
-          if multi then
+          if multi && rejected = [] then
             Kflex_verifier.Lifecycle.run_chain ~contracts:Kflex.contracts
               ~pass_verdict:
                 (Kflex_kernel.Hook.pass_verdict Kflex_kernel.Hook.Xdp)
@@ -182,11 +187,15 @@ let lint_cmd =
         in
         if json then begin
           List.iter
+            (fun (name, e) ->
+              print_endline (Kflex_kie.Report.lint_rejected_json ~program:name e))
+            rejected;
+          List.iter
             (fun (name, diags, findings) ->
               print_endline
                 (Kflex_kie.Report.lint_json ~program:name ~diags ~findings))
             per;
-          if multi then
+          if multi && rejected = [] then
             print_endline
               (Kflex_kie.Report.chain_json
                  ~programs:(List.map (fun (n, _, _) -> n) per)
@@ -194,12 +203,17 @@ let lint_cmd =
         end
         else begin
           List.iter
+            (fun (name, e) ->
+              Format.printf "%s: REJECTED: %a@." name
+                Kflex_verifier.Verify.pp_error e)
+            rejected;
+          List.iter
             (fun (name, diags, findings) ->
               if multi then Format.printf "%s:@." name;
               Format.printf "%a@." Kflex_kie.Report.pp_lint diags;
               Format.printf "%a@." Kflex_kie.Report.pp_lifecycle findings)
             per;
-          if multi then begin
+          if multi && rejected = [] then begin
             if chain = [] then Format.printf "chain: clean@."
             else
               List.iter
@@ -215,7 +229,7 @@ let lint_cmd =
           chain <> []
           || List.exists (fun (_, d, f) -> d <> [] || f <> []) per
         in
-        exit (if any then 1 else 0))
+        exit (if rejected <> [] then 2 else if any then 1 else 0))
   in
   Cmd.v
     (Cmd.info "lint"
@@ -368,10 +382,18 @@ let fuzz_cmd =
            ~doc:"Directory for shrunk reproducer files")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary") in
-  let run seed count out quiet backend =
+  let threaded_shared =
+    Arg.(value & flag
+         & info [ "shared-threaded" ]
+             ~doc:
+               "Escalate every shared-map linearizability pass to a 4-shard \
+                threaded safety run (real cross-domain contention)")
+  in
+  let run seed count out quiet backend threaded_shared =
     let log = if quiet then fun _ -> () else fun l -> Format.printf "%s@." l in
     let s =
-      Kflex_fuzz.Campaign.run ~out_dir:out ~log ~backend ~seed ~count ()
+      Kflex_fuzz.Campaign.run ~out_dir:out ~log ~backend ~threaded_shared
+        ~seed ~count ()
     in
     Format.printf "%a@." Kflex_fuzz.Campaign.pp_summary s;
     if s.Kflex_fuzz.Campaign.failures > 0 then exit 1
@@ -382,9 +404,10 @@ let fuzz_cmd =
          "Differential soundness fuzzing: random extensions checked against \
           the abstract-containment, guard-elision, cancellation and \
           encode-roundtrip oracles (plus interpreter-vs-compiled equivalence \
-          with --backend compiled). Exits 1 when any oracle fails, writing \
-          shrunk reproducers to --out.")
-    Term.(const run $ seed $ count $ out $ quiet $ backend_arg)
+          with --backend compiled, and shared-map linearizability on a \
+          sharded engine). Exits 1 when any oracle fails, writing shrunk \
+          reproducers to --out.")
+    Term.(const run $ seed $ count $ out $ quiet $ backend_arg $ threaded_shared)
 
 let replay_cmd =
   let run file backend =

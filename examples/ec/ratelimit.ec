@@ -1,0 +1,27 @@
+// Token-bucket rate limiter over a spin-locked shared map value (fd 3).
+// Each source-port class owns a bucket; the whole read-modify-write runs
+// inside the bpf_map_lock critical section, so concurrent shards never
+// lose a token. The serve front end registers the engine-shared spinlock
+// map at fd 3 (Engine.share_map); a full bucket table fails open.
+
+fn prog(c: ctx) -> u64 {
+  var kbuf: bytes[8];
+  var vbuf: bytes[8];
+  st64(&kbuf, 0, pkt_read_u16(c, 0) & 63);
+
+  var h: u64 = bpf_map_lock(3, &kbuf);
+  if (h == 0) { return 2; }          // bucket table full: fail open
+
+  var tokens: u64 = 8;               // a fresh bucket starts full
+  if (bpf_map_lookup(3, &kbuf, &vbuf) == 1) { tokens = ld64(&vbuf, 0); }
+
+  if (tokens == 0) {
+    bpf_map_unlock(h);
+    return 1;                        // XDP_DROP: out of tokens
+  }
+
+  st64(&vbuf, 0, tokens - 1);
+  bpf_map_update(3, &kbuf, &vbuf);
+  bpf_map_unlock(h);
+  return 2;                          // XDP_PASS
+}

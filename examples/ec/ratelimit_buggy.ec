@@ -1,0 +1,26 @@
+// The rate limiter with the classic critical-section bug: the early-return
+// drop path forgets bpf_map_unlock, so the bucket stays locked forever and
+// every later packet on the same class stalls. The verifier's lifecycle
+// pass rejects this at load time (`kflexc lint` demonstrates); the paper's
+// point is that the kernel never has to trust the extension to be correct.
+
+fn prog(c: ctx) -> u64 {
+  var kbuf: bytes[8];
+  var vbuf: bytes[8];
+  st64(&kbuf, 0, pkt_read_u16(c, 0) & 63);
+
+  var h: u64 = bpf_map_lock(3, &kbuf);
+  if (h == 0) { return 2; }
+
+  var tokens: u64 = 8;
+  if (bpf_map_lookup(3, &kbuf, &vbuf) == 1) { tokens = ld64(&vbuf, 0); }
+
+  if (tokens == 0) {
+    return 1;                        // BUG: returns with the lock held
+  }
+
+  st64(&vbuf, 0, tokens - 1);
+  bpf_map_update(3, &kbuf, &vbuf);
+  bpf_map_unlock(h);
+  return 2;
+}

@@ -254,7 +254,7 @@ let create_bmc ?(cache_entries = 4096) () =
     Kflex_eclang.Compile.compile_string ~name:"bmc" ~use_heap:false bmc_source
   in
   let kernel = Helpers.create () in
-  let cache = Map.create ~max_entries:cache_entries in
+  let cache = Map.create ~max_entries:cache_entries () in
   let fd = Map.register (Helpers.maps kernel) cache in
   assert (fd = 3L);
   match

@@ -1,0 +1,107 @@
+(* Cross-shard guard tenants over engine-shared maps.
+
+   Two small extensions meant to run {e ahead} of a cache tenant in an
+   engine chain, exercising both shared-map disciplines end to end:
+
+   - a token-bucket rate limiter whose buckets are values in the shared
+     Spinlock map (fd 3): the whole read-refill-spend runs inside one
+     [bpf_map_lock] critical section, so concurrent shards never lose or
+     double-spend a token;
+   - a connection tracker over the shared Rcu_shared map (fd 4):
+     read-mostly — a known flow is one wait-free snapshot lookup; only the
+     first packet of a flow publishes a write.
+
+   Both key on the request key word at payload offset 1, where every wire
+   packet encoder ([Wire.packet_of_op], [Memcached.op_packet]) places the
+   start of the key. *)
+
+let bucket_classes = 64
+let conntrack_slots = 4096
+
+(* Fixed-window token bucket. The bucket value packs the refill window id
+   (upper 32 bits) with the tokens spent in it (lower 32): a packet in a
+   fresh window resets the spend, one past [capacity] in the same window
+   drops. A full bucket table fails open — guards must not turn allocator
+   pressure into an outage. *)
+let bucket_source ~pass ~drop ~capacity ~window_ns =
+  Printf.sprintf
+    {|
+fn prog(c: ctx) -> u64 {
+  var kbuf: bytes[8];
+  var vbuf: bytes[8];
+  st64(&kbuf, 0, pkt_read_u64(c, 1) & %d);
+
+  var h: u64 = bpf_map_lock(3, &kbuf);
+  if (h == 0) { return %Ld; }
+
+  var win: u64 = (bpf_ktime_get_ns() / %Ld) & 0xFFFFFFFF;
+  var used: u64 = 0;
+  if (bpf_map_lookup(3, &kbuf, &vbuf) == 1) {
+    var v: u64 = ld64(&vbuf, 0);
+    if ((v >> 32) == win) { used = v & 0xFFFFFFFF; }
+  }
+
+  if (used >= %d) {
+    bpf_map_unlock(h);
+    return %Ld;
+  }
+
+  st64(&vbuf, 0, (win << 32) | (used + 1));
+  bpf_map_update(3, &kbuf, &vbuf);
+  bpf_map_unlock(h);
+  return %Ld;
+}
+|}
+    (bucket_classes - 1) pass window_ns capacity drop pass
+
+let conntrack_source ~pass ~drop =
+  Printf.sprintf
+    {|
+fn prog(c: ctx) -> u64 {
+  var kbuf: bytes[8];
+  var vbuf: bytes[8];
+  st64(&kbuf, 0, pkt_read_u64(c, 1) & %d);
+  if (bpf_map_lookup(4, &kbuf, &vbuf) == 1) {
+    return %Ld;
+  }
+  st64(&vbuf, 0, 1);
+  if (bpf_map_update(4, &kbuf, &vbuf) == 0) { return %Ld; }
+  return %Ld;
+}
+|}
+    (conntrack_slots - 1) pass drop pass
+
+let make_maps ~shards =
+  ( Kflex_kernel.Map.create ~kind:Kflex_kernel.Map.Spinlock
+      ~max_entries:bucket_classes (),
+    Kflex_kernel.Map.create ~kind:Kflex_kernel.Map.Rcu_shared ~cpus:shards
+      ~max_entries:conntrack_slots () )
+
+(* request packets the guards key on: the key word at payload offset 1 *)
+let guard_packet ?(proto = Kflex_kernel.Packet.Udp) ?(src_port = 40000) key =
+  let b = Bytes.make 17 '\000' in
+  Bytes.set_int64_le b 1 key;
+  Kflex_kernel.Packet.make ~proto ~src_port ~dst_port:11211 b
+
+(* --- reference model ------------------------------------------------------ *)
+
+(* The bucket decision, sequentially per key class — the linearizable
+   behaviour the spin-locked map must reproduce under any shard count.
+   [admit] mirrors the extension: same window packing, same fail-open. *)
+type model = { mutable slots : (int64 * (int64 * int)) list }
+
+let model () = { slots = [] }
+
+let model_admit m ~capacity ~window_ns ~now_ns key =
+  let cls = Int64.logand key (Int64.of_int (bucket_classes - 1)) in
+  let win = Int64.logand (Int64.div now_ns window_ns) 0xFFFFFFFFL in
+  let used =
+    match List.assoc_opt cls m.slots with
+    | Some (w, u) when w = win -> u
+    | _ -> 0
+  in
+  if used >= capacity then false
+  else begin
+    m.slots <- (cls, (win, used + 1)) :: List.remove_assoc cls m.slots;
+    true
+  end

@@ -1,0 +1,60 @@
+(** Cross-shard guard tenants over engine-shared maps.
+
+    Two extensions meant to run ahead of a cache tenant in an engine
+    chain, exercising both shared-map disciplines end to end:
+
+    - {!bucket_source}: a token-bucket rate limiter whose buckets live as
+      values in the engine-shared Spinlock map (fd 3). The whole
+      read-refill-spend runs inside one [bpf_map_lock] critical section,
+      so concurrent shards never lose or double-spend a token. Buckets
+      refill on fixed windows of [window_ns] (the window id and the spend
+      are packed into the one value word); a full bucket table fails open.
+    - {!conntrack_source}: a connection tracker over the engine-shared
+      Rcu_shared map (fd 4). Read-mostly by construction: a known flow
+      costs one wait-free snapshot lookup, and only a flow's first packet
+      publishes a write.
+
+    Both key on the request key word at payload offset 1, where every
+    wire packet encoder places the start of the key, so they compose with
+    the serve front end's Memcached/Redis streams unchanged. *)
+
+val bucket_classes : int
+(** Bucket key classes (the Spinlock map needs [>= bucket_classes]
+    entries). *)
+
+val conntrack_slots : int
+(** Flow slots (the Rcu_shared map needs [>= conntrack_slots] entries). *)
+
+val bucket_source : pass:int64 -> drop:int64 -> capacity:int -> window_ns:int64 -> string
+(** Eclang source for the rate limiter. [pass] must be the hook's
+    fall-through verdict so admitted requests reach the tenants behind
+    it; [drop] any terminal verdict. *)
+
+val conntrack_source : pass:int64 -> drop:int64 -> string
+(** Eclang source for the tracker; drops only when the flow table is
+    full. *)
+
+val make_maps : shards:int -> Kflex_kernel.Map.t * Kflex_kernel.Map.t
+(** [(spinlock buckets, rcu flow table)] sized for the sources above,
+    ready for [Engine.share_map] in that order (fd 3, then fd 4). *)
+
+val guard_packet :
+  ?proto:Kflex_kernel.Packet.proto ->
+  ?src_port:int ->
+  int64 ->
+  Kflex_kernel.Packet.t
+(** A minimal request packet carrying its key word at payload offset 1 —
+    what the guards key on. *)
+
+(** {2 Reference model} *)
+
+type model
+(** The bucket decision sequentially per key class — the linearizable
+    behaviour the spin-locked map must reproduce under any shard count. *)
+
+val model : unit -> model
+
+val model_admit :
+  model -> capacity:int -> window_ns:int64 -> now_ns:int64 -> int64 -> bool
+(** Mirrors the extension exactly: same key classing, window packing and
+    fail-open; [true] = admitted. *)

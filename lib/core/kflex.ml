@@ -104,8 +104,26 @@ let globals_base = 64L
 
 (* --- admission ---------------------------------------------------------- *)
 
+(* Kops-style admission policy: the loader decides which helpers (and so
+   which map kinds) an extension may touch; a denied call is an admission
+   error, not a verification failure of the program text. *)
+let denied_call ~deny_helpers prog =
+  if deny_helpers = [] then None
+  else
+    let hit = ref None in
+    Array.iteri
+      (fun pc (i : Kflex_bpf.Insn.t) ->
+        match i with
+        | Kflex_bpf.Insn.Call name
+          when !hit = None && List.mem name deny_helpers ->
+            hit := Some (pc, name)
+        | _ -> ())
+      (Kflex_bpf.Prog.insns prog);
+    !hit
+
 let admit ?(mode = Kflex_verifier.Verify.Kflex) ?options ?heap_size
-    ?(extra_contracts = []) ?(backend = `Interp) ~hook prog =
+    ?(extra_contracts = []) ?(deny_helpers = []) ?(backend = `Interp) ~hook
+    prog =
   let contracts =
     if extra_contracts = [] then contracts
     else
@@ -129,6 +147,17 @@ let admit ?(mode = Kflex_verifier.Verify.Kflex) ?options ?heap_size
         | None -> Error e
         | Some prog' -> ( match verify prog' with Ok a -> Ok a | Error _ -> Error e))
     | Error e -> Error e
+  in
+  let result =
+    match (result, denied_call ~deny_helpers prog) with
+    | Ok _, Some (pc, name) ->
+        Error
+          {
+            Kflex_verifier.Verify.pc = Some pc;
+            kind = Kflex_verifier.Verify.E_helper;
+            msg = Printf.sprintf "helper %s denied by admission policy" name;
+          }
+    | r, _ -> r
   in
   match result with
   | Error e -> Error e

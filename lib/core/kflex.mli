@@ -59,6 +59,7 @@ val admit :
   ?options:Kflex_kie.Instrument.options ->
   ?heap_size:int64 ->
   ?extra_contracts:Kflex_verifier.Contract.t list ->
+  ?deny_helpers:string list ->
   ?backend:Kflex_runtime.Vm.backend ->
   hook:Kflex_kernel.Hook.kind ->
   Kflex_bpf.Prog.t ->
@@ -69,7 +70,10 @@ val admit :
     instrumentation with translate-on-store {e off}; callers instantiating
     over shared heaps must pass options explicitly (as {!load} does).
     [heap_size] bounds the verifier's heap-pointer ranges exactly as an
-    attached heap of that size would. *)
+    attached heap of that size would. [deny_helpers] is the Kops-style
+    per-tenant admission policy: a program calling a denied helper is
+    rejected with [E_helper] at the offending pc (the loader decides which
+    map kinds an extension may touch). *)
 
 val instantiate :
   ?heap:Kflex_runtime.Heap.t ->

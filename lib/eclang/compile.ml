@@ -160,6 +160,9 @@ let helper_sigs : (string * (hkind list * bool)) list =
     ("bpf_map_lookup", ([ K_u64; K_u64; K_u64 ], true));
     ("bpf_map_update", ([ K_u64; K_u64; K_u64 ], true));
     ("bpf_map_delete", ([ K_u64; K_u64 ], true));
+    ("bpf_map_lock", ([ K_u64; K_u64 ], true));
+    ("bpf_map_unlock", ([ K_u64 ], false));
+    ("bpf_map_sum", ([ K_u64; K_u64; K_u64 ], true));
   ]
 
 let heap_helpers =

@@ -5,6 +5,7 @@ module Packet = Kflex_kernel.Packet
 module Helpers = Kflex_kernel.Helpers
 module Socket = Kflex_kernel.Socket
 module Cost = Kflex_kernel.Cost
+module Map_ = Kflex_kernel.Map
 
 type mode = [ `Deterministic | `Threaded ]
 
@@ -54,6 +55,10 @@ type t = {
   mutable next_aid : int;
   running : bool Atomic.t;
   mutable reaper_domain : unit Domain.t option;
+  mutable shared : Map_.t list;
+      (* engine-owned cross-shard maps, in share order; every subsequent
+         attach registers them (fds 3, 4, …) before the tenant's own
+         [configure] runs. Appended under [reg_m]. *)
 }
 
 (* splitmix64 finaliser: decorrelate per-shard streams drawn from one seed *)
@@ -169,6 +174,14 @@ let exec_event t shard snap ~hook pkt =
     incr i
   done;
   shard.events <- shard.events + 1;
+  (* Event boundary = quiescent state: this shard holds no reference into
+     any shared RCU snapshot between events, so announce the epoch and let
+     the map reclaim retired versions every CPU has moved past. *)
+  List.iter
+    (fun m ->
+      if Map_.kind m = Map_.Rcu_shared then
+        Map_.rcu_quiesce m ~cpu:shard.sid)
+    t.shared;
   record_verdict shard !verdict;
   {
     verdict = !verdict;
@@ -228,6 +241,7 @@ let create ?(shards = 1) ?(mode = `Deterministic) ?quantum ?deadline_ns
       next_aid = 0;
       running = Atomic.make true;
       reaper_domain = None;
+      shared = [];
     }
   in
   (match mode with
@@ -264,7 +278,7 @@ let seed_shard t ~shard ?(vtime = 0L) prandom =
    [g] or is provably idle (empty queue, not executing) — it will read the
    new snapshot before its next event. *)
 let quiesce t g =
-  match t.mode with
+  (match t.mode with
   | `Deterministic ->
       Array.iter (fun s -> Atomic.set s.seen_gen g) t.shards
   | `Threaded ->
@@ -285,11 +299,28 @@ let quiesce t g =
             end
           in
           wait ())
-        t.shards
+        t.shards);
+  (* Registry quiescence doubles as an RCU grace period: once every shard
+     has observed generation [g] (or is idle), no reader still holds a
+     snapshot retired before the publication — reclaim them all. *)
+  List.iter Map_.rcu_synchronize t.shared
+
+(* Engine-owned shared maps.  Sharing must precede the attaches that use
+   the map: every later attach registers the shared maps — in share order,
+   so they get the same fds (3, 4, …) on every shard — into the instance's
+   per-shard registry before the tenant's own [configure] runs.  The
+   returned fd is what programs pass to the map helpers. *)
+let share_map t m =
+  Mutex.protect t.reg_m (fun () ->
+      let fd = Int64.of_int (3 + List.length t.shared) in
+      t.shared <- t.shared @ [ m ];
+      fd)
+
+let shared_maps t = t.shared
 
 let build_handle t ?name ?mode ?options ?globals_size ?quantum ?heap_size
-    ?kbase ?backend ?configure ~hook prog =
-  match Kflex.admit ?mode ?options ?heap_size ?backend ~hook prog with
+    ?kbase ?backend ?deny_helpers ?configure ~hook prog =
+  match Kflex.admit ?mode ?options ?heap_size ?deny_helpers ?backend ~hook prog with
   | Error e -> Error e
   | Ok admitted ->
       let aid = t.next_aid in
@@ -305,6 +336,10 @@ let build_handle t ?name ?mode ?options ?globals_size ?quantum ?heap_size
               Option.map (fun size -> Heap.create ?kbase ~size ()) heap_size
             in
             let kernel = Helpers.create () in
+            List.iter
+              (fun m ->
+                ignore (Map_.register (Helpers.maps kernel) m : int64))
+              t.shared;
             let inst =
               Kflex.instantiate ?heap ?globals_size ?quantum ?backend
                 ~extra_helpers:(shard_helpers shard) ~kernel admitted
@@ -318,11 +353,11 @@ let build_handle t ?name ?mode ?options ?globals_size ?quantum ?heap_size
       Ok { aid; aname; ahook = hook; instances }
 
 let attach t ?name ?mode ?options ?globals_size ?quantum ?heap_size ?kbase
-    ?backend ?configure ~hook prog =
+    ?backend ?deny_helpers ?configure ~hook prog =
   Mutex.protect t.reg_m (fun () ->
       match
         build_handle t ?name ?mode ?options ?globals_size ?quantum ?heap_size
-          ?kbase ?backend ?configure ~hook prog
+          ?kbase ?backend ?deny_helpers ?configure ~hook prog
       with
       | Error e -> Error e
       | Ok h ->
@@ -344,11 +379,11 @@ let detach t h =
       end)
 
 let replace t h ?name ?mode ?options ?globals_size ?quantum ?heap_size ?kbase
-    ?backend ?configure prog =
+    ?backend ?deny_helpers ?configure prog =
   Mutex.protect t.reg_m (fun () ->
       match
         build_handle t ?name ?mode ?options ?globals_size ?quantum ?heap_size
-          ?kbase ?backend ?configure ~hook:h.ahook prog
+          ?kbase ?backend ?deny_helpers ?configure ~hook:h.ahook prog
       with
       | Error e -> Error e
       | Ok h' -> (

@@ -55,6 +55,7 @@ val attach :
   ?heap_size:int64 ->
   ?kbase:int64 ->
   ?backend:Kflex_runtime.Vm.backend ->
+  ?deny_helpers:string list ->
   ?configure:
     (shard:int -> Kflex_kernel.Helpers.t -> Kflex_runtime.Heap.t option -> unit) ->
   hook:Kflex_kernel.Hook.kind ->
@@ -65,9 +66,13 @@ val attach :
     [backend] is [`Compiled]), then instantiate it on every shard —
     [heap_size] gives each shard its own private heap (at [kbase] if
     supplied), and each instance gets fresh kernel helper state plus the
-    shard's PRNG/clock helper overrides. [configure] runs once per shard
-    after instantiation (listen on sockets, populate heap pages, …). The
-    new program is appended to [hook]'s chain. *)
+    shard's PRNG/clock helper overrides. [deny_helpers] is the per-tenant
+    admission policy ({!Kflex.admit}) — e.g. deny [bpf_map_lock] to a
+    tenant that must not touch spin-locked shared values. [configure] runs
+    once per shard after instantiation (listen on sockets, populate heap
+    pages, …); engine-shared maps ({!share_map}) are registered first, so
+    tenant-private maps get fds after theirs. The new program is appended
+    to [hook]'s chain. *)
 
 val detach : t -> handle -> unit
 (** Remove from the chain and wait for epoch quiescence; idempotent. *)
@@ -83,12 +88,32 @@ val replace :
   ?heap_size:int64 ->
   ?kbase:int64 ->
   ?backend:Kflex_runtime.Vm.backend ->
+  ?deny_helpers:string list ->
   ?configure:
     (shard:int -> Kflex_kernel.Helpers.t -> Kflex_runtime.Heap.t option -> unit) ->
   Kflex_bpf.Prog.t ->
   (handle, Kflex_verifier.Verify.error) result
 (** Atomically swap a live attachment for a freshly admitted program at the
-    same chain position (one epoch, O(1) chain work — admission is cached). *)
+    same chain position (one epoch, O(1) chain work — admission is cached).
+    The replacement is instantiated fresh: private maps registered by the
+    old attachment's [configure] do not survive (their fds go stale), while
+    engine-shared maps ({!share_map}) persist and are re-registered at the
+    same fds. *)
+
+(** {2 Shared maps} *)
+
+val share_map : t -> Kflex_kernel.Map.t -> int64
+(** Hand the engine a cross-shard map. Every {e subsequent} attach/replace
+    registers it into each instance's per-shard registry — in share order,
+    before the tenant's [configure] — so the returned fd (3, 4, … in share
+    order) is valid for every later attachment on every shard. Create
+    Percpu/Rcu_shared maps with [~cpus] ≥ the engine's shard count. The
+    engine announces a per-shard RCU quiescent state after every event and
+    a full grace period at each registry quiescence (attach/detach/replace),
+    reclaiming retired snapshots. *)
+
+val shared_maps : t -> Kflex_kernel.Map.t list
+(** The maps handed to {!share_map}, in share (= fd) order. *)
 
 type run_result = {
   verdict : int64;  (** composed chain verdict *)

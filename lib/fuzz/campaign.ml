@@ -6,6 +6,7 @@ type summary = {
   rejected : int;
   invalid : int;
   chained : int;
+  shared : int;
   flagged : int;
   failures : int;
   reproducers : string list;
@@ -14,8 +15,9 @@ type summary = {
 let pp_summary ppf s =
   Format.fprintf ppf
     "%d cases: %d accepted, %d rejected, %d invalid, %d chain-checked, %d \
-     lifecycle-flagged, %d FAILURES"
-    s.cases s.accepted s.rejected s.invalid s.chained s.flagged s.failures;
+     shared-checked, %d lifecycle-flagged, %d FAILURES"
+    s.cases s.accepted s.rejected s.invalid s.chained s.shared s.flagged
+    s.failures;
   List.iter (fun p -> Format.fprintf ppf "@.  reproducer: %s" p) s.reproducers
 
 (* Randomised environment layout for one case, drawn from its own stream. *)
@@ -73,13 +75,26 @@ let shrink_chain_partner cfg prog1 items2 =
   in
   if check items2 then Shrink.shrink ~check items2 else items2
 
-let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
+let shrink_shared cfg items =
+  let check cand =
+    match Gen.assemble cand with
+    | exception _ -> false
+    | p -> (
+        match Oracle.shared_equiv cfg p with
+        | Oracle.Fail _ -> true
+        | _ -> false)
+  in
+  if check items then Shrink.shrink ~check items else items
+
+let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ?(threaded_shared = false)
+    ~seed ~count () =
   if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755;
   let master = Rng.create ~seed in
   let accepted = ref 0
   and rejected = ref 0
   and invalid = ref 0
   and chained = ref 0
+  and shared = ref 0
   and flagged = ref 0
   and failures = ref 0
   and repros = ref [] in
@@ -89,7 +104,7 @@ let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
     let cfg = layout_config layout_rng in
     let items =
       Gen.generate ~rng:gen_rng ~heap_size:cfg.Oracle.heap_size
-        ~port:cfg.Oracle.port
+        ~port:cfg.Oracle.port ()
     in
     match Gen.assemble items with
     | exception e ->
@@ -100,13 +115,20 @@ let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
         let verdict, nflag = Oracle.run_case_stats ?backend cfg prog in
         flagged := !flagged + nflag;
         match verdict with
-        | Oracle.Pass -> (
+        | Oracle.Pass ->
             incr accepted;
+            (* both riders draw from the continuation of the case's
+               generation stream, in a fixed order, so every case (and its
+               reproducers) stays deterministic in (seed, count) *)
             let items2 =
               Gen.generate ~rng:gen_rng ~heap_size:cfg.Oracle.heap_size
-                ~port:cfg.Oracle.port
+                ~port:cfg.Oracle.port ()
             in
-            match Gen.assemble items2 with
+            let items_s =
+              Gen.generate ~shared:true ~rng:gen_rng
+                ~heap_size:cfg.Oracle.heap_size ~port:cfg.Oracle.port ()
+            in
+            (match Gen.assemble items2 with
             | exception _ -> ()
             | prog2 -> (
                 match Oracle.chain_equiv cfg prog prog2 with
@@ -134,7 +156,52 @@ let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
                       (Printf.sprintf
                          "case %d: chain partner shrunk %d -> %d items, wrote \
                           %s"
-                         i (List.length items2) (List.length small2) path)))
+                         i (List.length items2) (List.length small2) path)));
+            (match Gen.assemble items_s with
+            | exception _ -> ()
+            | sprog -> (
+                match Oracle.shared_equiv cfg sprog with
+                | Oracle.Rejected _ -> ()
+                | Oracle.Pass ->
+                    incr shared;
+                    if threaded_shared then (
+                      match Oracle.shared_safety cfg sprog with
+                      | Oracle.Pass | Oracle.Rejected _ -> ()
+                      | Oracle.Fail f ->
+                          incr failures;
+                          log
+                            (Printf.sprintf "case %d: FAIL [%s] %s" i
+                               f.Oracle.oracle f.Oracle.detail);
+                          (* interleaving-dependent — keep the unshrunk
+                             program, shrinking can't reproduce reliably *)
+                          let path =
+                            Filename.concat out_dir
+                              (Printf.sprintf "case_%d_shared_threaded.kfxr" i)
+                          in
+                          Corpus.write path ~oracle:"shared" cfg sprog;
+                          repros := path :: !repros)
+                | Oracle.Fail f ->
+                    incr shared;
+                    incr failures;
+                    log
+                      (Printf.sprintf "case %d: FAIL [%s] %s" i f.Oracle.oracle
+                         f.Oracle.detail);
+                    let small = shrink_shared cfg items_s in
+                    let path =
+                      Filename.concat out_dir
+                        (Printf.sprintf "case_%d_shared.kfxr" i)
+                    in
+                    (match Gen.assemble small with
+                    | small_prog ->
+                        Corpus.write path ~oracle:"shared" cfg small_prog
+                    | exception _ ->
+                        Corpus.write path ~oracle:"shared" cfg sprog);
+                    repros := path :: !repros;
+                    log
+                      (Printf.sprintf
+                         "case %d: shared program shrunk %d -> %d items, \
+                          wrote %s"
+                         i (List.length items_s) (List.length small) path)))
         | Oracle.Rejected _ -> incr rejected
         | Oracle.Fail f ->
             incr failures;
@@ -159,6 +226,7 @@ let run ?(out_dir = ".") ?(log = fun _ -> ()) ?backend ~seed ~count () =
     rejected = !rejected;
     invalid = !invalid;
     chained = !chained;
+    shared = !shared;
     flagged = !flagged;
     failures = !failures;
     reproducers = List.rev !repros;

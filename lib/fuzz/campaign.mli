@@ -17,6 +17,10 @@ type summary = {
       (** accepted cases additionally run as a 2-program chain through the
           engine-vs-facade chain oracle (the partner program comes from the
           continuation of the case's generation stream) *)
+  shared : int;
+      (** accepted cases additionally checked by the shared-map
+          linearizability oracle ({!Oracle.shared_equiv}) on a fresh
+          shard-independent program drawn from the same continuation *)
   flagged : int;
       (** total lifecycle findings the static pass reported across all
           verifier-accepted cases — each checked against the concrete
@@ -31,6 +35,7 @@ val run :
   ?out_dir:string ->
   ?log:(string -> unit) ->
   ?backend:Kflex_runtime.Vm.backend ->
+  ?threaded_shared:bool ->
   seed:int64 ->
   count:int ->
   unit ->
@@ -39,4 +44,8 @@ val run :
     (default ["."], created if missing); [log] receives one line per failure
     and occasional progress lines (default: silent). [backend] (default
     [`Interp]) additionally runs the interpreter-vs-compiled equivalence
-    oracle on every accepted case when [`Compiled]. *)
+    oracle on every accepted case when [`Compiled]. [threaded_shared]
+    (default false) escalates every shared-oracle pass to a 4-shard
+    [`Threaded] safety run ({!Oracle.shared_safety}) — real cross-domain
+    contention; failures are recorded but not shrunk (interleavings are
+    scheduler-chosen). *)

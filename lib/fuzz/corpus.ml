@@ -102,6 +102,13 @@ let read path =
   | _ -> failwith ("corpus: bad magic in " ^ path)
 
 let replay ?backend t =
-  match t.prog2 with
-  | Some p2 -> Oracle.chain_equiv t.config t.prog p2
-  | None -> Oracle.run_case ?backend t.config t.prog
+  match (t.oracle, t.prog2) with
+  | _, Some p2 -> Oracle.chain_equiv t.config t.prog p2
+  | Some "shared", None -> (
+      (* shared-oracle reproducers replay through the sharded-vs-reference
+         comparison first, then the ordinary single-program oracles *)
+      match Oracle.shared_equiv t.config t.prog with
+      | Oracle.Pass | Oracle.Rejected _ ->
+          Oracle.run_case ?backend t.config t.prog
+      | fail -> fail)
+  | _, None -> Oracle.run_case ?backend t.config t.prog

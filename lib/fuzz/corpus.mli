@@ -33,4 +33,6 @@ val read : string -> t
 val replay : ?backend:Kflex_runtime.Vm.backend -> t -> Oracle.verdict
 (** [Oracle.run_case] under the reproducer's own config; [~backend:`Compiled]
     additionally checks interpreter-vs-compiled equivalence. Pair files
-    replay through {!Oracle.chain_equiv} instead. *)
+    replay through {!Oracle.chain_equiv} instead; files whose recorded
+    oracle is ["shared"] run {!Oracle.shared_equiv} first, then the
+    single-program oracles. *)

@@ -10,6 +10,11 @@ type t = {
   rng : Rng.t;
   heap_size : int64;
   port : int;
+  shared : bool;
+      (* shared-map mode: the program's only persistent state is the
+         engine-shared maps (fd 3 = spinlock, fd 4 = rcu_shared) — no heap,
+         no sockets, no processor id — so a sharded run is comparable
+         event-by-event against a single-shard reference *)
   mutable rev : Asm.item list; (* program under construction, reversed *)
   mutable nlab : int;
   mutable scalars : int list; (* registers holding initialised scalars *)
@@ -407,11 +412,26 @@ and gen_map g =
   List.iter
     (fun o -> if not (List.mem o g.slots) then g.slots <- o :: g.slots)
     [ key_off; val_off ];
-  emit g (Asm.movi (reg 1) 3L (* first registered fd *));
+  (* the harness registers one map of each shared-capable kind: 3 = hash,
+     4 = spinlock, 5 = percpu, 6 = rcu_shared (mostly the hash one, so the
+     seed corpus's shapes stay common). Shared mode has only the two
+     engine-shared maps — 3 = spinlock, 4 = rcu_shared — and restricts
+     bpf_map_sum to the rcu fd (merged reads on a spinlock map ignore the
+     holder cpu, which is exactly the shard-dependence the mode forbids). *)
+  let fd, allow_sum =
+    if g.shared then if Rng.bool g.rng then (3L, false) else (4L, true)
+    else
+      match Rng.int g.rng 6 with
+      | 0 -> (4L, true)
+      | 1 -> (5L, true)
+      | 2 -> (6L, true)
+      | _ -> (3L, true)
+  in
+  emit g (Asm.movi (reg 1) fd);
   emit g (Asm.mov (reg 2) Reg.fp);
   emit g (Asm.alui Insn.Add (reg 2) (Int64.of_int key_off));
-  let op = Rng.int g.rng 3 in
-  if op < 2 then begin
+  let op = Rng.int g.rng (if allow_sum then 4 else 3) in
+  if op <> 2 then begin
     emit g (Asm.mov (reg 3) Reg.fp);
     emit g (Asm.alui Insn.Add (reg 3) (Int64.of_int val_off))
   end;
@@ -420,19 +440,71 @@ and gen_map g =
        (match op with
        | 0 -> "bpf_map_lookup"
        | 1 -> "bpf_map_update"
-       | _ -> "bpf_map_delete"));
+       | 2 -> "bpf_map_delete"
+       | _ -> "bpf_map_sum"));
   clobber_caller_saved g;
   set_scalar g 0;
-  if op = 0 && Rng.bool g.rng then begin
+  if (op = 0 || op = 3) && Rng.bool g.rng then begin
     let d = scratch g in
     emit g (Asm.ldx Insn.U64 (reg d) Reg.fp val_off);
     set_scalar g d
   end
 
+(* Spin-locked map value: lock the slot (NULL-able handle forces the
+   0-check), mutate under the lock, unlock through the handle. The held
+   handle mirrors gen_lock/gen_sk_lookup: live in r0 (call-free body) or
+   spilled to the stack (an L_slot object-table entry — and the shape the
+   cancellation oracle unwinds through mid-critical-section). *)
+and gen_map_lock g =
+  let key_off = -8 * (24 + Rng.int g.rng 4) in
+  let val_off = key_off - 32 in
+  emit g (Asm.sti Insn.U64 Reg.fp key_off (Int64.of_int (Rng.int g.rng 4)));
+  if not (List.mem key_off g.slots) then g.slots <- key_off :: g.slots;
+  let spin_fd = if g.shared then 3L else 4L in
+  emit g (Asm.movi (reg 1) spin_fd);
+  emit g (Asm.mov (reg 2) Reg.fp);
+  emit g (Asm.alui Insn.Add (reg 2) (Int64.of_int key_off));
+  emit g (Asm.call "bpf_map_lock");
+  clobber_caller_saved g;
+  let l_miss = fresh_label g "nolock" in
+  emit g (Asm.jmpi Insn.Eq (reg 0) 0L l_miss);
+  let spill = Rng.bool g.rng in
+  let slot_off = -8 * (30 + Rng.int g.rng 4) in
+  if spill then begin
+    emit g (Asm.stx Insn.U64 Reg.fp slot_off (reg 0));
+    if not (List.mem slot_off g.slots) then g.slots <- slot_off :: g.slots
+  end;
+  let saved = g.reserved in
+  g.reserved <- (if spill then saved else 0 :: saved);
+  let n = Rng.int g.rng 3 in
+  for _ = 1 to n do
+    gen_snippet ~in_body:true g
+  done;
+  if spill && Rng.bool g.rng then begin
+    (* a write the lock protects: update the same key while holding it *)
+    emit g (Asm.sti Insn.U64 Reg.fp val_off (interesting g));
+    if not (List.mem val_off g.slots) then g.slots <- val_off :: g.slots;
+    emit g (Asm.movi (reg 1) spin_fd);
+    emit g (Asm.mov (reg 2) Reg.fp);
+    emit g (Asm.alui Insn.Add (reg 2) (Int64.of_int key_off));
+    emit g (Asm.mov (reg 3) Reg.fp);
+    emit g (Asm.alui Insn.Add (reg 3) (Int64.of_int val_off));
+    emit g (Asm.call "bpf_map_update");
+    clobber_caller_saved g
+  end;
+  g.reserved <- saved;
+  if spill then emit g (Asm.ldx Insn.U64 (reg 1) Reg.fp slot_off)
+  else emit g (Asm.mov (reg 1) (reg 0));
+  emit g (Asm.call "bpf_map_unlock");
+  clobber_caller_saved g;
+  emit g (Asm.label l_miss);
+  forget g 0
+
 and gen_misc_call g =
+  (* the processor id is exactly the shard-dependence shared mode forbids *)
   emit g
     (Asm.call
-       (if Rng.bool g.rng then "bpf_get_prandom_u32"
+       (if g.shared || Rng.bool g.rng then "bpf_get_prandom_u32"
         else "bpf_get_smp_processor_id"));
   clobber_caller_saved g;
   set_scalar g 0
@@ -493,7 +565,7 @@ and gen_loop_bounded g =
       for _ = 1 to body do
         gen_snippet ~in_body:true g
       done;
-      if Rng.bool g.rng then begin
+      if (not g.shared) && Rng.bool g.rng then begin
         (* counter-indexed heap store: mov t rc; t &= 63; t <<= 3 *)
         let t = scratch g in
         let d = scratch ~avoid:[ t ] g in
@@ -544,13 +616,33 @@ and gen_loop_infinite g =
 
 and gen_snippet ~in_body g =
   let pick =
-    if in_body then begin
+    if g.shared then begin
+      (* shared-map mode: no heap, no sockets, no processor id — every
+         effect lands in the packet, the return value, or the shared maps *)
+      let no_calls = List.mem 0 g.reserved in
+      let lim = if no_calls then 14 else if in_body && g.depth >= 2 then 17 else 20 in
+      match Rng.int g.rng lim with
+      | 0 | 1 -> gen_const
+      | 2 | 3 -> gen_ctx_load
+      | 4 | 5 -> gen_mask
+      | 6 | 7 -> gen_alu
+      | 8 -> gen_neg
+      | 9 | 10 -> gen_stack
+      | 11 -> gen_stack_reload
+      | 12 | 13 -> gen_branch
+      | 14 -> gen_pkt
+      | 15 -> gen_misc_call
+      | 16 | 17 -> gen_map
+      | 18 -> gen_map_lock
+      | _ -> if in_body then gen_map else gen_loop_bounded
+    end
+    else if in_body then begin
       (* Self-contained snippets only (pre-loop register shapes are
          unreliable at the header join). While an object is held in r0 —
          an unspilled critical section — helper calls would clobber its
          only copy, so those bodies stay call-free. Deep nesting tapers. *)
       let no_calls = List.mem 0 g.reserved in
-      let lim = if no_calls then 19 else if g.depth >= 2 then 22 else 27 in
+      let lim = if no_calls then 19 else if g.depth >= 2 then 22 else 28 in
       match Rng.int g.rng lim with
       | 0 | 1 -> gen_const
       | 2 | 3 -> gen_ctx_load
@@ -569,10 +661,11 @@ and gen_snippet ~in_body g =
       | 23 -> gen_malloc
       | 24 -> gen_lock
       | 25 -> gen_sk_lookup
+      | 26 -> gen_map_lock
       | _ -> gen_misc_call
     end
     else
-      match Rng.int g.rng 30 with
+      match Rng.int g.rng 31 with
       | 0 | 1 -> gen_const
       | 2 -> gen_ctx_load
       | 3 | 4 | 5 -> gen_mask
@@ -591,6 +684,7 @@ and gen_snippet ~in_body g =
       | 26 -> gen_sk_lookup
       | 27 -> gen_pkt
       | 28 -> gen_map
+      | 29 -> gen_map_lock
       | _ ->
           if Rng.int g.rng 12 = 0 then gen_loop_infinite else gen_misc_call
   in
@@ -598,12 +692,13 @@ and gen_snippet ~in_body g =
 
 (* --- whole programs ---------------------------------------------------- *)
 
-let generate ~rng ~heap_size ~port =
+let generate ?(shared = false) ~rng ~heap_size ~port () =
   let g =
     {
       rng;
       heap_size;
       port;
+      shared;
       rev = [];
       nlab = 0;
       scalars = [];
@@ -614,10 +709,12 @@ let generate ~rng ~heap_size ~port =
     }
   in
   (* prologue: stash ctx, fetch the heap base (r0 stays a heap pointer —
-     deliberately untracked) *)
+     deliberately untracked). Shared-mode programs run heap-less. *)
   emit g (Asm.mov (reg r_ctx) (reg 1));
-  emit g (Asm.call "kflex_heap_base");
-  emit g (Asm.mov (reg r_heap) (reg 0));
+  if not shared then begin
+    emit g (Asm.call "kflex_heap_base");
+    emit g (Asm.mov (reg r_heap) (reg 0))
+  end;
   let n = 3 + Rng.int g.rng 10 in
   for _ = 1 to n do
     gen_snippet ~in_body:false g

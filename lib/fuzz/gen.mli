@@ -21,13 +21,22 @@
     run-to-run determinism. *)
 
 val generate :
+  ?shared:bool ->
   rng:Kflex_workload.Rng.t ->
   heap_size:int64 ->
   port:int ->
+  unit ->
   Kflex_bpf.Asm.item list
 (** One random program. [port] is the UDP port the harness listens on, so
     socket lookups can hit as well as miss. Drawing from the same [rng]
-    state yields the identical program. *)
+    state yields the identical program.
+
+    [shared] (default false) generates for the shared-map linearizability
+    oracle: heap-less programs whose only persistent state is the two
+    engine-shared maps (fd 3 = spinlock, fd 4 = rcu_shared) — no sockets,
+    no processor id, no [kflex_*] helpers — so running the same event
+    sequence on a 4-shard engine and on a 1-shard reference must agree
+    event for event. *)
 
 val assemble : Kflex_bpf.Asm.item list -> Kflex_bpf.Prog.t
 (** [Asm.assemble] under the fuzzer's fixed program name.

@@ -103,6 +103,25 @@ type env = {
   ctx : Bytes.t;
 }
 
+(* One map of every shared-capable kind, at deterministic fds the generator
+   knows: 3 = hash (the seed corpus's map), 4 = spinlock, 5 = percpu,
+   6 = rcu_shared. Every environment an oracle compares must register the
+   same spread — a kind mismatch at an fd skews both behaviour and the
+   per-kind helper charges. *)
+let register_oracle_maps reg =
+  ignore (Map_.register reg (Map_.create ~max_entries:64 ()) : int64);
+  ignore
+    (Map_.register reg (Map_.create ~kind:Map_.Spinlock ~max_entries:64 ())
+      : int64);
+  ignore
+    (Map_.register reg
+       (Map_.create ~kind:Map_.Percpu ~cpus:4 ~max_entries:64 ())
+      : int64);
+  ignore
+    (Map_.register reg
+       (Map_.create ~kind:Map_.Rcu_shared ~cpus:4 ~max_entries:64 ())
+      : int64)
+
 (* Fresh, fully deterministic world per run: zeroed heap with the config's
    base and page layout, fresh socket table / maps / allocator, fresh packet
    bytes (extensions mutate the payload in place). [helpers_shim] lets an
@@ -113,7 +132,7 @@ let build_env ?(helpers_shim = fun h -> h) cfg kie =
   let kernel = Helpers.create () in
   Socket.listen (Helpers.sockets kernel) ~proto:Packet.Udp ~port:cfg.port;
   Socket.listen (Helpers.sockets kernel) ~proto:Packet.Tcp ~port:cfg.port;
-  ignore (Map_.register (Helpers.maps kernel) (Map_.create ~max_entries:64) : int64);
+  register_oracle_maps (Helpers.maps kernel);
   (* the reserved words and globals (offsets < 64) are always backed *)
   Heap.populate heap ~off:0L ~len:64L;
   let alloc = Alloc.create ~data_start:64L heap in
@@ -922,9 +941,7 @@ let chain_equiv cfg prog1 prog2 =
       let configure ~shard:_ kernel heap =
         Socket.listen (Helpers.sockets kernel) ~proto:Packet.Udp ~port:cfg.port;
         Socket.listen (Helpers.sockets kernel) ~proto:Packet.Tcp ~port:cfg.port;
-        ignore
-          (Map_.register (Helpers.maps kernel) (Map_.create ~max_entries:64)
-            : int64);
+        register_oracle_maps (Helpers.maps kernel);
         match heap with
         | None -> ()
         | Some h ->
@@ -990,6 +1007,168 @@ let chain_equiv cfg prog1 prog2 =
             | _, Some p ->
                 Fail (fail "chain" "prog2 heaps diverge at page %Ld" p)
             | None, None -> Pass))
+
+(* --- oracle 10: shared-map linearizability ------------------------------ *)
+
+(* Sharded execution of shared-map programs must {e linearize}: because the
+   deterministic engine applies events synchronously in submission order, a
+   4-shard engine and a 1-shard reference see the same global sequence of
+   critical sections, so every observable — per-event verdicts, outcomes,
+   costs, packet bytes, and the final contents of both shared maps — must
+   agree event for event. The comparison is only sound for programs whose
+   behaviour depends on nothing shard-local: no heap, no sockets, no
+   processor id, no per-CPU maps ({!Gen.generate} [~shared:true] emits
+   exactly this dialect). Each event reseeds the executing shard's PRNG
+   from an event-indexed seed so both placements consume identical
+   streams. *)
+
+let shared_nevents = 16
+
+let shared_event_seed cfg i =
+  Int64.logxor cfg.prandom
+    (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)
+
+(* src_port varies per event so flow placement exercises every shard. *)
+let shared_event_packet cfg i =
+  Packet.make ~proto:Packet.Udp
+    ~src_port:(1 + ((cfg.src_port + (257 * i)) land 0xFFFE))
+    ~dst_port:cfg.dst_port
+    (Bytes.of_string cfg.payload)
+
+(* One engine with the oracle's two cross-shard maps — fd 3 = spinlock,
+   fd 4 = rcu_shared, the layout [Gen] targets in shared mode — and the
+   program attached heap-less (shared-mode programs never fetch the heap
+   base, and a heap would be per-shard state anyway). *)
+let shared_engine cfg ~shards ~mode prog =
+  let eng = Engine.create ~shards ~mode ~quantum:cfg.quantum () in
+  let spin = Map_.create ~kind:Map_.Spinlock ~max_entries:64 () in
+  let rcu =
+    Map_.create ~kind:Map_.Rcu_shared ~cpus:shards ~max_entries:64 ()
+  in
+  ignore (Engine.share_map eng spin : int64);
+  ignore (Engine.share_map eng rcu : int64);
+  match
+    Engine.attach eng ~options:Instrument.default_options ~quantum:cfg.quantum
+      ~hook:Hook.Xdp prog
+  with
+  | Error e ->
+      Engine.shutdown eng;
+      Error e
+  | Ok _ -> Ok (eng, spin, rcu)
+
+let shared_locks_held spin =
+  List.filter
+    (fun k -> Map_.lock_held spin (Int64.of_int k))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let shared_equiv cfg prog =
+  match
+    ( shared_engine cfg ~shards:4 ~mode:`Deterministic prog,
+      shared_engine cfg ~shards:1 ~mode:`Deterministic prog )
+  with
+  | Error e, _ ->
+      (* heap-less admission is stricter than the facade's (no heap base to
+         verify against), so refusal here is policy, not a bug *)
+      Rejected (Format.asprintf "%a" Verify.pp_error e)
+  | Ok _, Error e ->
+      Fail
+        (fail "shared"
+           "1-shard engine rejected a program the 4-shard engine admitted: %a"
+           Verify.pp_error e)
+  | Ok (a, spin_a, rcu_a), Ok (b, spin_b, rcu_b) -> (
+      let failure = ref None in
+      let evfail i fmt =
+        Format.kasprintf
+          (fun d ->
+            if !failure = None then
+              failure := Some (fail "shared" "event %d: %s" i d))
+          fmt
+      in
+      for i = 0 to shared_nevents - 1 do
+        if !failure = None then begin
+          let pa = shared_event_packet cfg i in
+          let pb = shared_event_packet cfg i in
+          let seed = shared_event_seed cfg i in
+          Engine.seed_shard a ~shard:(Engine.shard_of a pa) ~vtime:0L seed;
+          Engine.seed_shard b ~shard:0 ~vtime:0L seed;
+          let ra = Engine.run_packet a pa in
+          let rb = Engine.run_packet b pb in
+          if ra.Engine.verdict <> rb.Engine.verdict then
+            evfail i "verdicts diverge: %Ld sharded vs %Ld reference"
+              ra.Engine.verdict rb.Engine.verdict
+          else if ra.Engine.outcomes <> rb.Engine.outcomes then
+            evfail i "outcomes diverge"
+          else if ra.Engine.cost <> rb.Engine.cost then
+            evfail i "costs diverge: %d sharded vs %d reference" ra.Engine.cost
+              rb.Engine.cost
+          else if
+            Bytes.to_string pa.Packet.payload
+            <> Bytes.to_string pb.Packet.payload
+          then evfail i "packet payloads diverge"
+        end
+      done;
+      match !failure with
+      | Some f -> Fail f
+      | None -> (
+          let ta = Engine.totals a and tb = Engine.totals b in
+          let vstats a =
+            match Map_.rcu_stats a with Some s -> s.Map_.version | None -> -1
+          in
+          if Map_.to_list spin_a <> Map_.to_list spin_b then
+            Fail (fail "shared" "final spin-locked map contents diverge")
+          else if Map_.to_list rcu_a <> Map_.to_list rcu_b then
+            Fail (fail "shared" "final rcu map contents diverge")
+          else if vstats rcu_a <> vstats rcu_b then
+            Fail
+              (fail "shared" "rcu versions diverge: %d sharded vs %d reference"
+                 (vstats rcu_a) (vstats rcu_b))
+          else if ta.Engine.leaked <> 0 || tb.Engine.leaked <> 0 then
+            Fail
+              (fail "shared" "leaked ledger entries: %d sharded, %d reference"
+                 ta.Engine.leaked tb.Engine.leaked)
+          else if ta.Engine.stats <> tb.Engine.stats then
+            Fail (fail "shared" "merged stats diverge")
+          else
+            match (shared_locks_held spin_a, shared_locks_held spin_b) with
+            | [], [] -> Pass
+            | ka, kb ->
+                Fail
+                  (fail "shared"
+                     "locks left held after the run (%d sharded, %d reference)"
+                     (List.length ka) (List.length kb))))
+
+(* The threaded variant can't compare against a reference (event
+   interleaving is scheduler-chosen), so it checks the safety half of the
+   contract: every event executes, nothing leaks, and no spin lock survives
+   its critical section — under real cross-domain contention, including
+   cancellations landing inside critical sections. *)
+let shared_safety ?(shards = 4) ?(events = 64) cfg prog =
+  match shared_engine cfg ~shards ~mode:`Threaded prog with
+  | Error e -> Rejected (Format.asprintf "%a" Verify.pp_error e)
+  | Ok (eng, spin, _rcu) ->
+      for i = 0 to events - 1 do
+        Engine.submit eng (shared_event_packet cfg i)
+      done;
+      Engine.drain eng;
+      let totals = Engine.totals eng in
+      let held = shared_locks_held spin in
+      let socket_refs = Engine.socket_refs eng in
+      Engine.shutdown eng;
+      if totals.Engine.events <> events then
+        Fail
+          (fail "shared" "threaded: %d of %d events executed"
+             totals.Engine.events events)
+      else if totals.Engine.leaked <> 0 then
+        Fail
+          (fail "shared" "threaded: %d leaked ledger entries"
+             totals.Engine.leaked)
+      else if socket_refs <> 0 then
+        Fail (fail "shared" "threaded: %d socket refs outstanding" socket_refs)
+      else if held <> [] then
+        Fail
+          (fail "shared" "threaded: %d spin locks left held"
+             (List.length held))
+      else Pass
 
 (* --- the full case ------------------------------------------------------ *)
 

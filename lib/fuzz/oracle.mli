@@ -87,6 +87,29 @@ val chain_equiv : config -> Kflex_bpf.Prog.t -> Kflex_bpf.Prog.t -> verdict
     side. [Rejected] when the verifier refuses either program under this
     config. Deterministic in [(config, prog1, prog2)]. *)
 
+val shared_equiv : config -> Kflex_bpf.Prog.t -> verdict
+(** The shared-map linearizability oracle (the tenth): the program —
+    generated in {!Gen.generate}[ ~shared:true]'s shard-independent dialect
+    — is attached heap-less to a 4-shard and a 1-shard deterministic
+    engine, both sharing a spin-locked map (fd 3) and an RCU-style map
+    (fd 4) via {!Kflex_engine.Engine.share_map}. Both engines apply the
+    same 16-event sequence (per-event reseeded PRNG, flow placement spread
+    by src_port), and every observable must agree event for event:
+    verdicts, outcomes, chain costs, packet bytes, final contents and RCU
+    version of both shared maps, merged stats — with zero leaks and no
+    lock left held on either side. [Rejected] when heap-less admission
+    refuses the program. Deterministic in [(config, prog)]. *)
+
+val shared_safety :
+  ?shards:int -> ?events:int -> config -> Kflex_bpf.Prog.t -> verdict
+(** The threaded half of the shared-map contract: run [events] (default 64)
+    through a [`Threaded] engine with [shards] (default 4) domains and the
+    same shared-map layout, then check the safety invariants the scheduler
+    cannot excuse — every event executed, zero leaked ledger entries, zero
+    socket refs, no spin lock left held (cancellation inside a critical
+    section must unwind the lock). Interleaving-dependent observables are
+    deliberately not compared. *)
+
 (** Concrete status of one static lifecycle finding (the seventh oracle).
 
     A finding is [Refuted] — an oracle failure — only when the kmod-baseline

@@ -1,4 +1,42 @@
 let insn_ns = 4.0
+
+(* ---- per-map-kind helper costs (VM cost units) -------------------------
+
+   Hits pay the full probe + copy-out; misses stop at the probe, so per
+   kind miss <= hit <= update and delete <= update.  Across kinds the
+   ordering follows the synchronization each operation buys: Array
+   (indexed load) < Percpu (own bank, uncontended) < Hash (bucket walk) <
+   Spinlock (lock-word inspection rides on every touch) < Rcu_shared
+   (reads pay the snapshot indirection; writes pay copy + publish +
+   retire, far above every other kind). *)
+
+type map_cost = {
+  lookup_hit : int;
+  lookup_miss : int;
+  update : int;
+  delete : int;
+}
+
+let array_cost = { lookup_hit = 25; lookup_miss = 20; update = 30; delete = 25 }
+let percpu_cost = { lookup_hit = 40; lookup_miss = 30; update = 50; delete = 45 }
+let hash_cost = { lookup_hit = 45; lookup_miss = 35; update = 55; delete = 50 }
+
+let spinlock_cost =
+  { lookup_hit = 50; lookup_miss = 40; update = 60; delete = 55 }
+
+let rcu_cost = { lookup_hit = 55; lookup_miss = 45; update = 140; delete = 130 }
+
+let map_cost = function
+  | Map.Array -> array_cost
+  | Map.Hash -> hash_cost
+  | Map.Percpu -> percpu_cost
+  | Map.Spinlock -> spinlock_cost
+  | Map.Rcu_shared -> rcu_cost
+
+let map_lock_cost = 12
+let map_unlock_cost = 8
+
+let map_merge_cost ~cpus = 30 + (12 * cpus)
 let nic_to_xdp_ns = 300.
 let xdp_tx_ns = 300.
 let udp_stack_ns = 1700.

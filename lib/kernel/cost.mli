@@ -13,6 +13,34 @@
     the real instrumented bytecode and convert retired cost units to time
     via {!insn_ns}. *)
 
+(** {2 Per-map-kind helper costs (VM cost units)}
+
+    Explicit hit/miss/update/delete charges per {!Map.kind}, replacing the
+    seed's flat per-helper charge.  Invariants (pinned by the kernel
+    tests): per kind [lookup_miss <= lookup_hit <= update] and
+    [delete <= update]; across kinds each operation is ordered
+    Array <= Percpu <= Hash <= Spinlock <= Rcu_shared lookups, and the
+    Rcu_shared update/delete (copy + publish + retire) dominates every
+    other kind's. *)
+
+type map_cost = {
+  lookup_hit : int;
+  lookup_miss : int;
+  update : int;
+  delete : int;
+}
+
+val map_cost : Map.kind -> map_cost
+
+val map_lock_cost : int
+(** [bpf_map_lock]: lock-word CAS on top of the slot probe. *)
+
+val map_unlock_cost : int
+(** [bpf_map_unlock]: release store. *)
+
+val map_merge_cost : cpus:int -> int
+(** [bpf_map_sum] over a Percpu map: one probe per bank. *)
+
 val insn_ns : float
 (** Nanoseconds per VM cost unit (4 ns: a few x86 instructions per eBPF
     insn at 2.3 GHz, including the eBPF ISA inefficiencies — register

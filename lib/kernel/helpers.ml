@@ -58,34 +58,94 @@ let pkt_write t width (c : Vm.call_ctx) =
 
 let map_of t (c : Vm.call_ctx) = Map.find t.map_reg (Vm.arg c 0)
 
+(* Helper charges dispatch on the map kind (explicit hit/miss/update costs
+   per kind — see {!Cost.map_cost}); an unknown fd charges the Hash miss,
+   the probe that discovered the fd is stale. *)
 let map_lookup t (c : Vm.call_ctx) =
-  c.Vm.charge 45;
+  match map_of t c with
+  | None -> c.Vm.charge (Cost.map_cost Map.Hash).Cost.lookup_miss
+  | Some m -> (
+      let mc = Cost.map_cost (Map.kind m) in
+      let key = c.Vm.mem_read ~width:8 (Vm.arg c 1) in
+      match Map.lookup ~cpu:c.Vm.cpu m key with
+      | Some v ->
+          c.Vm.charge mc.Cost.lookup_hit;
+          c.Vm.mem_write ~width:8 (Vm.arg c 2) v;
+          Vm.set_ret c 1L
+      | None -> c.Vm.charge mc.Cost.lookup_miss)
+
+let map_update t (c : Vm.call_ctx) =
+  match map_of t c with
+  | None -> c.Vm.charge (Cost.map_cost Map.Hash).Cost.lookup_miss
+  | Some m ->
+      c.Vm.charge (Cost.map_cost (Map.kind m)).Cost.update;
+      let key = c.Vm.mem_read ~width:8 (Vm.arg c 1) in
+      let v = c.Vm.mem_read ~width:8 (Vm.arg c 2) in
+      Vm.set_ret c (if Map.update ~cpu:c.Vm.cpu m key v then 1L else 0L)
+
+let map_delete t (c : Vm.call_ctx) =
+  match map_of t c with
+  | None -> c.Vm.charge (Cost.map_cost Map.Hash).Cost.lookup_miss
+  | Some m ->
+      c.Vm.charge (Cost.map_cost (Map.kind m)).Cost.delete;
+      let key = c.Vm.mem_read ~width:8 (Vm.arg c 1) in
+      Vm.set_ret c (if Map.delete ~cpu:c.Vm.cpu m key then 1L else 0L)
+
+(* ---- spin-locked map values -------------------------------------------
+
+   The lock handle packs (fd, slot id) into one u64 — everything the
+   unwinder has when it releases through the static object table is the
+   handle in the destructor's argument slot, so the handle must identify
+   the map on its own. fds start at 3, ids at 1: a real handle is never
+   0, which keeps the NULL-able return contract honest. *)
+
+let lock_handle ~fd ~id =
+  Int64.logor (Int64.shift_left fd 32) (Int64.of_int (id land 0xffffffff))
+
+let lock_handle_fd h = Int64.shift_right_logical h 32
+let lock_handle_id h = Int64.to_int (Int64.logand h 0xffffffffL)
+
+let map_lock t (c : Vm.call_ctx) =
+  c.Vm.charge Cost.map_lock_cost;
   match map_of t c with
   | None -> ()
   | Some m -> (
       let key = c.Vm.mem_read ~width:8 (Vm.arg c 1) in
-      match Map.lookup m key with
+      match Map.try_lock ~cpu:c.Vm.cpu m key with
+      | Map.Acquired id ->
+          let handle = lock_handle ~fd:(Vm.arg c 0) ~id in
+          Ledger.acquire c.Vm.ledger ~handle ~destructor:"bpf_map_unlock";
+          Vm.set_ret c handle
+      | Map.Unavailable -> ()
+      | Map.Contended ->
+          (* Contention the bounded spin could not resolve (including a
+             self-deadlock) stalls the helper; the watchdog cancels and
+             the unwinder releases whatever the program already holds. *)
+          raise Vm.Helper_stall)
+
+let map_unlock t (c : Vm.call_ctx) =
+  c.Vm.charge Cost.map_unlock_cost;
+  let handle = Vm.arg c 0 in
+  (match Map.find t.map_reg (lock_handle_fd handle) with
+  | Some m -> ignore (Map.unlock_id ~cpu:c.Vm.cpu m (lock_handle_id handle))
+  | None -> ());
+  ignore (Ledger.release c.Vm.ledger ~handle);
+  Vm.set_ret c 0L
+
+let map_sum t (c : Vm.call_ctx) =
+  match map_of t c with
+  | None -> c.Vm.charge (Cost.map_cost Map.Hash).Cost.lookup_miss
+  | Some m -> (
+      c.Vm.charge
+        (match Map.kind m with
+        | Map.Percpu -> Cost.map_merge_cost ~cpus:(Map.cpus m)
+        | k -> (Cost.map_cost k).Cost.lookup_hit);
+      let key = c.Vm.mem_read ~width:8 (Vm.arg c 1) in
+      match Map.merged m key with
       | Some v ->
           c.Vm.mem_write ~width:8 (Vm.arg c 2) v;
           Vm.set_ret c 1L
       | None -> ())
-
-let map_update t (c : Vm.call_ctx) =
-  c.Vm.charge 55;
-  match map_of t c with
-  | None -> ()
-  | Some m ->
-      let key = c.Vm.mem_read ~width:8 (Vm.arg c 1) in
-      let v = c.Vm.mem_read ~width:8 (Vm.arg c 2) in
-      Vm.set_ret c (if Map.update m key v then 1L else 0L)
-
-let map_delete t (c : Vm.call_ctx) =
-  c.Vm.charge 50;
-  match map_of t c with
-  | None -> ()
-  | Some m ->
-      let key = c.Vm.mem_read ~width:8 (Vm.arg c 1) in
-      Vm.set_ret c (if Map.delete m key then 1L else 0L)
 
 let implementations t =
   [
@@ -104,4 +164,7 @@ let implementations t =
     ("bpf_map_lookup", map_lookup t);
     ("bpf_map_update", map_update t);
     ("bpf_map_delete", map_delete t);
+    ("bpf_map_lock", map_lock t);
+    ("bpf_map_unlock", map_unlock t);
+    ("bpf_map_sum", map_sum t);
   ]

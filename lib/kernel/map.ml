@@ -1,28 +1,418 @@
-type t = { tbl : (int64, int64) Hashtbl.t; max_entries : int }
+(* The map-kind hierarchy (§2.2 and the shared-state extension).
 
-let create ~max_entries = { tbl = Hashtbl.create max_entries; max_entries }
-let lookup t k = Hashtbl.find_opt t.tbl k
+   Array and Hash are private per-instance stores, exactly the seed's
+   semantics.  The three shared-capable kinds mirror the production eBPF
+   spectrum:
 
-let update t k v =
-  if Hashtbl.mem t.tbl k then begin
-    Hashtbl.replace t.tbl k v;
+   - Percpu: one bank per CPU.  The owning CPU's operations touch only its
+     bank (a per-bank mutex makes the threaded engine safe without ever
+     contending on the hot path — each shard only locks its own bank);
+     [merged] walks every bank and sums.
+   - Spinlock: each value carries a lock word (an [Atomic] owner).  The CAS
+     on acquisition and the release store on unlock provide the
+     happens-before edges that make the plain [v] field race-free under the
+     OCaml 5 memory model: a reader that won the CAS observes every write
+     the previous holder published before its release store.
+   - Rcu_shared: a purely functional map published through one [Atomic]
+     root.  Readers are wait-free ([Atomic.get], no loops, no locks);
+     writers serialize on a mutex, publish version v+1, and retire the old
+     snapshot stamped with the current per-CPU epoch vector.  A retired
+     snapshot is reclaimed once every CPU's epoch has advanced past the
+     stamp — the same quiescence idea the engine already uses for chain
+     snapshots, pushed down into a data structure. *)
+
+module IM = Stdlib.Map.Make (Int64)
+
+type kind = Array | Hash | Percpu | Spinlock | Rcu_shared
+
+let kind_name = function
+  | Array -> "array"
+  | Hash -> "hash"
+  | Percpu -> "percpu"
+  | Spinlock -> "spinlock"
+  | Rcu_shared -> "rcu_shared"
+
+type spin_slot = {
+  key : int64;
+  id : int;  (** registry-stable lock id; encodes into the helper handle *)
+  mutable v : int64;  (** guarded by [owner] (see module comment) *)
+  owner : int Atomic.t;  (** 0 = free, cpu+1 = held by that cpu *)
+  mutable dead : bool;  (** deleted while (possibly) still held *)
+}
+
+type rcu = {
+  root : (int64 IM.t * int) Atomic.t;  (** (snapshot, version) *)
+  wm : Mutex.t;  (** writer serialization *)
+  mutable retired : (int * int64 IM.t * int array) list;
+      (** (version, snapshot kept live, epoch vector at retirement) *)
+  epochs : int Atomic.t array;
+  mutable retired_total : int;
+  mutable reclaimed_total : int;
+}
+
+type store =
+  | S_hash of (int64, int64) Hashtbl.t
+  | S_array of int64 array
+  | S_percpu of { banks : (int64, int64) Hashtbl.t array; ms : Mutex.t array }
+  | S_spin of {
+      m : Mutex.t;
+      slots : (int64, spin_slot) Hashtbl.t;
+      by_id : (int, spin_slot) Hashtbl.t;
+      mutable next_id : int;
+    }
+  | S_rcu of rcu
+
+type t = { k : kind; ncpus : int; max_entries : int; store : store }
+
+let create ?(kind = Hash) ?(cpus = 1) ~max_entries () =
+  let cpus = max 1 cpus in
+  let store =
+    match kind with
+    | Hash -> S_hash (Hashtbl.create max_entries)
+    | Array -> S_array (Stdlib.Array.make max_entries 0L)
+    | Percpu ->
+        S_percpu
+          {
+            banks = Stdlib.Array.init cpus (fun _ -> Hashtbl.create max_entries);
+            ms = Stdlib.Array.init cpus (fun _ -> Mutex.create ());
+          }
+    | Spinlock ->
+        S_spin
+          {
+            m = Mutex.create ();
+            slots = Hashtbl.create max_entries;
+            by_id = Hashtbl.create max_entries;
+            next_id = 1;
+          }
+    | Rcu_shared ->
+        S_rcu
+          {
+            root = Atomic.make (IM.empty, 0);
+            wm = Mutex.create ();
+            retired = [];
+            epochs = Stdlib.Array.init cpus (fun _ -> Atomic.make 0);
+            retired_total = 0;
+            reclaimed_total = 0;
+          }
+  in
+  { k = kind; ncpus = cpus; max_entries; store }
+
+let kind t = t.k
+let cpus t = t.ncpus
+let max_entries t = t.max_entries
+
+let with_mutex m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Hash-table semantics shared by Hash and Percpu banks: replace if
+   present, insert unless full. *)
+let htbl_update tbl max k v =
+  if Hashtbl.mem tbl k then begin
+    Hashtbl.replace tbl k v;
     true
   end
-  else if Hashtbl.length t.tbl >= t.max_entries then false
+  else if Hashtbl.length tbl >= max then false
   else begin
-    Hashtbl.replace t.tbl k v;
+    Hashtbl.replace tbl k v;
     true
   end
 
-let delete t k =
-  if Hashtbl.mem t.tbl k then begin
-    Hashtbl.remove t.tbl k;
+let htbl_delete tbl k =
+  if Hashtbl.mem tbl k then begin
+    Hashtbl.remove tbl k;
     true
   end
   else false
 
-let entries t = Hashtbl.length t.tbl
-let max_entries t = t.max_entries
+let in_array t k = k >= 0L && k < Int64.of_int t.max_entries
+
+let bank t (p : (int64, int64) Hashtbl.t array) cpu =
+  p.(if cpu >= 0 && cpu < Stdlib.Array.length p then cpu else 0)
+
+let spin_find_held s ~cpu k =
+  match Hashtbl.find_opt s k with
+  | Some slot when Atomic.get slot.owner = cpu + 1 -> Some slot
+  | _ -> None
+
+let lookup ?(cpu = 0) t k =
+  match t.store with
+  | S_hash tbl -> Hashtbl.find_opt tbl k
+  | S_array a -> if in_array t k then Some a.(Int64.to_int k) else None
+  | S_percpu { banks; ms } ->
+      let i = if cpu >= 0 && cpu < t.ncpus then cpu else 0 in
+      with_mutex ms.(i) (fun () -> Hashtbl.find_opt (bank t banks i) k)
+  | S_spin { m; slots; _ } ->
+      (* Runtime lock discipline: reads of a spin-locked value are only
+         visible to the holder; an unlocked probe is a miss. *)
+      with_mutex m (fun () ->
+          match spin_find_held slots ~cpu k with
+          | Some slot -> Some slot.v
+          | None -> None)
+  | S_rcu r ->
+      let snap, _ = Atomic.get r.root in
+      IM.find_opt k snap
+
+let update ?(cpu = 0) t k v =
+  match t.store with
+  | S_hash tbl -> htbl_update tbl t.max_entries k v
+  | S_array a ->
+      if in_array t k then begin
+        a.(Int64.to_int k) <- v;
+        true
+      end
+      else false
+  | S_percpu { banks; ms } ->
+      let i = if cpu >= 0 && cpu < t.ncpus then cpu else 0 in
+      with_mutex ms.(i) (fun () ->
+          htbl_update (bank t banks i) t.max_entries k v)
+  | S_spin { m; slots; _ } ->
+      with_mutex m (fun () ->
+          match spin_find_held slots ~cpu k with
+          | Some slot ->
+              slot.v <- v;
+              true
+          | None -> false)
+  | S_rcu r ->
+      with_mutex r.wm (fun () ->
+          let snap, ver = Atomic.get r.root in
+          if (not (IM.mem k snap)) && IM.cardinal snap >= t.max_entries then
+            false
+          else begin
+            let snap' = IM.add k v snap in
+            Atomic.set r.root (snap', ver + 1);
+            let vec =
+              Stdlib.Array.map (fun e -> Atomic.get e) r.epochs
+            in
+            r.retired <- (ver, snap, vec) :: r.retired;
+            r.retired_total <- r.retired_total + 1;
+            true
+          end)
+
+let delete ?(cpu = 0) t k =
+  match t.store with
+  | S_hash tbl -> htbl_delete tbl k
+  | S_array _ -> false (* eBPF array maps have no delete *)
+  | S_percpu { banks; ms } ->
+      let i = if cpu >= 0 && cpu < t.ncpus then cpu else 0 in
+      with_mutex ms.(i) (fun () -> htbl_delete (bank t banks i) k)
+  | S_spin { m; slots; _ } ->
+      with_mutex m (fun () ->
+          match spin_find_held slots ~cpu k with
+          | Some slot ->
+              slot.dead <- true;
+              Hashtbl.remove slots k;
+              true
+          | None -> false)
+  | S_rcu r ->
+      with_mutex r.wm (fun () ->
+          let snap, ver = Atomic.get r.root in
+          if not (IM.mem k snap) then false
+          else begin
+            let snap' = IM.remove k snap in
+            Atomic.set r.root (snap', ver + 1);
+            let vec =
+              Stdlib.Array.map (fun e -> Atomic.get e) r.epochs
+            in
+            r.retired <- (ver, snap, vec) :: r.retired;
+            r.retired_total <- r.retired_total + 1;
+            true
+          end)
+
+(* Merged read: for Percpu, the sum of every bank's value (the kernel's
+   per-CPU map read-from-user behaviour); for every other kind, a plain
+   lookup — the helper is total over kinds so programs can be generic. *)
+let merged t k =
+  match t.store with
+  | S_percpu { banks; ms } ->
+      let hit = ref false and acc = ref 0L in
+      for i = 0 to t.ncpus - 1 do
+        with_mutex ms.(i) (fun () ->
+            match Hashtbl.find_opt banks.(i) k with
+            | Some v ->
+                hit := true;
+                acc := Int64.add !acc v
+            | None -> ())
+      done;
+      if !hit then Some !acc else None
+  | _ -> lookup ~cpu:0 t k
+
+let entries t =
+  match t.store with
+  | S_hash tbl -> Hashtbl.length tbl
+  | S_array _ -> t.max_entries
+  | S_percpu { banks; ms } ->
+      let n = ref 0 in
+      for i = 0 to t.ncpus - 1 do
+        with_mutex ms.(i) (fun () -> n := !n + Hashtbl.length banks.(i))
+      done;
+      !n
+  | S_spin { m; slots; _ } -> with_mutex m (fun () -> Hashtbl.length slots)
+  | S_rcu r ->
+      let snap, _ = Atomic.get r.root in
+      IM.cardinal snap
+
+(* A stable dump for tests and the linearizability oracle: merged across
+   banks for Percpu, sorted by key.  Array entries elide default-zero
+   slots so dumps stay comparable with hash-backed kinds. *)
+let to_list t =
+  let sorted l = List.sort (fun (a, _) (b, _) -> Int64.compare a b) l in
+  match t.store with
+  | S_hash tbl -> sorted (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  | S_array a ->
+      let acc = ref [] in
+      for i = t.max_entries - 1 downto 0 do
+        if a.(i) <> 0L then acc := (Int64.of_int i, a.(i)) :: !acc
+      done;
+      !acc
+  | S_percpu { banks; ms } ->
+      let acc = Hashtbl.create 16 in
+      for i = 0 to t.ncpus - 1 do
+        with_mutex ms.(i) (fun () ->
+            Hashtbl.iter
+              (fun k v ->
+                let prev =
+                  Option.value ~default:0L (Hashtbl.find_opt acc k)
+                in
+                Hashtbl.replace acc k (Int64.add prev v))
+              banks.(i))
+      done;
+      sorted (Hashtbl.fold (fun k v l -> (k, v) :: l) acc [])
+  | S_spin { m; slots; _ } ->
+      with_mutex m (fun () ->
+          sorted
+            (Hashtbl.fold (fun k (s : spin_slot) acc -> (k, s.v) :: acc)
+               slots []))
+  | S_rcu r ->
+      let snap, _ = Atomic.get r.root in
+      IM.bindings snap
+
+(* ---- spin-locked values ------------------------------------------------ *)
+
+type lock_result = Acquired of int | Unavailable | Contended
+
+let spin_attempts = 64
+
+let try_lock ?(cpu = 0) t k =
+  match t.store with
+  | S_spin sp ->
+      let slot =
+        with_mutex sp.m (fun () ->
+            match Hashtbl.find_opt sp.slots k with
+            | Some s -> Some s
+            | None ->
+                if Hashtbl.length sp.slots >= t.max_entries then None
+                else begin
+                  let s =
+                    {
+                      key = k;
+                      id = sp.next_id;
+                      v = 0L;
+                      owner = Atomic.make 0;
+                      dead = false;
+                    }
+                  in
+                  sp.next_id <- sp.next_id + 1;
+                  Hashtbl.replace sp.slots k s;
+                  Hashtbl.replace sp.by_id s.id s;
+                  Some s
+                end)
+      in
+      (match slot with
+      | None -> Unavailable
+      | Some s ->
+          (* Bounded spin: a holder that never releases (including this
+             very cpu — a self-deadlock) surfaces as Contended, which the
+             helper maps to a stall and the watchdog to a cancellation. *)
+          let rec go n =
+            if n = 0 then Contended
+            else if Atomic.compare_and_set s.owner 0 (cpu + 1) then
+              Acquired s.id
+            else begin
+              Domain.cpu_relax ();
+              go (n - 1)
+            end
+          in
+          go spin_attempts)
+  | _ -> Unavailable
+
+let unlock_id ?(cpu = 0) t id =
+  match t.store with
+  | S_spin sp -> (
+      let slot =
+        with_mutex sp.m (fun () -> Hashtbl.find_opt sp.by_id id)
+      in
+      match slot with
+      | None -> false
+      | Some s ->
+          if Atomic.get s.owner = cpu + 1 then begin
+            if s.dead then
+              with_mutex sp.m (fun () -> Hashtbl.remove sp.by_id id);
+            Atomic.set s.owner 0;
+            true
+          end
+          else false)
+  | _ -> false
+
+let lock_held t k =
+  match t.store with
+  | S_spin sp ->
+      with_mutex sp.m (fun () ->
+          match Hashtbl.find_opt sp.slots k with
+          | Some s -> Atomic.get s.owner <> 0
+          | None -> false)
+  | _ -> false
+
+(* ---- RCU epochs -------------------------------------------------------- *)
+
+type rcu_stats = { version : int; retired : int; reclaimed : int }
+
+let rcu_reclaim_locked r =
+  let keep, gone =
+    List.partition
+      (fun (_, _, vec) ->
+        not
+          (Stdlib.Array.for_all2
+             (fun (e : int Atomic.t) stamp -> Atomic.get e > stamp)
+             r.epochs vec))
+      r.retired
+  in
+  r.retired <- keep;
+  r.reclaimed_total <- r.reclaimed_total + List.length gone
+
+let rcu_quiesce t ~cpu =
+  match t.store with
+  | S_rcu r ->
+      if cpu >= 0 && cpu < t.ncpus then
+        Atomic.incr r.epochs.(cpu);
+      with_mutex r.wm (fun () -> rcu_reclaim_locked r)
+  | _ -> ()
+
+let rcu_synchronize t =
+  match t.store with
+  | S_rcu r ->
+      with_mutex r.wm (fun () ->
+          (* Attach/detach-style grace period: everything retired before
+             this point is reclaimable once we advance every epoch. *)
+          Stdlib.Array.iter (fun e -> Atomic.incr e) r.epochs;
+          let n = List.length r.retired in
+          r.retired <- [];
+          r.reclaimed_total <- r.reclaimed_total + n)
+  | _ -> ()
+
+let rcu_stats t =
+  match t.store with
+  | S_rcu r ->
+      let _, version = Atomic.get r.root in
+      Some
+        {
+          version;
+          retired = with_mutex r.wm (fun () -> List.length r.retired);
+          reclaimed = r.reclaimed_total;
+        }
+  | _ -> None
+
+(* ---- registry ---------------------------------------------------------- *)
 
 type registry = { mutable next : int64; maps : (int64, t) Hashtbl.t }
 
@@ -30,8 +420,17 @@ let registry () = { next = 3L; maps = Hashtbl.create 8 }
 
 let register r m =
   let fd = r.next in
+  (* fds are never reused: [next] is monotonic even across unregister, so
+     a stale fd held by a program can only ever miss. *)
   r.next <- Int64.add r.next 1L;
   Hashtbl.replace r.maps fd m;
   fd
 
 let find r fd = Hashtbl.find_opt r.maps fd
+
+let unregister r fd =
+  if Hashtbl.mem r.maps fd then begin
+    Hashtbl.remove r.maps fd;
+    true
+  end
+  else false

@@ -161,6 +161,21 @@ let lint_json ~program ~diags ~findings =
   Buffer.add_string b "]}";
   Buffer.contents b
 
+let lint_rejected_json ~program (e : Kflex_verifier.Verify.error) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"version\":1,\"program\":";
+  add_str b program;
+  Buffer.add_string b ",\"rejected\":{";
+  (match e.Kflex_verifier.Verify.pc with
+  | Some pc -> Buffer.add_string b (Printf.sprintf "\"pc\":%d," pc)
+  | None -> ());
+  Buffer.add_string b "\"kind\":";
+  add_str b (Kflex_verifier.Verify.error_kind_name e.Kflex_verifier.Verify.kind);
+  Buffer.add_string b ",\"message\":";
+  add_str b e.Kflex_verifier.Verify.msg;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
 let chain_json ~programs ~findings =
   let b = Buffer.create 256 in
   Buffer.add_string b "{\"version\":1,\"chain\":[";

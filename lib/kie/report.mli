@@ -57,6 +57,19 @@ val lint_json :
     {!Kflex_verifier.Lint.kind_name} / {!Kflex_verifier.Lifecycle.kind_name}
     and are part of the schema contract. *)
 
+val lint_rejected_json :
+  program:string -> Kflex_verifier.Verify.error -> string
+(** One JSON object for a program the verifier refused — the structured
+    counterpart of the ["REJECTED"] text line, so [kflexc lint --json]
+    stays machine-readable when a file fails admission:
+
+    {v
+    {"version":1,"program":<string>,"rejected":{
+      "pc":<int>?,"kind":<error kind>,"message":<string>}}
+    v}
+
+    [kind] strings come from {!Kflex_verifier.Verify.error_kind_name}. *)
+
 val chain_json :
   programs:string list ->
   findings:Kflex_verifier.Lifecycle.chain_finding list ->

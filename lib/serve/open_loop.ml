@@ -53,6 +53,9 @@ type config = {
   burn : bool;  (* attach the over-deadline burner tenant *)
   burn_iters : int;
   deadline_us : float;  (* engine reaper deadline *)
+  guard : bool;  (* attach the shared-map guard tenants ahead of the cache *)
+  guard_capacity : int;  (* bucket tokens per key class per window *)
+  guard_window_us : float;  (* bucket refill window *)
 }
 
 let default =
@@ -71,6 +74,9 @@ let default =
     burn = true;
     burn_iters = 120_000;
     deadline_us = 200.0;
+    guard = false;
+    guard_capacity = 4096;
+    guard_window_us = 1_000.0;
   }
 
 (* --- the generator: arrivals -> wire bytes -> ring -> parser -> packets -- *)
@@ -208,6 +214,23 @@ let attach_src eng ~name ~hook ?heap_bits src =
 
 let attach_tenants cfg eng =
   let hook = Wire.hook_of cfg.proto in
+  if cfg.guard then begin
+    (* engine-shared maps first, so fds 3/4 are valid for every tenant;
+       drop = any non-pass verdict (terminal for the chain) *)
+    let spin, rcu = Kflex_apps.Ratelimit.make_maps ~shards:(Engine.shards eng) in
+    ignore (Engine.share_map eng spin);
+    ignore (Engine.share_map eng rcu);
+    let pass = Hook.pass_verdict hook in
+    let drop = if Int64.equal pass 1L then 0L else 1L in
+    ignore
+      (attach_src eng ~name:"ratelimit" ~hook ~heap_bits:12
+         (Kflex_apps.Ratelimit.bucket_source ~pass ~drop
+            ~capacity:cfg.guard_capacity
+            ~window_ns:(Int64.of_float (cfg.guard_window_us *. 1e3))));
+    ignore
+      (attach_src eng ~name:"conntrack" ~hook ~heap_bits:12
+         (Kflex_apps.Ratelimit.conntrack_source ~pass ~drop))
+  end;
   if cfg.burn then
     (* heap_bits 12: even a loop-only program needs a page for the
        instrumentation's terminate word *)

@@ -31,6 +31,12 @@ type config = {
   burn : bool;  (** attach the over-deadline burner tenant *)
   burn_iters : int;
   deadline_us : float;  (** engine reaper deadline *)
+  guard : bool;
+      (** attach the {!Kflex_apps.Ratelimit} guard tenants (token-bucket
+          rate limiter over the engine-shared Spinlock map, conntrack over
+          the shared RCU map) ahead of the burner and the cache *)
+  guard_capacity : int;  (** bucket tokens per key class per window *)
+  guard_window_us : float;  (** bucket refill window *)
 }
 
 val default : config
@@ -41,8 +47,12 @@ val generate : config -> request array
     Returns exactly [requests] records sorted by [gen_ns]. *)
 
 val attach_tenants : config -> Kflex_engine.Engine.t -> unit
-(** Attach the burner (when [burn]) then the §5.1 cache extension for
-    [proto], compiled backend, at the protocol's hook. *)
+(** Attach, in chain order: the guard tenants over engine-shared maps
+    (when [guard] — sharing the maps first, so they sit at fds 3/4 for
+    every tenant), the burner (when [burn]), then the §5.1 cache
+    extension for [proto]; all compiled backend, at the protocol's hook.
+    The shared maps are reachable afterwards via
+    [Engine.shared_maps]. *)
 
 val make_engine :
   config -> mode:Kflex_engine.Engine.mode -> shards:int -> Kflex_engine.Engine.t

@@ -160,4 +160,16 @@ let kflex_base =
       ~ret:(R_scalar_range (0L, 1L)) ();
     make ~name:"bpf_map_delete" ~args:[ A_scalar; A_stack_ptr 8 ]
       ~ret:(R_scalar_range (0L, 1L)) ();
+    (* Shared-state map helpers. [bpf_map_lock] is an acquiring helper with
+       a NULL-able handle — the verifier's null refinement forces the
+       0-check before the handle is used, and the lifecycle pass enforces
+       lock pairing and ordering through lock_ordinal (1: map-value locks
+       nest inside the heap spin lock's ordinal 0, never the reverse). *)
+    make ~name:"bpf_map_lock" ~args:[ A_scalar; A_stack_ptr 8 ]
+      ~ret:(R_obj_or_null "map_lock") ~eff:E_acquire
+      ~destructor:"bpf_map_unlock" ~lock_ordinal:1 ();
+    make ~name:"bpf_map_unlock" ~args:[ A_obj "map_lock" ] ~ret:R_unit
+      ~eff:(E_release 0) ~lock_ordinal:1 ();
+    make ~name:"bpf_map_sum" ~args:[ A_scalar; A_stack_ptr 8; A_stack_ptr 8 ]
+      ~ret:(R_scalar_range (0L, 1L)) ();
   ]

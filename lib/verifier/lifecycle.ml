@@ -172,6 +172,13 @@ let is_alloc c =
 let is_lock_acquire c =
   c.Contract.eff = Contract.E_acquire && c.Contract.lock_ordinal <> None
 
+(* A lock acquire that can fail ([bpf_map_lock] on a full table): the lock
+   is only held on the non-null arm, so the handle in r0 gets a checkable
+   site and the null refinement pops the speculative lock again. *)
+let is_nullable_lock c =
+  is_lock_acquire c
+  && match c.Contract.ret with Contract.R_obj_or_null _ -> true | _ -> false
+
 let is_lock_release c =
   match c.Contract.eff with
   | Contract.E_release _ -> c.Contract.lock_ordinal <> None
@@ -377,7 +384,9 @@ let call_step rules (a : Verify.analysis) (emit : emitter) pc name p =
         List.fold_left (fun p i -> kill_cell emit ~pc p (C_reg i)) p
           [ 0; 1; 2; 3; 4; 5 ]
       in
-      if is_alloc c then add_bind (add_site p pc) (C_reg 0) pc else p
+      if is_alloc c || is_nullable_lock c then
+        add_bind (add_site p pc) (C_reg 0) pc
+      else p
 
 let stack_store (emit : emitter) ~pc p disp width (src : Reg.t option) =
   match (src, slot_of_full_store disp width) with
@@ -453,11 +462,14 @@ let step rules (a : Verify.analysis) (emit : emitter) pc insn p =
           (fun (site, st) ->
             match st with
             | Unchecked | Held ->
-                emit Leak ~site ~pc p
-                  (Printf.sprintf
-                     "heap block allocated at pc %d is still live at exit on \
-                      this path"
-                     site)
+                (* a still-held lock's site is reported by the dedicated
+                   lock check below, not as a heap leak *)
+                if not (List.exists (fun l -> l.acq = site) p.locks) then
+                  emit Leak ~site ~pc p
+                    (Printf.sprintf
+                       "heap block allocated at pc %d is still live at exit \
+                        on this path"
+                       site)
             | Released -> ())
           p.sites;
         (match p.locks with
@@ -498,21 +510,40 @@ let refine_path cond (imm : int64) ~taken p site =
     | _ -> `Unknown
   in
   match verdict with
-  | `Null -> drop_site p site
+  | `Null ->
+      (* a nullable lock acquire was pushed speculatively — the null arm
+         means the lock was never taken *)
+      let p = drop_site p site in
+      { p with locks = List.filter (fun l -> l.acq <> site) p.locks }
   | `Nonnull -> set_status p site Held
   | `Unknown -> p
 
-let edge _pc insn ~taken fact =
+let edge (a : Verify.analysis) pc insn ~taken fact =
+  (* a register operand whose abstract value is a known constant refines
+     exactly like an immediate (compilers love [r2 = 0; if r1 != r2]) *)
+  let const_operand = function
+    | Insn.Imm imm -> Some imm
+    | Insn.Reg r -> (
+        match a.Verify.states_at.(pc) with
+        | None -> None
+        | Some st -> (
+            match State.get st r with
+            | Value.Scalar rg -> Range.is_const rg
+            | _ -> None))
+  in
   match insn with
-  | Insn.Jcond (cond, r, Insn.Imm imm, _) ->
-      canon
-        (List.map
-           (fun p ->
-             match bound p (C_reg (rnum r)) with
-             | Some site when status_of p site = Some Unchecked ->
-                 refine_path cond imm ~taken p site
-             | _ -> p)
-           fact)
+  | Insn.Jcond (cond, r, operand, _) -> (
+      match const_operand operand with
+      | None -> fact
+      | Some imm ->
+          canon
+            (List.map
+               (fun p ->
+                 match bound p (C_reg (rnum r)) with
+                 | Some site when status_of p site = Some Unchecked ->
+                     refine_path cond imm ~taken p site
+                 | _ -> p)
+               fact))
   | _ -> fact
 
 (* ------------------------------------------------------------------ *)
@@ -548,7 +579,7 @@ let run ~contracts (a : Verify.analysis) =
       Dataflow.join;
       equal;
       transfer = (fun pc insn f -> canon (List.map (step rules a no_emit pc insn) f));
-      edge = Some edge;
+      edge = Some (edge a);
     }
   in
   match Dataflow.forward a ~init:[ entry_path ] spec with

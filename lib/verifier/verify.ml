@@ -48,17 +48,17 @@ exception Err of error
 let err ?pc kind fmt =
   Format.kasprintf (fun msg -> raise (Err { pc; kind; msg })) fmt
 
+let error_kind_name = function
+  | E_uninit -> "uninit"
+  | E_bounds -> "bounds"
+  | E_type -> "type"
+  | E_helper -> "helper"
+  | E_leak -> "leak"
+  | E_loop -> "loop"
+  | E_resource -> "resource"
+
 let pp_error ppf e =
-  let kind =
-    match e.kind with
-    | E_uninit -> "uninit"
-    | E_bounds -> "bounds"
-    | E_type -> "type"
-    | E_helper -> "helper"
-    | E_leak -> "leak"
-    | E_loop -> "loop"
-    | E_resource -> "resource"
-  in
+  let kind = error_kind_name e.kind in
   match e.pc with
   | Some pc -> Format.fprintf ppf "insn %d: [%s] %s" pc kind e.msg
   | None -> Format.fprintf ppf "[%s] %s" kind e.msg

@@ -109,4 +109,8 @@ val run :
 (** Verify a program. [heap_size] must be a power of two when given; omitting
     it (or running in [Ebpf] mode) makes any heap access an error. *)
 
+val error_kind_name : error_kind -> string
+(** Stable lower-case name (["uninit"], ["bounds"], …) — part of the
+    [kflexc lint --json] schema contract. *)
+
 val pp_error : Format.formatter -> error -> unit

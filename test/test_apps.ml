@@ -357,6 +357,69 @@ let t_e2e_headline_ordering () =
         (p99 "KFlex" < p99 "User space"))
     cells
 
+(* --- rate limiter + conntrack guards ------------------------------------- *)
+
+module RL = Kflex_apps.Ratelimit
+module Map = Kflex_kernel.Map
+module Helpers = Kflex_kernel.Helpers
+
+(* load one guard source on the facade with the shared maps at fds 3/4 *)
+let load_guard src =
+  let c = Kflex_eclang.Compile.compile_string ~name:"guard" ~use_heap:false src in
+  let kernel = Helpers.create () in
+  let spin, rcu = RL.make_maps ~shards:1 in
+  assert (Map.register (Helpers.maps kernel) spin = 3L);
+  assert (Map.register (Helpers.maps kernel) rcu = 4L);
+  match
+    Kflex.load ~kernel ~hook:Kflex_kernel.Hook.Xdp c.Kflex_eclang.Compile.prog
+  with
+  | Ok loaded -> (loaded, spin, rcu)
+  | Error e ->
+      Alcotest.failf "guard rejected: %a" Kflex_verifier.Verify.pp_error e
+
+let run_guard loaded p =
+  match Kflex.run_packet loaded p with
+  | Kflex_runtime.Vm.Finished v -> v
+  | Kflex_runtime.Vm.Cancelled _ -> Alcotest.fail "guard cancelled"
+
+let t_ratelimit_vs_model () =
+  (* a window far past any virtual clock value: the model and the VM both
+     sit in window 0, so the comparison is exact *)
+  let capacity = 3 and window_ns = Int64.shift_left 1L 50 in
+  let loaded, spin, _ =
+    load_guard (RL.bucket_source ~pass:2L ~drop:1L ~capacity ~window_ns)
+  in
+  let m = RL.model () in
+  let rng = Kflex_workload.Rng.create ~seed:5L in
+  for i = 0 to 599 do
+    let key = Int64.of_int (Kflex_workload.Rng.int rng 200) in
+    let expect =
+      if RL.model_admit m ~capacity ~window_ns ~now_ns:0L key then 2L else 1L
+    in
+    let got = run_guard loaded (RL.guard_packet key) in
+    Alcotest.(check int64) (Printf.sprintf "event %d key %Ld" i key) expect got
+  done;
+  Alcotest.(check bool) "no lock left held" true
+    (List.for_all (fun (k, _) -> not (Map.lock_held spin k)) (Map.to_list spin))
+
+let t_conntrack_read_mostly () =
+  let loaded, _, rcu = load_guard (RL.conntrack_source ~pass:2L ~drop:1L) in
+  let version () = (Option.get (Map.rcu_stats rcu)).Map.version in
+  Alcotest.(check int64) "first packet passes" 2L
+    (run_guard loaded (RL.guard_packet 77L));
+  let v1 = version () in
+  Alcotest.(check bool) "first packet published" true (v1 > 0);
+  (* a known flow is a pure read: no new snapshot version *)
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "known flow passes" 2L
+      (run_guard loaded (RL.guard_packet 77L))
+  done;
+  Alcotest.(check int) "read-mostly: no writes for known flows" v1 (version ());
+  (* distinct flows land distinct entries *)
+  Alcotest.(check int64) "second flow" 2L (run_guard loaded (RL.guard_packet 78L));
+  Alcotest.(check bool) "both tracked" true
+    (Map.merged rcu 77L <> None && Map.merged rcu 78L <> None)
+
 let () =
   Alcotest.run "apps"
     [
@@ -388,6 +451,12 @@ let () =
         [
           Alcotest.test_case "get/set" `Quick t_redis_get_set;
           Alcotest.test_case "zadd vs model" `Quick t_redis_zadd;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "ratelimit vs model" `Quick t_ratelimit_vs_model;
+          Alcotest.test_case "conntrack read-mostly" `Quick
+            t_conntrack_read_mostly;
         ] );
       ( "codesign",
         [

@@ -316,6 +316,191 @@ let t_threaded_smoke () =
   Alcotest.(check bool) "threaded = deterministic histogram" true
     ((Engine.totals det).Engine.verdicts = t.Engine.verdicts)
 
+(* --- engine-shared maps ------------------------------------------------- *)
+
+(* read-modify-write of a spin-locked shared counter: the whole increment
+   runs inside the bpf_map_lock critical section, so per-key totals must
+   equal the number of successful lock acquisitions even under real
+   cross-domain contention *)
+let shared_counter_src = {|
+fn prog(c: ctx) -> u64 {
+  var kbuf: bytes[8];
+  var vbuf: bytes[8];
+  st64(&kbuf, 0, pkt_read_u16(c, 0) & 7);
+  var h: u64 = bpf_map_lock(3, &kbuf);
+  if (h == 0) { return 1; }
+  var n: u64 = 0;
+  if (bpf_map_lookup(3, &kbuf, &vbuf) == 1) { n = ld64(&vbuf, 0); }
+  st64(&vbuf, 0, n + 1);
+  bpf_map_update(3, &kbuf, &vbuf);
+  bpf_map_unlock(h);
+  return 2;
+}
+|}
+
+let attach_shared_counter eng =
+  let c = compile "shared_counter" shared_counter_src in
+  attach_exn ~name:"shared_counter" ~globals_size:(globals_of c)
+    ~heap_size:4096L eng (prog_of c)
+
+(* the programs above key on the first payload u16; vary the port too so
+   flow hashing spreads events across shards *)
+let key_pkt k =
+  let b = Bytes.make 17 '\000' in
+  Bytes.set_uint16_le b 0 (k land 0xFFFF);
+  pkt ~src_port:(1 + (k * 131 mod 4096)) ~payload:b ()
+
+let t_share_map_fds () =
+  let eng = Engine.create ~shards:2 () in
+  let spin = Map.create ~kind:Map.Spinlock ~max_entries:64 () in
+  let rcu = Map.create ~kind:Map.Rcu_shared ~cpus:2 ~max_entries:64 () in
+  let fd_spin = Engine.share_map eng spin in
+  let fd_rcu = Engine.share_map eng rcu in
+  Alcotest.(check int64) "first shared fd is 3" 3L fd_spin;
+  Alcotest.(check int64) "second shared fd is 4" 4L fd_rcu;
+  Alcotest.(check bool) "share order" true
+    (Engine.shared_maps eng == [ spin; rcu ]
+    || Engine.shared_maps eng = [ spin; rcu ]);
+  let _ = attach_shared_counter eng in
+  (* updates through the fd land in the map object we handed over *)
+  for i = 0 to 15 do
+    ignore (Engine.run_packet eng (key_pkt i))
+  done;
+  let total = List.fold_left (fun a (_, v) -> Int64.add a v) 0L (Map.to_list spin) in
+  Alcotest.(check int64) "all increments in the shared map" 16L total;
+  Alcotest.(check bool) "no lock left held" true
+    (List.for_all (fun (k, _) -> not (Map.lock_held spin k)) (Map.to_list spin))
+
+let t_shared_counter_threaded () =
+  (* the linearizability check under real contention: 4 domains, 8 hot
+     keys, every successful lock acquisition is one increment *)
+  let eng = Engine.create ~shards:4 ~mode:`Threaded () in
+  let spin = Map.create ~kind:Map.Spinlock ~max_entries:64 () in
+  ignore (Engine.share_map eng spin);
+  let _ = attach_shared_counter eng in
+  let events = 800 in
+  for i = 0 to events - 1 do
+    Engine.submit eng (key_pkt i)
+  done;
+  Engine.drain eng;
+  let t = Engine.totals eng in
+  Engine.shutdown eng;
+  Alcotest.(check int) "all events ran" events t.Engine.events;
+  Alcotest.(check int) "no leaks" 0 t.Engine.leaked;
+  let passes =
+    try List.assoc 2L t.Engine.verdicts with Not_found -> 0
+  in
+  let drops = try List.assoc 1L t.Engine.verdicts with Not_found -> 0 in
+  Alcotest.(check int) "every event passed or dropped" events (passes + drops);
+  let total = List.fold_left (fun a (_, v) -> Int64.add a v) 0L (Map.to_list spin) in
+  Alcotest.(check int64) "counter = successful acquisitions"
+    (Int64.of_int passes) total;
+  Alcotest.(check bool) "no lock left held" true
+    (List.for_all
+       (fun k -> not (Map.lock_held spin (Int64.of_int k)))
+       [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+(* cancellation landing inside the critical section: the reaper fires while
+   the lock is held, and the unwind must release it and leak nothing *)
+let t_cancel_in_critical_section () =
+  let slow_src = {|
+fn prog(c: ctx) -> u64 {
+  var kbuf: bytes[8];
+  st64(&kbuf, 0, 0);
+  var h: u64 = bpf_map_lock(3, &kbuf);
+  if (h == 0) { return 1; }
+  var i: u64 = 0;
+  while (i < 1000000) { i = i + 1; }
+  bpf_map_unlock(h);
+  return 2;
+}
+|}
+  in
+  let eng = Engine.create ~shards:2 () in
+  let spin = Map.create ~kind:Map.Spinlock ~max_entries:8 () in
+  ignore (Engine.share_map eng spin);
+  let c = compile "slow_lock" slow_src in
+  (match
+     Engine.attach eng ~name:"slow_lock" ~globals_size:(globals_of c)
+       ~heap_size:4096L ~quantum:2000 ~hook:Hook.Xdp (prog_of c)
+   with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "attach rejected: %a" Kflex_verifier.Verify.pp_error e);
+  for i = 0 to 7 do
+    ignore (Engine.run_packet eng (key_pkt i))
+  done;
+  let t = Engine.totals eng in
+  Alcotest.(check bool) "quantum fired" true (t.Engine.cancelled > 0);
+  Alcotest.(check int) "no ledger leaks" 0 t.Engine.leaked;
+  Alcotest.(check bool) "lock released by the unwind" false
+    (Map.lock_held spin 0L);
+  Alcotest.(check int) "no socket refs" 0 (Engine.socket_refs eng)
+
+(* replace semantics: engine-shared maps persist at the same fds across a
+   replace; maps registered by the old attachment's [configure] do not —
+   the replacement's configure starts from a fresh registry (shared maps
+   first, so private fds land after theirs, here at 5) *)
+let t_replace_shared_persists () =
+  let persist_src = {|
+fn prog(c: ctx) -> u64 {
+  var kbuf: bytes[8];
+  var vbuf: bytes[8];
+  st64(&kbuf, 0, pkt_read_u16(c, 0));
+  st64(&vbuf, 0, 1);
+  bpf_map_update(4, &kbuf, &vbuf);
+  st64(&kbuf, 0, 0);
+  var v: u64 = 0;
+  if (bpf_map_lookup(5, &kbuf, &vbuf) == 1) { v = ld64(&vbuf, 0); }
+  return v;
+}
+|}
+  in
+  let eng = Engine.create ~shards:2 () in
+  let spin = Map.create ~kind:Map.Spinlock ~max_entries:8 () in
+  let rcu = Map.create ~kind:Map.Rcu_shared ~cpus:2 ~max_entries:64 () in
+  ignore (Engine.share_map eng spin);
+  ignore (Engine.share_map eng rcu);
+  let c = compile "persist" persist_src in
+  let configure tag ~shard:_ kernel _heap =
+    let m = Map.create ~max_entries:8 () in
+    ignore (Map.update m 0L tag);
+    ignore (Map.register (Helpers.maps kernel) m)
+  in
+  let h =
+    attach_exn ~name:"persist" ~globals_size:(globals_of c) ~heap_size:4096L
+      ~configure:(configure 7L) eng (prog_of c)
+  in
+  let r = Engine.run_packet eng (key_pkt 100) in
+  Alcotest.(check int64) "private map visible at fd 5" 7L r.Engine.verdict;
+  Alcotest.(check bool) "rcu entry written" true
+    (Map.merged rcu 100L <> None);
+  let v0 = (Option.get (Map.rcu_stats rcu)).Map.version in
+  let h' =
+    match
+      Engine.replace eng h ~name:"persist2" ~globals_size:(globals_of c)
+        ~heap_size:4096L ~configure:(configure 9L) (prog_of c)
+    with
+    | Ok h -> h
+    | Error e -> Alcotest.failf "replace: %a" Kflex_verifier.Verify.pp_error e
+  in
+  ignore h';
+  let r = Engine.run_packet eng (key_pkt 200) in
+  (* the replacement sees its own private map (old fd-5 data is gone) ... *)
+  Alcotest.(check int64) "fresh private map after replace" 9L r.Engine.verdict;
+  (* ... while the engine-shared RCU map persisted at fd 4 with its data *)
+  Alcotest.(check bool) "old shared entry survives" true
+    (Map.merged rcu 100L <> None);
+  Alcotest.(check bool) "new shared entry lands" true
+    (Map.merged rcu 200L <> None);
+  Alcotest.(check bool) "rcu kept publishing" true
+    ((Option.get (Map.rcu_stats rcu)).Map.version > v0);
+  (* registry quiescence at replace ran a full grace period: nothing
+     retired from before the swap is still pending *)
+  Engine.detach eng h';
+  Alcotest.(check int) "retired drained at quiescence" 0
+    (Option.get (Map.rcu_stats rcu)).Map.retired
+
 let () =
   Alcotest.run "engine"
     [
@@ -332,5 +517,15 @@ let () =
           Alcotest.test_case "shard-count invariance" `Quick t_shard_invariance;
           Alcotest.test_case "facade equivalence" `Quick t_facade_equivalence;
           Alcotest.test_case "threaded smoke" `Quick t_threaded_smoke;
+        ] );
+      ( "shared maps",
+        [
+          Alcotest.test_case "share_map fds" `Quick t_share_map_fds;
+          Alcotest.test_case "threaded shared counter" `Quick
+            t_shared_counter_threaded;
+          Alcotest.test_case "cancel in critical section" `Quick
+            t_cancel_in_critical_section;
+          Alcotest.test_case "replace keeps shared maps" `Quick
+            t_replace_shared_persists;
         ] );
     ]

@@ -65,7 +65,7 @@ let t_campaign_deterministic () =
 let t_gen_deterministic () =
   let gen () =
     let rng = Rng.create ~seed:99L in
-    Gen.generate ~rng ~heap_size:65536L ~port:53
+    Gen.generate ~rng ~heap_size:65536L ~port:53 ()
   in
   let a = gen () and b = gen () in
   Alcotest.(check bool) "identical items" true (a = b);
@@ -203,8 +203,8 @@ let t_corpus_chain_identity () =
 
 let t_chain_equiv_deterministic () =
   let rng = Rng.create ~seed:21L in
-  let p1 = Gen.assemble (Gen.generate ~rng ~heap_size:65536L ~port:53) in
-  let p2 = Gen.assemble (Gen.generate ~rng ~heap_size:65536L ~port:53) in
+  let p1 = Gen.assemble (Gen.generate ~rng ~heap_size:65536L ~port:53 ()) in
+  let p2 = Gen.assemble (Gen.generate ~rng ~heap_size:65536L ~port:53 ()) in
   let a = Oracle.chain_equiv Oracle.default_config p1 p2 in
   let b = Oracle.chain_equiv Oracle.default_config p1 p2 in
   Alcotest.(check bool) "same verdict" true (a = b)
@@ -229,11 +229,123 @@ let t_corpus_pair_roundtrip () =
    run_case itself). *)
 let t_run_case_deterministic () =
   let rng = Rng.create ~seed:5L in
-  let items = Gen.generate ~rng ~heap_size:65536L ~port:53 in
+  let items = Gen.generate ~rng ~heap_size:65536L ~port:53 () in
   let prog = Gen.assemble items in
   let a = Oracle.run_case Oracle.default_config prog in
   let b = Oracle.run_case Oracle.default_config prog in
   Alcotest.(check bool) "same verdict" true (a = b)
+
+(* --- the shared-map linearizability oracle ------------------------------ *)
+
+(* A hand-written shared-dialect program: take the spin lock on fd 3,
+   update the locked value, release, then write and sum through the RCU
+   map on fd 4. Sharded-vs-reference must agree on everything. *)
+let shared_prog () =
+  Gen.assemble
+    [
+      Asm.mov Reg.R6 Reg.R1;
+      (* spin-locked section on fd 3, key 1 *)
+      Asm.sti Insn.U64 Reg.fp (-8) 1L;
+      Asm.movi Reg.R1 3L;
+      Asm.mov Reg.R2 Reg.fp;
+      Asm.alui Insn.Add Reg.R2 (-8L);
+      Asm.call "bpf_map_lock";
+      Asm.jmpi Insn.Eq Reg.R0 0L "miss";
+      Asm.stx Insn.U64 Reg.fp (-40) Reg.R0;
+      Asm.sti Insn.U64 Reg.fp (-16) 7L;
+      Asm.movi Reg.R1 3L;
+      Asm.mov Reg.R2 Reg.fp;
+      Asm.alui Insn.Add Reg.R2 (-8L);
+      Asm.mov Reg.R3 Reg.fp;
+      Asm.alui Insn.Add Reg.R3 (-16L);
+      Asm.call "bpf_map_update";
+      Asm.ldx Insn.U64 Reg.R1 Reg.fp (-40);
+      Asm.call "bpf_map_unlock";
+      Asm.label "miss";
+      (* rcu map on fd 4: publish key 2 -> 9, then read it back *)
+      Asm.sti Insn.U64 Reg.fp (-24) 2L;
+      Asm.sti Insn.U64 Reg.fp (-32) 9L;
+      Asm.movi Reg.R1 4L;
+      Asm.mov Reg.R2 Reg.fp;
+      Asm.alui Insn.Add Reg.R2 (-24L);
+      Asm.mov Reg.R3 Reg.fp;
+      Asm.alui Insn.Add Reg.R3 (-32L);
+      Asm.call "bpf_map_update";
+      Asm.movi Reg.R1 4L;
+      Asm.mov Reg.R2 Reg.fp;
+      Asm.alui Insn.Add Reg.R2 (-24L);
+      Asm.mov Reg.R3 Reg.fp;
+      Asm.alui Insn.Add Reg.R3 (-32L);
+      Asm.call "bpf_map_sum";
+      Asm.movi Reg.R0 2L;
+      Asm.exit_;
+    ]
+
+let t_shared_oracle_pass () =
+  match Oracle.shared_equiv Oracle.default_config (shared_prog ()) with
+  | Oracle.Pass -> ()
+  | v -> Alcotest.failf "expected shared pass: %a" Oracle.pp_verdict v
+
+let t_shared_safety_pass () =
+  match Oracle.shared_safety Oracle.default_config (shared_prog ()) with
+  | Oracle.Pass -> ()
+  | v -> Alcotest.failf "expected shared safety pass: %a" Oracle.pp_verdict v
+
+(* The shared dialect must be shard-independent by construction: no heap
+   base, no sockets, no processor id, no per-CPU map fds. *)
+let t_shared_gen_dialect () =
+  let forbidden =
+    [
+      "kflex_heap_base"; "kflex_malloc"; "kflex_free"; "bpf_sk_lookup_udp";
+      "bpf_sk_lookup_tcp"; "bpf_sk_release"; "bpf_get_smp_processor_id";
+    ]
+  in
+  for seed = 1 to 50 do
+    let rng = Rng.create ~seed:(Int64.of_int seed) in
+    let items =
+      Gen.generate ~shared:true ~rng ~heap_size:65536L ~port:53 ()
+    in
+    List.iter
+      (function
+        | Asm.I (Insn.Call name) when List.mem name forbidden ->
+            Alcotest.failf "seed %d: shared program calls %s" seed name
+        | _ -> ())
+      items
+  done
+
+let t_shared_equiv_deterministic () =
+  let rng = Rng.create ~seed:31L in
+  let items = Gen.generate ~shared:true ~rng ~heap_size:65536L ~port:53 () in
+  let prog = Gen.assemble items in
+  let a = Oracle.shared_equiv Oracle.default_config prog in
+  let b = Oracle.shared_equiv Oracle.default_config prog in
+  Alcotest.(check bool) "same verdict" true (a = b);
+  match a with
+  | Oracle.Fail f -> Alcotest.failf "[%s] %s" f.Oracle.oracle f.Oracle.detail
+  | _ -> ()
+
+(* The acceptance gate: a 1000-case campaign with every shared-oracle pass
+   escalated to a 4-shard threaded safety run must come back clean. *)
+let t_shared_campaign_threaded () =
+  let s =
+    Campaign.run ~out_dir:(smoke_dir ()) ~threaded_shared:true ~seed:1024L
+      ~count:1000 ()
+  in
+  Alcotest.(check int) "no failures" 0 s.Campaign.failures;
+  Alcotest.(check bool)
+    (Printf.sprintf "shared oracle exercised (%d/1000)" s.Campaign.shared)
+    true
+    (s.Campaign.shared > 400)
+
+(* A shared reproducer file replays through the shared oracle. *)
+let t_corpus_shared_replay () =
+  let path = Filename.concat (smoke_dir ()) "shared.kfxr" in
+  Corpus.write path ~oracle:"shared" Oracle.default_config (shared_prog ());
+  let r = Corpus.read path in
+  Alcotest.(check (option string)) "oracle" (Some "shared") r.Corpus.oracle;
+  match Corpus.replay r with
+  | Oracle.Fail fl -> Alcotest.failf "[%s] %s" fl.Oracle.oracle fl.Oracle.detail
+  | Oracle.Pass | Oracle.Rejected _ -> ()
 
 (* --- the lifecycle no-false-positive contract --------------------------- *)
 
@@ -319,7 +431,7 @@ let prop_lifecycle_no_false_positive =
       let rng = Rng.create ~seed:(Int64.of_int seed) in
       let cfg = Oracle.default_config in
       let items =
-        Gen.generate ~rng ~heap_size:cfg.Oracle.heap_size ~port:cfg.Oracle.port
+        Gen.generate ~rng ~heap_size:cfg.Oracle.heap_size ~port:cfg.Oracle.port ()
       in
       match Gen.assemble items with
       | exception _ -> true
@@ -356,6 +468,16 @@ let () =
             t_chain_equiv_deterministic;
           Alcotest.test_case "corpus pair roundtrip" `Quick
             t_corpus_pair_roundtrip;
+          Alcotest.test_case "shared oracle pass" `Quick t_shared_oracle_pass;
+          Alcotest.test_case "shared safety pass" `Quick t_shared_safety_pass;
+          Alcotest.test_case "shared generator dialect" `Quick
+            t_shared_gen_dialect;
+          Alcotest.test_case "shared_equiv deterministic" `Quick
+            t_shared_equiv_deterministic;
+          Alcotest.test_case "shared campaign threaded" `Slow
+            t_shared_campaign_threaded;
+          Alcotest.test_case "corpus shared replay" `Quick
+            t_corpus_shared_replay;
           Alcotest.test_case "corpus lifecycle gate" `Quick
             t_corpus_lifecycle_gate;
           Alcotest.test_case "lifecycle oracle confirms" `Quick

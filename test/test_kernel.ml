@@ -31,7 +31,7 @@ let t_sockets () =
   Alcotest.(check bool) "closed" true (Socket.lookup s ~proto:Packet.Udp ~port:53 = None)
 
 let t_maps () =
-  let m = Map.create ~max_entries:2 in
+  let m = Map.create ~max_entries:2 () in
   Alcotest.(check bool) "upd1" true (Map.update m 1L 10L);
   Alcotest.(check bool) "upd2" true (Map.update m 2L 20L);
   Alcotest.(check bool) "full" false (Map.update m 3L 30L);
@@ -147,6 +147,183 @@ let t_cost_insn_linear () =
         (base +. c) v)
     [ 1; 10; 1_000; 250_000 ]
 
+(* --- map kinds ---------------------------------------------------------- *)
+
+let t_map_array () =
+  let m = Map.create ~kind:Map.Array ~max_entries:4 () in
+  Alcotest.(check bool) "in range" true (Map.update m 3L 30L);
+  Alcotest.(check bool) "out of range" false (Map.update m 4L 40L);
+  Alcotest.(check bool) "negative" false (Map.update m (-1L) 1L);
+  Alcotest.(check (option int64)) "get" (Some 30L) (Map.lookup m 3L);
+  Alcotest.(check bool) "no delete" false (Map.delete m 3L);
+  Alcotest.(check (option int64)) "still there" (Some 30L) (Map.lookup m 3L);
+  (* default-zero slots are elided from the dump *)
+  Alcotest.(check bool) "dump elides zeros" true
+    (Map.to_list m = [ (3L, 30L) ])
+
+let t_map_percpu () =
+  let m = Map.create ~kind:Map.Percpu ~cpus:4 ~max_entries:8 () in
+  Alcotest.(check int) "cpus" 4 (Map.cpus m);
+  (* each bank is independent... *)
+  Alcotest.(check bool) "bank 0" true (Map.update ~cpu:0 m 7L 10L);
+  Alcotest.(check bool) "bank 2" true (Map.update ~cpu:2 m 7L 32L);
+  Alcotest.(check (option int64)) "bank 0 read" (Some 10L)
+    (Map.lookup ~cpu:0 m 7L);
+  Alcotest.(check (option int64)) "bank 1 miss" None (Map.lookup ~cpu:1 m 7L);
+  (* ...and merged sums across banks *)
+  Alcotest.(check (option int64)) "merged sum" (Some 42L) (Map.merged m 7L);
+  Alcotest.(check (option int64)) "merged miss" None (Map.merged m 8L);
+  Alcotest.(check bool) "dump is merged" true (Map.to_list m = [ (7L, 42L) ]);
+  Alcotest.(check bool) "bank delete" true (Map.delete ~cpu:2 m 7L);
+  Alcotest.(check (option int64)) "merged after delete" (Some 10L)
+    (Map.merged m 7L)
+
+let t_map_spinlock () =
+  let m = Map.create ~kind:Map.Spinlock ~max_entries:2 () in
+  (* unlocked access never touches the value *)
+  Alcotest.(check bool) "update without lock" false (Map.update ~cpu:0 m 1L 5L);
+  (match Map.try_lock ~cpu:0 m 1L with
+  | Map.Acquired id ->
+      Alcotest.(check bool) "held" true (Map.lock_held m 1L);
+      (* self-deadlock: bounded spin reports contention, not a hang *)
+      Alcotest.(check bool) "re-lock contends" true
+        (Map.try_lock ~cpu:0 m 1L = Map.Contended);
+      (* a non-holder cannot see or touch the slot *)
+      Alcotest.(check (option int64)) "non-holder miss" None
+        (Map.lookup ~cpu:1 m 1L);
+      Alcotest.(check bool) "non-holder update" false
+        (Map.update ~cpu:1 m 1L 9L);
+      Alcotest.(check bool) "non-holder unlock" false (Map.unlock_id ~cpu:1 m id);
+      (* the holder operates normally *)
+      Alcotest.(check bool) "holder update" true (Map.update ~cpu:0 m 1L 5L);
+      Alcotest.(check (option int64)) "holder read" (Some 5L)
+        (Map.lookup ~cpu:0 m 1L);
+      Alcotest.(check bool) "unlock" true (Map.unlock_id ~cpu:0 m id);
+      Alcotest.(check bool) "released" false (Map.lock_held m 1L);
+      Alcotest.(check bool) "double unlock" false (Map.unlock_id ~cpu:0 m id)
+  | _ -> Alcotest.fail "first try_lock must acquire");
+  (* lock+delete: the removed slot's unlock is tolerated *)
+  (match Map.try_lock ~cpu:0 m 1L with
+  | Map.Acquired id ->
+      Alcotest.(check bool) "locked delete" true (Map.delete ~cpu:0 m 1L);
+      Alcotest.(check bool) "unlock dead slot" true (Map.unlock_id ~cpu:0 m id)
+  | _ -> Alcotest.fail "re-acquire must succeed");
+  (* capacity: a full map cannot create a new slot to lock *)
+  ignore (Map.try_lock ~cpu:0 m 10L);
+  ignore (Map.try_lock ~cpu:1 m 11L);
+  Alcotest.(check bool) "full map" true
+    (Map.try_lock ~cpu:2 m 12L = Map.Unavailable);
+  (* non-Spinlock maps refuse the protocol *)
+  let h = Map.create ~kind:Map.Hash ~max_entries:2 () in
+  Alcotest.(check bool) "hash refuses" true
+    (Map.try_lock ~cpu:0 h 1L = Map.Unavailable)
+
+let t_map_rcu () =
+  let m = Map.create ~kind:Map.Rcu_shared ~cpus:2 ~max_entries:8 () in
+  let stats () = Option.get (Map.rcu_stats m) in
+  Alcotest.(check int) "v0" 0 (stats ()).Map.version;
+  Alcotest.(check bool) "publish 1" true (Map.update m 1L 10L);
+  Alcotest.(check bool) "publish 2" true (Map.update m 2L 20L);
+  let s = stats () in
+  Alcotest.(check int) "two versions" 2 s.Map.version;
+  Alcotest.(check bool) "retired pending" true (s.Map.retired > 0);
+  (* readers are wait-free on the snapshot, any cpu *)
+  Alcotest.(check (option int64)) "read cpu0" (Some 10L) (Map.lookup ~cpu:0 m 1L);
+  Alcotest.(check (option int64)) "read cpu1" (Some 20L) (Map.lookup ~cpu:1 m 2L);
+  (* one cpu quiescing is not a grace period with cpus:2 ... *)
+  Map.rcu_quiesce m ~cpu:0;
+  (* ... but a full synchronize reclaims everything retired *)
+  Map.rcu_synchronize m;
+  let s = stats () in
+  Alcotest.(check int) "drained" 0 s.Map.retired;
+  Alcotest.(check bool) "reclaimed" true (s.Map.reclaimed > 0);
+  (* per-cpu quiescence from every cpu also completes a grace period *)
+  Alcotest.(check bool) "delete publishes" true (Map.delete m 2L);
+  Alcotest.(check bool) "retired again" true ((stats ()).Map.retired > 0);
+  Map.rcu_quiesce m ~cpu:0;
+  Map.rcu_quiesce m ~cpu:1;
+  Alcotest.(check int) "quiesced drain" 0 (stats ()).Map.retired;
+  Alcotest.(check bool) "contents survive" true (Map.to_list m = [ (1L, 10L) ]);
+  (* non-RCU maps have no stats and quiescence is a no-op *)
+  let h = Map.create ~max_entries:2 () in
+  Alcotest.(check bool) "hash no stats" true (Map.rcu_stats h = None);
+  Map.rcu_quiesce h ~cpu:0;
+  Map.rcu_synchronize h
+
+(* fds are monotonic and never reused: a stale fd can only ever miss,
+   which is what makes cross-registry sharing (engine replace) safe. *)
+let t_map_registry_fds () =
+  let r = Map.registry () in
+  let m1 = Map.create ~max_entries:2 () in
+  let m2 = Map.create ~max_entries:2 () in
+  let fd1 = Map.register r m1 in
+  let fd2 = Map.register r m2 in
+  Alcotest.(check int64) "fds start at 3" 3L fd1;
+  Alcotest.(check bool) "monotonic" true (fd2 > fd1);
+  Alcotest.(check bool) "unregister" true (Map.unregister r fd1);
+  Alcotest.(check bool) "stale fd misses" true (Map.find r fd1 = None);
+  Alcotest.(check bool) "unregister again" false (Map.unregister r fd1);
+  let fd3 = Map.register r (Map.create ~max_entries:2 ()) in
+  Alcotest.(check bool) "no reuse after free" true (fd3 > fd2);
+  (* one map may be registered in several registries (shared maps) *)
+  let r2 = Map.registry () in
+  let fd_shared = Map.register r2 m2 in
+  Alcotest.(check bool) "shared registration" true
+    (Map.find r2 fd_shared == Map.find r fd2
+    || (Map.find r2 fd_shared <> None && Map.find r fd2 <> None))
+
+(* Per-kind helper costs: the invariants cost.mli pins. *)
+let t_map_cost_monotone () =
+  let kinds =
+    [ Map.Array; Map.Percpu; Map.Hash; Map.Spinlock; Map.Rcu_shared ]
+  in
+  List.iter
+    (fun k ->
+      let c = Cost.map_cost k in
+      let name = Map.kind_name k in
+      Alcotest.(check bool) (name ^ " miss <= hit") true
+        (c.Cost.lookup_miss <= c.Cost.lookup_hit);
+      Alcotest.(check bool) (name ^ " hit <= update") true
+        (c.Cost.lookup_hit <= c.Cost.update);
+      Alcotest.(check bool) (name ^ " delete <= update") true
+        (c.Cost.delete <= c.Cost.update);
+      Alcotest.(check bool) (name ^ " positive") true (c.Cost.lookup_miss > 0))
+    kinds;
+  (* cross-kind ordering: Array <= Percpu <= Hash <= Spinlock <= Rcu *)
+  ignore
+    (List.fold_left
+       (fun prev k ->
+         let c = Cost.map_cost k in
+         (match prev with
+         | None -> ()
+         | Some (pname, (p : Cost.map_cost)) ->
+             Alcotest.(check bool)
+               (Printf.sprintf "%s <= %s hit" pname (Map.kind_name k))
+               true
+               (p.Cost.lookup_hit <= c.Cost.lookup_hit);
+             Alcotest.(check bool)
+               (Printf.sprintf "%s <= %s miss" pname (Map.kind_name k))
+               true
+               (p.Cost.lookup_miss <= c.Cost.lookup_miss));
+         Some (Map.kind_name k, c))
+       None kinds);
+  (* the RCU copy+publish+retire update dominates every other kind's *)
+  let rcu = Cost.map_cost Map.Rcu_shared in
+  List.iter
+    (fun k ->
+      let c = Cost.map_cost k in
+      Alcotest.(check bool)
+        (Map.kind_name k ^ " update < rcu update")
+        true
+        (c.Cost.update <= rcu.Cost.update))
+    [ Map.Array; Map.Percpu; Map.Hash; Map.Spinlock ];
+  (* lock/unlock/merge constants *)
+  Alcotest.(check bool) "lock > unlock" true
+    (Cost.map_lock_cost > Cost.map_unlock_cost);
+  Alcotest.(check bool) "merge linear in cpus" true
+    (Cost.map_merge_cost ~cpus:8 - Cost.map_merge_cost ~cpus:4
+    = Cost.map_merge_cost ~cpus:4 - Cost.map_merge_cost ~cpus:0)
+
 let t_helpers_pkt () =
   let k = Helpers.create () in
   let impls = Helpers.implementations k in
@@ -167,6 +344,12 @@ let () =
           Alcotest.test_case "packet bounds" `Quick t_packet_bounds;
           Alcotest.test_case "sockets" `Quick t_sockets;
           Alcotest.test_case "maps" `Quick t_maps;
+          Alcotest.test_case "map array kind" `Quick t_map_array;
+          Alcotest.test_case "map percpu banks" `Quick t_map_percpu;
+          Alcotest.test_case "map spinlock protocol" `Quick t_map_spinlock;
+          Alcotest.test_case "map rcu epochs" `Quick t_map_rcu;
+          Alcotest.test_case "map registry fds" `Quick t_map_registry_fds;
+          Alcotest.test_case "map cost monotone" `Quick t_map_cost_monotone;
           Alcotest.test_case "hook ctx" `Quick t_hook_ctx;
           Alcotest.test_case "hook defaults" `Quick t_hook_defaults;
           Alcotest.test_case "cost ordering" `Quick t_cost_ordering;

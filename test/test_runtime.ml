@@ -619,7 +619,7 @@ let prop_jit_differential =
       let cfg = Kflex_fuzz.Oracle.default_config in
       let items =
         Kflex_fuzz.Gen.generate ~rng ~heap_size:cfg.Kflex_fuzz.Oracle.heap_size
-          ~port:cfg.Kflex_fuzz.Oracle.port
+          ~port:cfg.Kflex_fuzz.Oracle.port ()
       in
       let prog = Kflex_fuzz.Gen.assemble items in
       match

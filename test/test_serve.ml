@@ -358,6 +358,68 @@ let t_open_loop_overload () =
   Alcotest.(check bool) "light load is far below the overload median" true
     (light.Open_loop.p99_us < o.Open_loop.p50_us)
 
+(* --- shared-map guard tenants -------------------------------------------- *)
+
+let t_guard_tenants () =
+  (* guard chain ahead of the cache: ratelimit (shared Spinlock buckets) →
+     conntrack (shared RCU flow table) → kflex-memcached. A tiny bucket
+     capacity under a Zipfian stream must shed the hot classes. *)
+  let cfg =
+    {
+      small_cfg with
+      Open_loop.requests = 2500;
+      burn = false;
+      guard = true;
+      guard_capacity = 4;
+      guard_window_us = 50.0;
+    }
+  in
+  let eng = Open_loop.make_engine cfg ~mode:`Deterministic ~shards:2 in
+  Alcotest.(check int) "guards + cache attached" 3
+    (Engine.chain_length eng (Wire.hook_of cfg.Open_loop.proto));
+  let spin, rcu =
+    match Engine.shared_maps eng with
+    | [ s; r ] -> (s, r)
+    | l -> Alcotest.failf "expected 2 shared maps, got %d" (List.length l)
+  in
+  let reqs = Open_loop.generate cfg in
+  let dropped = ref 0 and served = ref 0 in
+  Array.iter
+    (fun r ->
+      let res = Engine.run_packet eng ~hook:r.Open_loop.hook r.Open_loop.pkt in
+      if res.Engine.executed = 1 then incr dropped
+      else if Int64.equal res.Engine.verdict Kflex_kernel.Hook.xdp_tx then
+        incr served)
+    reqs;
+  let t = Engine.totals eng in
+  Engine.shutdown eng;
+  Alcotest.(check int) "all events ran" cfg.Open_loop.requests t.Engine.events;
+  Alcotest.(check int) "no leaks" 0 t.Engine.leaked;
+  Alcotest.(check bool) "hot classes shed" true (!dropped > 0);
+  Alcotest.(check bool) "cold traffic still served" true (!served > 0);
+  Alcotest.(check bool) "flows tracked in the shared RCU map" true
+    (Kflex_kernel.Map.entries rcu > 0);
+  Alcotest.(check bool) "no bucket lock left held" true
+    (List.for_all
+       (fun (k, _) -> not (Kflex_kernel.Map.lock_held spin k))
+       (Kflex_kernel.Map.to_list spin))
+
+let t_guard_determinism () =
+  (* the ninth check still holds with the guard chain in front *)
+  let cfg =
+    {
+      small_cfg with
+      Open_loop.requests = 2000;
+      guard = true;
+      guard_capacity = 8;
+      guard_window_us = 100.0;
+    }
+  in
+  let ok, d1, d2 = Open_loop.determinism_check ~shards:2 cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "digests %Lx vs %Lx" d1 d2)
+    true ok
+
 (* --- threaded wall-clock path -------------------------------------------- *)
 
 let t_threaded_smoke () =
@@ -403,6 +465,8 @@ let () =
           Alcotest.test_case "deterministic digest" `Quick
             t_deterministic_digest;
           Alcotest.test_case "overload" `Quick t_open_loop_overload;
+          Alcotest.test_case "guard tenants" `Quick t_guard_tenants;
+          Alcotest.test_case "guard determinism" `Quick t_guard_determinism;
           Alcotest.test_case "threaded smoke" `Quick t_threaded_smoke;
         ] );
     ]

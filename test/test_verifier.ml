@@ -418,6 +418,90 @@ let t_multiple_locks () =
          exit_;
        ])
 
+(* --- bpf_map_lock / bpf_map_unlock pairing ------------------------------- *)
+
+(* Stack key at fp-8, lock fd 3: the [bpf_map_lock] calling convention. *)
+let map_lock_prologue =
+  [
+    sti Insn.U64 R10 (-8) 1L;
+    movi R1 3L;
+    mov R2 R10;
+    alui Insn.Add R2 (-8L);
+    call "bpf_map_lock";
+  ]
+
+let t_map_lock_paired () =
+  (* the happy path: null-checked handle, unlock on the held path only —
+     the miss arm exits without a release and that is fine *)
+  ignore
+    (expect_ok ~heap:false
+       (map_lock_prologue
+       @ [
+           jmpi Insn.Eq R0 0L "miss";
+           mov R1 R0;
+           call "bpf_map_unlock";
+           label "miss";
+           movi R0 0L;
+           exit_;
+         ]))
+
+let t_map_lock_missing_unlock () =
+  (* exiting while the lock is held is a resource error, not a warning *)
+  expect_err ~heap:false er
+    (map_lock_prologue
+    @ [
+        jmpi Insn.Eq R0 0L "miss";
+        label "miss";
+        movi R0 0L;
+        exit_;
+      ])
+
+let t_map_lock_one_path_leaks () =
+  (* balanced on one branch, leaked on the other: still rejected *)
+  expect_err ~heap:false er
+    ((ldx Insn.U32 R6 R1 0 :: map_lock_prologue)
+    @ [
+        jmpi Insn.Eq R0 0L "miss";
+        jmpi Insn.Eq R6 7L "skip";
+        mov R1 R0;
+        call "bpf_map_unlock";
+        label "skip";
+        label "miss";
+        movi R0 0L;
+        exit_;
+      ])
+
+let t_map_lock_spill_reload () =
+  (* the handle survives a spill, a clobbering helper, and a reload *)
+  ignore
+    (expect_ok ~heap:false
+       (map_lock_prologue
+       @ [
+           jmpi Insn.Eq R0 0L "miss";
+           stx Insn.U64 R10 (-16) R0;
+           call "bpf_ktime_get_ns";
+           ldx Insn.U64 R1 R10 (-16);
+           call "bpf_map_unlock";
+           label "miss";
+           movi R0 0L;
+           exit_;
+         ]))
+
+let t_map_unlock_scalar () =
+  (* unlocking something that is not a held handle *)
+  (match
+     verify ~heap:false [ movi R1 42L; call "bpf_map_unlock"; movi R0 0L; exit_ ]
+   with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error _ -> ());
+  (* and unlocking an un-null-checked handle (may be zero) *)
+  match
+    verify ~heap:false
+      (map_lock_prologue @ [ mov R1 R0; call "bpf_map_unlock"; movi R0 0L; exit_ ])
+  with
+  | Ok _ -> Alcotest.fail "expected null-able handle rejection"
+  | Error _ -> ()
+
 (* --- analysis facts ----------------------------------------------------------- *)
 
 let t_res_at_locations () =
@@ -1436,6 +1520,14 @@ let () =
           Alcotest.test_case "balanced lock in loop" `Quick
             t_lock_balanced_in_loop;
           Alcotest.test_case "multiple locks" `Quick t_multiple_locks;
+          Alcotest.test_case "map lock paired" `Quick t_map_lock_paired;
+          Alcotest.test_case "map lock missing unlock" `Quick
+            t_map_lock_missing_unlock;
+          Alcotest.test_case "map lock one path leaks" `Quick
+            t_map_lock_one_path_leaks;
+          Alcotest.test_case "map lock spill reload" `Quick
+            t_map_lock_spill_reload;
+          Alcotest.test_case "map unlock misuse" `Quick t_map_unlock_scalar;
         ] );
       ( "analysis",
         [
